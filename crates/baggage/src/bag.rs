@@ -1,0 +1,456 @@
+//! The baggage container.
+
+use std::sync::Arc;
+
+use pivot_itc::Stamp;
+use pivot_model::Tuple;
+
+use crate::entry::{Entry, PackMode};
+use crate::instance::Instance;
+use crate::wire;
+use crate::QueryId;
+
+/// The decoded representation: one active instance per branch plus the
+/// inactive instances inherited from earlier branch points.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct Live {
+    pub(crate) active: Instance,
+    pub(crate) inactive: Vec<Instance>,
+}
+
+impl Live {
+    fn new() -> Live {
+        Live {
+            active: Instance::new(Stamp::seed()),
+            inactive: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.active.is_empty() && self.inactive.iter().all(Instance::is_empty)
+    }
+}
+
+/// A per-request container for packed tuples (paper Table 4).
+///
+/// See the [crate documentation](crate) for the full model. `Baggage` is
+/// **lazy**: constructing it from bytes does not decode, and serializing an
+/// unmodified baggage reuses the original bytes, so pure forwarders pay
+/// almost nothing.
+#[derive(Clone, Debug)]
+pub struct Baggage {
+    /// Decoded state; `None` until first access after `from_bytes`.
+    live: Option<Live>,
+    /// Cached serialized form; invalidated by mutation.
+    bytes: Option<Arc<[u8]>>,
+}
+
+impl Default for Baggage {
+    fn default() -> Baggage {
+        Baggage::new()
+    }
+}
+
+impl PartialEq for Baggage {
+    fn eq(&self, other: &Baggage) -> bool {
+        // Compare decoded forms; clone to avoid requiring &mut.
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.ensure_live() == b.ensure_live()
+    }
+}
+
+impl Baggage {
+    /// Creates an empty baggage for a new request.
+    pub fn new() -> Baggage {
+        Baggage {
+            live: Some(Live::new()),
+            bytes: None,
+        }
+    }
+
+    /// Adopts a serialized baggage **without decoding it**.
+    ///
+    /// Decoding happens lazily on the first [`Baggage::pack`],
+    /// [`Baggage::unpack`], [`Baggage::split`], or [`Baggage::join`]. Empty
+    /// input yields an empty baggage.
+    pub fn from_bytes(bytes: &[u8]) -> Baggage {
+        if bytes.is_empty() {
+            return Baggage::new();
+        }
+        Baggage {
+            live: None,
+            bytes: Some(Arc::from(bytes)),
+        }
+    }
+
+    /// Serializes the baggage, reusing the cached encoding when the baggage
+    /// has not been modified since it was last encoded or decoded.
+    ///
+    /// An empty baggage serializes to zero bytes (paper §6.3: "By default,
+    /// Pivot Tracing propagates an empty baggage with a serialized size of
+    /// 0 bytes").
+    pub fn to_bytes(&mut self) -> Arc<[u8]> {
+        if let Some(bytes) = &self.bytes {
+            return Arc::clone(bytes);
+        }
+        let live = self.live.as_ref().expect("live or bytes must be set");
+        let bytes: Arc<[u8]> = if live.is_empty() {
+            Arc::from(&[][..])
+        } else {
+            Arc::from(wire::encode(live).into_boxed_slice())
+        };
+        self.bytes = Some(Arc::clone(&bytes));
+        bytes
+    }
+
+    /// Returns the serialized size in bytes without caching side effects
+    /// beyond the internal encode cache.
+    pub fn serialized_len(&mut self) -> usize {
+        self.to_bytes().len()
+    }
+
+    pub(crate) fn ensure_live(&mut self) -> &mut Live {
+        if self.live.is_none() {
+            let bytes = self.bytes.as_ref().expect("live or bytes set");
+            // A malformed baggage (corruption in transit) degrades to empty
+            // rather than failing the carrying request.
+            let live = wire::decode(bytes).unwrap_or_else(|_| Live::new());
+            self.live = Some(live);
+        }
+        self.live.as_mut().expect("just set")
+    }
+
+    fn touch(&mut self) {
+        self.bytes = None;
+    }
+
+    /// Returns `true` if nothing is packed anywhere in this baggage.
+    pub fn is_empty(&mut self) -> bool {
+        self.ensure_live().is_empty()
+    }
+
+    /// Packs tuples for `query` into the active instance (paper Table 2's
+    /// `Pack` / `FIRST` / `RECENT` semantics are selected by `mode`).
+    pub fn pack<I>(&mut self, query: QueryId, mode: &PackMode, tuples: I)
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        self.ensure_live();
+        self.touch();
+        let live = self.live.as_mut().expect("ensured");
+        // FIRST counts tuples already visible in the causal past (inactive
+        // instances) so re-packing on a later branch cannot duplicate it.
+        let already_first = match mode {
+            PackMode::First(_) => live
+                .inactive
+                .iter()
+                .map(|i| i.count_for(query))
+                .sum::<usize>(),
+            _ => 0,
+        };
+        for t in tuples {
+            live.active.pack(query, mode, t, already_first);
+        }
+    }
+
+    /// Retrieves all tuples packed for `query`, combined across every
+    /// visible instance according to the query's pack mode.
+    ///
+    /// Grouped entries come back as `(key…, Value::Agg(state)…)` rows whose
+    /// partial states downstream aggregation must combine.
+    pub fn unpack(&mut self, query: QueryId) -> Vec<Tuple> {
+        let live = self.ensure_live();
+        // Instances in causal order: inactive (oldest first), then active.
+        let found: Vec<&Entry> = live
+            .inactive
+            .iter()
+            .chain(std::iter::once(&live.active))
+            .filter_map(|i| i.entries.get(&query))
+            .filter(|e| !e.is_empty())
+            .collect();
+        let Some(first) = found.first() else {
+            return Vec::new();
+        };
+        match first.mode() {
+            PackMode::GroupAgg { .. } => {
+                let mut merged = Entry::new(&first.mode());
+                for e in &found {
+                    merged.merge(e);
+                }
+                merged.tuples()
+            }
+            PackMode::First(n) => {
+                let mut out: Vec<Tuple> =
+                    found.iter().flat_map(|e| e.tuples()).collect();
+                out.truncate(n);
+                out
+            }
+            PackMode::Recent(n) => {
+                let all: Vec<Tuple> =
+                    found.iter().flat_map(|e| e.tuples()).collect();
+                let skip = all.len().saturating_sub(n.max(1));
+                all[skip..].to_vec()
+            }
+            PackMode::All => {
+                found.iter().flat_map(|e| e.tuples()).collect()
+            }
+        }
+    }
+
+    /// Returns how many tuples are currently retained for `query`.
+    pub fn tuple_count(&mut self, query: QueryId) -> usize {
+        let live = self.ensure_live();
+        live.inactive
+            .iter()
+            .chain(std::iter::once(&live.active))
+            .map(|i| i.count_for(query))
+            .sum()
+    }
+
+    /// Returns the total number of retained tuples across all queries.
+    pub fn total_tuples(&mut self) -> usize {
+        let live = self.ensure_live();
+        live.inactive
+            .iter()
+            .chain(std::iter::once(&live.active))
+            .flat_map(|i| i.entries.values())
+            .map(Entry::len)
+            .sum()
+    }
+
+    /// Splits this baggage for a branching execution (paper §5).
+    ///
+    /// The current active instance is retired to the inactive set (visible
+    /// to both branches); each branch gets a fresh active instance whose
+    /// interval tree identity is one half of the divided identity. Tuples
+    /// packed on one branch are invisible to the sibling until
+    /// [`Baggage::join`].
+    pub fn split(&mut self) -> Baggage {
+        self.ensure_live();
+        self.touch();
+        let live = self.live.as_mut().expect("ensured");
+        let (mut s1, mut s2) = live.active.stamp.fork();
+        // Record an event on each half so sibling stamps are distinct from
+        // each other and from any ancestor.
+        s1.event();
+        s2.event();
+        let retired = std::mem::replace(
+            &mut live.active,
+            Instance::new(s1),
+        );
+        let mut other_inactive = live.inactive.clone();
+        if !retired.is_empty() {
+            let mut retired = retired;
+            // Anonymize the retired instance's identity: both copies carry
+            // the identical peek stamp, making post-join dedup exact.
+            retired.stamp = retired.stamp.peek();
+            live.inactive.push(retired.clone());
+            other_inactive.push(retired);
+        }
+        Baggage {
+            live: Some(Live {
+                active: Instance::new(s2),
+                inactive: other_inactive,
+            }),
+            bytes: None,
+        }
+    }
+
+    /// Merges baggage from two joining executions (paper §5).
+    ///
+    /// The active instances merge (entry-wise, honouring pack modes) under
+    /// the joined identity; inactive instances from both sides are unioned
+    /// with duplicates discarded.
+    pub fn join(&mut self, mut other: Baggage) {
+        self.ensure_live();
+        self.touch();
+        let other_live = other.ensure_live().clone();
+        let live = self.live.as_mut().expect("ensured");
+        live.active.stamp = live.active.stamp.join(&other_live.active.stamp);
+        live.active.merge_entries(&other_live.active);
+        for inst in other_live.inactive {
+            if !live.inactive.contains(&inst) {
+                live.inactive.push(inst);
+            }
+        }
+    }
+
+    /// Drops every tuple packed for `query` (used on query uninstall).
+    pub fn clear_query(&mut self, query: QueryId) {
+        self.ensure_live();
+        self.touch();
+        let live = self.live.as_mut().expect("ensured");
+        live.active.entries.remove(&query);
+        for i in &mut live.inactive {
+            i.entries.remove(&query);
+        }
+        live.inactive.retain(|i| !i.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_model::{AggFunc, Value};
+
+    fn t(v: i64) -> Tuple {
+        Tuple::from_iter([Value::I64(v)])
+    }
+
+    const Q: QueryId = QueryId(1);
+
+    #[test]
+    fn empty_serializes_to_zero_bytes() {
+        let mut bag = Baggage::new();
+        assert_eq!(bag.to_bytes().len(), 0);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, [t(1), t(2)]);
+        assert_eq!(bag.unpack(Q), vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn serialize_deserialize_preserves_contents() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::First(1), [t(7)]);
+        let bytes = bag.to_bytes();
+        assert!(!bytes.is_empty());
+        let mut back = Baggage::from_bytes(&bytes);
+        assert_eq!(back.unpack(Q), vec![t(7)]);
+    }
+
+    #[test]
+    fn lazy_from_bytes_does_not_decode() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, [t(1)]);
+        let bytes = bag.to_bytes();
+        let mut fwd = Baggage::from_bytes(&bytes);
+        // Forwarding without access keeps the bytes cached verbatim.
+        assert!(fwd.live.is_none());
+        assert_eq!(fwd.to_bytes(), bytes);
+        assert!(fwd.live.is_none());
+    }
+
+    #[test]
+    fn mutation_invalidates_byte_cache() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, [t(1)]);
+        let a = bag.to_bytes();
+        bag.pack(Q, &PackMode::All, [t(2)]);
+        let b = bag.to_bytes();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn branch_isolation_until_join() {
+        let mut main = Baggage::new();
+        main.pack(Q, &PackMode::All, [t(0)]);
+        let mut side = main.split();
+        main.pack(Q, &PackMode::All, [t(1)]);
+        side.pack(Q, &PackMode::All, [t(2)]);
+        // Each branch sees the pre-branch tuple plus only its own.
+        assert_eq!(main.unpack(Q), vec![t(0), t(1)]);
+        assert_eq!(side.unpack(Q), vec![t(0), t(2)]);
+        main.join(side);
+        let mut all = main.unpack(Q);
+        all.sort_by_key(|x| x.get(0).as_i64());
+        assert_eq!(all, vec![t(0), t(1), t(2)]);
+    }
+
+    #[test]
+    fn join_dedups_shared_ancestors() {
+        let mut main = Baggage::new();
+        main.pack(Q, &PackMode::All, [t(0)]);
+        let side = main.split();
+        main.join(side);
+        // The pre-branch tuple must appear exactly once.
+        assert_eq!(main.unpack(Q), vec![t(0)]);
+    }
+
+    #[test]
+    fn nested_branches() {
+        let mut root = Baggage::new();
+        root.pack(Q, &PackMode::All, [t(0)]);
+        let mut b1 = root.split();
+        let mut b1a = b1.split();
+        b1.pack(Q, &PackMode::All, [t(1)]);
+        b1a.pack(Q, &PackMode::All, [t(2)]);
+        b1.join(b1a);
+        root.join(b1);
+        let mut all = root.unpack(Q);
+        all.sort_by_key(|x| x.get(0).as_i64());
+        assert_eq!(all, vec![t(0), t(1), t(2)]);
+    }
+
+    #[test]
+    fn first_across_branch_is_single() {
+        let mut main = Baggage::new();
+        main.pack(Q, &PackMode::First(1), [t(1)]);
+        let mut side = main.split();
+        // The branch packs FIRST again; the causal past already has one.
+        side.pack(Q, &PackMode::First(1), [t(2)]);
+        assert_eq!(side.unpack(Q), vec![t(1)]);
+        main.join(side);
+        assert_eq!(main.unpack(Q), vec![t(1)]);
+    }
+
+    #[test]
+    fn recent_prefers_latest() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::Recent(1), [t(1)]);
+        let bytes = bag.to_bytes();
+        let mut hop = Baggage::from_bytes(&bytes);
+        hop.pack(Q, &PackMode::Recent(1), [t(2)]);
+        assert_eq!(hop.unpack(Q), vec![t(2)]);
+    }
+
+    #[test]
+    fn grouped_pack_merges_across_hops() {
+        let mode = PackMode::GroupAgg {
+            key_len: 1,
+            aggs: vec![AggFunc::Count],
+        };
+        let row = |k: &str| Tuple::from_iter([Value::str(k), Value::Null]);
+        let mut main = Baggage::new();
+        main.pack(Q, &mode, [row("x")]);
+        let mut side = main.split();
+        side.pack(Q, &mode, [row("x"), row("y")]);
+        main.join(side);
+        let out = main.unpack(Q);
+        assert_eq!(out.len(), 2);
+        let x = out
+            .iter()
+            .find(|t| t.get(0) == &Value::str("x"))
+            .expect("group x");
+        assert_eq!(x.get(1).as_agg().unwrap().finish(), Value::U64(2));
+    }
+
+    #[test]
+    fn multiple_queries_coexist() {
+        let q2 = QueryId(2);
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, [t(1)]);
+        bag.pack(q2, &PackMode::All, [t(9)]);
+        assert_eq!(bag.unpack(Q), vec![t(1)]);
+        assert_eq!(bag.unpack(q2), vec![t(9)]);
+        bag.clear_query(Q);
+        assert!(bag.unpack(Q).is_empty());
+        assert_eq!(bag.unpack(q2), vec![t(9)]);
+    }
+
+    #[test]
+    fn corrupt_bytes_degrade_to_empty() {
+        let mut bag = Baggage::from_bytes(&[0xff, 0x01, 0x02]);
+        assert!(bag.unpack(Q).is_empty());
+    }
+
+    #[test]
+    fn unpack_missing_query_is_empty() {
+        let mut bag = Baggage::new();
+        assert!(bag.unpack(QueryId(99)).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion benches for Figure 10: baggage pack / unpack / serialize /
+//! deserialize versus the number of 8-byte tuples in the baggage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pivot_baggage::{Baggage, PackMode, QueryId};
+use pivot_model::{Tuple, Value};
+
+const Q: QueryId = QueryId(1);
+const SIZES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+fn tuple(i: u64) -> Tuple {
+    Tuple::from_iter([Value::U64(i)])
+}
+
+fn filled(n: usize) -> Baggage {
+    let mut bag = Baggage::new();
+    bag.pack(Q, &PackMode::All, (0..n as u64).map(tuple));
+    bag
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10a_pack_one_tuple");
+    for n in SIZES {
+        let base = filled(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut bag| {
+                    bag.pack(Q, &PackMode::All, [tuple(999)]);
+                    bag
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10b_unpack_all");
+    for n in SIZES {
+        let mut bag = filled(n);
+        // Force-decode once so we measure unpack, not lazy decode.
+        let _ = bag.unpack(Q);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| bag.unpack(Q))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10c_serialize");
+    for n in SIZES {
+        let base = filled(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    // Fresh baggage with a cold encode cache.
+                    let mut bag = base.clone();
+                    bag.pack(
+                        Q,
+                        &PackMode::All,
+                        std::iter::empty::<Tuple>(),
+                    );
+                    bag
+                },
+                |mut bag| bag.to_bytes(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_deserialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10d_deserialize");
+    for n in SIZES {
+        let mut src = filled(n);
+        let bytes = src.to_bytes();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut bag = Baggage::from_bytes(&bytes);
+                bag.unpack(Q).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pack, bench_unpack, bench_serialize, bench_deserialize
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the query pipeline: parsing, compilation (with
+//! and without the Table 3 optimizer), and ITC fork/join — the control
+//! plane costs of installing queries at runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_baggage::QueryId;
+use pivot_itc::Stamp;
+use pivot_query::{compile, parse, Options, Query, Resolver};
+
+const Q7: &str = "From DNop In DN.DataTransferProtocol
+Join getloc In NN.GetBlockLocations On getloc -> DNop
+Join st In StressTest.DoNextOp On st -> getloc
+Where st.host != DNop.host
+GroupBy DNop.host, getloc.replicas
+Select DNop.host, getloc.replicas, COUNT";
+
+struct R;
+
+impl Resolver for R {
+    fn tracepoint_exports(&self, _: &str) -> Option<Vec<String>> {
+        Some(
+            [
+                "host",
+                "timestamp",
+                "procid",
+                "procname",
+                "tracepoint",
+                "src",
+                "replicas",
+                "op",
+                "size",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        )
+    }
+
+    fn query_ast(&self, _: &str) -> Option<Query> {
+        None
+    }
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_q7", |b| b.iter(|| parse(Q7).unwrap()));
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_q7_optimized", |b| {
+        b.iter(|| {
+            compile(Q7, "q7", QueryId(1), &R, Options::default()).unwrap()
+        })
+    });
+    c.bench_function("compile_q7_unoptimized", |b| {
+        b.iter(|| {
+            compile(Q7, "q7", QueryId(1), &R, Options::unoptimized())
+                .unwrap()
+        })
+    });
+}
+
+fn bench_itc(c: &mut Criterion) {
+    c.bench_function("itc_fork_event_join", |b| {
+        b.iter(|| {
+            let (mut x, mut y) = Stamp::seed().fork();
+            x.event();
+            y.event();
+            x.join(&y)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_parse, bench_compile, bench_itc
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benches for the tracepoint fast path: the "zero probe
+//! effect" claim (paper §5 — inactive tracepoints must cost next to
+//! nothing) and the cost of running woven Q2 advice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_baggage::Baggage;
+use pivot_core::{Agent, Frontend, ProcessInfo};
+use pivot_model::Value;
+use std::sync::Arc;
+
+fn agent() -> Arc<Agent> {
+    Arc::new(Agent::new(ProcessInfo {
+        host: "host-A".into(),
+        procid: 1,
+        procname: "DataNode".into(),
+    }))
+}
+
+fn frontend() -> Frontend {
+    let mut fe = Frontend::new();
+    fe.define("ClientProtocols", ["procName"]);
+    fe.define("DataNodeMetrics.incrBytesRead", ["delta"]);
+    fe
+}
+
+fn bench_unwoven(c: &mut Criterion) {
+    let a = agent();
+    let mut bag = Baggage::new();
+    c.bench_function("invoke_unwoven_tracepoint", |b| {
+        b.iter(|| {
+            a.invoke(
+                "DataNodeMetrics.incrBytesRead",
+                &mut bag,
+                0,
+                &[("delta", Value::I64(4096))],
+            )
+        })
+    });
+}
+
+fn bench_other_woven(c: &mut Criterion) {
+    // Advice exists elsewhere, but not at this tracepoint: one map lookup.
+    let mut fe = frontend();
+    let a = agent();
+    fe.install(
+        "From cl In ClientProtocols GroupBy cl.procName \
+         Select cl.procName, COUNT",
+    )
+    .expect("query compiles");
+    for cmd in fe.drain_commands() {
+        a.apply(&cmd);
+    }
+    let mut bag = Baggage::new();
+    c.bench_function("invoke_tracepoint_with_unrelated_advice", |b| {
+        b.iter(|| {
+            a.invoke(
+                "DataNodeMetrics.incrBytesRead",
+                &mut bag,
+                0,
+                &[("delta", Value::I64(4096))],
+            )
+        })
+    });
+}
+
+fn bench_q2_advice(c: &mut Criterion) {
+    let mut fe = frontend();
+    let a = agent();
+    fe.install(
+        "From incr In DataNodeMetrics.incrBytesRead
+         Join cl In First(ClientProtocols) On cl -> incr
+         GroupBy cl.procName
+         Select cl.procName, SUM(incr.delta)",
+    )
+    .expect("Q2 compiles");
+    for cmd in fe.drain_commands() {
+        a.apply(&cmd);
+    }
+    let mut bag = Baggage::new();
+    a.invoke(
+        "ClientProtocols",
+        &mut bag,
+        0,
+        &[("procName", Value::str("FSread4m"))],
+    );
+    c.bench_function("invoke_q2_emit_advice", |b| {
+        b.iter(|| {
+            a.invoke(
+                "DataNodeMetrics.incrBytesRead",
+                &mut bag,
+                1,
+                &[("delta", Value::I64(4096))],
+            )
+        })
+    });
+    c.bench_function("invoke_q2_pack_advice", |b| {
+        b.iter_batched(
+            Baggage::new,
+            |mut bag| {
+                a.invoke(
+                    "ClientProtocols",
+                    &mut bag,
+                    0,
+                    &[("procName", Value::str("FSread4m"))],
+                );
+                bag
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_unwoven, bench_other_woven, bench_q2_advice
+);
+criterion_main!(benches);

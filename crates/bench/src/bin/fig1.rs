@@ -1,0 +1,90 @@
+//! Regenerates Figure 1: HDFS throughput per machine (1a), per client
+//! application (1b), and the MRsort10g disk-IO pivot table (1c).
+//!
+//! ```text
+//! cargo run -p pivot-bench --bin fig1 --release -- [--secs 120] [--seed 42]
+//! ```
+
+use pivot_bench::{downsample, f, flag_f64, flag_u64, print_table, sparkline};
+use pivot_workloads::experiments::{fig1, Series};
+
+fn main() {
+    let cfg = fig1::Config {
+        seed: flag_u64("--seed", 42),
+        duration_secs: flag_f64("--secs", 120.0),
+        ..fig1::Config::default()
+    };
+    eprintln!(
+        "running figure 1 workload mix for {}s of virtual time ...",
+        cfg.duration_secs
+    );
+    let r = fig1::run(&cfg);
+
+    let series_rows = |series: &[Series]| -> Vec<Vec<String>> {
+        series
+            .iter()
+            .map(|s| {
+                let avg =
+                    s.points.iter().sum::<f64>() / s.points.len().max(1) as f64;
+                let peak = s.points.iter().cloned().fold(0.0, f64::max);
+                vec![
+                    s.label.clone(),
+                    f(avg, 1),
+                    f(peak, 1),
+                    sparkline(&downsample(&s.points, 40)),
+                ]
+            })
+            .collect()
+    };
+
+    print_table(
+        "Figure 1a: HDFS DataNode throughput per machine (MB/s)",
+        &["host", "avg", "peak", "over time"],
+        &series_rows(&r.per_host),
+    );
+    print_table(
+        "Figure 1b: HDFS throughput grouped by client application (MB/s)",
+        &["client", "avg", "peak", "over time"],
+        &series_rows(&r.per_client),
+    );
+
+    // Figure 1c pivot table: rows = hosts, columns = phases.
+    let phases = ["HDFS", "Map", "Shuffle", "Reduce"];
+    let mut hosts: Vec<String> =
+        r.pivot.iter().map(|c| c.host.clone()).collect();
+    hosts.sort();
+    hosts.dedup();
+    let mut rows = Vec::new();
+    let mut col_total = vec![0.0f64; phases.len()];
+    for host in &hosts {
+        let mut row = vec![host.clone()];
+        let mut total = 0.0;
+        for (i, phase) in phases.iter().enumerate() {
+            let cell = r
+                .pivot
+                .iter()
+                .find(|c| &c.host == host && c.phase == *phase);
+            let (rd, wr) = cell.map_or((0.0, 0.0), |c| {
+                (c.read_mb, c.write_mb)
+            });
+            row.push(format!("{}r/{}w", f(rd, 0), f(wr, 0)));
+            total += rd + wr;
+            col_total[i] += rd + wr;
+        }
+        row.push(f(total, 0));
+        rows.push(row);
+    }
+    let mut totals = vec!["Σcluster".to_owned()];
+    let mut grand = 0.0;
+    for t in &col_total {
+        totals.push(f(*t, 0));
+        grand += t;
+    }
+    totals.push(f(grand, 0));
+    rows.push(totals);
+    print_table(
+        "Figure 1c: MRsort10g disk IO pivot (MB read/written, host x phase)",
+        &["host", "HDFS", "Map", "Shuffle", "Reduce", "Σmachine"],
+        &rows,
+    );
+}

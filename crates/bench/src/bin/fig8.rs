@@ -1,0 +1,109 @@
+//! Regenerates Figure 8: the HDFS-6268 replica-selection diagnosis.
+//!
+//! ```text
+//! cargo run -p pivot-bench --bin fig8 --release -- \
+//!     [--secs 60] [--seed 42] [--clients 12] [--fixed 1]
+//! ```
+//!
+//! Pass `--fixed 1` to run with the bug repaired (uniform load).
+
+use pivot_bench::{f, flag, flag_f64, flag_u64, flag_usize, print_table};
+use pivot_workloads::experiments::fig8;
+
+fn main() {
+    let cfg = fig8::Config {
+        seed: flag_u64("--seed", 42),
+        duration_secs: flag_f64("--secs", 60.0),
+        clients_per_host: flag_usize("--clients", 12),
+        bug: flag("--fixed").is_none(),
+        ..fig8::Config::default()
+    };
+    eprintln!(
+        "running {} stress clients for {}s (HDFS-6268 bug {}) ...",
+        cfg.clients_per_host * cfg.workers,
+        cfg.duration_secs,
+        if cfg.bug { "PRESENT" } else { "fixed" }
+    );
+    let r = fig8::run(&cfg);
+
+    print_table(
+        "Figure 8a: stress client request throughput (req/s per client)",
+        &["client host", "req/s"],
+        &r.client_rate
+            .iter()
+            .map(|(h, v)| vec![h.clone(), f(*v, 1)])
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Figure 8b: network transmit per host (MB/s)",
+        &["host", "MB/s"],
+        &r.network_mbps
+            .iter()
+            .map(|(h, v)| vec![h.clone(), f(*v, 2)])
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Figure 8c: DataNode request throughput (ops/s), query Q3",
+        &["host", "ops/s"],
+        &r.dn_ops
+            .iter()
+            .map(|(h, v)| vec![h.clone(), f(*v, 1)])
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Figure 8d: per-client file read distribution, query Q4",
+        &["client host", "files", "mean reads", "cv"],
+        &r.read_dist
+            .iter()
+            .map(|d| {
+                vec![
+                    d.host.clone(),
+                    d.files.to_string(),
+                    f(d.mean, 2),
+                    f(d.cv, 2),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let matrix = |m: &[Vec<f64>]| -> Vec<Vec<String>> {
+        m.iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut out =
+                    vec![format!("client {}", (b'A' + i as u8) as char)];
+                out.extend(row.iter().map(|v| {
+                    if v.is_nan() {
+                        "-".to_owned()
+                    } else {
+                        f(*v, 2)
+                    }
+                }));
+                out
+            })
+            .collect()
+    };
+    let dn_headers: Vec<String> = std::iter::once("".to_owned())
+        .chain((0..cfg.workers).map(|i| {
+            format!("DN {}", (b'A' + i as u8) as char)
+        }))
+        .collect();
+    let dn_headers: Vec<&str> =
+        dn_headers.iter().map(String::as_str).collect();
+
+    print_table(
+        "Figure 8e: replica-location frequency (row-normalized), query Q5",
+        &dn_headers,
+        &matrix(&r.replica_freq),
+    );
+    print_table(
+        "Figure 8f: DataNode selection frequency (row-normalized), query Q6",
+        &dn_headers,
+        &matrix(&r.selection_freq),
+    );
+    print_table(
+        "Figure 8g: P(row chosen over column | both non-local), query Q7",
+        &dn_headers,
+        &matrix(&r.preference),
+    );
+}

@@ -1,0 +1,99 @@
+//! Regenerates Figure 9: end-to-end latency diagnosis (network limplock),
+//! plus the other §6.2 case studies (rogue GC, NameNode lock overload).
+//!
+//! ```text
+//! cargo run -p pivot-bench --bin fig9 --release -- \
+//!     [--secs 90] [--seed 42] [--case limplock|gc|nnlock]
+//! ```
+
+use pivot_bench::{downsample, f, flag, flag_f64, flag_u64, print_table, sparkline};
+use pivot_workloads::experiments::fig9::{self, Case, Decomposition};
+
+fn main() {
+    let case = match flag("--case").as_deref() {
+        Some("gc") => Case::RogueGc,
+        Some("nnlock") => Case::NnLock,
+        _ => Case::Limplock,
+    };
+    let cfg = fig9::Config {
+        seed: flag_u64("--seed", 42),
+        duration_secs: flag_f64("--secs", 90.0),
+        case,
+        ..fig9::Config::default()
+    };
+    eprintln!(
+        "running HBase scan workload with {case:?} injected for {}s ...",
+        cfg.duration_secs
+    );
+    let r = fig9::run(&cfg);
+
+    // 9a: latency over time.
+    let buckets = 50usize;
+    let max_t = r
+        .latencies
+        .iter()
+        .map(|(t, _)| *t)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let mut lat_max = vec![0.0f64; buckets];
+    for (t, l) in &r.latencies {
+        let idx =
+            (((t / max_t) * buckets as f64) as usize).min(buckets - 1);
+        lat_max[idx] = lat_max[idx].max(*l);
+    }
+    println!("\n== Figure 9a: request latencies over time ==");
+    println!(
+        "max latency per window (s): {}",
+        sparkline(&lat_max)
+    );
+    let peak = r
+        .latencies
+        .iter()
+        .map(|(_, l)| *l)
+        .fold(0.0f64, f64::max);
+    println!(
+        "requests: {}   peak latency: {:.2}s   slow threshold: {:.2}s",
+        r.latencies.len(),
+        peak,
+        r.slow_threshold_secs
+    );
+
+    // 9b: decomposition, average vs slow.
+    let row = |label: &str, d: &Decomposition| -> Vec<String> {
+        vec![
+            label.to_owned(),
+            d.count.to_string(),
+            f(d.rs_queue, 3),
+            f(d.rs_process, 3),
+            f(d.dn_transfer, 3),
+            f(d.dn_blocked, 3),
+            f(d.gc, 3),
+            f(d.nn_lock, 3),
+        ]
+    };
+    print_table(
+        "Figure 9b: per-component latency decomposition (seconds)",
+        &[
+            "bucket",
+            "requests",
+            "RS queue",
+            "RS process",
+            "DN transfer",
+            "DN blocked",
+            "GC",
+            "NN lock",
+        ],
+        &[row("average", &r.avg), row("slow", &r.slow)],
+    );
+
+    // 9c: per-machine network throughput.
+    print_table(
+        "Figure 9c: per-machine network transmit (MB/s)",
+        &["host", "MB/s"],
+        &r.network_mbps
+            .iter()
+            .map(|(h, v)| vec![h.clone(), f(*v, 2)])
+            .collect::<Vec<_>>(),
+    );
+    let _ = downsample(&lat_max, 1);
+}

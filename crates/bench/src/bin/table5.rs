@@ -1,0 +1,69 @@
+//! Regenerates Table 5: application-level overhead of Pivot Tracing on
+//! NNBench-derived HDFS requests under six configurations.
+//!
+//! ```text
+//! cargo run -p pivot-bench --bin table5 --release -- [--requests 400]
+//! ```
+
+use pivot_bench::{f, flag_u64, flag_usize, print_table};
+use pivot_workloads::clients::NnOp;
+use pivot_workloads::experiments::table5::{self, Setup};
+
+fn main() {
+    let cfg = table5::Config {
+        seed: flag_u64("--seed", 42),
+        requests: flag_usize("--requests", 400),
+        ..table5::Config::default()
+    };
+    eprintln!(
+        "measuring {} requests per cell across 6 setups x 4 ops ...",
+        cfg.requests
+    );
+    let r = table5::run(&cfg);
+
+    let headers: Vec<&str> = std::iter::once("setup")
+        .chain(NnOp::ALL.iter().map(|op| op.name()))
+        .collect();
+
+    let pct = |v: f64| -> String {
+        if v.abs() < 0.05 {
+            "0%".to_owned()
+        } else {
+            format!("{v:.1}%")
+        }
+    };
+
+    print_table(
+        "Table 5: wall-clock overhead of the Pivot Tracing machinery \
+         (vs. unmodified)",
+        &headers,
+        &Setup::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut row = vec![s.name().to_owned()];
+                row.extend(
+                    r.overhead_pct[i].iter().map(|v| pct(*v)),
+                );
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    print_table(
+        "Table 5 (auxiliary): virtual request latency (µs) — captures \
+         baggage bytes on the wire",
+        &headers,
+        &Setup::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut row = vec![s.name().to_owned()];
+                row.extend(r.cells[i].iter().map(|c| {
+                    f(c.virtual_ns_per_req / 1000.0, 1)
+                }));
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,379 @@
+//! The per-process Pivot Tracing agent.
+//!
+//! One [`Agent`] lives in every Pivot Tracing-enabled process (paper §5).
+//! It owns the process's weave [`Registry`], runs woven advice on every
+//! tracepoint invocation, accumulates emitted tuples with process-local
+//! aggregation, and publishes partial query results at a configurable
+//! interval (by default one second of simulated time).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pivot_baggage::{Baggage, QueryId};
+use pivot_model::{AggState, GroupKey, Tuple, Value};
+use pivot_query::{CompiledQuery, OutputSpec};
+
+use crate::bus::{Command, Report, ReportRows};
+use crate::interp::{self, EmitRows};
+use crate::tracepoint::{Registry, DEFAULT_EXPORTS};
+
+/// Identity of the process an agent runs in.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcessInfo {
+    /// Host name, e.g. `"host-A"`.
+    pub host: String,
+    /// Process id.
+    pub procid: u64,
+    /// Process name, e.g. `"DataNode"` or `"MRsort10g"`.
+    pub procname: String,
+}
+
+/// Cumulative counters (drives the paper's overhead ablations).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AgentStats {
+    /// Tracepoint invocations that found no woven advice.
+    pub idle_invocations: u64,
+    /// Tracepoint invocations that ran at least one advice program.
+    pub advised_invocations: u64,
+    /// Tuples packed into baggage by this process.
+    pub tuples_packed: u64,
+    /// Tuples emitted to the local aggregator.
+    pub tuples_emitted: u64,
+    /// Result rows sent to the frontend (after local aggregation).
+    pub rows_reported: u64,
+}
+
+/// Per-query local aggregation buffer.
+enum Buffer {
+    Grouped {
+        spec: OutputSpec,
+        groups: HashMap<GroupKey, Vec<AggState>>,
+    },
+    Streaming {
+        rows: Vec<Tuple>,
+    },
+}
+
+/// The per-process agent.
+pub struct Agent {
+    info: ProcessInfo,
+    registry: Registry,
+    buffers: Mutex<HashMap<QueryId, Buffer>>,
+    stats: Mutex<AgentStats>,
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl Agent {
+    /// Creates an agent for the given process identity.
+    pub fn new(info: ProcessInfo) -> Agent {
+        Agent {
+            info,
+            registry: Registry::new(),
+            buffers: Mutex::new(HashMap::new()),
+            stats: Mutex::new(AgentStats::default()),
+            enabled: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Turns the whole agent on or off. A disabled agent's
+    /// [`Agent::invoke`] returns before even consulting the registry —
+    /// the "unmodified system" baseline of the paper's Table 5.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Returns the process identity.
+    pub fn info(&self) -> &ProcessInfo {
+        &self.info
+    }
+
+    /// Returns the weave registry (exposed for tests and benches).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Returns a snapshot of the counters.
+    pub fn stats(&self) -> AgentStats {
+        *self.stats.lock()
+    }
+
+    /// Applies a frontend command (weave / unweave).
+    pub fn apply(&self, cmd: &Command) {
+        match cmd {
+            Command::Install(compiled) => self.install(compiled),
+            Command::Uninstall(id) => self.registry.unweave(*id),
+        }
+    }
+
+    /// Weaves every advice program of `compiled` into the local registry.
+    pub fn install(&self, compiled: &CompiledQuery) {
+        for program in &compiled.advice {
+            self.registry
+                .weave(compiled.id, Arc::new(program.clone()));
+        }
+    }
+
+    /// Invokes `tracepoint` with `exports`, running any woven advice.
+    ///
+    /// `now` is the current time in nanoseconds (virtual time under the
+    /// simulator); it supplies the default `timestamp` export. Returns
+    /// immediately — with one atomic load — when nothing is woven.
+    pub fn invoke(
+        &self,
+        tracepoint: &str,
+        baggage: &mut Baggage,
+        now: u64,
+        exports: &[(&str, Value)],
+    ) {
+        if !self.enabled.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        let Some(list) = self.registry.lookup(tracepoint) else {
+            if !self.registry.is_idle() {
+                self.stats.lock().idle_invocations += 1;
+            }
+            return;
+        };
+        let mut full: Vec<(&str, Value)> =
+            Vec::with_capacity(exports.len() + DEFAULT_EXPORTS.len());
+        full.push(("host", Value::str(&self.info.host)));
+        full.push(("timestamp", Value::U64(now)));
+        full.push(("procid", Value::U64(self.info.procid)));
+        full.push(("procname", Value::str(&self.info.procname)));
+        full.push(("tracepoint", Value::str(tracepoint)));
+        full.extend(exports.iter().cloned());
+
+        let mut stats = InvokeOutcome::default();
+        for woven in list.iter() {
+            let (emits, s) = interp::run(&woven.program, &full, baggage);
+            stats.packed += s.packed as u64;
+            stats.emitted += s.emitted as u64;
+            for e in emits {
+                self.absorb(e);
+            }
+        }
+        let mut st = self.stats.lock();
+        st.advised_invocations += 1;
+        st.tuples_packed += stats.packed;
+        st.tuples_emitted += stats.emitted;
+    }
+
+    /// Folds one emit batch into the local aggregation buffers.
+    fn absorb(&self, e: interp::Emitted) {
+        let rows = interp::emit_rows(&e);
+        let mut buffers = self.buffers.lock();
+        let buf = buffers.entry(e.query).or_insert_with(|| {
+            if e.spec.streaming {
+                Buffer::Streaming { rows: Vec::new() }
+            } else {
+                Buffer::Grouped {
+                    spec: e.spec.clone(),
+                    groups: HashMap::new(),
+                }
+            }
+        });
+        match (buf, rows) {
+            (Buffer::Streaming { rows }, EmitRows::Raw(mut new)) => {
+                rows.append(&mut new);
+            }
+            (
+                Buffer::Grouped { spec, groups },
+                EmitRows::Grouped(new),
+            ) => {
+                for (key, args) in new {
+                    let states =
+                        groups.entry(key).or_insert_with(|| {
+                            spec.aggs
+                                .iter()
+                                .map(|(f, _)| f.init())
+                                .collect()
+                        });
+                    for (st, arg) in states.iter_mut().zip(&args) {
+                        st.update(arg);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Publishes and clears the local partial results (paper Figure 2, Æ).
+    ///
+    /// The embedding system calls this once per reporting interval; the
+    /// returned reports are addressed to the frontend.
+    pub fn flush(&self, now: u64) -> Vec<Report> {
+        let mut buffers = self.buffers.lock();
+        let mut out = Vec::new();
+        for (query, buf) in buffers.drain() {
+            let rows = match buf {
+                Buffer::Streaming { rows } => {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    ReportRows::Raw(rows)
+                }
+                Buffer::Grouped { groups, .. } => {
+                    if groups.is_empty() {
+                        continue;
+                    }
+                    ReportRows::Grouped(groups.into_iter().collect())
+                }
+            };
+            out.push(Report {
+                query,
+                host: self.info.host.clone(),
+                procname: self.info.procname.clone(),
+                time: now,
+                rows,
+            });
+        }
+        let mut st = self.stats.lock();
+        for r in &out {
+            st.rows_reported += r.rows.len() as u64;
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct InvokeOutcome {
+    packed: u64,
+    emitted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_baggage::PackMode;
+    use pivot_model::{AggFunc, Expr, Schema};
+    use pivot_query::advice::ColumnRef;
+    use pivot_query::{AdviceOp, AdviceProgram};
+
+    fn agent() -> Agent {
+        Agent::new(ProcessInfo {
+            host: "host-A".into(),
+            procid: 7,
+            procname: "DataNode".into(),
+        })
+    }
+
+    fn q2_like() -> CompiledQuery {
+        let slot = QueryId(256 + 1);
+        let spec = OutputSpec {
+            key_exprs: vec![Expr::field("cl.procName")],
+            key_names: vec!["cl.procName".into()],
+            aggs: vec![(AggFunc::Sum, Expr::field("incr.delta"))],
+            agg_names: vec!["SUM(incr.delta)".into()],
+            columns: vec![ColumnRef::Key(0), ColumnRef::Agg(0)],
+            streaming: false,
+        };
+        CompiledQuery {
+            id: QueryId(1),
+            name: "q2".into(),
+            text: String::new(),
+            output: spec.clone(),
+            advice: vec![
+                AdviceProgram {
+                    tracepoints: vec!["ClientProtocols".into()],
+                    ops: vec![
+                        AdviceOp::Observe {
+                            alias: "cl".into(),
+                            fields: vec!["procname".into()],
+                        },
+                        AdviceOp::Pack {
+                            slot,
+                            mode: PackMode::First(1),
+                            exprs: vec![Expr::field("cl.procname")],
+                            names: vec!["cl.procName".into()],
+                        },
+                    ],
+                },
+                AdviceProgram {
+                    tracepoints: vec![
+                        "DataNodeMetrics.incrBytesRead".into()
+                    ],
+                    ops: vec![
+                        AdviceOp::Observe {
+                            alias: "incr".into(),
+                            fields: vec!["delta".into()],
+                        },
+                        AdviceOp::Unpack {
+                            slot,
+                            schema: Schema::new(["cl.procName"]),
+                            post_filter: None,
+                        },
+                        AdviceOp::Emit {
+                            query: QueryId(1),
+                            spec,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn unwoven_invocation_is_cheap_noop() {
+        let a = agent();
+        let mut bag = Baggage::new();
+        a.invoke("anything", &mut bag, 0, &[]);
+        assert_eq!(a.stats().advised_invocations, 0);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_q2_through_one_agent() {
+        let a = agent();
+        let q = q2_like();
+        a.apply(&Command::Install(Arc::new(q)));
+
+        // A client invocation packs the process name...
+        let mut bag = Baggage::new();
+        a.invoke("ClientProtocols", &mut bag, 10, &[]);
+        // ...then two DataNode reads emit deltas joined to it.
+        a.invoke(
+            "DataNodeMetrics.incrBytesRead",
+            &mut bag,
+            20,
+            &[("delta", Value::I64(100))],
+        );
+        a.invoke(
+            "DataNodeMetrics.incrBytesRead",
+            &mut bag,
+            30,
+            &[("delta", Value::I64(50))],
+        );
+
+        let reports = a.flush(1_000_000_000);
+        assert_eq!(reports.len(), 1);
+        match &reports[0].rows {
+            ReportRows::Grouped(rows) => {
+                assert_eq!(rows.len(), 1);
+                let (key, states) = &rows[0];
+                assert_eq!(key.0.get(0), &Value::str("DataNode"));
+                assert_eq!(states[0].finish(), Value::I64(150));
+            }
+            _ => panic!("expected grouped"),
+        }
+        // Local aggregation: two emits became one reported row.
+        assert_eq!(a.stats().tuples_emitted, 2);
+        assert_eq!(a.stats().rows_reported, 1);
+
+        // Flush drains.
+        assert!(a.flush(2_000_000_000).is_empty());
+    }
+
+    #[test]
+    fn uninstall_stops_advice() {
+        let a = agent();
+        let q = q2_like();
+        a.install(&q);
+        a.apply(&Command::Uninstall(QueryId(1)));
+        let mut bag = Baggage::new();
+        a.invoke("ClientProtocols", &mut bag, 0, &[]);
+        assert!(bag.is_empty());
+        assert!(a.registry().is_idle());
+    }
+}

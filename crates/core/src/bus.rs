@@ -1,0 +1,102 @@
+//! Message-bus types connecting the frontend and the agents.
+//!
+//! The paper's prototype uses a central pub/sub server (Figure 2). This
+//! crate defines the messages; delivery is owned by the embedding system —
+//! the simulated cluster delivers them over its simulated network, while
+//! [`LocalBus`] delivers instantly for tests, examples, and benches.
+
+use std::sync::Arc;
+
+use pivot_baggage::QueryId;
+use pivot_model::{AggState, GroupKey, Tuple};
+use pivot_query::CompiledQuery;
+
+/// A frontend → agents control message.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Weave this query's advice.
+    Install(Arc<CompiledQuery>),
+    /// Unweave every program owned by this query.
+    Uninstall(QueryId),
+}
+
+/// Partial results of one query from one process over one interval.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The query.
+    pub query: QueryId,
+    /// Reporting host.
+    pub host: String,
+    /// Reporting process name.
+    pub procname: String,
+    /// Report timestamp (nanoseconds).
+    pub time: u64,
+    /// The partial rows.
+    pub rows: ReportRows,
+}
+
+/// Rows inside a report.
+#[derive(Clone, Debug)]
+pub enum ReportRows {
+    /// Raw rows of a streaming (non-aggregating) query.
+    Raw(Vec<Tuple>),
+    /// Partially aggregated groups.
+    Grouped(Vec<(GroupKey, Vec<AggState>)>),
+}
+
+impl ReportRows {
+    /// Number of rows carried.
+    pub fn len(&self) -> usize {
+        match self {
+            ReportRows::Raw(r) => r.len(),
+            ReportRows::Grouped(g) => g.len(),
+        }
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An instant-delivery bus for single-process embeddings.
+///
+/// Registers agents, broadcasts commands synchronously, and pumps agent
+/// flushes straight into the frontend.
+#[derive(Default)]
+pub struct LocalBus {
+    agents: Vec<Arc<crate::Agent>>,
+}
+
+impl LocalBus {
+    /// Creates an empty bus.
+    pub fn new() -> LocalBus {
+        LocalBus::default()
+    }
+
+    /// Registers an agent.
+    pub fn register(&mut self, agent: Arc<crate::Agent>) {
+        self.agents.push(agent);
+    }
+
+    /// Returns the registered agents.
+    pub fn agents(&self) -> &[Arc<crate::Agent>] {
+        &self.agents
+    }
+
+    /// Broadcasts a command to every agent.
+    pub fn broadcast(&self, cmd: &Command) {
+        for a in &self.agents {
+            a.apply(cmd);
+        }
+    }
+
+    /// Flushes every agent and delivers the reports to `frontend`.
+    pub fn pump(&self, now: u64, frontend: &mut crate::Frontend) {
+        for a in &self.agents {
+            for report in a.flush(now) {
+                frontend.accept(report);
+            }
+        }
+    }
+}

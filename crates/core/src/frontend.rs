@@ -1,0 +1,498 @@
+//! The Pivot Tracing frontend: query installation and result collection.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use pivot_baggage::QueryId;
+use pivot_model::{AggState, GroupKey, Tuple, Value};
+use pivot_query::advice::ColumnRef;
+use pivot_query::{
+    compile, CompileError, CompiledQuery, Options, OutputSpec, Query,
+    Resolver,
+};
+
+use crate::bus::{Command, Report, ReportRows};
+use crate::tracepoint::TracepointDef;
+
+/// A handle to an installed query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryHandle {
+    /// The query's identity.
+    pub id: QueryId,
+    /// The query's name (auto-assigned `Q<n>` unless given).
+    pub name: String,
+}
+
+/// One output row of a query, laid out in `Select` order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ResultRow {
+    /// Report timestamp (nanoseconds); 0 for cumulative snapshots.
+    pub time: u64,
+    /// Values in `Select` order.
+    pub values: Vec<Value>,
+}
+
+/// Accumulated results for one query.
+#[derive(Clone, Debug)]
+pub struct QueryResults {
+    /// The query's output shape.
+    pub spec: OutputSpec,
+    /// Merged-over-all-time groups.
+    cumulative: HashMap<GroupKey, Vec<AggState>>,
+    /// Per-report-interval merged groups.
+    intervals: BTreeMap<u64, HashMap<GroupKey, Vec<AggState>>>,
+    /// Raw rows of streaming queries, with report timestamps.
+    raw: Vec<(u64, Tuple)>,
+}
+
+impl QueryResults {
+    fn new(spec: OutputSpec) -> QueryResults {
+        QueryResults {
+            spec,
+            cumulative: HashMap::new(),
+            intervals: BTreeMap::new(),
+            raw: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, report: Report) {
+        match report.rows {
+            ReportRows::Raw(rows) => {
+                for r in rows {
+                    self.raw.push((report.time, r));
+                }
+            }
+            ReportRows::Grouped(rows) => {
+                let interval =
+                    self.intervals.entry(report.time).or_default();
+                for (key, states) in rows {
+                    merge_into(
+                        &mut self.cumulative,
+                        &self.spec,
+                        key.clone(),
+                        &states,
+                    );
+                    merge_into(interval, &self.spec, key, &states);
+                }
+            }
+        }
+    }
+
+    /// Returns the merged-over-all-time rows in `Select` order, sorted by
+    /// key for determinism.
+    pub fn rows(&self) -> Vec<ResultRow> {
+        let mut out: Vec<ResultRow> = self
+            .cumulative
+            .iter()
+            .map(|(key, states)| ResultRow {
+                time: 0,
+                values: layout(&self.spec, key, states),
+            })
+            .collect();
+        sort_rows(&mut out);
+        out
+    }
+
+    /// Returns per-interval rows: `(time, rows)` in time order.
+    pub fn series(&self) -> Vec<(u64, Vec<ResultRow>)> {
+        self.intervals
+            .iter()
+            .map(|(t, groups)| {
+                let mut rows: Vec<ResultRow> = groups
+                    .iter()
+                    .map(|(key, states)| ResultRow {
+                        time: *t,
+                        values: layout(&self.spec, key, states),
+                    })
+                    .collect();
+                sort_rows(&mut rows);
+                (*t, rows)
+            })
+            .collect()
+    }
+
+    /// Returns raw streaming rows with their report timestamps.
+    pub fn raw_rows(&self) -> &[(u64, Tuple)] {
+        &self.raw
+    }
+
+    /// Returns the total number of accumulated result rows.
+    pub fn len(&self) -> usize {
+        self.cumulative.len() + self.raw.len()
+    }
+
+    /// Returns `true` when no results have arrived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn merge_into(
+    map: &mut HashMap<GroupKey, Vec<AggState>>,
+    spec: &OutputSpec,
+    key: GroupKey,
+    states: &[AggState],
+) {
+    let mine = map.entry(key).or_insert_with(|| {
+        spec.aggs.iter().map(|(f, _)| f.init()).collect()
+    });
+    for (m, s) in mine.iter_mut().zip(states) {
+        m.merge(s);
+    }
+}
+
+fn layout(spec: &OutputSpec, key: &GroupKey, states: &[AggState]) -> Vec<Value> {
+    spec.columns
+        .iter()
+        .map(|c| match c {
+            ColumnRef::Key(i) => key.0.get(*i).clone(),
+            ColumnRef::Agg(i) => states
+                .get(*i)
+                .map(AggState::finish)
+                .unwrap_or(Value::Null),
+        })
+        .collect()
+}
+
+fn sort_rows(rows: &mut [ResultRow]) {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values.iter().zip(&b.values) {
+            match x.compare(y) {
+                Some(std::cmp::Ordering::Equal) | None => continue,
+                Some(ord) => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Errors surfaced by [`Frontend::install`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum InstallError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// A query with this name already exists.
+    DuplicateName(String),
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Compile(e) => write!(f, "{e}"),
+            InstallError::DuplicateName(n) => {
+                write!(f, "a query named `{n}` is already installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+struct Installed {
+    handle: QueryHandle,
+    ast: Query,
+    #[allow(dead_code)]
+    compiled: Arc<CompiledQuery>,
+}
+
+/// The query frontend (paper Figure 2's "Pivot Tracing frontend").
+///
+/// Owns the tracepoint vocabulary, compiles and registers queries, emits
+/// weave/unweave [`Command`]s for the embedding system to broadcast, and
+/// merges the partial [`Report`]s streaming back from agents.
+#[derive(Default)]
+pub struct Frontend {
+    tracepoints: HashMap<String, TracepointDef>,
+    queries: Vec<Installed>,
+    results: HashMap<QueryId, QueryResults>,
+    commands: Vec<Command>,
+    next_id: u64,
+    optimize: bool,
+}
+
+impl Frontend {
+    /// Creates a frontend with the optimizer enabled.
+    pub fn new() -> Frontend {
+        Frontend {
+            optimize: true,
+            next_id: 1,
+            ..Frontend::default()
+        }
+    }
+
+    /// Creates a frontend that compiles queries *without* the Table 3
+    /// rewrites (the unoptimized baseline for the ablation benches).
+    pub fn new_unoptimized() -> Frontend {
+        Frontend {
+            optimize: false,
+            ..Frontend::new()
+        }
+    }
+
+    /// Defines a tracepoint (the query vocabulary, paper Figure 2 À).
+    pub fn define_tracepoint(&mut self, def: TracepointDef) {
+        self.tracepoints.insert(def.name.clone(), def);
+    }
+
+    /// Convenience: define a tracepoint by name and export list.
+    pub fn define(
+        &mut self,
+        name: &str,
+        exports: impl IntoIterator<Item = impl Into<String>>,
+    ) {
+        self.define_tracepoint(TracepointDef::new(name, exports));
+    }
+
+    /// Returns the known tracepoint definitions.
+    pub fn tracepoint_defs(&self) -> impl Iterator<Item = &TracepointDef> {
+        self.tracepoints.values()
+    }
+
+    /// Installs a query under an auto-assigned name (`Q<id>`).
+    pub fn install(
+        &mut self,
+        text: &str,
+    ) -> Result<QueryHandle, InstallError> {
+        let name = format!("Q{}", self.next_id);
+        self.install_named(&name, text)
+    }
+
+    /// Installs a query under `name`, compiling it to advice and queueing a
+    /// weave command. Later queries may reference `name` as a source.
+    pub fn install_named(
+        &mut self,
+        name: &str,
+        text: &str,
+    ) -> Result<QueryHandle, InstallError> {
+        if self.queries.iter().any(|q| q.handle.name == name) {
+            return Err(InstallError::DuplicateName(name.to_owned()));
+        }
+        let id = QueryId(self.next_id);
+        let options = Options {
+            optimize: self.optimize,
+        };
+        let compiled = compile(text, name, id, &*self, options)
+            .map_err(InstallError::Compile)?;
+        let ast = pivot_query::parse(text)
+            .expect("compile re-parses successfully");
+        self.next_id += 1;
+        let compiled = Arc::new(compiled);
+        let handle = QueryHandle {
+            id,
+            name: name.to_owned(),
+        };
+        self.results
+            .insert(id, QueryResults::new(compiled.output.clone()));
+        self.commands
+            .push(Command::Install(Arc::clone(&compiled)));
+        self.queries.push(Installed {
+            handle: handle.clone(),
+            ast,
+            compiled,
+        });
+        Ok(handle)
+    }
+
+    /// Uninstalls a query, queueing an unweave command. Accumulated results
+    /// remain readable.
+    pub fn uninstall(&mut self, handle: &QueryHandle) {
+        self.queries.retain(|q| q.handle != *handle);
+        self.commands.push(Command::Uninstall(handle.id));
+    }
+
+    /// Drains the pending weave/unweave commands for broadcast.
+    pub fn drain_commands(&mut self) -> Vec<Command> {
+        std::mem::take(&mut self.commands)
+    }
+
+    /// Merges one agent report (paper Figure 2 Ç).
+    pub fn accept(&mut self, report: Report) {
+        if let Some(res) = self.results.get_mut(&report.query) {
+            res.absorb(report);
+        }
+    }
+
+    /// Returns the accumulated results for a query.
+    pub fn results(&self, handle: &QueryHandle) -> &QueryResults {
+        &self.results[&handle.id]
+    }
+
+    /// Returns every currently installed compiled query (used to weave
+    /// advice into processes that join after installation).
+    pub fn installed(&self) -> Vec<Arc<CompiledQuery>> {
+        self.queries
+            .iter()
+            .map(|q| Arc::clone(&q.compiled))
+            .collect()
+    }
+
+    /// Returns the compiled form of an installed query.
+    pub fn compiled(&self, handle: &QueryHandle) -> Option<Arc<CompiledQuery>> {
+        self.queries
+            .iter()
+            .find(|q| q.handle == *handle)
+            .map(|q| Arc::clone(&q.compiled))
+    }
+}
+
+impl Resolver for Frontend {
+    fn tracepoint_exports(&self, name: &str) -> Option<Vec<String>> {
+        self.tracepoints.get(name).map(TracepointDef::all_exports)
+    }
+
+    fn query_ast(&self, name: &str) -> Option<Query> {
+        self.queries
+            .iter()
+            .find(|q| q.handle.name == name)
+            .map(|q| q.ast.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, ProcessInfo};
+    use crate::bus::LocalBus;
+
+    fn setup() -> (Frontend, LocalBus) {
+        let mut fe = Frontend::new();
+        fe.define("ClientProtocols", ["procName"]);
+        fe.define("DataNodeMetrics.incrBytesRead", ["delta"]);
+        let mut bus = LocalBus::new();
+        for (host, proc_) in
+            [("host-A", "FSread4m"), ("host-B", "DataNode")]
+        {
+            bus.register(Arc::new(Agent::new(ProcessInfo {
+                host: host.into(),
+                procid: 1,
+                procname: proc_.into(),
+            })));
+        }
+        (fe, bus)
+    }
+
+    #[test]
+    fn q2_end_to_end_over_local_bus() {
+        let (mut fe, bus) = setup();
+        let handle = fe
+            .install(
+                "From incr In DataNodeMetrics.incrBytesRead
+                 Join cl In First(ClientProtocols) On cl -> incr
+                 GroupBy cl.procName
+                 Select cl.procName, SUM(incr.delta)",
+            )
+            .unwrap();
+        for cmd in fe.drain_commands() {
+            bus.broadcast(&cmd);
+        }
+        let client = &bus.agents()[0];
+        let datanode = &bus.agents()[1];
+
+        // Two requests from the same client process.
+        for delta in [100i64, 400] {
+            let mut bag = pivot_baggage::Baggage::new();
+            client.invoke(
+                "ClientProtocols",
+                &mut bag,
+                5,
+                &[("procName", Value::str("FSread4m"))],
+            );
+            // "RPC" to the datanode: serialize and deserialize baggage.
+            let bytes = bag.to_bytes();
+            let mut remote = pivot_baggage::Baggage::from_bytes(&bytes);
+            datanode.invoke(
+                "DataNodeMetrics.incrBytesRead",
+                &mut remote,
+                9,
+                &[("delta", Value::I64(delta))],
+            );
+        }
+        bus.pump(1_000_000_000, &mut fe);
+
+        let rows = fe.results(&handle).rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[0], Value::str("FSread4m"));
+        assert_eq!(rows[0].values[1], Value::I64(500));
+    }
+
+    #[test]
+    fn intervals_keep_per_flush_results() {
+        let (mut fe, bus) = setup();
+        let handle = fe
+            .install(
+                "From incr In DataNodeMetrics.incrBytesRead
+                 GroupBy incr.host
+                 Select incr.host, SUM(incr.delta)",
+            )
+            .unwrap();
+        for cmd in fe.drain_commands() {
+            bus.broadcast(&cmd);
+        }
+        let dn = &bus.agents()[1];
+        let mut bag = pivot_baggage::Baggage::new();
+        dn.invoke(
+            "DataNodeMetrics.incrBytesRead",
+            &mut bag,
+            1,
+            &[("delta", Value::I64(10))],
+        );
+        bus.pump(1_000_000_000, &mut fe);
+        dn.invoke(
+            "DataNodeMetrics.incrBytesRead",
+            &mut bag,
+            2,
+            &[("delta", Value::I64(30))],
+        );
+        bus.pump(2_000_000_000, &mut fe);
+
+        let res = fe.results(&handle);
+        let series = res.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1[0].values[1], Value::I64(10));
+        assert_eq!(series[1].1[0].values[1], Value::I64(30));
+        // Cumulative merges both intervals.
+        assert_eq!(res.rows()[0].values[1], Value::I64(40));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_and_unknown_tracepoints_error() {
+        let (mut fe, _) = setup();
+        fe.install_named("X", "From e In ClientProtocols Select COUNT")
+            .unwrap();
+        assert!(matches!(
+            fe.install_named(
+                "X",
+                "From e In ClientProtocols Select COUNT"
+            ),
+            Err(InstallError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            fe.install("From e In Nope Select COUNT"),
+            Err(InstallError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn query_reference_resolves_installed_query() {
+        let mut fe = Frontend::new();
+        fe.define("SendResponse", ["time"]);
+        fe.define("ReceiveRequest", ["time"]);
+        fe.define("JobComplete", ["id"]);
+        fe.install_named(
+            "Q8",
+            "From response In SendResponse
+             Join request In MostRecent(ReceiveRequest)
+               On request -> response
+             Select response.time - request.time",
+        )
+        .unwrap();
+        let q9 = fe.install_named(
+            "Q9",
+            "From job In JobComplete
+             Join lat In Q8 On lat -> job
+             Select job.id, AVERAGE(lat)",
+        );
+        assert!(q9.is_ok(), "{q9:?}");
+    }
+}

@@ -1,0 +1,42 @@
+//! The Pivot Tracing runtime: tracepoints, advice weaving, agents, the
+//! message bus, and the query frontend.
+//!
+//! This crate ties the query compiler ([`pivot_query`]) and the baggage
+//! abstraction ([`pivot_baggage`]) into the live monitoring system of the
+//! paper's Figure 2:
+//!
+//! 1. Tracepoints are **defined** against the frontend (À) — the vocabulary
+//!    for queries.
+//! 2. Users **install** textual queries ([`Frontend::install`], Á), which
+//!    compile to advice (Â).
+//! 3. The frontend broadcasts weave commands over the message bus; each
+//!    process's [`Agent`] **weaves** the advice into its local tracepoint
+//!    [`Registry`] (Ã).
+//! 4. Requests executing in the system **invoke** woven advice whenever
+//!    they reach a tracepoint ([`Agent::invoke`]); `Pack`/`Unpack` move
+//!    tuples through the request's [`Baggage`](pivot_baggage::Baggage) (Ä),
+//!    and `Emit` hands tuples to the agent's process-local aggregator (Å).
+//! 5. Agents **report** partial results at a configurable interval
+//!    ([`Agent::flush`], Æ) and the frontend merges them into streaming
+//!    per-query result series (Ç).
+//!
+//! The crate is simulation-agnostic: it never spawns threads or timers.
+//! The embedding system (the simulated Hadoop stack in `pivot-hadoop`, or a
+//! plain test harness via [`bus::LocalBus`]) drives invocation, flushing,
+//! and message delivery.
+//!
+//! For differential testing, [`global`] provides the paper's *unoptimized*
+//! evaluation strategy (Figure 6a): materialize every tracepoint invocation
+//! with a causal stamp and evaluate the happened-before join centrally.
+
+pub mod agent;
+pub mod bus;
+pub mod frontend;
+pub mod global;
+pub mod interp;
+pub mod tracepoint;
+
+pub use agent::{Agent, ProcessInfo};
+pub use bus::{Command, LocalBus, Report, ReportRows};
+pub use frontend::{Frontend, QueryHandle, QueryResults, ResultRow};
+pub use tracepoint::{Registry, TracepointDef, DEFAULT_EXPORTS};

@@ -1,0 +1,184 @@
+//! Tracepoint definitions and the per-process weave registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pivot_baggage::QueryId;
+use pivot_query::AdviceProgram;
+
+/// The variables every tracepoint exports in addition to its declared ones
+/// (paper §3): host, timestamp, process id, process name, and the
+/// tracepoint name itself.
+pub const DEFAULT_EXPORTS: [&str; 5] =
+    ["host", "timestamp", "procid", "procname", "tracepoint"];
+
+/// A tracepoint definition: a named location in the system plus its
+/// exported variables.
+///
+/// Definitions are *not* part of the instrumented system's code — they are
+/// the vocabulary queries are written against. In this Rust implementation
+/// the instrumented systems call pre-declared tracepoints (see DESIGN.md on
+/// the dynamic-weaving substitution); weaving and unweaving advice remains
+/// fully dynamic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TracepointDef {
+    /// Fully qualified name, e.g. `DataNodeMetrics.incrBytesRead`.
+    pub name: String,
+    /// Declared export names (the default exports are implicit).
+    pub exports: Vec<String>,
+}
+
+impl TracepointDef {
+    /// Creates a definition.
+    pub fn new(
+        name: impl Into<String>,
+        exports: impl IntoIterator<Item = impl Into<String>>,
+    ) -> TracepointDef {
+        TracepointDef {
+            name: name.into(),
+            exports: exports.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Returns declared plus default export names.
+    pub fn all_exports(&self) -> Vec<String> {
+        DEFAULT_EXPORTS
+            .iter()
+            .map(|s| (*s).to_owned())
+            .chain(self.exports.iter().cloned())
+            .collect()
+    }
+}
+
+/// One woven advice program tagged with the query that owns it.
+#[derive(Clone, Debug)]
+pub struct Woven {
+    /// The owning query (used for unweaving).
+    pub query: QueryId,
+    /// The advice to run.
+    pub program: Arc<AdviceProgram>,
+}
+
+/// The per-process registry mapping tracepoints to woven advice.
+///
+/// Invocation of an unwoven tracepoint costs a single atomic load (the
+/// paper's "zero probe effect" — §5: inactive tracepoints impose no
+/// overhead): the registry keeps a global count of woven programs and
+/// bails before any lookup when it is zero.
+#[derive(Default)]
+pub struct Registry {
+    woven_count: AtomicUsize,
+    map: RwLock<HashMap<String, Arc<Vec<Woven>>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the advice woven at `tracepoint`, or `None` cheaply when the
+    /// whole registry is empty.
+    #[inline]
+    pub fn lookup(&self, tracepoint: &str) -> Option<Arc<Vec<Woven>>> {
+        if self.woven_count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.map.read().get(tracepoint).cloned()
+    }
+
+    /// Returns `true` if nothing is woven anywhere.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.woven_count.load(Ordering::Relaxed) == 0
+    }
+
+    /// Weaves `program` (owned by `query`) into each of its tracepoints.
+    pub fn weave(&self, query: QueryId, program: Arc<AdviceProgram>) {
+        let mut map = self.map.write();
+        for tp in &program.tracepoints {
+            let entry = map.entry(tp.clone()).or_default();
+            let mut list = entry.as_ref().clone();
+            list.push(Woven {
+                query,
+                program: Arc::clone(&program),
+            });
+            self.woven_count.fetch_add(1, Ordering::Relaxed);
+            *entry = Arc::new(list);
+        }
+    }
+
+    /// Removes every advice program owned by `query`.
+    pub fn unweave(&self, query: QueryId) {
+        let mut map = self.map.write();
+        map.retain(|_, entry| {
+            let before = entry.len();
+            let list: Vec<Woven> = entry
+                .iter()
+                .filter(|w| w.query != query)
+                .cloned()
+                .collect();
+            let removed = before - list.len();
+            if removed > 0 {
+                self.woven_count.fetch_sub(removed, Ordering::Relaxed);
+            }
+            if list.is_empty() {
+                false
+            } else {
+                *entry = Arc::new(list);
+                true
+            }
+        });
+    }
+
+    /// Returns the number of woven (tracepoint, program) pairs.
+    pub fn woven_count(&self) -> usize {
+        self.woven_count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_query::AdviceOp;
+
+    fn program(tps: &[&str]) -> Arc<AdviceProgram> {
+        Arc::new(AdviceProgram {
+            tracepoints: tps.iter().map(|s| (*s).to_owned()).collect(),
+            ops: vec![AdviceOp::Observe {
+                alias: "x".into(),
+                fields: vec![],
+            }],
+        })
+    }
+
+    #[test]
+    fn weave_unweave_round_trip() {
+        let reg = Registry::new();
+        assert!(reg.is_idle());
+        assert!(reg.lookup("tp").is_none());
+        reg.weave(QueryId(1), program(&["tp", "tp2"]));
+        assert_eq!(reg.woven_count(), 2);
+        assert_eq!(reg.lookup("tp").unwrap().len(), 1);
+        reg.weave(QueryId(2), program(&["tp"]));
+        assert_eq!(reg.lookup("tp").unwrap().len(), 2);
+        reg.unweave(QueryId(1));
+        assert_eq!(reg.woven_count(), 1);
+        assert_eq!(reg.lookup("tp").unwrap().len(), 1);
+        assert!(reg.lookup("tp2").is_none());
+        reg.unweave(QueryId(2));
+        assert!(reg.is_idle());
+    }
+
+    #[test]
+    fn default_exports_are_appended() {
+        let def = TracepointDef::new("X.y", ["delta"]);
+        let all = def.all_exports();
+        assert!(all.contains(&"host".to_owned()));
+        assert!(all.contains(&"timestamp".to_owned()));
+        assert!(all.contains(&"delta".to_owned()));
+        assert_eq!(all.len(), 6);
+    }
+}

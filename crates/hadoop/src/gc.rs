@@ -1,0 +1,94 @@
+//! Stop-the-world garbage collection injection.
+//!
+//! The paper's §6.2 replicates a case study diagnosing *rogue GC* in HBase
+//! RegionServers. This module injects periodic stop-the-world pauses into
+//! a simulated process: requests arriving during a pause wait it out, and
+//! the waited time is visible at the [`crate::tracepoints::GC_PAUSE`]
+//! tracepoint.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use pivot_simrt::{Clock, Nanos, SimRt};
+
+/// A per-process GC pause injector.
+pub struct Gc {
+    clock: Clock,
+    pause_until: Cell<Nanos>,
+    total_paused: Cell<Nanos>,
+}
+
+impl Gc {
+    /// Creates an injector and spawns its pause schedule: every
+    /// `period_secs`, the process stops the world for `pause_secs`.
+    pub fn start(
+        rt: &SimRt,
+        clock: Clock,
+        period_secs: f64,
+        pause_secs: f64,
+    ) -> Rc<Gc> {
+        let gc = Rc::new(Gc {
+            clock: clock.clone(),
+            pause_until: Cell::new(0),
+            total_paused: Cell::new(0),
+        });
+        let weak = Rc::downgrade(&gc);
+        rt.spawn(async move {
+            loop {
+                clock.sleep_secs(period_secs).await;
+                let Some(gc) = weak.upgrade() else { return };
+                let until =
+                    clock.now() + Clock::secs(pause_secs);
+                gc.pause_until.set(until);
+                gc.total_paused
+                    .set(gc.total_paused.get() + Clock::secs(pause_secs));
+            }
+        });
+        gc
+    }
+
+    /// Waits out any active pause; returns the nanoseconds waited.
+    pub async fn wait(&self) -> Nanos {
+        let now = self.clock.now();
+        let until = self.pause_until.get();
+        if until > now {
+            self.clock.sleep_until(until).await;
+            until - now
+        } else {
+            0
+        }
+    }
+
+    /// Total injected pause time so far.
+    pub fn total_paused(&self) -> Nanos {
+        self.total_paused.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_simrt::SimRt;
+
+    #[test]
+    fn requests_wait_out_pauses() {
+        let rt = SimRt::new();
+        let gc = Gc::start(&rt, rt.clock(), 1.0, 0.5);
+        let clock = rt.clock();
+        let h = rt.spawn({
+            let gc = Rc::clone(&gc);
+            async move {
+                // Before any pause: no wait.
+                let w0 = gc.wait().await;
+                // Land inside the first pause window (1.0 – 1.5 s).
+                clock.sleep_secs(1.2 - clock.now_secs()).await;
+                let w1 = gc.wait().await;
+                (w0, w1)
+            }
+        });
+        rt.run_until(pivot_simrt::Clock::secs(5.0));
+        let (w0, w1) = h.try_take().unwrap();
+        assert_eq!(w0, 0);
+        assert_eq!(w1, 300_000_000); // waited till 1.5 s
+    }
+}

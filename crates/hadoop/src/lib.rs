@@ -1,0 +1,38 @@
+//! Instrumented simulations of the Hadoop stack.
+//!
+//! The paper evaluates Pivot Tracing on a live 8-node cluster running
+//! HDFS, HBase, Hadoop MapReduce, and YARN (paper §6, Figure 7). This
+//! crate re-implements those systems *behaviourally* on the deterministic
+//! discrete-event runtime ([`pivot_simrt`]):
+//!
+//! - [`hdfs`] — a NameNode (file → block → replica metadata, with the
+//!   HDFS-6268 replica-ordering bug switchable on and off), DataNodes
+//!   serving block reads/writes through simulated disks and NICs, and a
+//!   DFS client with the replica-selection logic under study.
+//! - [`hbase`] — RegionServers hosting key-range regions whose reads go
+//!   through HDFS, with request queue/processing accounting and optional
+//!   stop-the-world GC injection.
+//! - [`yarn`] — a ResourceManager and per-host NodeManagers allocating
+//!   task containers.
+//! - [`mapreduce`] — map / shuffle / sort / reduce jobs over YARN
+//!   containers and HDFS, performing local disk IO at `FileInputStream` /
+//!   `FileOutputStream` tracepoints exactly where the paper instruments
+//!   Java's classes.
+//!
+//! Every system propagates request [`Ctx`] (baggage) across its simulated
+//! RPC boundaries by serialization, and invokes the tracepoints of
+//! [`tracepoints`] through its process's [`pivot_core::Agent`] — so any
+//! Pivot Tracing query over those tracepoints works against these systems
+//! exactly as in the paper.
+
+pub mod cluster;
+pub mod ctx;
+pub mod gc;
+pub mod hbase;
+pub mod hdfs;
+pub mod mapreduce;
+pub mod tracepoints;
+pub mod yarn;
+
+pub use cluster::{Cluster, ClusterConfig, Host};
+pub use ctx::Ctx;

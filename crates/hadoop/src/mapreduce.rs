@@ -1,0 +1,297 @@
+//! Simulated Hadoop MapReduce on YARN containers.
+//!
+//! A job reads its input from HDFS with data-local map scheduling, spills
+//! map output to local disk (`FileOutputStream`, phase `Map`), shuffles
+//! partitions across the network (`FileInputStream`, phase `Shuffle`, on
+//! the map host), merges and writes reducer output (`phase Reduce`),
+//! finally committing the result back to HDFS. The job's request context
+//! splits across tasks and rejoins at the job barrier, so happened-before
+//! joins spanning the whole job (paper Q9's per-job latency aggregation)
+//! observe every task.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use pivot_core::Agent;
+use pivot_model::Value;
+use pivot_simrt::Nanos;
+
+use crate::cluster::{transfer, Cluster, Host, MB};
+use crate::ctx::Ctx;
+use crate::hdfs::Hdfs;
+use crate::tracepoints as tp;
+use crate::yarn::Yarn;
+
+/// Map/reduce CPU processing rate (bytes per second).
+const CPU_RATE: f64 = 400.0 * MB;
+
+/// A MapReduce job description.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Job (and client process) name, e.g. `MRsort10g`.
+    pub name: String,
+    /// HDFS input file.
+    pub input: String,
+    /// Number of reduce tasks.
+    pub reducers: usize,
+    /// Worker host the job client / ApplicationMaster runs on.
+    pub client_host: usize,
+}
+
+/// Completed-job statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct JobStats {
+    /// Wall-clock (virtual) duration.
+    pub duration: Nanos,
+    /// Number of map tasks.
+    pub maps: usize,
+    /// Number of reduce tasks.
+    pub reducers: usize,
+}
+
+/// The MapReduce service.
+pub struct MapReduce {
+    cluster: Rc<Cluster>,
+    hdfs: Rc<Hdfs>,
+    yarn: Rc<Yarn>,
+    task_agents: RefCell<HashMap<(usize, &'static str), Arc<Agent>>>,
+}
+
+impl MapReduce {
+    /// Starts the MapReduce service.
+    pub fn start(
+        cluster: &Rc<Cluster>,
+        hdfs: &Rc<Hdfs>,
+        yarn: &Rc<Yarn>,
+    ) -> Rc<MapReduce> {
+        Rc::new(MapReduce {
+            cluster: Rc::clone(cluster),
+            hdfs: Rc::clone(hdfs),
+            yarn: Rc::clone(yarn),
+            task_agents: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Returns the per-host agent for map / reduce task processes.
+    fn task_agent(&self, host: usize, kind: &'static str) -> Arc<Agent> {
+        let mut agents = self.task_agents.borrow_mut();
+        Arc::clone(agents.entry((host, kind)).or_insert_with(|| {
+            self.cluster
+                .new_agent(&self.cluster.hosts[host], kind)
+        }))
+    }
+
+    /// Runs a job to completion and returns its statistics.
+    pub async fn run_job(self: &Rc<MapReduce>, spec: JobSpec) -> JobStats {
+        let clock = self.cluster.clock.clone();
+        let start = clock.now();
+        let client_host =
+            Rc::clone(&self.cluster.hosts[spec.client_host]);
+        let client_agent =
+            self.cluster.new_agent(&client_host, &spec.name);
+        let mut ctx = Ctx::new();
+        client_agent.invoke(
+            tp::CLIENT_PROTOCOLS,
+            &mut ctx.bag,
+            clock.now(),
+            &[("procName", Value::str(&spec.name))],
+        );
+
+        let layout = self.hdfs.namenode.block_layout(&spec.input);
+        let maps = layout.len();
+        let map_out: Rc<RefCell<HashMap<usize, f64>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+
+        // Map wave: allocate (data-local preferred), run, rejoin.
+        let mut handles = Vec::new();
+        for (offset, size, replicas) in layout {
+            let container = self.yarn.allocate(&replicas).await;
+            let branch = ctx.split();
+            let mr = Rc::clone(self);
+            let input = spec.input.clone();
+            let map_out = Rc::clone(&map_out);
+            let h = self.cluster.rt.spawn(async move {
+                let ctx = mr
+                    .map_task(branch, container.host, &input, offset, size)
+                    .await;
+                *map_out
+                    .borrow_mut()
+                    .entry(container.host)
+                    .or_insert(0.0) += size;
+                // Release inside the task: a driver still allocating later
+                // splits must be able to reuse this slot, or two concurrent
+                // jobs deadlock the container pool.
+                mr.yarn.release(container);
+                ctx
+            });
+            handles.push(h);
+        }
+        for h in handles {
+            let branch = h.await;
+            ctx.join(branch);
+        }
+
+        // Shuffle + reduce wave.
+        let sources: Vec<(usize, f64)> = {
+            let mut v: Vec<(usize, f64)> =
+                map_out.borrow().iter().map(|(k, v)| (*k, *v)).collect();
+            v.sort_by_key(|(h, _)| *h);
+            v
+        };
+        let mut handles = Vec::new();
+        for r in 0..spec.reducers {
+            let container = self.yarn.allocate(&[]).await;
+            let branch = ctx.split();
+            let mr = Rc::clone(self);
+            let sources = sources.clone();
+            let reducers = spec.reducers;
+            let out_name = format!("{}/part-{r}", spec.name);
+            let h = self.cluster.rt.spawn(async move {
+                let out = mr
+                    .reduce_task(
+                        branch,
+                        container.host,
+                        sources,
+                        reducers,
+                        &out_name,
+                    )
+                    .await;
+                mr.yarn.release(container);
+                out
+            });
+            handles.push(h);
+        }
+        for h in handles {
+            let branch = h.await;
+            ctx.join(branch);
+        }
+
+        client_agent.invoke(
+            tp::JOB_COMPLETE,
+            &mut ctx.bag,
+            clock.now(),
+            &[("id", Value::str(&spec.name))],
+        );
+        JobStats {
+            duration: clock.now() - start,
+            maps,
+            reducers: spec.reducers,
+        }
+    }
+
+    async fn map_task(
+        &self,
+        mut ctx: Ctx,
+        host: usize,
+        input: &str,
+        offset: f64,
+        size: f64,
+    ) -> Ctx {
+        let agent = self.task_agent(host, "MapTask");
+        let dfs = self.hdfs.client(
+            &self.cluster.hosts[host],
+            &agent,
+            "MapTask",
+        );
+        dfs.read_at(&mut ctx, input, offset, size).await;
+        self.cluster
+            .clock
+            .sleep((size / CPU_RATE * 1e9) as u64)
+            .await;
+        // Spill map output to local disk.
+        self.local_io(&mut ctx, host, &agent, size, "Map", true).await;
+        ctx
+    }
+
+    async fn reduce_task(
+        &self,
+        mut ctx: Ctx,
+        host: usize,
+        sources: Vec<(usize, f64)>,
+        reducers: usize,
+        out_name: &str,
+    ) -> Ctx {
+        let agent = self.task_agent(host, "ReduceTask");
+        let clock = self.cluster.clock.clone();
+        let mut partition = 0.0;
+        for (mh, bytes) in sources {
+            let share = bytes / reducers as f64;
+            partition += share;
+            // Read the map output on the map host (shuffle service)...
+            let src_agent = self.task_agent(mh, "MapTask");
+            self.local_io(&mut ctx, mh, &src_agent, share, "Shuffle", false)
+                .await;
+            // ...move it over the network...
+            let src = Rc::clone(&self.cluster.hosts[mh]);
+            let dst = Rc::clone(&self.cluster.hosts[host]);
+            let chunk = self.cluster.cfg.chunk;
+            let mut remaining = share;
+            while remaining > 0.0 {
+                let c = remaining.min(chunk);
+                remaining -= c;
+                transfer(&clock, &src, &dst, c).await;
+            }
+            // ...and land it on the reducer's disk.
+            self.local_io(&mut ctx, host, &agent, share, "Reduce", true)
+                .await;
+        }
+        // Merge pass: read everything back, sort, and commit to HDFS.
+        self.local_io(&mut ctx, host, &agent, partition, "Reduce", false)
+            .await;
+        clock.sleep((partition / CPU_RATE * 1e9) as u64).await;
+        let dfs = self.hdfs.client(
+            &self.cluster.hosts[host],
+            &agent,
+            "ReduceTask",
+        );
+        dfs.write(&mut ctx, out_name, partition, 1).await;
+        ctx
+    }
+
+    /// Chunked local disk IO with `FileInputStream` / `FileOutputStream`
+    /// tracepoints (paper Figure 1c).
+    async fn local_io(
+        &self,
+        ctx: &mut Ctx,
+        host: usize,
+        agent: &Arc<Agent>,
+        bytes: f64,
+        phase: &str,
+        write: bool,
+    ) {
+        let h: &Rc<Host> = &self.cluster.hosts[host];
+        let clock = &self.cluster.clock;
+        let chunk = self.cluster.cfg.chunk;
+        let mut remaining = bytes;
+        while remaining > 0.0 {
+            let c = remaining.min(chunk);
+            remaining -= c;
+            h.disk.acquire(c).await;
+            if write {
+                h.disk_write.add(c);
+                agent.invoke(
+                    tp::FILE_OUTPUT_STREAM,
+                    &mut ctx.bag,
+                    clock.now(),
+                    &[
+                        ("delta", Value::F64(c)),
+                        ("phase", Value::str(phase)),
+                    ],
+                );
+            } else {
+                h.disk_read.add(c);
+                agent.invoke(
+                    tp::FILE_INPUT_STREAM,
+                    &mut ctx.bag,
+                    clock.now(),
+                    &[
+                        ("delta", Value::F64(c)),
+                        ("phase", Value::str(phase)),
+                    ],
+                );
+            }
+        }
+    }
+}

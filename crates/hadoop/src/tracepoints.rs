@@ -1,0 +1,87 @@
+//! The tracepoint vocabulary of the simulated stack.
+//!
+//! Mirrors the tracepoints the paper's evaluation defines against the real
+//! Hadoop stack (§2, §6): HDFS client/server protocols, DataNode metrics,
+//! Java file-stream IO, HBase request lifecycle, and MapReduce job events.
+//! Each constant names a location in the simulated systems' code where the
+//! process's agent is invoked; queries refer to these names.
+
+use pivot_core::Frontend;
+
+/// Client-side entry of any of the stack's client protocols (the paper's
+/// `ClientProtocols` union of `DataTransferProtocol`, `ClientService`, and
+/// `ApplicationClientProtocol`). Exports `procName`.
+pub const CLIENT_PROTOCOLS: &str = "ClientProtocols";
+
+/// HDFS `DataNodeMetrics.incrBytesRead(int delta)` (paper Q1/Q2).
+pub const DN_INCR_BYTES_READ: &str = "DataNodeMetrics.incrBytesRead";
+
+/// HDFS `DataNodeMetrics.incrBytesWritten(int delta)`.
+pub const DN_INCR_BYTES_WRITTEN: &str = "DataNodeMetrics.incrBytesWritten";
+
+/// DataNode server-side data transfer protocol (paper Q3/Q6/Q7).
+/// Exports `op` and `size`.
+pub const DN_DATA_TRANSFER: &str = "DN.DataTransferProtocol";
+
+/// DataNode per-operation timing summary. Exports `xferNanos`,
+/// `blockedNanos`, `gcNanos` (the Figure 9b decomposition).
+pub const DN_TRANSFER_TIMING: &str = "DN.Transfer";
+
+/// NameNode `GetBlockLocations` (paper Q4/Q5/Q7). Exports `src` (file),
+/// `replicas` (comma-joined ordered replica hosts), and `lockNanos` (time
+/// queued on the namespace lock).
+pub const NN_GET_BLOCK_LOCATIONS: &str = "NN.GetBlockLocations";
+
+/// NameNode metadata client protocol (open/create/rename). Exports `op`
+/// and `lockNanos`.
+pub const NN_CLIENT_PROTOCOL: &str = "NN.ClientProtocol";
+
+/// Stress-test client operation start (paper Q4–Q7). Exports `op`.
+pub const STRESS_DO_NEXT_OP: &str = "StressTest.DoNextOp";
+
+/// Java `FileInputStream` read (paper Figure 1c). Exports `delta`, `phase`.
+pub const FILE_INPUT_STREAM: &str = "FileInputStream";
+
+/// Java `FileOutputStream` write (paper Figure 1c). Exports `delta`,
+/// `phase`.
+pub const FILE_OUTPUT_STREAM: &str = "FileOutputStream";
+
+/// HBase RegionServer receives a request (paper Q8). Exports `op`.
+pub const RS_RECEIVE_REQUEST: &str = "RS.ReceiveRequest";
+
+/// HBase RegionServer sends a response (paper Q8). Exports `op`,
+/// `queueNanos`, `processNanos`, `gcNanos`.
+pub const RS_SEND_RESPONSE: &str = "RS.SendResponse";
+
+/// A stop-the-world GC pause observed by a request. Exports `gcNanos`.
+pub const GC_PAUSE: &str = "GC.Pause";
+
+/// MapReduce job completion (paper Q9). Exports `id`.
+pub const JOB_COMPLETE: &str = "JobComplete";
+
+/// Defines every tracepoint of the simulated stack against `frontend`.
+pub fn define_all(frontend: &mut Frontend) {
+    frontend.define(CLIENT_PROTOCOLS, ["procName"]);
+    frontend.define(DN_INCR_BYTES_READ, ["delta"]);
+    frontend.define(DN_INCR_BYTES_WRITTEN, ["delta"]);
+    frontend.define(DN_DATA_TRANSFER, ["op", "size"]);
+    frontend.define(
+        DN_TRANSFER_TIMING,
+        ["xferNanos", "blockedNanos", "gcNanos"],
+    );
+    frontend.define(
+        NN_GET_BLOCK_LOCATIONS,
+        ["src", "replicas", "lockNanos"],
+    );
+    frontend.define(NN_CLIENT_PROTOCOL, ["op", "lockNanos"]);
+    frontend.define(STRESS_DO_NEXT_OP, ["op"]);
+    frontend.define(FILE_INPUT_STREAM, ["delta", "phase"]);
+    frontend.define(FILE_OUTPUT_STREAM, ["delta", "phase"]);
+    frontend.define(RS_RECEIVE_REQUEST, ["op"]);
+    frontend.define(
+        RS_SEND_RESPONSE,
+        ["op", "queueNanos", "processNanos", "gcNanos"],
+    );
+    frontend.define(GC_PAUSE, ["gcNanos"]);
+    frontend.define(JOB_COMPLETE, ["id"]);
+}

@@ -1,0 +1,102 @@
+//! Simulated YARN: a ResourceManager and per-host NodeManagers.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use pivot_core::Agent;
+
+use crate::cluster::{Cluster, Host};
+
+/// A NodeManager process managing task slots on one host.
+pub struct NodeManager {
+    /// Its host.
+    pub host: Rc<Host>,
+    /// The NodeManager process's agent.
+    pub agent: Arc<Agent>,
+    /// Free container slots.
+    pub free_slots: Cell<usize>,
+}
+
+/// The assembled YARN service.
+pub struct Yarn {
+    cluster: Rc<Cluster>,
+    /// The ResourceManager's agent (runs on the master host).
+    pub rm_agent: Arc<Agent>,
+    /// One NodeManager per worker.
+    pub nodemanagers: Vec<Rc<NodeManager>>,
+    rr: Cell<usize>,
+}
+
+/// A granted container: a slot on a specific host, released on drop
+/// bookkeeping via [`Yarn::release`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Container {
+    /// Host index the container runs on.
+    pub host: usize,
+}
+
+impl Yarn {
+    /// Starts YARN with `slots` containers per NodeManager.
+    pub fn start(cluster: &Rc<Cluster>, slots: usize) -> Rc<Yarn> {
+        let rm_agent =
+            cluster.new_agent(cluster.nn_host(), "ResourceManager");
+        let nodemanagers = cluster
+            .workers()
+            .iter()
+            .map(|h| {
+                Rc::new(NodeManager {
+                    host: Rc::clone(h),
+                    agent: cluster.new_agent(h, "NodeManager"),
+                    free_slots: Cell::new(slots),
+                })
+            })
+            .collect();
+        Rc::new(Yarn {
+            cluster: Rc::clone(cluster),
+            rm_agent,
+            nodemanagers,
+            rr: Cell::new(0),
+        })
+    }
+
+    /// Allocates one container, preferring `preferred` hosts in order,
+    /// falling back to round-robin; waits (polling the scheduler) when the
+    /// cluster is full.
+    pub async fn allocate(&self, preferred: &[usize]) -> Container {
+        loop {
+            for &p in preferred {
+                if let Some(nm) = self.nodemanagers.get(p) {
+                    if nm.free_slots.get() > 0 {
+                        nm.free_slots.set(nm.free_slots.get() - 1);
+                        return Container { host: p };
+                    }
+                }
+            }
+            let n = self.nodemanagers.len();
+            let start = self.rr.get();
+            for i in 0..n {
+                let idx = (start + i) % n;
+                let nm = &self.nodemanagers[idx];
+                if nm.free_slots.get() > 0 {
+                    nm.free_slots.set(nm.free_slots.get() - 1);
+                    self.rr.set(idx + 1);
+                    return Container { host: idx };
+                }
+            }
+            // Cluster full: wait for the next scheduling heartbeat.
+            self.cluster.clock.sleep(100_000_000).await;
+        }
+    }
+
+    /// Returns a container's slot to its NodeManager.
+    pub fn release(&self, c: Container) {
+        let nm = &self.nodemanagers[c.host];
+        nm.free_slots.set(nm.free_slots.get() + 1);
+    }
+
+    /// Total free slots (for tests).
+    pub fn free_slots(&self) -> usize {
+        self.nodemanagers.iter().map(|nm| nm.free_slots.get()).sum()
+    }
+}

@@ -1,0 +1,201 @@
+//! Behavioural tests for the simulated HDFS: replica ordering (with and
+//! without HDFS-6268), placement, the write pipeline, and NameNode lock
+//! contention.
+
+use std::rc::Rc;
+
+use pivot_hadoop::cluster::{Cluster, ClusterConfig, MB};
+use pivot_hadoop::ctx::Ctx;
+use pivot_hadoop::hdfs::{Hdfs, BLOCK_SIZE};
+
+fn cluster(bug: bool, seed: u64) -> Rc<Cluster> {
+    Cluster::new(ClusterConfig {
+        workers: 8,
+        seed,
+        replica_bug: bug,
+        ..ClusterConfig::default()
+    })
+}
+
+#[test]
+fn bootstrap_places_blocks_with_replication() {
+    let c = cluster(false, 1);
+    let hdfs = Hdfs::start(&c);
+    hdfs.namenode.bootstrap_file("f", 300.0 * MB, 3);
+    let layout = hdfs.namenode.block_layout("f");
+    assert_eq!(layout.len(), 3, "300 MB = 2 full blocks + 1 partial");
+    assert_eq!(layout[0].1, BLOCK_SIZE);
+    for (_, _, replicas) in &layout {
+        assert_eq!(replicas.len(), 3);
+        let mut r = replicas.clone();
+        r.dedup();
+        assert_eq!(r.len(), 3, "replicas must be distinct");
+    }
+    assert_eq!(
+        hdfs.namenode.file_size("f"),
+        Some(300.0 * MB)
+    );
+}
+
+#[test]
+fn buggy_ordering_is_static_fixed_is_shuffled() {
+    // With the bug, repeated lookups from a non-replica host always return
+    // the same order; fixed, the order varies.
+    let count_orders = |bug: bool| -> usize {
+        let c = cluster(bug, 7);
+        let hdfs = Hdfs::start(&c);
+        hdfs.namenode.bootstrap_file("f", BLOCK_SIZE, 3);
+        // Find a host that holds no replica.
+        let replicas = &hdfs.namenode.block_layout("f")[0].2;
+        let outsider =
+            (0..8).find(|h| !replicas.contains(h)).expect("8 > 3");
+        let clock = c.clock.clone();
+        let nn = Rc::clone(&hdfs.namenode);
+        let h = c.rt.spawn(async move {
+            let mut orders = Vec::new();
+            for _ in 0..20 {
+                let mut ctx = Ctx::new();
+                let lb = nn
+                    .get_block_locations(
+                        &mut ctx, "f", 0.0, 1.0, outsider,
+                    )
+                    .await;
+                orders.push(lb[0].order.clone());
+                clock.sleep(1000).await;
+            }
+            orders
+        });
+        c.rt.run_for_secs(5.0);
+        let orders = h.try_take().expect("lookups completed");
+        let mut unique = orders.clone();
+        unique.sort();
+        unique.dedup();
+        unique.len()
+    };
+    assert_eq!(count_orders(true), 1, "bug: static global ordering");
+    assert!(count_orders(false) > 1, "fixed: randomized ordering");
+}
+
+#[test]
+fn local_replica_always_sorts_first() {
+    let c = cluster(true, 3);
+    let hdfs = Hdfs::start(&c);
+    hdfs.namenode.bootstrap_file("f", BLOCK_SIZE, 3);
+    let replicas = hdfs.namenode.block_layout("f")[0].2.clone();
+    let local = replicas[1];
+    let nn = Rc::clone(&hdfs.namenode);
+    let h = c.rt.spawn(async move {
+        let mut ctx = Ctx::new();
+        nn.get_block_locations(&mut ctx, "f", 0.0, 1.0, local).await
+    });
+    c.rt.run_for_secs(1.0);
+    let lb = h.try_take().expect("lookup completed");
+    assert_eq!(lb[0].order[0], local);
+}
+
+#[test]
+fn write_pipeline_lands_bytes_on_all_replicas() {
+    let c = cluster(false, 4);
+    let hdfs = Hdfs::start(&c);
+    let agent = c.new_agent(&c.hosts[0], "writer");
+    let dfs = hdfs.client(&c.hosts[0], &agent, "writer");
+    let h = c.rt.spawn(async move {
+        let mut ctx = Ctx::new();
+        dfs.write(&mut ctx, "out", 16.0 * MB, 3).await;
+    });
+    c.rt.run_for_secs(60.0);
+    assert!(h.is_done(), "write did not complete");
+    let layout = hdfs.namenode.block_layout("out");
+    assert_eq!(layout.len(), 1);
+    // Writer is a worker: local-first placement.
+    assert_eq!(layout[0].2[0], 0);
+    // All three replicas wrote 16 MB to disk.
+    let total_written: f64 =
+        c.workers().iter().map(|h| h.disk_write.total()).sum();
+    assert!(
+        (total_written - 48.0 * MB).abs() < 1.0,
+        "pipeline wrote {total_written}"
+    );
+}
+
+#[test]
+fn reads_move_bytes_through_disk_and_network() {
+    let c = cluster(false, 5);
+    let hdfs = Hdfs::start(&c);
+    hdfs.namenode.bootstrap_file("f", BLOCK_SIZE, 3);
+    // Put the client on a host without a replica to force network use.
+    let replicas = hdfs.namenode.block_layout("f")[0].2.clone();
+    let outsider = (0..8).find(|h| !replicas.contains(h)).expect("8 > 3");
+    let agent = c.new_agent(&c.hosts[outsider], "reader");
+    let dfs = hdfs.client(&c.hosts[outsider], &agent, "reader");
+    let h = c.rt.spawn(async move {
+        let mut ctx = Ctx::new();
+        dfs.read_at(&mut ctx, "f", 0.0, 8.0 * MB).await;
+    });
+    c.rt.run_for_secs(30.0);
+    assert!(h.is_done());
+    let disk_total: f64 =
+        c.workers().iter().map(|h| h.disk_read.total()).sum();
+    assert!((disk_total - 8.0 * MB).abs() < 1.0);
+    let rx = c.hosts[outsider].net_rx.total();
+    assert!(rx >= 8.0 * MB, "client received only {rx} bytes");
+}
+
+#[test]
+fn metadata_writes_contend_on_the_namespace_lock() {
+    let c = cluster(false, 6);
+    let hdfs = Hdfs::start(&c);
+    let clock = c.clock.clone();
+
+    // Baseline: open latency on an idle NameNode.
+    let agent = c.new_agent(&c.hosts[0], "bench");
+    let dfs = hdfs.client(&c.hosts[0], &agent, "bench");
+    let baseline = c.rt.spawn({
+        let clock = clock.clone();
+        async move {
+            let mut total = 0u64;
+            for _ in 0..20 {
+                let mut ctx = Ctx::new();
+                let t0 = clock.now();
+                dfs.metadata(&mut ctx, "open", false).await;
+                total += clock.now() - t0;
+            }
+            total / 20
+        }
+    });
+    c.rt.run_for_secs(10.0);
+    let idle_ns = baseline.try_take().expect("baseline done");
+
+    // Under a create flood, the same opens queue behind write locks.
+    for i in 0..4 {
+        let agent = c.new_agent(&c.hosts[i + 1], "flood");
+        let dfs = hdfs.client(&c.hosts[i + 1], &agent, "flood");
+        c.rt.spawn(async move {
+            loop {
+                let mut ctx = Ctx::new();
+                dfs.metadata(&mut ctx, "create", true).await;
+            }
+        });
+    }
+    let agent = c.new_agent(&c.hosts[0], "bench2");
+    let dfs = hdfs.client(&c.hosts[0], &agent, "bench2");
+    let loaded = c.rt.spawn({
+        let clock = clock.clone();
+        async move {
+            let mut total = 0u64;
+            for _ in 0..20 {
+                let mut ctx = Ctx::new();
+                let t0 = clock.now();
+                dfs.metadata(&mut ctx, "open", false).await;
+                total += clock.now() - t0;
+            }
+            total / 20
+        }
+    });
+    c.rt.run_for_secs(30.0);
+    let loaded_ns = loaded.try_take().expect("loaded done");
+    assert!(
+        loaded_ns > idle_ns * 2,
+        "write flood should slow reads: idle {idle_ns}ns loaded {loaded_ns}ns"
+    );
+}

@@ -1,0 +1,255 @@
+//! Minimal binary encoding primitives shared by the ITC and baggage wire
+//! formats.
+//!
+//! The format is deliberately simple: single tag bytes, LEB128 varints for
+//! integers, and length-prefixed byte strings. It exists so that baggage
+//! (de)serialization costs — measured in the paper's Figure 10 — are fully
+//! attributable to code in this repository rather than to a third-party
+//! serializer.
+
+use std::fmt;
+
+/// An append-only byte sink.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Creates an encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a raw byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Appends an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a signed integer using zigzag encoding.
+    pub fn put_varint_i64(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Appends an IEEE-754 double, little endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A tag byte had an unexpected value; carries the context and the tag.
+    BadTag(&'static str, u8),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A byte string was not valid UTF-8 where a string was required.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadTag(what, tag) => {
+                write!(f, "bad tag {tag:#04x} while decoding {what}")
+            }
+            DecodeError::VarintOverflow => write!(f, "varint overflows u64"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Returns `true` if all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Returns the number of bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn take_varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.take_u8()?;
+            if shift >= 64 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded signed integer.
+    pub fn take_varint_i64(&mut self) -> Result<i64, DecodeError> {
+        let v = self.take_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
+        if self.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_le_bytes(bytes))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take_varint()? as usize;
+        if self.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.take_bytes()?).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut enc = Encoder::new();
+        for v in values {
+            enc.put_varint(v);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        for v in values {
+            assert_eq!(dec.take_varint().unwrap(), v);
+        }
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn signed_varint_round_trip() {
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -123456789];
+        let mut enc = Encoder::new();
+        for v in values {
+            enc.put_varint_i64(v);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        for v in values {
+            assert_eq!(dec.take_varint_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn strings_and_floats() {
+        let mut enc = Encoder::new();
+        enc.put_str("hello");
+        enc.put_f64(3.5);
+        enc.put_str("");
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_str().unwrap(), "hello");
+        assert_eq!(dec.take_f64().unwrap(), 3.5);
+        assert_eq!(dec.take_str().unwrap(), "");
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut enc = Encoder::new();
+        enc.put_str("hello");
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes[..3]);
+        assert_eq!(dec.take_str().unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn small_varints_are_single_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_varint(42);
+        assert_eq!(enc.len(), 1);
+    }
+}

@@ -1,0 +1,363 @@
+//! ITC event trees.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::encode::{DecodeError, Decoder, Encoder};
+use crate::id::Id;
+
+/// An ITC event tree: a compact representation of how many events each
+/// sub-interval of the identity space has witnessed.
+///
+/// Event trees are kept in *normal form*: a node whose children are equal
+/// leaves collapses into a single leaf, and interior values are *lifted* so
+/// that at least one child has a zero base.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// All positions in this sub-interval have witnessed `n` events.
+    Leaf(u64),
+    /// A base count plus per-half refinements.
+    Node(u64, Box<Event>, Box<Event>),
+}
+
+impl Event {
+    /// Returns the zero event tree.
+    pub fn zero() -> Event {
+        Event::Leaf(0)
+    }
+
+    /// Builds a normalized interior node.
+    pub fn node(n: u64, left: Event, right: Event) -> Event {
+        match (&left, &right) {
+            (Event::Leaf(a), Event::Leaf(b)) if a == b => Event::Leaf(n + a),
+            _ => {
+                let m = left.base().min(right.base());
+                if m > 0 {
+                    Event::Node(
+                        n + m,
+                        Box::new(left.sink(m)),
+                        Box::new(right.sink(m)),
+                    )
+                } else {
+                    Event::Node(n, Box::new(left), Box::new(right))
+                }
+            }
+        }
+    }
+
+    /// Returns the base (root) value of the tree.
+    fn base(&self) -> u64 {
+        match self {
+            Event::Leaf(n) | Event::Node(n, _, _) => *n,
+        }
+    }
+
+    /// Adds `m` to the root of the tree (the *lift* operation).
+    fn lift(&self, m: u64) -> Event {
+        match self {
+            Event::Leaf(n) => Event::Leaf(n + m),
+            Event::Node(n, l, r) => {
+                Event::Node(n + m, l.clone(), r.clone())
+            }
+        }
+    }
+
+    /// Subtracts `m` from the root of the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the root value; callers only sink by a computed
+    /// minimum, so this indicates an internal logic error.
+    fn sink(&self, m: u64) -> Event {
+        match self {
+            Event::Leaf(n) => Event::Leaf(n - m),
+            Event::Node(n, l, r) => {
+                Event::Node(n - m, l.clone(), r.clone())
+            }
+        }
+    }
+
+    /// Returns the minimum event count witnessed anywhere.
+    pub fn min(&self) -> u64 {
+        match self {
+            Event::Leaf(n) => *n,
+            // Normal form guarantees one child has base 0, so min == n.
+            Event::Node(n, _, _) => *n,
+        }
+    }
+
+    /// Returns the maximum event count witnessed anywhere.
+    pub fn max(&self) -> u64 {
+        match self {
+            Event::Leaf(n) => *n,
+            Event::Node(n, l, r) => n + l.max().max(r.max()),
+        }
+    }
+
+    /// Returns `true` if `self` is causally dominated by `other`
+    /// (every position witnessed no more events in `self` than in `other`).
+    pub fn leq(&self, other: &Event) -> bool {
+        match (self, other) {
+            (Event::Leaf(n1), e2) => *n1 <= e2.min(),
+            (Event::Node(n1, l1, r1), Event::Leaf(n2)) => {
+                *n1 <= *n2
+                    && l1.lift(*n1).leq(&Event::Leaf(*n2))
+                    && r1.lift(*n1).leq(&Event::Leaf(*n2))
+            }
+            (Event::Node(n1, l1, r1), Event::Node(n2, l2, r2)) => {
+                *n1 <= *n2
+                    && l1.lift(*n1).leq(&l2.lift(*n2))
+                    && r1.lift(*n1).leq(&r2.lift(*n2))
+            }
+        }
+    }
+
+    /// Merges two event trees, taking the pointwise maximum (ITC *join*).
+    pub fn join(&self, other: &Event) -> Event {
+        match (self, other) {
+            (Event::Leaf(n1), Event::Leaf(n2)) => Event::Leaf(*n1.max(n2)),
+            // Expand the leaf into an equivalent raw node (bypassing the
+            // normalizing constructor, which would collapse it right back).
+            (Event::Leaf(n1), n @ Event::Node(..)) => Event::Node(
+                *n1,
+                Box::new(Event::zero()),
+                Box::new(Event::zero()),
+            )
+            .join(n),
+            (n @ Event::Node(..), Event::Leaf(n2)) => n.join(&Event::Node(
+                *n2,
+                Box::new(Event::zero()),
+                Box::new(Event::zero()),
+            )),
+            (Event::Node(n1, l1, r1), Event::Node(n2, l2, r2)) => {
+                if n1 > n2 {
+                    return other.join(self);
+                }
+                let d = n2 - n1;
+                Event::node(
+                    *n1,
+                    l1.join(&l2.lift(d)),
+                    r1.join(&r2.lift(d)),
+                )
+            }
+        }
+    }
+
+    /// Inflates this event tree by one event, as witnessed by identity `id`.
+    ///
+    /// First attempts the cheap *fill* (absorbing slack under fully-owned
+    /// sub-intervals); if that changes nothing, performs the cost-minimizing
+    /// *grow*.
+    pub fn event(&self, id: &Id) -> Event {
+        let filled = fill(id, self);
+        if &filled != self {
+            filled
+        } else {
+            grow(id, self).0
+        }
+    }
+
+    /// Encodes this event tree into `enc`.
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Event::Leaf(n) => {
+                enc.put_u8(0);
+                enc.put_varint(*n);
+            }
+            Event::Node(n, l, r) => {
+                enc.put_u8(1);
+                enc.put_varint(*n);
+                l.encode(enc);
+                r.encode(enc);
+            }
+        }
+    }
+
+    /// Decodes an event tree from `dec`, re-normalizing the result.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Event, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Event::Leaf(dec.take_varint()?)),
+            1 => {
+                let n = dec.take_varint()?;
+                let l = Event::decode(dec)?;
+                let r = Event::decode(dec)?;
+                Ok(Event::node(n, l, r))
+            }
+            t => Err(DecodeError::BadTag("itc event", t)),
+        }
+    }
+}
+
+/// The ITC *fill* operation: raise sub-trees fully owned by `id` up to the
+/// level of their surroundings.
+fn fill(id: &Id, e: &Event) -> Event {
+    match (id, e) {
+        (Id::Zero, e) => e.clone(),
+        (Id::One, e) => Event::Leaf(e.max()),
+        (_, Event::Leaf(n)) => Event::Leaf(*n),
+        (Id::Node(il, ir), Event::Node(n, el, er)) => {
+            match (il.as_ref(), ir.as_ref()) {
+                (Id::One, _) => {
+                    let er2 = fill(ir, er);
+                    let el2 = Event::Leaf(el.max().max(er2.min()));
+                    Event::node(*n, el2, er2)
+                }
+                (_, Id::One) => {
+                    let el2 = fill(il, el);
+                    let er2 = Event::Leaf(er.max().max(el2.min()));
+                    Event::node(*n, el2, er2)
+                }
+                _ => Event::node(*n, fill(il, el), fill(ir, er)),
+            }
+        }
+    }
+}
+
+/// The ITC *grow* operation: add one event in the cheapest owned position.
+///
+/// Returns the new tree and a cost used to compare alternatives.
+fn grow(id: &Id, e: &Event) -> (Event, u64) {
+    const BIG: u64 = 1 << 24;
+    match (id, e) {
+        (Id::One, Event::Leaf(n)) => (Event::Leaf(n + 1), 0),
+        (_, Event::Leaf(n)) => {
+            let (e2, c) = grow(
+                id,
+                &Event::Node(*n, Box::new(Event::zero()), Box::new(Event::zero())),
+            );
+            (e2, c + BIG)
+        }
+        (Id::Node(il, ir), Event::Node(n, el, er)) => {
+            match (il.as_ref(), ir.as_ref()) {
+                (Id::Zero, _) => {
+                    let (er2, c) = grow(ir, er);
+                    (Event::node(*n, el.as_ref().clone(), er2), c + 1)
+                }
+                (_, Id::Zero) => {
+                    let (el2, c) = grow(il, el);
+                    (Event::node(*n, el2, er.as_ref().clone()), c + 1)
+                }
+                _ => {
+                    let (el2, cl) = grow(il, el);
+                    let (er2, cr) = grow(ir, er);
+                    if cl < cr {
+                        (Event::node(*n, el2, er.as_ref().clone()), cl + 1)
+                    } else {
+                        (Event::node(*n, el.as_ref().clone(), er2), cr + 1)
+                    }
+                }
+            }
+        }
+        // `event()` only calls `grow` after `fill` left the tree unchanged,
+        // and `fill(One, _)` always collapses to a leaf — so a whole-interval
+        // identity never reaches `grow` with a node. Handle it defensively by
+        // raising everything to max+1.
+        (Id::One, e) => (Event::Leaf(e.max() + 1), BIG),
+        (Id::Zero, _) => unreachable!("grow called with anonymous id"),
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        match (self.leq(other), other.leq(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Leaf(n) => write!(f, "{n}"),
+            Event::Node(n, l, r) => write!(f, "({n},{l:?},{r:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_normalizes_equal_leaves() {
+        assert_eq!(
+            Event::node(2, Event::Leaf(3), Event::Leaf(3)),
+            Event::Leaf(5)
+        );
+    }
+
+    #[test]
+    fn node_sinks_common_base() {
+        let e = Event::node(1, Event::Leaf(2), Event::Leaf(4));
+        match &e {
+            Event::Node(n, l, r) => {
+                assert_eq!(*n, 3);
+                assert_eq!(**l, Event::Leaf(0));
+                assert_eq!(**r, Event::Leaf(2));
+            }
+            _ => panic!("expected node"),
+        }
+    }
+
+    #[test]
+    fn seed_event_increments_leaf() {
+        let e = Event::zero().event(&Id::One);
+        assert_eq!(e, Event::Leaf(1));
+    }
+
+    #[test]
+    fn leq_is_reflexive_and_ordered() {
+        let a = Event::Leaf(1);
+        let b = Event::node(1, Event::Leaf(0), Event::Leaf(2));
+        assert!(a.leq(&a));
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let a = Event::node(0, Event::Leaf(3), Event::Leaf(0));
+        let b = Event::node(0, Event::Leaf(0), Event::Leaf(5));
+        let j = a.join(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert_eq!(j, Event::node(0, Event::Leaf(3), Event::Leaf(5)));
+    }
+
+    #[test]
+    fn fork_event_join_advances() {
+        let (a, b) = Id::One.split();
+        let mut ea = Event::zero();
+        let eb = Event::zero();
+        for _ in 0..3 {
+            ea = ea.event(&a);
+        }
+        let eb2 = eb.event(&b);
+        let j = ea.join(&eb2);
+        assert!(ea.leq(&j) && eb2.leq(&j));
+        assert_eq!(j.max(), 3);
+    }
+
+    #[test]
+    fn event_monotone() {
+        let (a, _) = Id::One.split();
+        let e0 = Event::zero();
+        let e1 = e0.event(&a);
+        let e2 = e1.event(&a);
+        assert!(e0.leq(&e1) && e1.leq(&e2));
+        assert!(!e1.leq(&e0));
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let (a, b) = Id::One.split();
+        let e = Event::zero().event(&a).event(&a).join(&Event::zero().event(&b));
+        let mut enc = Encoder::new();
+        e.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(Event::decode(&mut dec).unwrap(), e);
+    }
+}

@@ -1,0 +1,221 @@
+//! ITC identity trees.
+
+use std::fmt;
+
+use crate::encode::{DecodeError, Decoder, Encoder};
+
+/// An ITC identity: a binary tree describing which sub-intervals of the unit
+/// interval this stamp owns.
+///
+/// Identities are kept in *normal form*: `Node(Zero, Zero)` collapses to
+/// [`Id::Zero`] and `Node(One, One)` collapses to [`Id::One`]. All
+/// constructors in this module preserve normal form.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Id {
+    /// Owns nothing.
+    Zero,
+    /// Owns the whole interval.
+    One,
+    /// Owns the left sub-tree's share in the left half and the right
+    /// sub-tree's share in the right half.
+    Node(Box<Id>, Box<Id>),
+}
+
+impl Id {
+    /// Returns the seed identity that owns the entire interval.
+    pub fn one() -> Id {
+        Id::One
+    }
+
+    /// Returns the anonymous identity that owns nothing.
+    pub fn zero() -> Id {
+        Id::Zero
+    }
+
+    /// Builds a normalized interior node from two children.
+    pub fn node(left: Id, right: Id) -> Id {
+        match (&left, &right) {
+            (Id::Zero, Id::Zero) => Id::Zero,
+            (Id::One, Id::One) => Id::One,
+            _ => Id::Node(Box::new(left), Box::new(right)),
+        }
+    }
+
+    /// Returns `true` if this identity owns nothing (is anonymous).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Id::Zero)
+    }
+
+    /// Returns `true` if this identity owns the whole interval.
+    pub fn is_whole(&self) -> bool {
+        matches!(self, Id::One)
+    }
+
+    /// Splits this identity into two disjoint identities (ITC *fork*).
+    ///
+    /// The two returned identities are non-overlapping and together own
+    /// exactly the interval owned by `self`.
+    pub fn split(&self) -> (Id, Id) {
+        match self {
+            Id::Zero => (Id::Zero, Id::Zero),
+            Id::One => (
+                Id::node(Id::One, Id::Zero),
+                Id::node(Id::Zero, Id::One),
+            ),
+            Id::Node(l, r) => match (l.as_ref(), r.as_ref()) {
+                (Id::Zero, r) => {
+                    let (r1, r2) = r.split();
+                    (Id::node(Id::Zero, r1), Id::node(Id::Zero, r2))
+                }
+                (l, Id::Zero) => {
+                    let (l1, l2) = l.split();
+                    (Id::node(l1, Id::Zero), Id::node(l2, Id::Zero))
+                }
+                (l, r) => (
+                    Id::node(l.clone(), Id::Zero),
+                    Id::node(Id::Zero, r.clone()),
+                ),
+            },
+        }
+    }
+
+    /// Sums two disjoint identities (ITC *join*).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` if the identities overlap — summing overlapping
+    /// identities would forge ownership and indicates a protocol violation.
+    pub fn sum(&self, other: &Id) -> Result<Id, ()> {
+        match (self, other) {
+            (Id::Zero, x) | (x, Id::Zero) => Ok(x.clone()),
+            (Id::One, _) | (_, Id::One) => Err(()),
+            (Id::Node(l1, r1), Id::Node(l2, r2)) => {
+                Ok(Id::node(l1.sum(l2)?, r1.sum(r2)?))
+            }
+        }
+    }
+
+    /// Returns `true` if the two identities own overlapping intervals.
+    pub fn overlaps(&self, other: &Id) -> bool {
+        match (self, other) {
+            (Id::Zero, _) | (_, Id::Zero) => false,
+            (Id::One, _) | (_, Id::One) => true,
+            (Id::Node(l1, r1), Id::Node(l2, r2)) => {
+                l1.overlaps(l2) || r1.overlaps(r2)
+            }
+        }
+    }
+
+    /// Returns the depth of the identity tree.
+    pub fn depth(&self) -> usize {
+        match self {
+            Id::Zero | Id::One => 0,
+            Id::Node(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// Encodes this identity into `enc`.
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Id::Zero => enc.put_u8(0),
+            Id::One => enc.put_u8(1),
+            Id::Node(l, r) => {
+                enc.put_u8(2);
+                l.encode(enc);
+                r.encode(enc);
+            }
+        }
+    }
+
+    /// Decodes an identity from `dec`.
+    ///
+    /// The result is re-normalized, so malformed input cannot produce a
+    /// non-normal tree.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Id, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Id::Zero),
+            1 => Ok(Id::One),
+            2 => {
+                let l = Id::decode(dec)?;
+                let r = Id::decode(dec)?;
+                Ok(Id::node(l, r))
+            }
+            t => Err(DecodeError::BadTag("itc id", t)),
+        }
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Id::Zero => write!(f, "0"),
+            Id::One => write!(f, "1"),
+            Id::Node(l, r) => write!(f, "({l:?},{r:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_seed_is_disjoint() {
+        let (a, b) = Id::One.split();
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.sum(&b).unwrap(), Id::One);
+    }
+
+    #[test]
+    fn split_zero_stays_zero() {
+        let (a, b) = Id::Zero.split();
+        assert!(a.is_zero() && b.is_zero());
+    }
+
+    #[test]
+    fn nested_splits_stay_disjoint() {
+        let (a, b) = Id::One.split();
+        let (a1, a2) = a.split();
+        let (b1, b2) = b.split();
+        let parts = [&a1, &a2, &b1, &b2];
+        for (i, x) in parts.iter().enumerate() {
+            for (j, y) in parts.iter().enumerate() {
+                assert_eq!(x.overlaps(y), i == j, "{x:?} vs {y:?}");
+            }
+        }
+        let whole = a1
+            .sum(&a2)
+            .unwrap()
+            .sum(&b1.sum(&b2).unwrap())
+            .unwrap();
+        assert_eq!(whole, Id::One);
+    }
+
+    #[test]
+    fn sum_overlapping_fails() {
+        let (a, _) = Id::One.split();
+        assert!(a.sum(&a).is_err());
+        assert!(Id::One.sum(&Id::One).is_err());
+    }
+
+    #[test]
+    fn node_normalizes() {
+        assert_eq!(Id::node(Id::Zero, Id::Zero), Id::Zero);
+        assert_eq!(Id::node(Id::One, Id::One), Id::One);
+        assert!(matches!(Id::node(Id::One, Id::Zero), Id::Node(..)));
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let (a, b) = Id::One.split();
+        let (a1, _) = a.split();
+        for id in [Id::Zero, Id::One, a, b, a1] {
+            let mut enc = Encoder::new();
+            id.encode(&mut enc);
+            let bytes = enc.finish();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(Id::decode(&mut dec).unwrap(), id);
+            assert!(dec.is_empty());
+        }
+    }
+}

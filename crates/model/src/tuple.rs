@@ -1,0 +1,286 @@
+//! Tuples, schemas, and grouping keys.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A field-name schema shared by all tuples of one dataset.
+///
+/// Schemas are cheap to clone (`Arc`-backed) and provide positional lookup
+/// of qualified field names such as `"incr.delta"` or plain `"delta"`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Arc<str>]>,
+}
+
+impl Schema {
+    /// Builds a schema from field names.
+    pub fn new<I, S>(fields: I) -> Schema
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|s| Arc::from(s.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// Returns an empty schema.
+    pub fn empty() -> Schema {
+        Schema {
+            fields: Arc::from([]),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Returns the field names.
+    pub fn fields(&self) -> &[Arc<str>] {
+        &self.fields
+    }
+
+    /// Returns the index of `name`.
+    ///
+    /// A lookup for `name` also matches a qualified field whose suffix after
+    /// the final `.` equals `name`, and vice versa, so `delta` finds
+    /// `incr.delta` when unambiguous.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.as_ref() == name) {
+            return Some(i);
+        }
+        let suffix_matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.rsplit('.').next() == Some(name)
+                    || name.rsplit('.').next() == Some(f.as_ref())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match suffix_matches.as_slice() {
+            [i] => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Concatenates two schemas (used by joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .chain(other.fields.iter())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Returns a schema with every field prefixed by `alias.`.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| {
+                    let base = f.rsplit('.').next().unwrap_or(f);
+                    Arc::from(format!("{alias}.{base}").as_str())
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.fields.iter().map(|s| s.as_ref()).collect();
+        write!(f, "Schema{names:?}")
+    }
+}
+
+/// A positional row of [`Value`]s.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Tuple {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Returns the empty tuple.
+    pub fn empty() -> Tuple {
+        Tuple::default()
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the tuple has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the value at `idx`, or `Null` when out of range.
+    pub fn get(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.values.get(idx).unwrap_or(&NULL)
+    }
+
+    /// Returns all values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Concatenates two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .chain(other.values.iter())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Projects the tuple onto the given indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.get(i).clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A named-field view over values, used by expression evaluation.
+pub trait Row {
+    /// Looks up a field by (possibly qualified) name.
+    fn field(&self, name: &str) -> Option<&Value>;
+}
+
+/// A (`Schema`, `Tuple`) pair implements [`Row`].
+impl Row for (&Schema, &Tuple) {
+    fn field(&self, name: &str) -> Option<&Value> {
+        let idx = self.0.index_of(name)?;
+        Some(self.1.get(idx))
+    }
+}
+
+/// A hashable grouping key: the projection of a tuple onto `GroupBy` fields.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct GroupKey(pub Tuple);
+
+impl GroupKey {
+    /// Builds a key by projecting `tuple` onto `indices`.
+    pub fn project(tuple: &Tuple, indices: &[usize]) -> GroupKey {
+        GroupKey(tuple.project(indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup_qualified_and_suffix() {
+        let s = Schema::new(["incr.host", "incr.delta"]);
+        assert_eq!(s.index_of("incr.delta"), Some(1));
+        assert_eq!(s.index_of("delta"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn ambiguous_suffix_is_rejected() {
+        let s = Schema::new(["a.host", "b.host"]);
+        assert_eq!(s.index_of("host"), None);
+        assert_eq!(s.index_of("a.host"), Some(0));
+    }
+
+    #[test]
+    fn schema_concat_and_qualify() {
+        let a = Schema::new(["x"]);
+        let b = Schema::new(["y"]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.index_of("y"), Some(1));
+        let q = c.qualified("t");
+        assert_eq!(q.index_of("t.x"), Some(0));
+    }
+
+    #[test]
+    fn qualify_replaces_existing_prefix() {
+        let s = Schema::new(["old.x"]).qualified("new");
+        assert_eq!(s.index_of("new.x"), Some(0));
+        assert_eq!(s.index_of("old.x"), None);
+    }
+
+    #[test]
+    fn tuple_ops() {
+        let t = Tuple::from_iter([Value::I64(1), Value::str("a")]);
+        assert_eq!(t.get(0), &Value::I64(1));
+        assert!(t.get(7).is_null());
+        let u = t.concat(&Tuple::from_iter([Value::Bool(true)]));
+        assert_eq!(u.len(), 3);
+        let p = u.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Bool(true), Value::I64(1)]);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let s = Schema::new(["cl.procName"]);
+        let t = Tuple::from_iter([Value::str("HBase")]);
+        let row = (&s, &t);
+        assert_eq!(row.field("procName"), Some(&Value::str("HBase")));
+        assert_eq!(row.field("cl.procName"), Some(&Value::str("HBase")));
+    }
+
+    #[test]
+    fn group_keys_hashable() {
+        use std::collections::HashSet;
+        let t1 = Tuple::from_iter([Value::I64(5)]);
+        let t2 = Tuple::from_iter([Value::U64(5)]);
+        let mut set = HashSet::new();
+        set.insert(GroupKey::project(&t1, &[0]));
+        // Cross-representation equal numerics group together.
+        assert!(!set.insert(GroupKey::project(&t2, &[0])));
+    }
+}

@@ -1,0 +1,158 @@
+//! The advice intermediate representation (paper §3, Table 2).
+//!
+//! Queries compile to one **advice program** per tracepoint. Advice is a
+//! straight-line list of operations — no jumps, no recursion — so
+//! termination is structural (the paper's safety argument). The operations:
+//!
+//! | Operation | Description |
+//! |---|---|
+//! | `Observe` | Construct a tuple from variables exported by a tracepoint |
+//! | `Unpack`  | Retrieve tuples packed by prior advice, cross-joining them |
+//! | `Filter`  | Evaluate a predicate on all tuples |
+//! | `Pack`    | Make tuples available to later advice via the baggage |
+//! | `Emit`    | Output a tuple for global aggregation |
+
+use pivot_baggage::{PackMode, QueryId};
+use pivot_model::{AggFunc, Expr, Schema};
+
+use crate::ast::TemporalFilter;
+
+/// Where one output column of a query comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnRef {
+    /// The i-th grouping key.
+    Key(usize),
+    /// The i-th aggregate.
+    Agg(usize),
+}
+
+/// The shape of a query's emitted results.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct OutputSpec {
+    /// Grouping key expressions (explicit `GroupBy` plus non-aggregate
+    /// select items).
+    pub key_exprs: Vec<Expr>,
+    /// Display names for the keys.
+    pub key_names: Vec<String>,
+    /// Aggregates: function and argument expression.
+    pub aggs: Vec<(AggFunc, Expr)>,
+    /// Display names for the aggregates.
+    pub agg_names: Vec<String>,
+    /// Output row layout in `Select` order.
+    pub columns: Vec<ColumnRef>,
+    /// `true` when the query has no aggregates and emits raw rows.
+    pub streaming: bool,
+}
+
+impl OutputSpec {
+    /// Returns the column names in `Select` order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                ColumnRef::Key(i) => self.key_names[*i].clone(),
+                ColumnRef::Agg(i) => self.agg_names[*i].clone(),
+            })
+            .collect()
+    }
+}
+
+/// One advice operation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AdviceOp {
+    /// Construct a tuple from the named tracepoint exports; the resulting
+    /// schema qualifies each field with `alias.`.
+    Observe {
+        /// The alias tuples of this tracepoint are referred to by.
+        alias: String,
+        /// Export names to capture (unqualified).
+        fields: Vec<String>,
+    },
+    /// Retrieve tuples packed under `slot` and cross-join them with the
+    /// current tuples.
+    Unpack {
+        /// The baggage slot to read.
+        slot: QueryId,
+        /// Schema of the packed tuples.
+        schema: Schema,
+        /// Temporal filter to apply after unpacking (set only when the
+        /// optimizer did not push it into the pack mode).
+        post_filter: Option<TemporalFilter>,
+    },
+    /// Discard tuples for which `pred` does not evaluate to `true`.
+    Filter {
+        /// The predicate.
+        pred: Expr,
+    },
+    /// Project each tuple through `exprs` and pack the results under `slot`.
+    Pack {
+        /// The baggage slot to write.
+        slot: QueryId,
+        /// Retention / aggregation mode.
+        mode: PackMode,
+        /// Projection expressions, one per packed column.
+        exprs: Vec<Expr>,
+        /// Packed column names (consumed by the matching `Unpack` schema).
+        names: Vec<String>,
+    },
+    /// Evaluate the output spec on each tuple and hand the result to the
+    /// process-local aggregator.
+    Emit {
+        /// The query whose results these are.
+        query: QueryId,
+        /// The query's output shape.
+        spec: OutputSpec,
+    },
+}
+
+/// A compiled advice program for one set of tracepoints.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AdviceProgram {
+    /// Tracepoints this program weaves into (unions weave the same program
+    /// at several tracepoints).
+    pub tracepoints: Vec<String>,
+    /// The straight-line operation list.
+    pub ops: Vec<AdviceOp>,
+}
+
+impl AdviceProgram {
+    /// Returns `true` if this program packs into the baggage.
+    pub fn packs(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, AdviceOp::Pack { .. }))
+    }
+
+    /// Returns `true` if this program emits results.
+    pub fn emits(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, AdviceOp::Emit { .. }))
+    }
+}
+
+/// A fully compiled query: advice programs plus output metadata.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledQuery {
+    /// The query's identity (also the emit slot).
+    pub id: QueryId,
+    /// Optional user-facing name (referencable from later queries).
+    pub name: String,
+    /// The original query text.
+    pub text: String,
+    /// One advice program per stage, in causal order (emit stage last).
+    pub advice: Vec<AdviceProgram>,
+    /// Output shape.
+    pub output: OutputSpec,
+}
+
+impl CompiledQuery {
+    /// Returns every tracepoint the query weaves advice into.
+    pub fn tracepoints(&self) -> Vec<&str> {
+        self.advice
+            .iter()
+            .flat_map(|a| a.tracepoints.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Derives the baggage slot id for pack boundary `slot` of this query.
+    pub fn slot_id(base: QueryId, slot: u8) -> QueryId {
+        QueryId(base.0 * 256 + 1 + u64::from(slot))
+    }
+}

@@ -1,0 +1,103 @@
+//! Pretty-printing of query ASTs back to query-language text.
+//!
+//! `parse(q.to_string())` reproduces the same AST — property-tested in
+//! `tests/roundtrip.rs`. Useful for logging installed queries, for the
+//! frontend's query registry, and as a grammar cross-check.
+
+use std::fmt;
+
+use pivot_model::Value;
+
+use crate::ast::{Query, SelectItem, Source, SourceKind, TemporalFilter};
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = match &self.kind {
+            SourceKind::Tracepoints(names) => names.join(", "),
+            SourceKind::QueryRef(name) => name.clone(),
+        };
+        match self.filter {
+            None => write!(f, "{names}"),
+            Some(TemporalFilter::First(1)) => write!(f, "First({names})"),
+            Some(TemporalFilter::First(n)) => {
+                write!(f, "FirstN({n}, {names})")
+            }
+            Some(TemporalFilter::MostRecent(1)) => {
+                write!(f, "MostRecent({names})")
+            }
+            Some(TemporalFilter::MostRecent(n)) => {
+                write!(f, "MostRecentN({n}, {names})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Expr(e) => write!(f, "{e}"),
+            SelectItem::Agg(func, e) => {
+                if matches!(e, pivot_model::Expr::Lit(Value::Null)) {
+                    write!(f, "{}", func.name())
+                } else {
+                    write!(f, "{}({e})", func.name())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "From {} In {}", self.from.alias, self.from)?;
+        for j in &self.joins {
+            write!(
+                f,
+                " Join {} In {} On {} -> {}",
+                j.source.alias, j.source, j.earlier, j.later
+            )?;
+        }
+        for w in &self.wheres {
+            write!(f, " Where {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GroupBy {}", self.group_by.join(", "))?;
+        }
+        if !self.select.is_empty() {
+            let items: Vec<String> =
+                self.select.iter().map(|s| s.to_string()).collect();
+            write!(f, " Select {}", items.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn q2_round_trips() {
+        let text = "From incr In DataNodeMetrics.incrBytesRead \
+                    Join cl In First(ClientProtocols) On cl -> incr \
+                    GroupBy cl.procName \
+                    Select cl.procName, SUM(incr.delta)";
+        let q = parse(text).unwrap();
+        let printed = q.to_string();
+        assert_eq!(parse(&printed).unwrap(), q, "printed: {printed}");
+    }
+
+    #[test]
+    fn temporal_and_union_round_trip() {
+        for text in [
+            "From e In A, B Select COUNT",
+            "From e In MostRecentN(3, A) Select e.x",
+            "From e In FirstN(2, A, B) Select MIN(e.x)",
+            "From c In C Join a In A On a -> c Where a.x < 3 \
+             Select c.x, AVERAGE(a.y)",
+        ] {
+            let q = parse(text).unwrap();
+            assert_eq!(parse(&q.to_string()).unwrap(), q);
+        }
+    }
+}

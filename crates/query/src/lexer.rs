@@ -1,0 +1,344 @@
+//! Tokenizer for the query language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// An identifier, possibly dotted (`DataNodeMetrics.incrBytesRead`).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// A punctuation / operator token.
+    Sym(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sym {
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==` (also accepts `=`)
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Sym(Sym::Plus));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Sym(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Sym(Sym::Percent));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Sym(Sym::Arrow));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(Sym::Minus));
+                    i += 1;
+                }
+            }
+            // Unicode minus (the paper renders Q8 with '−').
+            '\u{2212}' => {
+                tokens.push(Token::Sym(Sym::Minus));
+                i += '\u{2212}'.len_utf8();
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token::Sym(Sym::EqEq));
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym(Sym::NotEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(Sym::Bang));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym(Sym::Le));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::Sym(Sym::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "expected `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::Sym(Sym::OrOr));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "expected `||`".into(),
+                    });
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        pos: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                            && bytes
+                                .get(i + 1)
+                                .is_some_and(|b| (*b as char).is_ascii_digit()))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad float literal: {e}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad int literal: {e}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' || c == '.' || c == '$'
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_q2() {
+        let toks = lex(
+            "From incr In DataNodeMetrics.incrBytesRead \
+             Join cl In First(ClientProtocols) On cl -> incr \
+             GroupBy cl.procName \
+             Select cl.procName, SUM(incr.delta)",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Sym(Sym::Arrow)));
+        assert!(toks
+            .contains(&Token::Ident("DataNodeMetrics.incrBytesRead".into())));
+        assert!(toks.contains(&Token::Ident("SUM".into())));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a <= 1 && b != \"x\" || !c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym(Sym::Le),
+                Token::Int(1),
+                Token::Sym(Sym::AndAnd),
+                Token::Ident("b".into()),
+                Token::Sym(Sym::NotEq),
+                Token::Str("x".into()),
+                Token::Sym(Sym::OrOr),
+                Token::Sym(Sym::Bang),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            lex("a -> b - c").unwrap(),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym(Sym::Arrow),
+                Token::Ident("b".into()),
+                Token::Sym(Sym::Minus),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_comments() {
+        assert_eq!(
+            lex("1.5 # trailing comment\n 2").unwrap(),
+            vec![Token::Float(1.5), Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn single_equals_is_equality() {
+        assert_eq!(
+            lex("a = b").unwrap(),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym(Sym::EqEq),
+                Token::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

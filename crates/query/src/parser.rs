@@ -1,0 +1,581 @@
+//! Recursive-descent parser for the query language.
+
+use std::fmt;
+
+use pivot_model::{AggFunc, BinOp, Expr, UnOp, Value};
+
+use crate::ast::{JoinClause, Query, SelectItem, Source, SourceKind, TemporalFilter};
+use crate::lexer::{lex, LexError, Sym, Token};
+
+/// A parse error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: format!("at byte {}: {}", e.pos, e.message),
+        }
+    }
+}
+
+/// Parses a query text into an AST.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// let q = pivot_query::parse(
+///     "From incr In DataNodeMetrics.incrBytesRead
+///      GroupBy incr.host
+///      Select incr.host, SUM(incr.delta)",
+/// )
+/// .unwrap();
+/// assert_eq!(q.main_alias(), "incr");
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if !p.at_end() {
+        return Err(p.err(format!("unexpected trailing `{}`", p.peek_str())));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_str(&self) -> String {
+        self.peek().map_or("end of input".into(), |t| t.to_string())
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    /// Consumes a keyword (case-insensitive identifier).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!(
+                "expected `{kw}`, found `{}`",
+                self.peek_str()
+            ))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn sym(&mut self, s: Sym) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Sym(t)) if *t == s => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!(
+                "expected `{s:?}`, found `{}`",
+                self.peek_str()
+            ))),
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!(
+                "expected identifier, found `{}`",
+                other.map_or("end of input".into(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.keyword("From")?;
+        let from = self.binding()?;
+        let mut joins = Vec::new();
+        let mut wheres = Vec::new();
+        let mut group_by = Vec::new();
+        let mut select = Vec::new();
+        loop {
+            if self.at_keyword("Join") {
+                self.pos += 1;
+                let source = self.binding()?;
+                self.keyword("On")?;
+                let earlier = self.ident()?;
+                self.sym(Sym::Arrow)?;
+                let later = self.ident()?;
+                joins.push(JoinClause {
+                    source,
+                    earlier,
+                    later,
+                });
+            } else if self.at_keyword("Where") {
+                self.pos += 1;
+                wheres.push(self.expr()?);
+            } else if self.at_keyword("GroupBy") {
+                self.pos += 1;
+                group_by.push(self.ident()?);
+                while self.eat_sym(Sym::Comma) {
+                    group_by.push(self.ident()?);
+                }
+            } else if self.at_keyword("Select") {
+                self.pos += 1;
+                select.push(self.select_item()?);
+                while self.eat_sym(Sym::Comma) {
+                    select.push(self.select_item()?);
+                }
+            } else if self.at_end() {
+                break;
+            } else {
+                return Err(self.err(format!(
+                    "expected `Join`, `Where`, `GroupBy`, or `Select`, found `{}`",
+                    self.peek_str()
+                )));
+            }
+        }
+        if select.is_empty() {
+            return Err(self.err("query has no `Select` clause".into()));
+        }
+        Ok(Query {
+            from,
+            joins,
+            wheres,
+            group_by,
+            select,
+        })
+    }
+
+    /// Parses `<alias> In <source-list>`.
+    fn binding(&mut self) -> Result<Source, ParseError> {
+        let alias = self.ident()?;
+        self.keyword("In")?;
+        self.source(alias)
+    }
+
+    /// Parses a source: tracepoint list, `First(...)`, `MostRecentN(n, ...)`,
+    /// or a query reference (resolved later).
+    fn source(&mut self, alias: String) -> Result<Source, ParseError> {
+        let name = self.ident()?;
+        let filter = match name.as_str() {
+            f if f.eq_ignore_ascii_case("First") => {
+                Some(self.temporal_args(false)?)
+            }
+            f if f.eq_ignore_ascii_case("FirstN") => {
+                Some(self.temporal_args_n(false)?)
+            }
+            f if f.eq_ignore_ascii_case("MostRecent") => {
+                Some(self.temporal_args(true)?)
+            }
+            f if f.eq_ignore_ascii_case("MostRecentN") => {
+                Some(self.temporal_args_n(true)?)
+            }
+            _ => None,
+        };
+        match filter {
+            Some((filter, names)) => Ok(Source {
+                alias,
+                kind: SourceKind::Tracepoints(names),
+                filter: Some(filter),
+            }),
+            None => {
+                let mut names = vec![name];
+                while self.eat_sym(Sym::Comma) {
+                    names.push(self.ident()?);
+                }
+                Ok(Source {
+                    alias,
+                    kind: SourceKind::Tracepoints(names),
+                    filter: None,
+                })
+            }
+        }
+    }
+
+    /// Parses `(Source[, Source…])` after `First` / `MostRecent`.
+    fn temporal_args(
+        &mut self,
+        recent: bool,
+    ) -> Result<(TemporalFilter, Vec<String>), ParseError> {
+        self.sym(Sym::LParen)?;
+        let mut names = vec![self.ident()?];
+        while self.eat_sym(Sym::Comma) {
+            names.push(self.ident()?);
+        }
+        self.sym(Sym::RParen)?;
+        let f = if recent {
+            TemporalFilter::MostRecent(1)
+        } else {
+            TemporalFilter::First(1)
+        };
+        Ok((f, names))
+    }
+
+    /// Parses `(n, Source[, Source…])` after `FirstN` / `MostRecentN`.
+    fn temporal_args_n(
+        &mut self,
+        recent: bool,
+    ) -> Result<(TemporalFilter, Vec<String>), ParseError> {
+        self.sym(Sym::LParen)?;
+        let n = match self.bump() {
+            Some(Token::Int(v)) if v > 0 => v as usize,
+            other => {
+                return Err(self.err(format!(
+                    "expected positive tuple count, found `{}`",
+                    other.map_or("end of input".into(), |t| t.to_string())
+                )))
+            }
+        };
+        self.sym(Sym::Comma)?;
+        let mut names = vec![self.ident()?];
+        while self.eat_sym(Sym::Comma) {
+            names.push(self.ident()?);
+        }
+        self.sym(Sym::RParen)?;
+        let f = if recent {
+            TemporalFilter::MostRecent(n)
+        } else {
+            TemporalFilter::First(n)
+        };
+        Ok((f, names))
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        // Bare COUNT, or AGG(expr), or a scalar expression.
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(func) = AggFunc::parse(name) {
+                let next_is_paren = matches!(
+                    self.tokens.get(self.pos + 1),
+                    Some(Token::Sym(Sym::LParen))
+                );
+                if func == AggFunc::Count && !next_is_paren {
+                    self.pos += 1;
+                    return Ok(SelectItem::Agg(
+                        AggFunc::Count,
+                        Expr::Lit(Value::Null),
+                    ));
+                }
+                if next_is_paren {
+                    self.pos += 2;
+                    // COUNT() with no argument.
+                    if func == AggFunc::Count && self.eat_sym(Sym::RParen) {
+                        return Ok(SelectItem::Agg(
+                            AggFunc::Count,
+                            Expr::Lit(Value::Null),
+                        ));
+                    }
+                    let e = self.expr()?;
+                    self.sym(Sym::RParen)?;
+                    return Ok(SelectItem::Agg(func, e));
+                }
+            }
+        }
+        Ok(SelectItem::Expr(self.expr()?))
+    }
+
+    // -- expression parsing (precedence climbing) --
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_sym(Sym::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_sym(Sym::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::EqEq)) => Some(BinOp::Eq),
+            Some(Token::Sym(Sym::NotEq)) => Some(BinOp::Ne),
+            Some(Token::Sym(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(BinOp::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.add_expr()?;
+                Ok(Expr::bin(op, lhs, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Plus)) => BinOp::Add,
+                Some(Token::Sym(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Star)) => BinOp::Mul,
+                Some(Token::Sym(Sym::Slash)) => BinOp::Div,
+                Some(Token::Sym(Sym::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym(Sym::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat_sym(Sym::Bang) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Lit(Value::I64(v))),
+            Some(Token::Float(v)) => Ok(Expr::Lit(Value::F64(v))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::str(s))),
+            Some(Token::Ident(s)) => match s.as_str() {
+                t if t.eq_ignore_ascii_case("true") => {
+                    Ok(Expr::Lit(Value::Bool(true)))
+                }
+                t if t.eq_ignore_ascii_case("false") => {
+                    Ok(Expr::Lit(Value::Bool(false)))
+                }
+                t if t.eq_ignore_ascii_case("null") => {
+                    Ok(Expr::Lit(Value::Null))
+                }
+                _ => Ok(Expr::Field(s)),
+            },
+            Some(Token::Sym(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.sym(Sym::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!(
+                "expected expression, found `{}`",
+                other.map_or("end of input".into(), |t| t.to_string())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse(
+            "From incr In DataNodeMetrics.incrBytesRead
+             GroupBy incr.host
+             Select incr.host, SUM(incr.delta)",
+        )
+        .unwrap();
+        assert_eq!(q.main_alias(), "incr");
+        assert_eq!(q.group_by, vec!["incr.host"]);
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(
+            q.select[1],
+            SelectItem::Agg(AggFunc::Sum, Expr::Field(ref f)) if f == "incr.delta"
+        ));
+    }
+
+    #[test]
+    fn parses_q2_with_join() {
+        let q = parse(
+            "From incr In DataNodeMetrics.incrBytesRead
+             Join cl In First(ClientProtocols) On cl -> incr
+             GroupBy cl.procName
+             Select cl.procName, SUM(incr.delta)",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        let j = &q.joins[0];
+        assert_eq!(j.earlier, "cl");
+        assert_eq!(j.later, "incr");
+        assert_eq!(j.source.filter, Some(TemporalFilter::First(1)));
+        assert_eq!(
+            j.source.kind,
+            SourceKind::Tracepoints(vec!["ClientProtocols".into()])
+        );
+    }
+
+    #[test]
+    fn parses_bare_count() {
+        let q = parse(
+            "From dnop In DN.DataTransferProtocol
+             GroupBy dnop.host
+             Select dnop.host, COUNT",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.select[1],
+            SelectItem::Agg(AggFunc::Count, Expr::Lit(Value::Null))
+        ));
+    }
+
+    #[test]
+    fn parses_q7_multi_join_with_where() {
+        let q = parse(
+            "From DNop In DN.DataTransferProtocol
+             Join getloc In NN.GetBlockLocations On getloc -> DNop
+             Join st In StressTest.DoNextOp On st -> getloc
+             Where st.host != DNop.host
+             GroupBy DNop.host, getloc.replicas
+             Select DNop.host, getloc.replicas, COUNT",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[1].earlier, "st");
+        assert_eq!(q.joins[1].later, "getloc");
+        assert_eq!(q.wheres.len(), 1);
+    }
+
+    #[test]
+    fn parses_q8_latency() {
+        let q = parse(
+            "From response In SendResponse
+             Join request In MostRecent(ReceiveRequest) On request -> response
+             Select response.time - request.time",
+        )
+        .unwrap();
+        assert_eq!(
+            q.joins[0].source.filter,
+            Some(TemporalFilter::MostRecent(1))
+        );
+        assert!(matches!(
+            q.select[0],
+            SelectItem::Expr(Expr::Binary(BinOp::Sub, _, _))
+        ));
+    }
+
+    #[test]
+    fn parses_union_sources() {
+        let q = parse("From e In DataRPCs, ControlRPCs Select COUNT").unwrap();
+        assert_eq!(
+            q.from.kind,
+            SourceKind::Tracepoints(vec![
+                "DataRPCs".into(),
+                "ControlRPCs".into()
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_firstn_and_mostrecentn() {
+        let q =
+            parse("From e In FirstN(3, RPCs) Select COUNT").unwrap();
+        assert_eq!(q.from.filter, Some(TemporalFilter::First(3)));
+        let q =
+            parse("From e In MostRecentN(5, RPCs) Select COUNT").unwrap();
+        assert_eq!(q.from.filter, Some(TemporalFilter::MostRecent(5)));
+    }
+
+    #[test]
+    fn rejects_missing_select() {
+        assert!(parse("From e In RPCs").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_on_clause() {
+        assert!(parse(
+            "From a In X Join b In Y On b a Select COUNT"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("From e In RPCs Select COUNT garbage ->").is_err());
+    }
+
+    #[test]
+    fn where_precedence() {
+        let q = parse(
+            "From e In RPCs Where e.a < 1 && e.b == 2 || e.c != 3 Select COUNT",
+        )
+        .unwrap();
+        // Or binds loosest.
+        assert!(matches!(
+            &q.wheres[0],
+            Expr::Binary(BinOp::Or, _, _)
+        ));
+    }
+}

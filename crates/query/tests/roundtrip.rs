@@ -1,0 +1,180 @@
+//! Property test: pretty-printing a random query AST and re-parsing it
+//! reproduces the same AST — the printer and the grammar agree.
+
+use pivot_model::{AggFunc, BinOp, Expr, Value};
+use pivot_query::{
+    parse, JoinClause, Query, SelectItem, Source, SourceKind, TemporalFilter,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn tracepoint() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,5}(\\.[a-z][a-zA-Z0-9]{0,5})?".prop_filter(
+        "temporal-filter names are reserved in source position",
+        |s| {
+            !["first", "firstn", "mostrecent", "mostrecentn"]
+                .contains(&s.to_ascii_lowercase().as_str())
+        },
+    )
+}
+
+fn temporal() -> impl Strategy<Value = Option<TemporalFilter>> {
+    prop_oneof![
+        Just(None),
+        (1usize..5).prop_map(|n| Some(TemporalFilter::First(n))),
+        (1usize..5).prop_map(|n| Some(TemporalFilter::MostRecent(n))),
+    ]
+}
+
+fn leaf_expr(alias: String) -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(move |f| Expr::Field(format!("{alias}.{f}"))),
+        // Non-negative only: `-5` re-parses as unary negation of `5`,
+        // which is semantically equal but structurally distinct.
+        (0i64..100).prop_map(|v| Expr::Lit(Value::I64(v))),
+        "[a-z]{0,5}".prop_map(|s| Expr::Lit(Value::str(s))),
+    ]
+}
+
+fn expr(alias: String) -> impl Strategy<Value = Expr> {
+    let leaf = leaf_expr(alias);
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Lt),
+                Just(BinOp::Eq),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+}
+
+fn select_item(alias: String) -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        expr(alias.clone()).prop_map(SelectItem::Expr),
+        (
+            prop_oneof![
+                Just(AggFunc::Count),
+                Just(AggFunc::Sum),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+                Just(AggFunc::Average),
+            ],
+            expr(alias)
+        )
+            .prop_map(|(f, e)| SelectItem::Agg(f, e)),
+        Just(SelectItem::Agg(AggFunc::Count, Expr::Lit(Value::Null))),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        ident(),
+        prop::collection::vec(tracepoint(), 1..3),
+        temporal(),
+        prop::collection::vec((ident(), tracepoint(), temporal()), 0..3),
+        prop::collection::vec(select_item("a0".to_owned()), 1..4),
+        prop::collection::vec(ident(), 0..3),
+    )
+        .prop_map(|(from_alias, tps, tf, joins, select, group_by)| {
+            // Aliases must be unique; qualify group-by fields to the From
+            // alias so they parse as identifiers.
+            let from_alias = format!("a0{from_alias}");
+            let joins: Vec<JoinClause> = joins
+                .into_iter()
+                .enumerate()
+                .map(|(i, (alias, tp, tf))| {
+                    let alias = format!("j{i}{alias}");
+                    JoinClause {
+                        source: Source {
+                            alias: alias.clone(),
+                            kind: SourceKind::Tracepoints(vec![tp]),
+                            filter: tf,
+                        },
+                        earlier: alias,
+                        later: from_alias.clone(),
+                    }
+                })
+                .collect();
+            let group_by: Vec<String> = group_by
+                .into_iter()
+                .map(|g| format!("{from_alias}.{g}"))
+                .collect();
+            // Rewrite select exprs to the real from-alias.
+            let select = select
+                .into_iter()
+                .map(|item| match item {
+                    SelectItem::Expr(e) => SelectItem::Expr(
+                        e.map_fields(&|f| {
+                            f.replacen("a0.", &format!("{from_alias}."), 1)
+                        }),
+                    ),
+                    SelectItem::Agg(f, e) => SelectItem::Agg(
+                        f,
+                        e.map_fields(&|x| {
+                            x.replacen("a0.", &format!("{from_alias}."), 1)
+                        }),
+                    ),
+                })
+                .collect();
+            Query {
+                from: Source {
+                    alias: from_alias,
+                    kind: SourceKind::Tracepoints(tps),
+                    filter: tf,
+                },
+                joins,
+                wheres: Vec::new(),
+                group_by,
+                select,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse reproduces the AST.
+    #[test]
+    fn printed_queries_reparse(q in query()) {
+        let text = q.to_string();
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "failed to reparse: {text}\n{back:?}");
+        prop_assert_eq!(back.unwrap(), q, "text: {}", text);
+    }
+
+    /// Where clauses round trip too (generated separately because a
+    /// `Where` must evaluate to a boolean to be useful, but any expression
+    /// must at least re-parse).
+    #[test]
+    fn printed_wheres_reparse(e in expr("x".to_owned())) {
+        let q = Query {
+            from: Source {
+                alias: "x".into(),
+                kind: SourceKind::Tracepoints(vec!["T".into()]),
+                filter: None,
+            },
+            joins: vec![],
+            wheres: vec![e],
+            group_by: vec![],
+            select: vec![SelectItem::Agg(
+                AggFunc::Count,
+                Expr::Lit(Value::Null),
+            )],
+        };
+        let text = q.to_string();
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "failed to reparse: {text}\n{back:?}");
+        prop_assert_eq!(back.unwrap(), q, "text: {}", text);
+    }
+}

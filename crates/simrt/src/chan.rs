@@ -1,0 +1,200 @@
+//! Unbounded mpsc channels with async receive.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Creates an unbounded channel.
+///
+/// Sends are synchronous (never block); receives are async. Dropping every
+/// sender closes the channel, after which [`Receiver::recv`] returns
+/// `None` once the queue drains.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Arc::new(Mutex::new(ChanState {
+        queue: VecDeque::new(),
+        waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Arc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+/// The sending half.
+pub struct Sender<T> {
+    state: Arc<Mutex<ChanState<T>>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; returns `false` if the receiver is gone.
+    pub fn send(&self, value: T) -> bool {
+        let mut s = self.state.lock();
+        if !s.receiver_alive {
+            return false;
+        }
+        s.queue.push_back(value);
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+        true
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.state.lock().senders += 1;
+        Sender {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.lock();
+        s.senders -= 1;
+        if s.senders == 0 {
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    state: Arc<Mutex<ChanState<T>>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, or `None` when all senders are gone and
+    /// the queue is empty.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Returns `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.lock().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut s = self.receiver.state.lock();
+        if let Some(v) = s.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if s.senders == 0 {
+            return Poll::Ready(None);
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRt;
+
+    #[test]
+    fn send_recv_in_order() {
+        let rt = SimRt::new();
+        let (tx, mut rx) = channel();
+        rt.spawn(async move {
+            for i in 0..5 {
+                tx.send(i);
+            }
+        });
+        let h = rt.spawn(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        rt.run_until_idle();
+        assert_eq!(h.try_take(), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn recv_wakes_on_later_send() {
+        let rt = SimRt::new();
+        let clock = rt.clock();
+        let (tx, mut rx) = channel();
+        rt.spawn({
+            let clock = clock.clone();
+            async move {
+                clock.sleep_secs(3.0).await;
+                tx.send(42u32);
+            }
+        });
+        let h = rt.spawn({
+            let clock = clock.clone();
+            async move {
+                let v = rx.recv().await;
+                (v, clock.now())
+            }
+        });
+        rt.run_until_idle();
+        assert_eq!(h.try_take(), Some((Some(42), 3_000_000_000)));
+    }
+
+    #[test]
+    fn drop_all_senders_closes() {
+        let rt = SimRt::new();
+        let (tx, mut rx) = channel::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        let h = rt.spawn(async move { rx.recv().await });
+        rt.run_until_idle();
+        assert_eq!(h.try_take(), Some(None));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = channel::<u8>();
+        drop(rx);
+        assert!(!tx.send(1));
+    }
+}

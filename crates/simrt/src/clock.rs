@@ -1,0 +1,134 @@
+//! Virtual time and timers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Virtual time in nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+pub(crate) struct TimerEntry {
+    pub deadline: Nanos,
+    pub seq: u64,
+    pub waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &TimerEntry) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &TimerEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &TimerEntry) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct TimerState {
+    pub heap: BinaryHeap<Reverse<TimerEntry>>,
+    pub seq: u64,
+}
+
+/// A cloneable handle to the simulation clock.
+///
+/// All clones observe the same virtual time, which only advances inside
+/// [`crate::SimRt::run_until`] when no task is runnable.
+#[derive(Clone)]
+pub struct Clock {
+    pub(crate) now: Arc<AtomicU64>,
+    pub(crate) timers: Arc<Mutex<TimerState>>,
+}
+
+impl Clock {
+    pub(crate) fn new() -> Clock {
+        Clock {
+            now: Arc::new(AtomicU64::new(0)),
+            timers: Arc::new(Mutex::new(TimerState::default())),
+        }
+    }
+
+    /// Returns the current virtual time in nanoseconds.
+    pub fn now(&self) -> Nanos {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// Returns the current virtual time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now() as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Sleeps until the absolute virtual instant `deadline`.
+    pub fn sleep_until(&self, deadline: Nanos) -> Sleep {
+        Sleep {
+            clock: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Sleeps for `d` nanoseconds of virtual time.
+    pub fn sleep(&self, d: Nanos) -> Sleep {
+        self.sleep_until(self.now().saturating_add(d))
+    }
+
+    /// Sleeps for `secs` seconds of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn sleep_secs(&self, secs: f64) -> Sleep {
+        assert!(secs.is_finite() && secs >= 0.0, "bad sleep duration");
+        self.sleep((secs * NANOS_PER_SEC as f64) as Nanos)
+    }
+
+    /// Converts seconds to nanoseconds.
+    pub fn secs(secs: f64) -> Nanos {
+        (secs * NANOS_PER_SEC as f64) as Nanos
+    }
+}
+
+/// The future returned by [`Clock::sleep`].
+pub struct Sleep {
+    clock: Clock,
+    deadline: Nanos,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.clock.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-register on every poll: a spurious wake with a fresh waker
+        // must not strand the timer.
+        let deadline = self.deadline;
+        self.registered = true;
+        let mut timers = self.clock.timers.lock();
+        timers.seq += 1;
+        let entry = TimerEntry {
+            deadline,
+            seq: timers.seq,
+            waker: cx.waker().clone(),
+        };
+        timers.heap.push(Reverse(entry));
+        Poll::Pending
+    }
+}

@@ -1,0 +1,141 @@
+//! Time-series samplers for the figure harnesses.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::clock::{Clock, Nanos, NANOS_PER_SEC};
+
+/// An event counter that remembers when increments happened, so the
+/// harness can plot per-interval rates (e.g. MB/s per host).
+#[derive(Clone)]
+pub struct Counter {
+    clock: Clock,
+    samples: Rc<RefCell<Vec<(Nanos, f64)>>>,
+}
+
+impl Counter {
+    /// Creates a counter bound to `clock`.
+    pub fn new(clock: Clock) -> Counter {
+        Counter {
+            clock,
+            samples: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Records `amount` at the current virtual time.
+    pub fn add(&self, amount: f64) {
+        self.samples
+            .borrow_mut()
+            .push((self.clock.now(), amount));
+    }
+
+    /// Sums all recorded amounts.
+    pub fn total(&self) -> f64 {
+        self.samples.borrow().iter().map(|(_, v)| v).sum()
+    }
+
+    /// Buckets the samples into windows of `window_secs`, returning the
+    /// per-window sums from time zero through the last sample.
+    pub fn buckets(&self, window_secs: f64) -> Vec<f64> {
+        let w = (window_secs * NANOS_PER_SEC as f64) as Nanos;
+        let samples = self.samples.borrow();
+        let mut out: Vec<f64> = Vec::new();
+        for (t, v) in samples.iter() {
+            let idx = (t / w.max(1)) as usize;
+            if out.len() <= idx {
+                out.resize(idx + 1, 0.0);
+            }
+            out[idx] += v;
+        }
+        out
+    }
+
+    /// Per-window *rates* (sum / window length).
+    pub fn rates(&self, window_secs: f64) -> Vec<f64> {
+        self.buckets(window_secs)
+            .into_iter()
+            .map(|v| v / window_secs)
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.borrow().is_empty()
+    }
+}
+
+/// A last-value gauge with history.
+#[derive(Clone)]
+pub struct Gauge {
+    clock: Clock,
+    samples: Rc<RefCell<Vec<(Nanos, f64)>>>,
+}
+
+impl Gauge {
+    /// Creates a gauge bound to `clock`.
+    pub fn new(clock: Clock) -> Gauge {
+        Gauge {
+            clock,
+            samples: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Records the current value.
+    pub fn set(&self, value: f64) {
+        self.samples
+            .borrow_mut()
+            .push((self.clock.now(), value));
+    }
+
+    /// Returns the most recent value.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.borrow().last().map(|(_, v)| *v)
+    }
+
+    /// Returns the full history.
+    pub fn history(&self) -> Vec<(Nanos, f64)> {
+        self.samples.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRt;
+
+    #[test]
+    fn buckets_and_rates() {
+        let rt = SimRt::new();
+        let clock = rt.clock();
+        let c = Counter::new(clock.clone());
+        let c2 = c.clone();
+        rt.spawn(async move {
+            c2.add(10.0); // t = 0
+            clock.sleep_secs(0.5).await;
+            c2.add(10.0); // t = 0.5 (bucket 0)
+            clock.sleep_secs(1.0).await;
+            c2.add(30.0); // t = 1.5 (bucket 1)
+            clock.sleep_secs(2.0).await;
+            c2.add(5.0); // t = 3.5 (bucket 3)
+        });
+        rt.run_until_idle();
+        assert_eq!(c.buckets(1.0), vec![20.0, 30.0, 0.0, 5.0]);
+        assert_eq!(c.rates(2.0), vec![25.0, 2.5]);
+        assert_eq!(c.total(), 55.0);
+    }
+
+    #[test]
+    fn gauge_history() {
+        let rt = SimRt::new();
+        let g = Gauge::new(rt.clock());
+        g.set(1.0);
+        g.set(2.0);
+        assert_eq!(g.last(), Some(2.0));
+        assert_eq!(g.history().len(), 2);
+    }
+}

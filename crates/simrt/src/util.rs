@@ -1,0 +1,159 @@
+//! Future combinators for the single-threaded runtime.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Awaits two futures concurrently, returning both outputs.
+pub fn join2<A: Future, B: Future>(a: A, b: B) -> Join2<A, B> {
+    Join2 {
+        a: MaybeDone::Pending(a),
+        b: MaybeDone::Pending(b),
+    }
+}
+
+/// Awaits every future in `futs` concurrently, returning outputs in order.
+pub fn join_all<F: Future>(futs: Vec<F>) -> JoinAll<F> {
+    JoinAll {
+        futs: futs.into_iter().map(MaybeDone::Pending).collect(),
+    }
+}
+
+enum MaybeDone<F: Future> {
+    Pending(F),
+    Done(Option<F::Output>),
+}
+
+impl<F: Future> MaybeDone<F> {
+    /// # Safety contract
+    ///
+    /// Callers must only invoke this through a pinned owner that never
+    /// moves the contained future (upheld by `Join2`/`JoinAll`, which are
+    /// only accessed via `Pin<&mut Self>`).
+    fn poll_inner(&mut self, cx: &mut Context<'_>) -> bool {
+        match self {
+            MaybeDone::Pending(f) => {
+                // SAFETY: `self` is reached exclusively through
+                // `Pin<&mut Join2/JoinAll>` and the futures are never moved
+                // out until completion, so pinning is structurally upheld.
+                let pinned = unsafe { Pin::new_unchecked(f) };
+                match pinned.poll(cx) {
+                    Poll::Ready(v) => {
+                        *self = MaybeDone::Done(Some(v));
+                        true
+                    }
+                    Poll::Pending => false,
+                }
+            }
+            MaybeDone::Done(_) => true,
+        }
+    }
+
+    fn take(&mut self) -> F::Output {
+        match self {
+            MaybeDone::Done(v) => v.take().expect("output taken twice"),
+            MaybeDone::Pending(_) => unreachable!("future not done"),
+        }
+    }
+}
+
+/// Future returned by [`join2`].
+pub struct Join2<A: Future, B: Future> {
+    a: MaybeDone<A>,
+    b: MaybeDone<B>,
+}
+
+impl<A: Future, B: Future> Future for Join2<A, B> {
+    type Output = (A::Output, B::Output);
+
+    fn poll(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+    ) -> Poll<(A::Output, B::Output)> {
+        // SAFETY: we never move `a`/`b` out of the pinned struct until both
+        // are complete (see MaybeDone::poll_inner contract).
+        let this = unsafe { self.get_unchecked_mut() };
+        let a_done = this.a.poll_inner(cx);
+        let b_done = this.b.poll_inner(cx);
+        if a_done && b_done {
+            Poll::Ready((this.a.take(), this.b.take()))
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`join_all`].
+pub struct JoinAll<F: Future> {
+    futs: Vec<MaybeDone<F>>,
+}
+
+impl<F: Future> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<F::Output>> {
+        // SAFETY: elements are pinned transitively and never moved until
+        // all are complete; the Vec is not reallocated after construction.
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut all = true;
+        for f in &mut this.futs {
+            all &= f.poll_inner(cx);
+        }
+        if all {
+            Poll::Ready(this.futs.iter_mut().map(MaybeDone::take).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRt;
+
+    #[test]
+    fn join2_runs_concurrently() {
+        let rt = SimRt::new();
+        let clock = rt.clock();
+        let c1 = clock.clone();
+        let c2 = clock.clone();
+        let h = rt.spawn(async move {
+            let (a, b) = join2(
+                async move {
+                    c1.sleep_secs(2.0).await;
+                    2
+                },
+                async move {
+                    c2.sleep_secs(3.0).await;
+                    3
+                },
+            )
+            .await;
+            (a, b)
+        });
+        rt.run_until_idle();
+        assert_eq!(h.try_take(), Some((2, 3)));
+        // Concurrent, not sequential: 3 s, not 5 s.
+        assert_eq!(clock.now(), 3_000_000_000);
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let rt = SimRt::new();
+        let clock = rt.clock();
+        let futs: Vec<_> = (0..4u64)
+            .map(|i| {
+                let c = clock.clone();
+                async move {
+                    c.sleep_secs((4 - i) as f64).await;
+                    i
+                }
+            })
+            .collect();
+        let h = rt.spawn(async move { join_all(futs).await });
+        rt.run_until_idle();
+        assert_eq!(h.try_take(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(clock.now(), 4_000_000_000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Performance probe: runs one experiment at a configurable duration and
+//! prints wall time (diagnosing simulator hot spots).
+
+use std::time::Instant;
+
+fn main() {
+    std::thread::spawn(|| loop {
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        let (tiny, name) = pivot_simrt::diag_tiny();
+        eprintln!(
+            "[diag] polls={} timer_fires={} vnow={:.3}s tiny={tiny} [{name}]",
+            pivot_simrt::diag_polls(),
+            pivot_simrt::diag_timer_fires(),
+            pivot_simrt::diag_last_now() as f64 / 1e9,
+        );
+    });
+    let args: Vec<String> = std::env::args().collect();
+    let secs: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let which = args.get(2).map(String::as_str).unwrap_or("fig9");
+    let t = Instant::now();
+    match which {
+        "fig9" => {
+            let r = pivot_workloads::experiments::fig9::run(
+                &pivot_workloads::experiments::fig9::Config {
+                    duration_secs: secs,
+                    workers: 4,
+                    ..Default::default()
+                },
+            );
+            println!("fig9 latencies={} wall={:?}", r.latencies.len(), t.elapsed());
+        }
+        "fig9base" => {
+            // Same workload but no fault: is limplock itself the issue?
+            let r = pivot_workloads::experiments::fig9::run(
+                &pivot_workloads::experiments::fig9::Config {
+                    duration_secs: secs,
+                    workers: 4,
+                    case: pivot_workloads::experiments::fig9::Case::RogueGc,
+                    ..Default::default()
+                },
+            );
+            println!("fig9gc latencies={} wall={:?}", r.latencies.len(), t.elapsed());
+        }
+        "fig8" => {
+            let r = pivot_workloads::experiments::fig8::run(
+                &pivot_workloads::experiments::fig8::Config {
+                    duration_secs: secs,
+                    clients_per_host: 3,
+                    files: 80,
+                    ..Default::default()
+                },
+            );
+            println!("fig8 dn_ops={:?} wall={:?}", r.dn_ops.len(), t.elapsed());
+        }
+        "fig1" => {
+            let r = pivot_workloads::experiments::fig1::run(
+                &pivot_workloads::experiments::fig1::Config {
+                    duration_secs: secs,
+                    workers: 4,
+                    sort_gb: (0.5, 1.0),
+                    ..Default::default()
+                },
+            );
+            println!("fig1 hosts={} wall={:?}", r.per_host.len(), t.elapsed());
+        }
+        other => eprintln!("unknown probe {other}"),
+    }
+}

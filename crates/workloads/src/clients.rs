@@ -1,0 +1,237 @@
+//! The paper's client applications, as closed-loop simulation tasks.
+
+use std::rc::Rc;
+
+use pivot_hadoop::cluster::MB;
+use pivot_hadoop::ctx::Ctx;
+use pivot_hadoop::tracepoints as tp;
+use pivot_model::Value;
+use pivot_simrt::Counter;
+use rand::Rng;
+
+use crate::stack::{SimStack, StackConfig};
+
+/// A handle to a running closed-loop client.
+pub struct ClientHandle {
+    /// Client process name (`FSread4m`, `HGet`, …).
+    pub name: String,
+    /// Host the client runs on.
+    pub host: usize,
+    /// Completed requests (time series; drives Figure 8a).
+    pub completed: Counter,
+}
+
+/// Spawns a closed-loop HDFS reader (`FSread4m` / `FSread64m`): random
+/// reads of `read_size` bytes from the pre-loaded dataset.
+pub fn spawn_fsread(
+    stack: &SimStack,
+    host: usize,
+    name: &str,
+    read_size: f64,
+) -> ClientHandle {
+    let h = Rc::clone(&stack.cluster.hosts[host]);
+    let agent = stack.cluster.new_agent(&h, name);
+    let dfs = stack.hdfs.client(&h, &agent, name);
+    let completed = Counter::new(stack.cluster.clock.clone());
+    let counter = completed.clone();
+    let files = stack.cfg.dataset_files;
+    let rng = Rc::clone(&stack.cluster.rng);
+    stack.cluster.rt.spawn(async move {
+        loop {
+            let i = rng.borrow_mut().gen_range(0..files);
+            let mut ctx = Ctx::new();
+            dfs.read_random(
+                &mut ctx,
+                &StackConfig::dataset_file(i),
+                read_size,
+            )
+            .await;
+            counter.add(1.0);
+        }
+    });
+    ClientHandle {
+        name: name.to_owned(),
+        host,
+        completed,
+    }
+}
+
+/// Spawns a closed-loop HBase row-lookup client (`HGet`).
+pub fn spawn_hget(stack: &SimStack, host: usize) -> ClientHandle {
+    spawn_hbase(stack, host, "HGet", false)
+}
+
+/// Spawns a closed-loop HBase scan client (`HScan`).
+pub fn spawn_hscan(stack: &SimStack, host: usize) -> ClientHandle {
+    spawn_hbase(stack, host, "HScan", true)
+}
+
+fn spawn_hbase(
+    stack: &SimStack,
+    host: usize,
+    name: &str,
+    scan: bool,
+) -> ClientHandle {
+    let h = Rc::clone(&stack.cluster.hosts[host]);
+    let agent = stack.cluster.new_agent(&h, name);
+    let client = stack.hbase.client(&h, &agent, name);
+    let completed = Counter::new(stack.cluster.clock.clone());
+    let counter = completed.clone();
+    stack.cluster.rt.spawn(async move {
+        loop {
+            let mut ctx = Ctx::new();
+            if scan {
+                client.scan_random(&mut ctx).await;
+            } else {
+                client.get_random(&mut ctx).await;
+            }
+            counter.add(1.0);
+        }
+    });
+    ClientHandle {
+        name: name.to_owned(),
+        host,
+        completed,
+    }
+}
+
+/// Spawns a repeating MapReduce sort job (`MRsort<N>g`). The input file is
+/// bootstrapped into HDFS; the job reruns in a closed loop.
+pub fn spawn_mrsort(
+    stack: &SimStack,
+    client_host: usize,
+    name: &str,
+    input_gb: f64,
+    reducers: usize,
+) -> ClientHandle {
+    let input = format!("{name}/input");
+    stack.hdfs.namenode.bootstrap_file(
+        &input,
+        input_gb * 1024.0 * MB,
+        3,
+    );
+    let mr = Rc::clone(&stack.mr);
+    let completed = Counter::new(stack.cluster.clock.clone());
+    let counter = completed.clone();
+    let spec = pivot_hadoop::mapreduce::JobSpec {
+        name: name.to_owned(),
+        input,
+        reducers,
+        client_host,
+    };
+    stack.cluster.rt.spawn(async move {
+        loop {
+            mr.run_job(spec.clone()).await;
+            counter.add(1.0);
+        }
+    });
+    ClientHandle {
+        name: name.to_owned(),
+        host: client_host,
+        completed,
+    }
+}
+
+/// Spawns one stress-test client process (§6.1): closed-loop random 8 kB
+/// reads, invoking `StressTest.DoNextOp` before every operation.
+pub fn spawn_stress(stack: &SimStack, host: usize, id: usize) -> ClientHandle {
+    let h = Rc::clone(&stack.cluster.hosts[host]);
+    let name = format!("StressTest-{}-{id}", h.name);
+    let agent = stack.cluster.new_agent(&h, "StressTest");
+    let dfs = stack.hdfs.client(&h, &agent, "StressTest");
+    let completed = Counter::new(stack.cluster.clock.clone());
+    let counter = completed.clone();
+    let files = stack.cfg.dataset_files;
+    let rng = Rc::clone(&stack.cluster.rng);
+    let clock = stack.cluster.clock.clone();
+    stack.cluster.rt.spawn(async move {
+        loop {
+            let i = rng.borrow_mut().gen_range(0..files);
+            let mut ctx = Ctx::new();
+            dfs.agent.invoke(
+                tp::STRESS_DO_NEXT_OP,
+                &mut ctx.bag,
+                clock.now(),
+                &[("op", Value::str("read8k"))],
+            );
+            dfs.read_random(
+                &mut ctx,
+                &StackConfig::dataset_file(i),
+                8.0 * 1024.0,
+            )
+            .await;
+            counter.add(1.0);
+        }
+    });
+    ClientHandle {
+        name,
+        host,
+        completed,
+    }
+}
+
+/// NNBench-derived operations (§6.3, Table 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NnOp {
+    /// Read 8 kB from a file (a DataNode operation).
+    Read8k,
+    /// Open a file for reading (NameNode, read lock).
+    Open,
+    /// Create a file for writing (NameNode, write lock).
+    Create,
+    /// Rename an existing file (NameNode, write lock).
+    Rename,
+}
+
+impl NnOp {
+    /// All four operations.
+    pub const ALL: [NnOp; 4] =
+        [NnOp::Read8k, NnOp::Open, NnOp::Create, NnOp::Rename];
+
+    /// Display name matching the paper's Table 5.
+    pub fn name(self) -> &'static str {
+        match self {
+            NnOp::Read8k => "Read8k",
+            NnOp::Open => "Open",
+            NnOp::Create => "Create",
+            NnOp::Rename => "Rename",
+        }
+    }
+}
+
+/// Runs `count` closed-loop NNBench operations from `host`, returning the
+/// mean per-request virtual latency in nanoseconds.
+pub async fn nnbench_run(
+    stack: &SimStack,
+    host: usize,
+    op: NnOp,
+    count: usize,
+) -> f64 {
+    let h = Rc::clone(&stack.cluster.hosts[host]);
+    let agent = stack.cluster.new_agent(&h, "NNBench");
+    let dfs = stack.hdfs.client(&h, &agent, "NNBench");
+    let clock = stack.cluster.clock.clone();
+    let files = stack.cfg.dataset_files;
+    let rng = Rc::clone(&stack.cluster.rng);
+    let mut total = 0u64;
+    for _ in 0..count {
+        let mut ctx = Ctx::new();
+        let t0 = clock.now();
+        match op {
+            NnOp::Read8k => {
+                let i = rng.borrow_mut().gen_range(0..files);
+                dfs.read_random(
+                    &mut ctx,
+                    &StackConfig::dataset_file(i),
+                    8.0 * 1024.0,
+                )
+                .await;
+            }
+            NnOp::Open => dfs.metadata(&mut ctx, "open", false).await,
+            NnOp::Create => dfs.metadata(&mut ctx, "create", true).await,
+            NnOp::Rename => dfs.metadata(&mut ctx, "rename", true).await,
+        }
+        total += clock.now() - t0;
+    }
+    total as f64 / count as f64
+}

@@ -1,0 +1,178 @@
+//! Figure 1: HDFS throughput, per machine and per client application.
+//!
+//! Reproduces the paper's §2.1 motivating experiment: six client
+//! applications run simultaneously against the stack, and three queries
+//! expose (a) DataNode throughput per machine (Q1 — the metric HDFS
+//! already has), (b) the same metric grouped by the **top-level client
+//! application** (Q2 — impossible without the happened-before join), and
+//! (c) a pivot table of per-host, per-phase disk IO for `MRsort10g`.
+
+use pivot_hadoop::cluster::{ClusterConfig, MB};
+
+use crate::clients;
+use crate::experiments::{rows_with_value, series_by_key, Series};
+use crate::stack::{SimStack, StackConfig};
+
+/// The paper's Q1 (§2.1).
+pub const Q1: &str = "From incr In DataNodeMetrics.incrBytesRead
+GroupBy incr.host
+Select incr.host, SUM(incr.delta)";
+
+/// The paper's Q2 (§2.1).
+pub const Q2: &str = "From incr In DataNodeMetrics.incrBytesRead
+Join cl In First(ClientProtocols) On cl -> incr
+GroupBy cl.procName
+Select cl.procName, SUM(incr.delta)";
+
+fn pivot_query(stream: &str, client: &str) -> String {
+    format!(
+        "From io In {stream}
+         Join cl In First(ClientProtocols) On cl -> io
+         Where cl.procName == \"{client}\"
+         GroupBy io.host, io.phase
+         Select io.host, io.phase, SUM(io.delta)"
+    )
+}
+
+/// Configuration for the Figure 1 run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// RNG seed.
+    pub seed: u64,
+    /// Virtual duration in seconds (the paper plots ~15 minutes; the
+    /// default keeps the harness quick while preserving the shape).
+    pub duration_secs: f64,
+    /// Worker host count.
+    pub workers: usize,
+    /// Input sizes of the two sort jobs, in GB.
+    pub sort_gb: (f64, f64),
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            seed: 42,
+            duration_secs: 120.0,
+            workers: 8,
+            sort_gb: (10.0, 100.0),
+        }
+    }
+}
+
+/// One cell of the Figure 1c pivot table.
+#[derive(Clone, Debug)]
+pub struct PivotCell {
+    /// Host name.
+    pub host: String,
+    /// IO phase (`HDFS` / `Map` / `Shuffle` / `Reduce`).
+    pub phase: String,
+    /// Megabytes read.
+    pub read_mb: f64,
+    /// Megabytes written.
+    pub write_mb: f64,
+}
+
+/// Results of the Figure 1 experiment.
+#[derive(Clone, Debug)]
+pub struct Result {
+    /// Figure 1a: per-host HDFS read throughput (MB/s per interval).
+    pub per_host: Vec<Series>,
+    /// Figure 1b: the same, grouped by top-level client application.
+    pub per_client: Vec<Series>,
+    /// Figure 1c: disk IO pivot table for `MRsort10g`.
+    pub pivot: Vec<PivotCell>,
+    /// The reporting interval used (seconds).
+    pub interval_secs: f64,
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> Result {
+    let stack = SimStack::build(StackConfig {
+        cluster: ClusterConfig {
+            workers: cfg.workers,
+            seed: cfg.seed,
+            ..ClusterConfig::default()
+        },
+        dataset_files: 120,
+        ..StackConfig::default()
+    });
+
+    // The six client applications of §2.1.
+    clients::spawn_fsread(&stack, 0, "FSread4m", 4.0 * MB);
+    clients::spawn_fsread(&stack, 1, "FSread64m", 64.0 * MB);
+    clients::spawn_hget(&stack, 2 % cfg.workers);
+    clients::spawn_hscan(&stack, 3 % cfg.workers);
+    clients::spawn_mrsort(
+        &stack,
+        4 % cfg.workers,
+        "MRsort10g",
+        cfg.sort_gb.0,
+        cfg.workers,
+    );
+    clients::spawn_mrsort(
+        &stack,
+        5 % cfg.workers,
+        "MRsort100g",
+        cfg.sort_gb.1,
+        cfg.workers,
+    );
+
+    let q1 = stack.install(Q1).expect("Q1 compiles");
+    let q2 = stack.install(Q2).expect("Q2 compiles");
+    let qr = stack
+        .install(&pivot_query("FileInputStream", "MRsort10g"))
+        .expect("pivot read query compiles");
+    let qw = stack
+        .install(&pivot_query("FileOutputStream", "MRsort10g"))
+        .expect("pivot write query compiles");
+
+    stack.run_for_secs(cfg.duration_secs);
+
+    let interval = stack.cfg.cluster.report_interval;
+    let scale = 1.0 / (MB * interval);
+    let per_host = series_by_key(&stack.results(&q1), scale);
+    let per_client = series_by_key(&stack.results(&q2), scale);
+
+    // Assemble the pivot table from the two grouped queries.
+    let mut pivot: Vec<PivotCell> = Vec::new();
+    let mut upsert = |host: String, phase: String, mb: f64, write: bool| {
+        let cell = match pivot
+            .iter_mut()
+            .find(|c| c.host == host && c.phase == phase)
+        {
+            Some(c) => c,
+            None => {
+                pivot.push(PivotCell {
+                    host,
+                    phase,
+                    read_mb: 0.0,
+                    write_mb: 0.0,
+                });
+                pivot.last_mut().expect("just pushed")
+            }
+        };
+        if write {
+            cell.write_mb += mb;
+        } else {
+            cell.read_mb += mb;
+        }
+    };
+    for (keys, v) in rows_with_value(&stack.results(&qr)) {
+        if let [host, phase] = keys.as_slice() {
+            upsert(host.clone(), phase.clone(), v / MB, false);
+        }
+    }
+    for (keys, v) in rows_with_value(&stack.results(&qw)) {
+        if let [host, phase] = keys.as_slice() {
+            upsert(host.clone(), phase.clone(), v / MB, true);
+        }
+    }
+    pivot.sort_by(|a, b| (&a.host, &a.phase).cmp(&(&b.host, &b.phase)));
+
+    Result {
+        per_host,
+        per_client,
+        pivot,
+        interval_secs: interval,
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment drivers — one per paper figure / table.
+//!
+//! Each driver builds a stack, runs the paper's workload, installs the
+//! paper's queries, and returns structured results. The `pivot-bench`
+//! binaries print them in the paper's format; the integration tests assert
+//! on their *shape* (who wins, by roughly what factor).
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig8;
+pub mod fig9;
+pub mod table5;
+
+use pivot_core::QueryResults;
+use pivot_model::Value;
+
+/// One labelled time series (e.g. a host's throughput per interval).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Series label (host or client name).
+    pub label: String,
+    /// One point per reporting interval.
+    pub points: Vec<f64>,
+}
+
+/// Extracts per-interval series from a single-key aggregating query:
+/// rows are `(key, value)`; returns one series per key with values scaled
+/// by `scale` (e.g. `1 / (MB · interval)` for MB/s).
+pub fn series_by_key(results: &QueryResults, scale: f64) -> Vec<Series> {
+    let series = results.series();
+    let n = series.len();
+    let mut out: Vec<Series> = Vec::new();
+    for (i, (_, rows)) in series.iter().enumerate() {
+        for row in rows {
+            let label = row.values.first().map(Value::to_string);
+            let Some(label) = label else { continue };
+            let value = row
+                .values
+                .get(1)
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+                * scale;
+            let s = match out.iter_mut().find(|s| s.label == label) {
+                Some(s) => s,
+                None => {
+                    out.push(Series {
+                        label,
+                        points: vec![0.0; n],
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            s.points[i] = value;
+        }
+    }
+    out.sort_by(|a, b| a.label.cmp(&b.label));
+    out
+}
+
+/// Extracts cumulative `(key…, value)` rows as strings + value.
+pub fn rows_with_value(results: &QueryResults) -> Vec<(Vec<String>, f64)> {
+    results
+        .rows()
+        .into_iter()
+        .map(|r| {
+            let n = r.values.len();
+            let keys = r.values[..n - 1]
+                .iter()
+                .map(Value::to_string)
+                .collect();
+            let v = r.values[n - 1].as_f64().unwrap_or(0.0);
+            (keys, v)
+        })
+        .collect()
+}
+
+/// Maps `host-A` → 0, `host-B` → 1, …
+pub fn host_index(name: &str) -> Option<usize> {
+    let letter = name.strip_prefix("host-")?.chars().next()?;
+    if letter.is_ascii_uppercase() {
+        Some((letter as u8 - b'A') as usize)
+    } else {
+        None
+    }
+}

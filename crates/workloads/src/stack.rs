@@ -1,0 +1,150 @@
+//! Assembly of the full simulated stack.
+
+use std::rc::Rc;
+
+use pivot_core::frontend::InstallError;
+use pivot_core::{QueryHandle, QueryResults};
+use pivot_hadoop::cluster::{Cluster, ClusterConfig, MB};
+use pivot_hadoop::hbase::HBase;
+use pivot_hadoop::hdfs::Hdfs;
+use pivot_hadoop::mapreduce::MapReduce;
+use pivot_hadoop::yarn::Yarn;
+
+/// Stack construction parameters.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// Cluster fabric parameters.
+    pub cluster: ClusterConfig,
+    /// HBase regions per RegionServer.
+    pub regions_per_server: usize,
+    /// YARN container slots per NodeManager.
+    pub yarn_slots: usize,
+    /// Number of pre-loaded HDFS dataset files (`data/file-<i>`).
+    pub dataset_files: usize,
+    /// Size of each dataset file in bytes.
+    pub dataset_file_size: f64,
+    /// Replication factor of the dataset.
+    pub replication: usize,
+}
+
+impl Default for StackConfig {
+    fn default() -> StackConfig {
+        StackConfig {
+            cluster: ClusterConfig::default(),
+            regions_per_server: 2,
+            yarn_slots: 2,
+            dataset_files: 200,
+            dataset_file_size: 128.0 * MB,
+            replication: 3,
+        }
+    }
+}
+
+impl StackConfig {
+    /// A small fast-to-simulate stack for tests and examples.
+    pub fn small(seed: u64) -> StackConfig {
+        StackConfig {
+            cluster: ClusterConfig::small(seed),
+            dataset_files: 40,
+            ..StackConfig::default()
+        }
+    }
+
+    /// Returns the name of dataset file `i`.
+    pub fn dataset_file(i: usize) -> String {
+        format!("data/file-{i}")
+    }
+}
+
+/// The assembled simulated deployment: HDFS + HBase + MapReduce + YARN on
+/// one cluster, with Pivot Tracing wired into every process (the paper's
+/// Figure 7 topology).
+pub struct SimStack {
+    /// Stack parameters.
+    pub cfg: StackConfig,
+    /// The cluster fabric and Pivot Tracing control plane.
+    pub cluster: Rc<Cluster>,
+    /// HDFS.
+    pub hdfs: Rc<Hdfs>,
+    /// HBase.
+    pub hbase: Rc<HBase>,
+    /// YARN.
+    pub yarn: Rc<Yarn>,
+    /// MapReduce.
+    pub mr: Rc<MapReduce>,
+}
+
+impl SimStack {
+    /// Builds the stack and bootstraps its datasets.
+    pub fn build(cfg: StackConfig) -> SimStack {
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let hdfs = Hdfs::start(&cluster);
+        let hbase =
+            HBase::start(&cluster, &hdfs, cfg.regions_per_server);
+        let yarn = Yarn::start(&cluster, cfg.yarn_slots);
+        let mr = MapReduce::start(&cluster, &hdfs, &yarn);
+        for i in 0..cfg.dataset_files {
+            hdfs.namenode.bootstrap_file(
+                &StackConfig::dataset_file(i),
+                cfg.dataset_file_size,
+                cfg.replication,
+            );
+        }
+        SimStack {
+            cfg,
+            cluster,
+            hdfs,
+            hbase,
+            yarn,
+            mr,
+        }
+    }
+
+    /// Installs a Pivot Tracing query (weaving advice everywhere).
+    pub fn install(&self, text: &str) -> Result<QueryHandle, InstallError> {
+        self.cluster.install(text)
+    }
+
+    /// Installs a named query.
+    pub fn install_named(
+        &self,
+        name: &str,
+        text: &str,
+    ) -> Result<QueryHandle, InstallError> {
+        self.cluster.install_named(name, text)
+    }
+
+    /// Uninstalls a query.
+    pub fn uninstall(&self, handle: &QueryHandle) {
+        self.cluster.uninstall(handle);
+    }
+
+    /// Advances the simulation by `secs` of virtual time.
+    pub fn run_for_secs(&self, secs: f64) {
+        self.cluster.rt.run_for_secs(secs);
+    }
+
+    /// Flushes agents and returns a snapshot of a query's results.
+    pub fn results(&self, handle: &QueryHandle) -> QueryResults {
+        self.cluster.flush_now();
+        self.cluster.frontend.borrow().results(handle).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_builds_with_datasets() {
+        let s = SimStack::build(StackConfig::small(7));
+        assert_eq!(s.cluster.workers().len(), 4);
+        assert!(s
+            .hdfs
+            .namenode
+            .file_size(&StackConfig::dataset_file(0))
+            .is_some());
+        assert_eq!(s.yarn.free_slots(), 8);
+        assert_eq!(s.hbase.regions, 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Shape tests for the experiment drivers: not absolute numbers, but the
+//! paper's qualitative results (who wins, where the skew is, which
+//! component dominates).
+
+use pivot_workloads::experiments::{ablation, fig1, fig8, fig9, table5};
+
+#[test]
+fn fig8_bug_skews_selection_and_fix_restores_uniformity() {
+    let base = fig8::Config {
+        duration_secs: 20.0,
+        clients_per_host: 4,
+        files: 120,
+        ..fig8::Config::default()
+    };
+
+    let buggy = fig8::run(&fig8::Config {
+        bug: true,
+        ..base.clone()
+    });
+    let fixed = fig8::run(&fig8::Config {
+        bug: false,
+        ..base
+    });
+
+    // DataNode ops skew: with the bug, host-A serves far more than host-H
+    // (paper Figure 8c: ~150 vs ~25 ops/s).
+    let ops = |r: &fig8::Result, host: &str| -> f64 {
+        r.dn_ops
+            .iter()
+            .find(|(h, _)| h == host)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let skew_buggy = ops(&buggy, "host-A") / ops(&buggy, "host-H").max(1e-9);
+    let skew_fixed = ops(&fixed, "host-A") / ops(&fixed, "host-H").max(1e-9);
+    assert!(
+        skew_buggy > 2.0,
+        "expected heavy skew with the bug, got {skew_buggy:.2}"
+    );
+    assert!(
+        skew_fixed < 2.0,
+        "expected near-uniform load when fixed, got {skew_fixed:.2}"
+    );
+
+    // Clients read files uniformly (Figure 8d): low coefficient of
+    // variation regardless of the bug.
+    for d in &buggy.read_dist {
+        assert!(d.files > 10, "{}: too few files read", d.host);
+    }
+
+    // Replica locations are near-uniform (Figure 8e) even with the bug.
+    for row in &buggy.replica_freq {
+        for &v in row {
+            assert!(
+                v > 0.04 && v < 0.22,
+                "replica frequency {v:.3} not near-uniform"
+            );
+        }
+    }
+
+    // Preference matrix (Figure 8g): with the bug, host-A wins virtually
+    // every non-local head-to-head against host-H.
+    let p = buggy.preference[0][7];
+    assert!(
+        p.is_nan() || p > 0.9,
+        "expected host-A to dominate host-H, got {p:.2}"
+    );
+}
+
+#[test]
+fn fig9_limplock_blames_network_blocking() {
+    let r = fig9::run(&fig9::Config {
+        duration_secs: 30.0,
+        workers: 4,
+        case: fig9::Case::Limplock,
+        ..fig9::Config::default()
+    });
+    assert!(r.latencies.len() > 50, "too few requests measured");
+    // Slow requests are dominated by DN blocked time (Figure 9b bottom).
+    let s = &r.slow;
+    assert!(s.count > 0, "no slow requests found");
+    assert!(
+        s.dn_blocked > s.rs_queue && s.dn_blocked > s.dn_transfer,
+        "expected network blocking to dominate slow requests: {s:?}"
+    );
+    // The degraded host's network throughput is the low outlier (9c).
+    let faulty = r.network_mbps[1].1;
+    let healthy = r.network_mbps[0].1;
+    assert!(
+        faulty < healthy,
+        "expected degraded host below healthy ({faulty:.1} vs {healthy:.1})"
+    );
+}
+
+#[test]
+fn fig9_rogue_gc_blames_gc() {
+    let r = fig9::run(&fig9::Config {
+        duration_secs: 40.0,
+        workers: 4,
+        case: fig9::Case::RogueGc,
+        ..fig9::Config::default()
+    });
+    let s = &r.slow;
+    assert!(s.count > 0, "no slow requests found");
+    assert!(
+        s.gc > s.dn_blocked && s.gc > s.rs_process,
+        "expected GC to dominate slow requests: {s:?}"
+    );
+}
+
+#[test]
+fn fig9_nn_lock_blames_namenode() {
+    let r = fig9::run(&fig9::Config {
+        duration_secs: 30.0,
+        workers: 4,
+        case: fig9::Case::NnLock,
+        ..fig9::Config::default()
+    });
+    let s = &r.slow;
+    assert!(s.count > 0, "no slow requests found");
+    assert!(
+        s.nn_lock > s.dn_blocked && s.nn_lock > s.gc,
+        "expected the NameNode lock to dominate slow requests: {s:?}"
+    );
+}
+
+#[test]
+fn fig1_attributes_throughput_to_clients() {
+    let r = fig1::run(&fig1::Config {
+        duration_secs: 40.0,
+        workers: 4,
+        sort_gb: (1.0, 2.0),
+        ..fig1::Config::default()
+    });
+    assert!(!r.per_host.is_empty(), "no per-host series");
+    let labels: Vec<&str> =
+        r.per_client.iter().map(|s| s.label.as_str()).collect();
+    for expected in ["FSread4m", "FSread64m", "HGet", "HScan"] {
+        assert!(
+            labels.contains(&expected),
+            "missing client series {expected}: {labels:?}"
+        );
+    }
+    // FSread64m moves more bytes than HGet (64 MB vs 10 kB closed loop).
+    let total = |label: &str| -> f64 {
+        r.per_client
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.points.iter().sum())
+            .unwrap_or(0.0)
+    };
+    assert!(total("FSread64m") > total("HGet"));
+    // The MRsort10g pivot table has Map-phase write IO somewhere.
+    assert!(
+        r.pivot.iter().any(|c| c.phase == "Map" && c.write_mb > 0.0),
+        "no Map-phase writes in pivot table: {:?}",
+        r.pivot
+    );
+}
+
+#[test]
+fn ablation_optimizer_shrinks_baggage_and_aggregation_shrinks_reports() {
+    let r = ablation::run(&ablation::Config {
+        duration_secs: 20.0,
+        workers: 4,
+        ..ablation::Config::default()
+    });
+    assert!(
+        r.unoptimized.mean_baggage_bytes
+            > 2.0 * r.optimized.mean_baggage_bytes,
+        "expected the optimizer to shrink baggage: {:?} vs {:?}",
+        r.optimized,
+        r.unoptimized
+    );
+    // Local aggregation: many emitted tuples collapse into few rows
+    // (the paper reports ~100x for Q2 at full cluster load; the small
+    // smoke cluster still shows a solid factor).
+    assert!(
+        r.optimized.tuples_emitted > 5 * r.optimized.rows_reported,
+        "expected ≥5x reduction from local aggregation: {:?}",
+        r.optimized
+    );
+}
+
+#[test]
+fn table5_overheads_are_ordered_sanely() {
+    let r = table5::run(&table5::Config {
+        requests: 60,
+        workers: 4,
+        ..table5::Config::default()
+    });
+    assert_eq!(r.cells.len(), 6);
+    assert_eq!(r.cells[0].len(), 4);
+    // Virtual latency with 60 baggage tuples ≥ with 1 tuple (bigger RPCs).
+    for op in 0..4 {
+        assert!(
+            r.cells[3][op].virtual_ns_per_req
+                >= r.cells[2][op].virtual_ns_per_req * 0.99,
+            "60-tuple baggage should not be cheaper on the wire"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Diagnosing the HDFS-6268 replica-selection bug interactively, the way
+//! §6.1 of the paper does: run stress clients, then drill down with
+//! queries Q3 and Q6 — first with the bug, then with it fixed.
+//!
+//! ```text
+//! cargo run --example replica_bug --release
+//! ```
+
+use pivot_tracing::hadoop::cluster::ClusterConfig;
+use pivot_tracing::workloads::{clients, SimStack, StackConfig};
+
+const Q3: &str = "From dnop In DN.DataTransferProtocol
+GroupBy dnop.host
+Select dnop.host, COUNT";
+
+const Q6: &str = "From DNop In DN.DataTransferProtocol
+Join st In StressTest.DoNextOp On st -> DNop
+GroupBy st.host, DNop.host
+Select st.host, DNop.host, COUNT";
+
+fn run(bug: bool) {
+    println!(
+        "\n=== HDFS-6268 bug {} ===",
+        if bug { "PRESENT" } else { "FIXED" }
+    );
+    let stack = SimStack::build(StackConfig {
+        cluster: ClusterConfig {
+            workers: 8,
+            replica_bug: bug,
+            seed: 7,
+            ..ClusterConfig::default()
+        },
+        dataset_files: 200,
+        ..StackConfig::default()
+    });
+    for host in 0..8 {
+        for id in 0..6 {
+            clients::spawn_stress(&stack, host, id);
+        }
+    }
+    let q3 = stack.install(Q3).expect("Q3 compiles");
+    let q6 = stack.install(Q6).expect("Q6 compiles");
+    stack.run_for_secs(30.0);
+
+    println!("Q3 — DataNode request counts:");
+    for row in stack.results(&q3).rows() {
+        println!("  {}  {:>6}", row.values[0], row.values[1]);
+    }
+
+    println!("Q6 — which DataNode each client host selects:");
+    let rows = stack.results(&q6).rows();
+    print!("            ");
+    for dn in 0..8u8 {
+        print!("  DN-{}", (b'A' + dn) as char);
+    }
+    println!();
+    for client in 0..8u8 {
+        let cname = format!("host-{}", (b'A' + client) as char);
+        print!("  client {}  ", (b'A' + client) as char);
+        for dn in 0..8u8 {
+            let dname = format!("host-{}", (b'A' + dn) as char);
+            let count = rows
+                .iter()
+                .find(|r| {
+                    r.values[0].to_string() == cname
+                        && r.values[1].to_string() == dname
+                })
+                .and_then(|r| r.values[2].as_f64())
+                .unwrap_or(0.0);
+            print!("{count:>6.0}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    run(true);
+    run(false);
+    println!(
+        "\nWith the bug, non-local reads pile onto the lowest-indexed \
+         replica holders (hosts A and B dominate the columns); fixing the \
+         NameNode's shuffle restores a near-uniform matrix."
+    );
+}

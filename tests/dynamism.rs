@@ -1,0 +1,116 @@
+//! Integration tests for Pivot Tracing's dynamism and overhead claims:
+//! queries install and uninstall at runtime, unwoven tracepoints take the
+//! zero-probe fast path, and baggage stays small under the optimizer.
+
+use pivot_tracing::hadoop::cluster::MB;
+use pivot_tracing::workloads::{clients, SimStack, StackConfig};
+
+#[test]
+fn install_and_uninstall_at_runtime() {
+    let stack = SimStack::build(StackConfig::small(21));
+    clients::spawn_fsread(&stack, 0, "FSread4m", 4.0 * MB);
+
+    // Unmonitored phase: no advice runs anywhere.
+    stack.run_for_secs(5.0);
+    assert_eq!(stack.cluster.agent_totals().advised_invocations, 0);
+
+    // Live install.
+    let q = stack
+        .install(
+            "From incr In DataNodeMetrics.incrBytesRead
+             GroupBy incr.host Select incr.host, SUM(incr.delta)",
+        )
+        .unwrap();
+    stack.run_for_secs(5.0);
+    let during = stack.cluster.agent_totals().advised_invocations;
+    assert!(during > 0, "advice never ran after install");
+    let bytes_mid: f64 = stack
+        .results(&q)
+        .rows()
+        .iter()
+        .map(|r| r.values[1].as_f64().unwrap_or(0.0))
+        .sum();
+    assert!(bytes_mid > 0.0);
+
+    // Live uninstall: counters freeze, results stop growing.
+    stack.uninstall(&q);
+    stack.run_for_secs(5.0);
+    assert_eq!(
+        stack.cluster.agent_totals().advised_invocations,
+        during,
+        "advice still running after uninstall"
+    );
+}
+
+#[test]
+fn empty_baggage_serializes_to_zero_bytes_in_flight() {
+    // With no queries installed, every RPC envelope carries 0 baggage
+    // bytes (the paper's "truly no overhead when disabled").
+    let stack = SimStack::build(StackConfig::small(22));
+    clients::spawn_fsread(&stack, 0, "FSread4m", 4.0 * MB);
+    stack.run_for_secs(5.0);
+    assert!(stack.cluster.baggage_bytes.len() > 0, "no RPCs observed");
+    assert_eq!(
+        stack.cluster.baggage_bytes.total(),
+        0.0,
+        "baggage bytes leaked with no queries installed"
+    );
+}
+
+#[test]
+fn q2_baggage_stays_tiny_under_optimizer() {
+    // Q2 packs FIRST(procName): each request should carry one small tuple,
+    // tens of bytes — not hundreds (paper §6.3: Q7's worst case is ~137 B).
+    let stack = SimStack::build(StackConfig::small(23));
+    clients::spawn_fsread(&stack, 0, "FSread4m", 4.0 * MB);
+    stack
+        .install(
+            "From incr In DataNodeMetrics.incrBytesRead
+             Join cl In First(ClientProtocols) On cl -> incr
+             GroupBy cl.procName
+             Select cl.procName, SUM(incr.delta)",
+        )
+        .unwrap();
+    stack.run_for_secs(5.0);
+    let n = stack.cluster.baggage_bytes.len() as f64;
+    let mean = stack.cluster.baggage_bytes.total() / n.max(1.0);
+    assert!(n > 0.0);
+    assert!(
+        mean > 0.0 && mean < 150.0,
+        "mean baggage {mean:.1} B out of expected range"
+    );
+}
+
+#[test]
+fn reporting_interval_controls_result_granularity() {
+    let stack = SimStack::build(StackConfig::small(24));
+    clients::spawn_fsread(&stack, 0, "FSread4m", 4.0 * MB);
+    let q = stack
+        .install(
+            "From incr In DataNodeMetrics.incrBytesRead
+             GroupBy incr.host Select incr.host, SUM(incr.delta)",
+        )
+        .unwrap();
+    stack.run_for_secs(10.0);
+    let results = stack.results(&q);
+    let series = results.series();
+    // One merged bucket per 1-second reporting interval (±the final
+    // partial flush).
+    assert!(
+        series.len() >= 8 && series.len() <= 12,
+        "expected ~10 intervals, got {}",
+        series.len()
+    );
+    // Interval sums add up to the cumulative total.
+    let total: f64 = results
+        .rows()
+        .iter()
+        .map(|r| r.values[1].as_f64().unwrap_or(0.0))
+        .sum();
+    let by_interval: f64 = series
+        .iter()
+        .flat_map(|(_, rows)| rows.iter())
+        .map(|r| r.values[1].as_f64().unwrap_or(0.0))
+        .sum();
+    assert!((total - by_interval).abs() < 1e-6);
+}
