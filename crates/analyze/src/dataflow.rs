@@ -1,0 +1,169 @@
+//! Pass 3 — advice dataflow well-formedness.
+//!
+//! Advice programs are straight-line (the paper's §5 safety argument:
+//! no jumps, no loops, so termination is structural). This pass checks
+//! the *inter*-program structure the compiler relies on at weave time:
+//! every `Unpack` must read a slot some causally earlier program packed
+//! with the same tuple width, the `Emit` layout must be internally
+//! consistent with its `OutputSpec`, and nothing is dead — a pack no
+//! later stage consumes never reaches an `Emit` and only bloats baggage.
+
+use std::collections::HashMap;
+
+use pivot_baggage::{PackMode, QueryId};
+use pivot_query::advice::ColumnRef;
+use pivot_query::{AdviceOp, CompiledQuery};
+
+use crate::diag::{Code, Diagnostic};
+
+/// Checks the advice programs of `cq`, appending diagnostics.
+pub(crate) fn check(cq: &CompiledQuery, diags: &mut Vec<Diagnostic>) {
+    // Slot → (pack width, consumed by a later unpack).
+    let mut packed: HashMap<QueryId, (usize, bool)> = HashMap::new();
+    let mut emits = 0usize;
+
+    for (pi, prog) in cq.advice.iter().enumerate() {
+        let at = prog
+            .tracepoints
+            .first()
+            .map(String::as_str)
+            .unwrap_or("<no tracepoint>");
+        if prog.tracepoints.is_empty() {
+            diags.push(Diagnostic::error(
+                Code::DataflowError,
+                format!("advice program {pi} weaves into no tracepoint"),
+            ));
+        }
+        for op in &prog.ops {
+            match op {
+                AdviceOp::Observe { .. } => {}
+                AdviceOp::Unpack { slot, schema, .. } => match packed.get_mut(slot) {
+                    None => diags.push(Diagnostic::error(
+                        Code::DataflowError,
+                        format!(
+                            "advice at `{at}` unpacks slot {} but no \
+                                 causally earlier advice packs it",
+                            slot.0
+                        ),
+                    )),
+                    Some((width, consumed)) => {
+                        *consumed = true;
+                        if *width != schema.len() {
+                            diags.push(Diagnostic::error(
+                                Code::DataflowError,
+                                format!(
+                                    "advice at `{at}` unpacks slot \
+                                         {} expecting {} columns but it \
+                                         was packed with {width}",
+                                    slot.0,
+                                    schema.len()
+                                ),
+                            ));
+                        }
+                    }
+                },
+                AdviceOp::Filter { .. } => {}
+                AdviceOp::Pack {
+                    slot,
+                    mode,
+                    exprs,
+                    names,
+                } => {
+                    if exprs.len() != names.len() {
+                        diags.push(Diagnostic::error(
+                            Code::DataflowError,
+                            format!(
+                                "advice at `{at}` packs {} expressions \
+                                 under {} names",
+                                exprs.len(),
+                                names.len()
+                            ),
+                        ));
+                    }
+                    if let PackMode::GroupAgg { key_len, aggs } = mode {
+                        if key_len + aggs.len() != names.len() {
+                            diags.push(Diagnostic::error(
+                                Code::DataflowError,
+                                format!(
+                                    "advice at `{at}`: grouped pack has \
+                                     {key_len} keys + {} aggregates but \
+                                     {} columns",
+                                    aggs.len(),
+                                    names.len()
+                                ),
+                            ));
+                        }
+                    }
+                    packed.insert(*slot, (names.len(), false));
+                }
+                AdviceOp::Emit { spec, .. } => {
+                    emits += 1;
+                    if spec.key_exprs.len() != spec.key_names.len()
+                        || spec.aggs.len() != spec.agg_names.len()
+                    {
+                        diags.push(Diagnostic::error(
+                            Code::DataflowError,
+                            format!(
+                                "emit at `{at}`: column name count does \
+                                 not match expression count"
+                            ),
+                        ));
+                    }
+                    for c in &spec.columns {
+                        let (label, idx, len) = match c {
+                            ColumnRef::Key(i) => ("key", *i, spec.key_exprs.len()),
+                            ColumnRef::Agg(i) => ("aggregate", *i, spec.aggs.len()),
+                        };
+                        if idx >= len {
+                            diags.push(Diagnostic::error(
+                                Code::DataflowError,
+                                format!(
+                                    "emit at `{at}` selects {label} \
+                                     {idx} but only {len} exist"
+                                ),
+                            ));
+                        }
+                    }
+                    if spec.streaming && !spec.aggs.is_empty() {
+                        diags.push(Diagnostic::error(
+                            Code::DataflowError,
+                            format!(
+                                "emit at `{at}` is marked streaming but \
+                                 carries aggregates"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if !prog.packs() && !prog.emits() {
+            diags.push(Diagnostic::warning(
+                Code::DeadAdvice,
+                format!(
+                    "advice at `{at}` neither packs nor emits — it \
+                     observes tuples and discards them"
+                ),
+            ));
+        }
+    }
+
+    if emits == 0 {
+        diags.push(Diagnostic::error(
+            Code::DataflowError,
+            "no advice program emits results; the query can never \
+             produce output",
+        ));
+    }
+    for (slot, (_, consumed)) in &packed {
+        if !consumed {
+            diags.push(Diagnostic::warning(
+                Code::DeadAdvice,
+                format!(
+                    "slot {} is packed but no later advice unpacks it; \
+                     the tuples ride the baggage for nothing",
+                    slot.0
+                ),
+            ));
+        }
+    }
+}

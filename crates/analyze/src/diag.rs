@@ -1,0 +1,215 @@
+//! Structured diagnostics.
+//!
+//! Every finding of the static verifier is a [`Diagnostic`]: a stable
+//! code, a severity, an optional source span, a human-readable message,
+//! and — where the fix is mechanical — a suggested rewrite. Codes are
+//! stable so tests (and external tooling) can assert on them.
+
+use std::fmt;
+
+use pivot_query::Span;
+
+/// Stable diagnostic codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Code {
+    /// `PT000` — the query text failed to parse.
+    ParseError,
+    /// `PT001` — an undefined tracepoint, alias, or export.
+    UndefinedName,
+    /// `PT002` — a type-incoherent expression (non-boolean predicate,
+    /// arithmetic on booleans, aggregation over strings, …).
+    TypeError,
+    /// `PT003` — a dataflow/arity defect: an `Unpack` without a causally
+    /// earlier `Pack`, pack/unpack width disagreement, emit columns out of
+    /// range, or a multi-column alias used as a scalar.
+    DataflowError,
+    /// `PT004` — a dead advice operation (a pack no later stage unpacks,
+    /// or a program that neither packs nor emits).
+    DeadAdvice,
+    /// `PT005` — a cycle in the query-reference graph.
+    QueryCycle,
+    /// `PT006` — an unbounded pack: baggage grows with the number of
+    /// tuples per request and no Table 3 rewrite shrinks it.
+    UnboundedPack,
+    /// `PT007` — a defect the compiler reported that the earlier passes
+    /// did not classify more precisely.
+    CompileError,
+}
+
+impl Code {
+    /// Returns the stable textual code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::ParseError => "PT000",
+            Code::UndefinedName => "PT001",
+            Code::TypeError => "PT002",
+            Code::DataflowError => "PT003",
+            Code::DeadAdvice => "PT004",
+            Code::QueryCycle => "PT005",
+            Code::UnboundedPack => "PT006",
+            Code::CompileError => "PT007",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational observation.
+    Note,
+    /// Suspicious but installable.
+    Warning,
+    /// The query must not be woven.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the static verifier.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// Stable code (`PT000`…).
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// Location within the query text, when one could be attributed.
+    pub span: Option<Span>,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// A suggested rewrite, when the fix is mechanical.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span: None,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    /// Attaches a suggested rewrite.
+    pub fn suggest(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Returns `true` for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Renders the diagnostic in a `rustc`-like style, naming `origin`
+    /// (usually a file name) in the location line.
+    pub fn render(&self, origin: &str) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if let Some(s) = self.span {
+            out.push_str(&format!("\n  --> {}:{}:{}", origin, s.line, s.col));
+        }
+        if let Some(sugg) = &self.suggestion {
+            out.push_str(&format!("\n  = help: {sugg}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// Returns the candidate from `options` nearest to `name` (by edit
+/// distance), if it is close enough to plausibly be a typo.
+pub(crate) fn nearest<'a>(
+    name: &str,
+    options: impl IntoIterator<Item = &'a str>,
+) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for opt in options {
+        let d = edit_distance(name, opt);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, opt));
+        }
+    }
+    let (d, opt) = best?;
+    // A typo shares most of its characters with the intended name.
+    (d * 2 <= name.len().max(opt.len())).then_some(opt)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_finds_typos_but_not_strangers() {
+        let opts = ["procName", "delta", "host"];
+        assert_eq!(nearest("procNam", opts), Some("procName"));
+        assert_eq!(nearest("detla", opts), Some("delta"));
+        assert_eq!(nearest("zzzzzzz", opts), None);
+    }
+
+    #[test]
+    fn render_includes_code_span_and_help() {
+        let d = Diagnostic::error(Code::UndefinedName, "no such export")
+            .with_span(Some(pivot_query::Span {
+                start: 0,
+                end: 3,
+                line: 2,
+                col: 7,
+            }))
+            .suggest("did you mean `delta`?");
+        let r = d.render("q.pt");
+        assert!(r.contains("error[PT001]"), "{r}");
+        assert!(r.contains("q.pt:2:7"), "{r}");
+        assert!(r.contains("help"), "{r}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Static install-time verification of Pivot Tracing queries.
+//!
+//! The paper's §5 ("Discussion") argues Pivot Tracing is safe to apply
+//! to live systems because advice is restricted: straight-line programs,
+//! no side effects, bounded baggage growth. This crate turns those
+//! informal arguments into a machine-checked gate that runs over every
+//! query *before* it is woven into tracepoints:
+//!
+//! 1. **Name/schema resolution** ([`mod@diag`] code `PT001`) — every
+//!    field reference is interpreted against the tracepoint registry's
+//!    exports and the output columns of referenced sub-queries, with
+//!    spans and nearest-name suggestions.
+//! 2. **Type coherence** (`PT002`) — abstract interpretation of every
+//!    expression over a small type lattice; non-boolean predicates,
+//!    boolean arithmetic, and string aggregation are rejected.
+//! 3. **Dataflow well-formedness** (`PT003`/`PT004`) — every `Unpack`
+//!    reads a slot a causally earlier `Pack` wrote with the same width,
+//!    the `Emit` layout is consistent with its `OutputSpec`, and dead
+//!    advice (unconsumed packs, programs that do nothing) is flagged.
+//! 4. **Baggage-cost bounding** (`PT006`, [`cost`]) — a static upper
+//!    bound on the bytes a query adds to one request's baggage, with
+//!    warnings for `PackMode::All` boundaries no Table 3 rewrite shrank.
+//! 5. **Reference-cycle detection** (`PT005`, over the
+//!    [`SourceKind::QueryRef`](pivot_query::SourceKind) graph) — guards
+//!    the compiler's recursive inlining against open-world resolvers.
+//!
+//! The frontend runs this gate in `install_named` and surfaces failures
+//! as `InstallError::Rejected`; the standalone `pivot-lint` binary runs
+//! it over query files.
+
+pub mod cost;
+mod cycle;
+mod dataflow;
+pub mod diag;
+mod scope;
+mod types;
+
+pub use cost::{plan_cost, Bound, CostModel, PlanCost, StageCost};
+pub use diag::{Code, Diagnostic, Severity};
+
+use pivot_baggage::QueryId;
+use pivot_query::{compile, locate, parse, plan_query, CompileError, Options, Resolver};
+
+/// The verdict of the verifier on one query.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Every finding, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Baggage cost of the optimized plan (absent when compilation was
+    /// not reached).
+    pub optimized_cost: Option<PlanCost>,
+    /// Baggage cost of the unoptimized plan, for the optimizer
+    /// cross-check: the optimized bound must never exceed this.
+    pub unoptimized_cost: Option<PlanCost>,
+}
+
+impl Analysis {
+    /// Returns `true` when any finding is an error (the query must not
+    /// be woven).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Returns the error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    /// Returns `true` when a diagnostic with `code` was reported.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+/// The static verifier. Construct one per resolver (usually the
+/// frontend) and [`Analyzer::analyze`] each query text.
+pub struct Analyzer<'r> {
+    resolver: &'r dyn Resolver,
+    cost_model: CostModel,
+}
+
+impl<'r> Analyzer<'r> {
+    /// Creates a verifier resolving names through `resolver`.
+    pub fn new(resolver: &'r dyn Resolver) -> Analyzer<'r> {
+        Analyzer {
+            resolver,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Overrides the byte-cost model.
+    pub fn with_cost_model(mut self, m: CostModel) -> Analyzer<'r> {
+        self.cost_model = m;
+        self
+    }
+
+    /// Runs every pass over `text` (to be installed under `name`).
+    pub fn analyze(&self, text: &str, name: &str) -> Analysis {
+        let mut diags = Vec::new();
+        let analysis = |diags: Vec<Diagnostic>| Analysis {
+            diagnostics: diags,
+            optimized_cost: None,
+            unoptimized_cost: None,
+        };
+
+        // Parse.
+        let ast = match parse(text) {
+            Ok(ast) => ast,
+            Err(e) => {
+                diags.push(Diagnostic::error(Code::ParseError, e.to_string()));
+                return analysis(diags);
+            }
+        };
+
+        // Reference cycles guard the recursive passes below.
+        if cycle::check(name, &ast, text, self.resolver, &mut diags) {
+            return analysis(diags);
+        }
+
+        // Names and types work on the AST and recover per-expression, so
+        // both always run (more findings per invocation).
+        scope::check(&ast, text, self.resolver, &mut diags);
+        types::check(&ast, text, &mut diags);
+        if diags.iter().any(Diagnostic::is_error) {
+            return analysis(diags);
+        }
+
+        // Compile both plans. The id is a placeholder — slot derivation
+        // is relative, so any id yields the same structure.
+        let id = QueryId(1);
+        let compiled = compile(text, name, id, self.resolver, Options::default());
+        let compiled = match compiled {
+            Ok(c) => c,
+            Err(e) => {
+                diags.push(compile_diag(&e, text));
+                return analysis(diags);
+            }
+        };
+        dataflow::check(&compiled, &mut diags);
+
+        let optimized = plan_query(&ast, self.resolver, Options::default()).ok();
+        let unoptimized = plan_query(&ast, self.resolver, Options::unoptimized()).ok();
+        let optimized_cost = optimized.map(|p| plan_cost(&p, &self.cost_model));
+        let unoptimized_cost = unoptimized.map(|p| plan_cost(&p, &self.cost_model));
+
+        // Unbounded boundaries that survived optimization.
+        if let Some(cost) = &optimized_cost {
+            for s in cost.stages.iter().filter(|s| s.unbounded_mode) {
+                let alias = s.alias.rsplit("::").next().unwrap_or(&s.alias);
+                diags.push(
+                    Diagnostic::warning(
+                        Code::UnboundedPack,
+                        format!(
+                            "the pack at `{alias}` retains every tuple: \
+                             baggage grows with the number of `{alias}` \
+                             events in a request",
+                        ),
+                    )
+                    .with_span(locate(text, alias))
+                    .suggest(format!(
+                        "bound it — `FirstN(n, ...)` / `MostRecentN(n, \
+                         ...)` on `{alias}` — or aggregate in Select so \
+                         the optimizer can push the aggregation into \
+                         the baggage (Table 3)",
+                    )),
+                );
+            }
+        }
+
+        Analysis {
+            diagnostics: diags,
+            optimized_cost,
+            unoptimized_cost,
+        }
+    }
+}
+
+/// One-shot convenience over [`Analyzer`].
+pub fn analyze(text: &str, name: &str, resolver: &dyn Resolver) -> Analysis {
+    Analyzer::new(resolver).analyze(text, name)
+}
+
+/// Maps a compiler error the AST passes did not anticipate onto a
+/// diagnostic (defense in depth: the verifier's own passes should catch
+/// these first, with better spans).
+fn compile_diag(e: &CompileError, text: &str) -> Diagnostic {
+    let (code, needle) = match e {
+        CompileError::Parse(_) => (Code::ParseError, None),
+        CompileError::UnknownTracepoint(t) => (Code::UndefinedName, Some(t.clone())),
+        CompileError::UnknownField(f) => (Code::UndefinedName, Some(f.clone())),
+        CompileError::UnknownExport { field, .. } => (Code::UndefinedName, Some(field.clone())),
+        CompileError::AliasNotScalar(a) => (Code::DataflowError, Some(a.clone())),
+        CompileError::BadJoin(a) => (Code::DataflowError, Some(a.clone())),
+        CompileError::FromMustBeTracepoints
+        | CompileError::DuplicateAlias(_)
+        | CompileError::TooManyStages => (Code::CompileError, None),
+    };
+    Diagnostic::error(code, e.to_string()).with_span(needle.and_then(|n| locate(text, &n)))
+}

@@ -1,0 +1,285 @@
+//! Pass 1 — name and schema resolution.
+//!
+//! Builds the alias scope of a parsed query (tracepoint exports from the
+//! registry, output columns of referenced sub-queries) and checks every
+//! field reference in `Where`, `GroupBy`, and `Select` against it. This
+//! anticipates the compiler's resolution rules exactly, but reports with
+//! spans and nearest-name suggestions — and it also catches bad exports
+//! under unoptimized compilation, where the compiler observes every
+//! export and a misspelled field would silently evaluate to null at
+//! runtime.
+
+use pivot_model::Expr;
+use pivot_query::ast::{Query, SelectItem, Source};
+use pivot_query::{locate, Resolver};
+
+use crate::diag::{nearest, Code, Diagnostic};
+
+/// What one alias may be dereferenced into.
+pub(crate) struct AliasInfo {
+    /// Unqualified column names: tracepoint exports, or sub-query output
+    /// column suffixes.
+    pub columns: Vec<String>,
+    /// `true` when the bare alias is usable as a scalar value
+    /// (single-column sub-query reference).
+    pub scalar: bool,
+}
+
+/// The alias environment of one query level.
+pub(crate) struct Scope {
+    pub aliases: Vec<(String, AliasInfo)>,
+}
+
+impl Scope {
+    fn get(&self, alias: &str) -> Option<&AliasInfo> {
+        self.aliases
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|(_, i)| i)
+    }
+
+    fn names(&self) -> impl Iterator<Item = &str> {
+        self.aliases.iter().map(|(a, _)| a.as_str())
+    }
+}
+
+/// Builds the scope and checks every reference, appending diagnostics.
+pub(crate) fn check(
+    ast: &Query,
+    text: &str,
+    resolver: &dyn Resolver,
+    diags: &mut Vec<Diagnostic>,
+) -> Scope {
+    let mut scope = Scope {
+        aliases: Vec::new(),
+    };
+
+    // The From source must name tracepoints (the emit point needs a
+    // concrete weave location).
+    if single_query_ref(&ast.from, resolver).is_some() {
+        diags.push(
+            Diagnostic::error(
+                Code::CompileError,
+                "the From clause must name tracepoints, not a query \
+                 reference",
+            )
+            .with_span(locate(text, &ast.from.alias))
+            .suggest(
+                "join the referenced query instead: `Join x In <query> \
+                 On x -> ...`",
+            ),
+        );
+    }
+    bind_source(&ast.from, text, resolver, &mut scope, diags);
+
+    for join in &ast.joins {
+        // `On` must relate the new alias (causally earlier) to the rest
+        // of the query.
+        if join.earlier != join.source.alias {
+            diags.push(
+                Diagnostic::error(
+                    Code::DataflowError,
+                    format!(
+                        "join `{}`: the left side of `->` must be the \
+                         newly declared alias (tuples of a join flow \
+                         causally forward)",
+                        join.source.alias
+                    ),
+                )
+                .with_span(locate(text, &join.earlier))
+                .suggest(format!(
+                    "write `On {} -> {}`",
+                    join.source.alias, join.later
+                )),
+            );
+        }
+        if scope.get(&join.later).is_none() && join.later != ast.from.alias {
+            let mut d = Diagnostic::warning(
+                Code::UndefinedName,
+                format!(
+                    "`{}` on the right of `->` is not a declared alias; \
+                     the compiler treats it as the From alias `{}`",
+                    join.later, ast.from.alias
+                ),
+            )
+            .with_span(locate(text, &join.later));
+            d.severity = crate::diag::Severity::Note;
+            diags.push(d);
+        }
+        bind_source(&join.source, text, resolver, &mut scope, diags);
+    }
+
+    // Check every expression against the completed scope.
+    for w in &ast.wheres {
+        check_expr(w, &scope, text, diags);
+    }
+    for g in &ast.group_by {
+        check_expr(&Expr::Field(g.clone()), &scope, text, diags);
+    }
+    for item in &ast.select {
+        let (SelectItem::Expr(e) | SelectItem::Agg(_, e)) = item;
+        check_expr(e, &scope, text, diags);
+    }
+    scope
+}
+
+/// Returns the referenced query name when `source` is a single-name
+/// reference to an installed query.
+fn single_query_ref(source: &Source, resolver: &dyn Resolver) -> Option<String> {
+    let pivot_query::SourceKind::Tracepoints(names) = &source.kind else {
+        if let pivot_query::SourceKind::QueryRef(n) = &source.kind {
+            return Some(n.clone());
+        }
+        return None;
+    };
+    (names.len() == 1 && resolver.query_ast(&names[0]).is_some()).then(|| names[0].clone())
+}
+
+fn bind_source(
+    source: &Source,
+    text: &str,
+    resolver: &dyn Resolver,
+    scope: &mut Scope,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if scope.get(&source.alias).is_some() {
+        diags.push(
+            Diagnostic::error(
+                Code::CompileError,
+                format!("alias `{}` declared twice", source.alias),
+            )
+            .with_span(locate(text, &source.alias)),
+        );
+    }
+    let info = if let Some(qname) = single_query_ref(source, resolver) {
+        let sub = resolver.query_ast(&qname).expect("checked");
+        query_ref_info(&sub, &source.alias)
+    } else {
+        let pivot_query::SourceKind::Tracepoints(names) = &source.kind else {
+            return;
+        };
+        let mut columns: Vec<String> = Vec::new();
+        for tp in names {
+            match resolver.tracepoint_exports(tp) {
+                Some(exports) => {
+                    for e in exports {
+                        if !columns.contains(&e) {
+                            columns.push(e);
+                        }
+                    }
+                }
+                None => diags.push(
+                    Diagnostic::error(Code::UndefinedName, format!("unknown tracepoint `{tp}`"))
+                        .with_span(locate(text, tp)),
+                ),
+            }
+        }
+        AliasInfo {
+            columns,
+            scalar: false,
+        }
+    };
+    scope.aliases.push((source.alias.clone(), info));
+}
+
+/// Derives the referencable output columns of a sub-query bound to
+/// `alias` — mirroring the compiler's inline column naming: a
+/// single-column sub-query is addressed by the bare alias; otherwise each
+/// select item is addressed by its field's last path segment (or a
+/// positional `c<i>` for computed columns).
+fn query_ref_info(sub: &Query, alias: &str) -> AliasInfo {
+    if sub.select.len() == 1 {
+        return AliasInfo {
+            columns: vec![alias.to_owned()],
+            scalar: true,
+        };
+    }
+    let columns = sub
+        .select
+        .iter()
+        .enumerate()
+        .map(|(i, item)| match item {
+            SelectItem::Expr(Expr::Field(f)) => f.rsplit('.').next().unwrap_or("c").to_owned(),
+            _ => format!("c{i}"),
+        })
+        .collect();
+    AliasInfo {
+        columns,
+        scalar: false,
+    }
+}
+
+fn check_expr(e: &Expr, scope: &Scope, text: &str, diags: &mut Vec<Diagnostic>) {
+    match e {
+        Expr::Field(name) => check_field(name, scope, text, diags),
+        Expr::Lit(_) => {}
+        Expr::Unary(_, inner) => check_expr(inner, scope, text, diags),
+        Expr::Binary(_, l, r) => {
+            check_expr(l, scope, text, diags);
+            check_expr(r, scope, text, diags);
+        }
+    }
+}
+
+fn check_field(name: &str, scope: &Scope, text: &str, diags: &mut Vec<Diagnostic>) {
+    if let Some((alias, field)) = name.split_once('.') {
+        let Some(info) = scope.get(alias) else {
+            let mut d = Diagnostic::error(
+                Code::UndefinedName,
+                format!("`{name}`: no alias `{alias}` in scope"),
+            )
+            .with_span(locate(text, name));
+            if let Some(n) = nearest(alias, scope.names()) {
+                d = d.suggest(format!("did you mean `{n}.{field}`?"));
+            }
+            diags.push(d);
+            return;
+        };
+        let found = info
+            .columns
+            .iter()
+            .any(|c| c == field || c.rsplit('.').next() == Some(field));
+        if !found {
+            let mut d = Diagnostic::error(
+                Code::UndefinedName,
+                format!(
+                    "`{alias}` does not export `{field}` (available: {})",
+                    info.columns.join(", ")
+                ),
+            )
+            .with_span(locate(text, name));
+            if let Some(n) = nearest(field, info.columns.iter().map(String::as_str)) {
+                d = d.suggest(format!("did you mean `{alias}.{n}`?"));
+            }
+            diags.push(d);
+        }
+        return;
+    }
+    // Bare name: only valid as a scalar sub-query alias.
+    match scope.get(name) {
+        Some(info) if info.scalar => {}
+        Some(info) => diags.push(
+            Diagnostic::error(
+                Code::DataflowError,
+                format!(
+                    "alias `{name}` used as a value but it has {} \
+                     columns",
+                    info.columns.len()
+                ),
+            )
+            .with_span(locate(text, name))
+            .suggest(format!(
+                "reference one column, e.g. `{name}.{}`",
+                info.columns.first().map(String::as_str).unwrap_or("field")
+            )),
+        ),
+        None => {
+            let mut d = Diagnostic::error(Code::UndefinedName, format!("cannot resolve `{name}`"))
+                .with_span(locate(text, name));
+            if let Some(n) = nearest(name, scope.names()) {
+                d = d.suggest(format!("did you mean `{n}`?"));
+            }
+            diags.push(d);
+        }
+    }
+}

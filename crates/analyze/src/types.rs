@@ -1,0 +1,230 @@
+//! Pass 2 — type coherence by abstract interpretation.
+//!
+//! Expressions are interpreted over a small type lattice: tracepoint
+//! exports are dynamically typed (`Unknown`), literals are concrete, and
+//! operators propagate abstract types bottom-up. Only *definite* errors
+//! are reported — combinations the runtime evaluator can never execute
+//! without a type fault, like `&&` over numbers or `SUM` of a string —
+//! so a query that could evaluate cleanly is never rejected.
+
+use pivot_model::{AggFunc, BinOp, Expr, UnOp, Value};
+use pivot_query::ast::{Query, SelectItem};
+use pivot_query::{locate, Span};
+
+use crate::diag::{Code, Diagnostic};
+
+/// The abstract type of an expression.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Ty {
+    /// Statically unknown (field references, error recovery).
+    Unknown,
+    /// A numeric value (`I64`, `U64`, `F64`, aggregate states).
+    Num,
+    /// A string.
+    Str,
+    /// A boolean.
+    Bool,
+    /// The null literal.
+    Null,
+}
+
+impl Ty {
+    fn name(self) -> &'static str {
+        match self {
+            Ty::Unknown => "unknown",
+            Ty::Num => "a number",
+            Ty::Str => "a string",
+            Ty::Bool => "a boolean",
+            Ty::Null => "null",
+        }
+    }
+}
+
+/// Checks every expression position of `ast`, appending diagnostics.
+pub(crate) fn check(ast: &Query, text: &str, diags: &mut Vec<Diagnostic>) {
+    for w in &ast.wheres {
+        let ty = infer(w, text, diags);
+        if matches!(ty, Ty::Num | Ty::Str | Ty::Null) {
+            diags.push(
+                Diagnostic::error(
+                    Code::TypeError,
+                    format!("Where predicate is {}, expected a boolean", ty.name()),
+                )
+                .with_span(span_of(w, text))
+                .suggest(
+                    "compare the value, e.g. `... != 0` or `... == \
+                     \"name\"`",
+                ),
+            );
+        }
+    }
+    for item in &ast.select {
+        match item {
+            SelectItem::Expr(e) => {
+                infer(e, text, diags);
+            }
+            SelectItem::Agg(f, e) => check_agg(*f, e, text, diags),
+        }
+    }
+}
+
+fn check_agg(f: AggFunc, arg: &Expr, text: &str, diags: &mut Vec<Diagnostic>) {
+    // Bare COUNT carries a null-literal placeholder argument.
+    if matches!(arg, Expr::Lit(Value::Null)) {
+        return;
+    }
+    let ty = infer(arg, text, diags);
+    let bad = match f {
+        AggFunc::Count => false,
+        AggFunc::Sum | AggFunc::Average => {
+            matches!(ty, Ty::Str | Ty::Bool)
+        }
+        AggFunc::Min | AggFunc::Max => matches!(ty, Ty::Bool),
+    };
+    if bad {
+        diags.push(
+            Diagnostic::error(
+                Code::TypeError,
+                format!(
+                    "{}(...) aggregates numbers, but its argument is {}",
+                    f.name(),
+                    ty.name()
+                ),
+            )
+            .with_span(span_of(arg, text))
+            .suggest("aggregate a numeric export, or use COUNT"),
+        );
+    }
+}
+
+/// Infers the abstract type of `e`, reporting definite faults.
+pub(crate) fn infer(e: &Expr, text: &str, diags: &mut Vec<Diagnostic>) -> Ty {
+    match e {
+        Expr::Field(_) => Ty::Unknown,
+        Expr::Lit(v) => match v {
+            Value::Null => Ty::Null,
+            Value::Bool(_) => Ty::Bool,
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => Ty::Num,
+            Value::Str(_) => Ty::Str,
+            Value::Agg(_) => Ty::Num,
+        },
+        Expr::Unary(op, inner) => {
+            let t = infer(inner, text, diags);
+            match op {
+                UnOp::Neg => {
+                    if matches!(t, Ty::Str | Ty::Bool) {
+                        report_unary(e, "-", t, text, diags);
+                        Ty::Unknown
+                    } else {
+                        Ty::Num
+                    }
+                }
+                UnOp::Not => {
+                    if matches!(t, Ty::Num | Ty::Str) {
+                        report_unary(e, "!", t, text, diags);
+                        Ty::Unknown
+                    } else {
+                        Ty::Bool
+                    }
+                }
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lt = infer(l, text, diags);
+            let rt = infer(r, text, diags);
+            infer_binary(e, *op, lt, rt, text, diags)
+        }
+    }
+}
+
+fn infer_binary(
+    e: &Expr,
+    op: BinOp,
+    lt: Ty,
+    rt: Ty,
+    text: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Ty {
+    let both = [lt, rt];
+    match op {
+        BinOp::Add => {
+            if both.contains(&Ty::Bool) {
+                report_binary(e, op, lt, rt, text, diags);
+                return Ty::Unknown;
+            }
+            if both.contains(&Ty::Str) {
+                Ty::Str
+            } else {
+                Ty::Num
+            }
+        }
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            if both.contains(&Ty::Str) || both.contains(&Ty::Bool) {
+                report_binary(e, op, lt, rt, text, diags);
+                return Ty::Unknown;
+            }
+            Ty::Num
+        }
+        BinOp::Eq | BinOp::Ne => Ty::Bool,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let incomparable =
+                both.contains(&Ty::Bool) || (both.contains(&Ty::Str) && both.contains(&Ty::Num));
+            if incomparable {
+                report_binary(e, op, lt, rt, text, diags);
+                return Ty::Unknown;
+            }
+            Ty::Bool
+        }
+        BinOp::And | BinOp::Or => {
+            if both.contains(&Ty::Num) || both.contains(&Ty::Str) {
+                report_binary(e, op, lt, rt, text, diags);
+                return Ty::Unknown;
+            }
+            Ty::Bool
+        }
+    }
+}
+
+fn report_unary(e: &Expr, sym: &str, t: Ty, text: &str, diags: &mut Vec<Diagnostic>) {
+    diags.push(
+        Diagnostic::error(
+            Code::TypeError,
+            format!("`{sym}` cannot be applied to {}", t.name()),
+        )
+        .with_span(span_of(e, text)),
+    );
+}
+
+fn report_binary(e: &Expr, op: BinOp, lt: Ty, rt: Ty, text: &str, diags: &mut Vec<Diagnostic>) {
+    diags.push(
+        Diagnostic::error(
+            Code::TypeError,
+            format!(
+                "`{}` cannot combine {} and {}",
+                op.symbol(),
+                lt.name(),
+                rt.name()
+            ),
+        )
+        .with_span(span_of(e, text)),
+    );
+}
+
+/// Best-effort span: the first field reference inside `e` (fields are the
+/// only fragments guaranteed to appear verbatim in the source text),
+/// falling back to a literal's rendering.
+pub(crate) fn span_of(e: &Expr, text: &str) -> Option<Span> {
+    if let Some(f) = first_field(e) {
+        return locate(text, f);
+    }
+    locate(text, &e.to_string())
+}
+
+fn first_field(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Field(f) => Some(f),
+        Expr::Lit(_) => None,
+        Expr::Unary(_, inner) => first_field(inner),
+        Expr::Binary(_, l, r) => first_field(l).or_else(|| first_field(r)),
+    }
+}

@@ -181,20 +181,16 @@ impl Baggage {
                 merged.tuples()
             }
             PackMode::First(n) => {
-                let mut out: Vec<Tuple> =
-                    found.iter().flat_map(|e| e.tuples()).collect();
+                let mut out: Vec<Tuple> = found.iter().flat_map(|e| e.tuples()).collect();
                 out.truncate(n);
                 out
             }
             PackMode::Recent(n) => {
-                let all: Vec<Tuple> =
-                    found.iter().flat_map(|e| e.tuples()).collect();
+                let all: Vec<Tuple> = found.iter().flat_map(|e| e.tuples()).collect();
                 let skip = all.len().saturating_sub(n.max(1));
                 all[skip..].to_vec()
             }
-            PackMode::All => {
-                found.iter().flat_map(|e| e.tuples()).collect()
-            }
+            PackMode::All => found.iter().flat_map(|e| e.tuples()).collect(),
         }
     }
 
@@ -235,10 +231,7 @@ impl Baggage {
         // each other and from any ancestor.
         s1.event();
         s2.event();
-        let retired = std::mem::replace(
-            &mut live.active,
-            Instance::new(s1),
-        );
+        let retired = std::mem::replace(&mut live.active, Instance::new(s1));
         let mut other_inactive = live.inactive.clone();
         if !retired.is_empty() {
             let mut retired = retired;

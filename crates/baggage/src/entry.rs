@@ -39,9 +39,7 @@ impl PackMode {
         enc.put_u8(self.tag());
         match self {
             PackMode::All => {}
-            PackMode::First(n) | PackMode::Recent(n) => {
-                enc.put_varint(*n as u64)
-            }
+            PackMode::First(n) | PackMode::Recent(n) => enc.put_varint(*n as u64),
             PackMode::GroupAgg { key_len, aggs } => {
                 enc.put_varint(*key_len as u64);
                 enc.put_varint(aggs.len() as u64);
@@ -75,9 +73,7 @@ impl PackMode {
                         2 => AggFunc::Min,
                         3 => AggFunc::Max,
                         4 => AggFunc::Average,
-                        t => {
-                            return Err(DecodeError::BadTag("agg func", t))
-                        }
+                        t => return Err(DecodeError::BadTag("agg func", t)),
                     });
                 }
                 PackMode::GroupAgg { key_len, aggs }
@@ -177,18 +173,11 @@ impl Entry {
                 aggs,
                 groups,
             } => {
-                let key = GroupKey::project(
-                    &tuple,
-                    &(0..*key_len).collect::<Vec<_>>(),
-                );
-                let states = match groups.iter_mut().find(|(k, _)| *k == key)
-                {
+                let key = GroupKey::project(&tuple, &(0..*key_len).collect::<Vec<_>>());
+                let states = match groups.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, states)) => states,
                     None => {
-                        groups.push((
-                            key,
-                            aggs.iter().map(|a| a.init()).collect(),
-                        ));
+                        groups.push((key, aggs.iter().map(|a| a.init()).collect()));
                         &mut groups.last_mut().expect("just pushed").1
                     }
                 };
@@ -276,9 +265,11 @@ impl Entry {
                         .values()
                         .iter()
                         .cloned()
-                        .chain(states.iter().map(|s| {
-                            Value::Agg(std::sync::Arc::new(s.clone()))
-                        }))
+                        .chain(
+                            states
+                                .iter()
+                                .map(|s| Value::Agg(std::sync::Arc::new(s.clone()))),
+                        )
                         .collect()
                 })
                 .collect(),
@@ -401,8 +392,7 @@ mod tests {
             aggs: vec![AggFunc::Sum],
         };
         let mut e = Entry::new(&mode);
-        let row =
-            |k: &str, v: i64| Tuple::from_iter([Value::str(k), Value::I64(v)]);
+        let row = |k: &str, v: i64| Tuple::from_iter([Value::str(k), Value::I64(v)]);
         e.pack(row("a", 2), 0);
         e.pack(row("b", 5), 0);
         e.pack(row("a", 3), 0);

@@ -58,11 +58,7 @@ fn bench_serialize(c: &mut Criterion) {
                 || {
                     // Fresh baggage with a cold encode cache.
                     let mut bag = base.clone();
-                    bag.pack(
-                        Q,
-                        &PackMode::All,
-                        std::iter::empty::<Tuple>(),
-                    );
+                    bag.pack(Q, &PackMode::All, std::iter::empty::<Tuple>());
                     bag
                 },
                 |mut bag| bag.to_bytes(),

@@ -47,15 +47,10 @@ fn bench_parse(c: &mut Criterion) {
 
 fn bench_compile(c: &mut Criterion) {
     c.bench_function("compile_q7_optimized", |b| {
-        b.iter(|| {
-            compile(Q7, "q7", QueryId(1), &R, Options::default()).unwrap()
-        })
+        b.iter(|| compile(Q7, "q7", QueryId(1), &R, Options::default()).unwrap())
     });
     c.bench_function("compile_q7_unoptimized", |b| {
-        b.iter(|| {
-            compile(Q7, "q7", QueryId(1), &R, Options::unoptimized())
-                .unwrap()
-        })
+        b.iter(|| compile(Q7, "q7", QueryId(1), &R, Options::unoptimized()).unwrap())
     });
 }
 

@@ -45,10 +45,8 @@ fn main() {
             row("unoptimized", &r.unoptimized),
         ],
     );
-    let shrink = r.unoptimized.mean_baggage_bytes
-        / r.optimized.mean_baggage_bytes.max(1e-9);
-    let agg = r.optimized.tuples_emitted as f64
-        / r.optimized.rows_reported.max(1) as f64;
+    let shrink = r.unoptimized.mean_baggage_bytes / r.optimized.mean_baggage_bytes.max(1e-9);
+    let agg = r.optimized.tuples_emitted as f64 / r.optimized.rows_reported.max(1) as f64;
     println!(
         "\noptimizer shrinks mean baggage {shrink:.1}x; \
          local aggregation collapses {agg:.0} emitted tuples per reported row\n\

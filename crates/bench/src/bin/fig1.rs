@@ -24,8 +24,7 @@ fn main() {
         series
             .iter()
             .map(|s| {
-                let avg =
-                    s.points.iter().sum::<f64>() / s.points.len().max(1) as f64;
+                let avg = s.points.iter().sum::<f64>() / s.points.len().max(1) as f64;
                 let peak = s.points.iter().cloned().fold(0.0, f64::max);
                 vec![
                     s.label.clone(),
@@ -50,8 +49,7 @@ fn main() {
 
     // Figure 1c pivot table: rows = hosts, columns = phases.
     let phases = ["HDFS", "Map", "Shuffle", "Reduce"];
-    let mut hosts: Vec<String> =
-        r.pivot.iter().map(|c| c.host.clone()).collect();
+    let mut hosts: Vec<String> = r.pivot.iter().map(|c| c.host.clone()).collect();
     hosts.sort();
     hosts.dedup();
     let mut rows = Vec::new();
@@ -64,9 +62,7 @@ fn main() {
                 .pivot
                 .iter()
                 .find(|c| &c.host == host && c.phase == *phase);
-            let (rd, wr) = cell.map_or((0.0, 0.0), |c| {
-                (c.read_mb, c.write_mb)
-            });
+            let (rd, wr) = cell.map_or((0.0, 0.0), |c| (c.read_mb, c.write_mb));
             row.push(format!("{}r/{}w", f(rd, 0), f(wr, 0)));
             total += rd + wr;
             col_total[i] += rd + wr;

@@ -33,13 +33,7 @@ fn main() {
         let ast = pivot_query::parse(text).expect("query parses");
         let rows: Vec<Vec<String>> = evaluate(&ast, &fe, &log)
             .into_iter()
-            .map(|r| {
-                vec![r
-                    .iter()
-                    .map(Value::to_string)
-                    .collect::<Vec<_>>()
-                    .join(" ")]
-            })
+            .map(|r| vec![r.iter().map(Value::to_string).collect::<Vec<_>>().join(" ")])
             .collect();
         print_table(title, &["result tuples"], &rows);
     };

@@ -70,26 +70,19 @@ fn main() {
         m.iter()
             .enumerate()
             .map(|(i, row)| {
-                let mut out =
-                    vec![format!("client {}", (b'A' + i as u8) as char)];
-                out.extend(row.iter().map(|v| {
-                    if v.is_nan() {
-                        "-".to_owned()
-                    } else {
-                        f(*v, 2)
-                    }
-                }));
+                let mut out = vec![format!("client {}", (b'A' + i as u8) as char)];
+                out.extend(
+                    row.iter()
+                        .map(|v| if v.is_nan() { "-".to_owned() } else { f(*v, 2) }),
+                );
                 out
             })
             .collect()
     };
     let dn_headers: Vec<String> = std::iter::once("".to_owned())
-        .chain((0..cfg.workers).map(|i| {
-            format!("DN {}", (b'A' + i as u8) as char)
-        }))
+        .chain((0..cfg.workers).map(|i| format!("DN {}", (b'A' + i as u8) as char)))
         .collect();
-    let dn_headers: Vec<&str> =
-        dn_headers.iter().map(String::as_str).collect();
+    let dn_headers: Vec<&str> = dn_headers.iter().map(String::as_str).collect();
 
     print_table(
         "Figure 8e: replica-location frequency (row-normalized), query Q5",

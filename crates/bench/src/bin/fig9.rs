@@ -37,20 +37,12 @@ fn main() {
         .max(1.0);
     let mut lat_max = vec![0.0f64; buckets];
     for (t, l) in &r.latencies {
-        let idx =
-            (((t / max_t) * buckets as f64) as usize).min(buckets - 1);
+        let idx = (((t / max_t) * buckets as f64) as usize).min(buckets - 1);
         lat_max[idx] = lat_max[idx].max(*l);
     }
     println!("\n== Figure 9a: request latencies over time ==");
-    println!(
-        "max latency per window (s): {}",
-        sparkline(&lat_max)
-    );
-    let peak = r
-        .latencies
-        .iter()
-        .map(|(_, l)| *l)
-        .fold(0.0f64, f64::max);
+    println!("max latency per window (s): {}", sparkline(&lat_max));
+    let peak = r.latencies.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
     println!(
         "requests: {}   peak latency: {:.2}s   slow threshold: {:.2}s",
         r.latencies.len(),

@@ -42,9 +42,7 @@ fn main() {
             .enumerate()
             .map(|(i, s)| {
                 let mut row = vec![s.name().to_owned()];
-                row.extend(
-                    r.overhead_pct[i].iter().map(|v| pct(*v)),
-                );
+                row.extend(r.overhead_pct[i].iter().map(|v| pct(*v)));
                 row
             })
             .collect::<Vec<_>>(),
@@ -59,9 +57,11 @@ fn main() {
             .enumerate()
             .map(|(i, s)| {
                 let mut row = vec![s.name().to_owned()];
-                row.extend(r.cells[i].iter().map(|c| {
-                    f(c.virtual_ns_per_req / 1000.0, 1)
-                }));
+                row.extend(
+                    r.cells[i]
+                        .iter()
+                        .map(|c| f(c.virtual_ns_per_req / 1000.0, 1)),
+                );
                 row
             })
             .collect::<Vec<_>>(),

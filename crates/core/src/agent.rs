@@ -110,8 +110,7 @@ impl Agent {
     /// Weaves every advice program of `compiled` into the local registry.
     pub fn install(&self, compiled: &CompiledQuery) {
         for program in &compiled.advice {
-            self.registry
-                .weave(compiled.id, Arc::new(program.clone()));
+            self.registry.weave(compiled.id, Arc::new(program.clone()));
         }
     }
 
@@ -178,18 +177,11 @@ impl Agent {
             (Buffer::Streaming { rows }, EmitRows::Raw(mut new)) => {
                 rows.append(&mut new);
             }
-            (
-                Buffer::Grouped { spec, groups },
-                EmitRows::Grouped(new),
-            ) => {
+            (Buffer::Grouped { spec, groups }, EmitRows::Grouped(new)) => {
                 for (key, args) in new {
-                    let states =
-                        groups.entry(key).or_insert_with(|| {
-                            spec.aggs
-                                .iter()
-                                .map(|(f, _)| f.init())
-                                .collect()
-                        });
+                    let states = groups
+                        .entry(key)
+                        .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
                     for (st, arg) in states.iter_mut().zip(&args) {
                         st.update(arg);
                     }
@@ -291,9 +283,7 @@ mod tests {
                     ],
                 },
                 AdviceProgram {
-                    tracepoints: vec![
-                        "DataNodeMetrics.incrBytesRead".into()
-                    ],
+                    tracepoints: vec!["DataNodeMetrics.incrBytesRead".into()],
                     ops: vec![
                         AdviceOp::Observe {
                             alias: "incr".into(),

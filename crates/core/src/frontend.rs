@@ -4,13 +4,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
+use pivot_analyze::{Analyzer, Diagnostic};
 use pivot_baggage::QueryId;
 use pivot_model::{AggState, GroupKey, Tuple, Value};
 use pivot_query::advice::ColumnRef;
-use pivot_query::{
-    compile, CompileError, CompiledQuery, Options, OutputSpec, Query,
-    Resolver,
-};
+use pivot_query::{compile, CompileError, CompiledQuery, Options, OutputSpec, Query, Resolver};
 
 use crate::bus::{Command, Report, ReportRows};
 use crate::tracepoint::TracepointDef;
@@ -64,15 +62,9 @@ impl QueryResults {
                 }
             }
             ReportRows::Grouped(rows) => {
-                let interval =
-                    self.intervals.entry(report.time).or_default();
+                let interval = self.intervals.entry(report.time).or_default();
                 for (key, states) in rows {
-                    merge_into(
-                        &mut self.cumulative,
-                        &self.spec,
-                        key.clone(),
-                        &states,
-                    );
+                    merge_into(&mut self.cumulative, &self.spec, key.clone(), &states);
                     merge_into(interval, &self.spec, key, &states);
                 }
             }
@@ -134,9 +126,9 @@ fn merge_into(
     key: GroupKey,
     states: &[AggState],
 ) {
-    let mine = map.entry(key).or_insert_with(|| {
-        spec.aggs.iter().map(|(f, _)| f.init()).collect()
-    });
+    let mine = map
+        .entry(key)
+        .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
     for (m, s) in mine.iter_mut().zip(states) {
         m.merge(s);
     }
@@ -147,10 +139,7 @@ fn layout(spec: &OutputSpec, key: &GroupKey, states: &[AggState]) -> Vec<Value> 
         .iter()
         .map(|c| match c {
             ColumnRef::Key(i) => key.0.get(*i).clone(),
-            ColumnRef::Agg(i) => states
-                .get(*i)
-                .map(AggState::finish)
-                .unwrap_or(Value::Null),
+            ColumnRef::Agg(i) => states.get(*i).map(AggState::finish).unwrap_or(Value::Null),
         })
         .collect()
 }
@@ -174,6 +163,9 @@ pub enum InstallError {
     Compile(CompileError),
     /// A query with this name already exists.
     DuplicateName(String),
+    /// The static verifier rejected the query; at least one diagnostic is
+    /// error-severity (warnings ride along for context).
+    Rejected(Vec<Diagnostic>),
 }
 
 impl fmt::Display for InstallError {
@@ -182,6 +174,13 @@ impl fmt::Display for InstallError {
             InstallError::Compile(e) => write!(f, "{e}"),
             InstallError::DuplicateName(n) => {
                 write!(f, "a query named `{n}` is already installed")
+            }
+            InstallError::Rejected(diags) => {
+                write!(f, "query rejected by the static verifier:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -209,6 +208,7 @@ pub struct Frontend {
     commands: Vec<Command>,
     next_id: u64,
     optimize: bool,
+    skip_verify: bool,
 }
 
 impl Frontend {
@@ -236,11 +236,7 @@ impl Frontend {
     }
 
     /// Convenience: define a tracepoint by name and export list.
-    pub fn define(
-        &mut self,
-        name: &str,
-        exports: impl IntoIterator<Item = impl Into<String>>,
-    ) {
+    pub fn define(&mut self, name: &str, exports: impl IntoIterator<Item = impl Into<String>>) {
         self.define_tracepoint(TracepointDef::new(name, exports));
     }
 
@@ -249,22 +245,23 @@ impl Frontend {
         self.tracepoints.values()
     }
 
+    /// Enables or disables the static verifier gate in
+    /// [`Frontend::install`] (on by default). Disabling is an escape
+    /// hatch for experiments that deliberately install pathological
+    /// queries.
+    pub fn set_verify(&mut self, on: bool) {
+        self.skip_verify = !on;
+    }
+
     /// Installs a query under an auto-assigned name (`Q<id>`).
-    pub fn install(
-        &mut self,
-        text: &str,
-    ) -> Result<QueryHandle, InstallError> {
+    pub fn install(&mut self, text: &str) -> Result<QueryHandle, InstallError> {
         let name = format!("Q{}", self.next_id);
         self.install_named(&name, text)
     }
 
     /// Installs a query under `name`, compiling it to advice and queueing a
     /// weave command. Later queries may reference `name` as a source.
-    pub fn install_named(
-        &mut self,
-        name: &str,
-        text: &str,
-    ) -> Result<QueryHandle, InstallError> {
+    pub fn install_named(&mut self, name: &str, text: &str) -> Result<QueryHandle, InstallError> {
         if self.queries.iter().any(|q| q.handle.name == name) {
             return Err(InstallError::DuplicateName(name.to_owned()));
         }
@@ -272,10 +269,18 @@ impl Frontend {
         let options = Options {
             optimize: self.optimize,
         };
-        let compiled = compile(text, name, id, &*self, options)
-            .map_err(InstallError::Compile)?;
-        let ast = pivot_query::parse(text)
-            .expect("compile re-parses successfully");
+        let compiled = compile(text, name, id, &*self, options).map_err(InstallError::Compile)?;
+        // The static verifier (paper §5: advice must be safe to weave
+        // into a live system). The compiler catches hard structural
+        // defects above; the verifier additionally rejects type-incoherent
+        // expressions and dataflow defects, with spans.
+        if !self.skip_verify {
+            let analysis = Analyzer::new(&*self).analyze(text, name);
+            if analysis.has_errors() {
+                return Err(InstallError::Rejected(analysis.diagnostics));
+            }
+        }
+        let ast = pivot_query::parse(text).expect("compile re-parses successfully");
         self.next_id += 1;
         let compiled = Arc::new(compiled);
         let handle = QueryHandle {
@@ -284,8 +289,7 @@ impl Frontend {
         };
         self.results
             .insert(id, QueryResults::new(compiled.output.clone()));
-        self.commands
-            .push(Command::Install(Arc::clone(&compiled)));
+        self.commands.push(Command::Install(Arc::clone(&compiled)));
         self.queries.push(Installed {
             handle: handle.clone(),
             ast,
@@ -360,9 +364,7 @@ mod tests {
         fe.define("ClientProtocols", ["procName"]);
         fe.define("DataNodeMetrics.incrBytesRead", ["delta"]);
         let mut bus = LocalBus::new();
-        for (host, proc_) in
-            [("host-A", "FSread4m"), ("host-B", "DataNode")]
-        {
+        for (host, proc_) in [("host-A", "FSread4m"), ("host-B", "DataNode")] {
             bus.register(Arc::new(Agent::new(ProcessInfo {
                 host: host.into(),
                 procid: 1,
@@ -461,16 +463,42 @@ mod tests {
         fe.install_named("X", "From e In ClientProtocols Select COUNT")
             .unwrap();
         assert!(matches!(
-            fe.install_named(
-                "X",
-                "From e In ClientProtocols Select COUNT"
-            ),
+            fe.install_named("X", "From e In ClientProtocols Select COUNT"),
             Err(InstallError::DuplicateName(_))
         ));
         assert!(matches!(
             fe.install("From e In Nope Select COUNT"),
             Err(InstallError::Compile(_))
         ));
+    }
+
+    #[test]
+    fn ill_typed_query_rejected_with_span() {
+        let (mut fe, _) = setup();
+        // Compiles fine (the compiler is untyped) but can never evaluate:
+        // `&&` over a number.
+        let err = fe
+            .install(
+                "From e In ClientProtocols
+                 Where e.procName && 5
+                 Select COUNT",
+            )
+            .unwrap_err();
+        let InstallError::Rejected(diags) = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| { d.code == pivot_analyze::Code::TypeError && d.span.is_some() }));
+        // The escape hatch installs it anyway.
+        let (mut fe, _) = setup();
+        fe.set_verify(false);
+        fe.install(
+            "From e In ClientProtocols
+             Where e.procName && 5
+             Select COUNT",
+        )
+        .unwrap();
     }
 
     #[test]

@@ -84,11 +84,7 @@ impl<'l> TracedCtx<'l> {
     /// Records a tracepoint invocation (advances the causal stamp and logs
     /// the event). The caller separately runs any woven advice via an
     /// [`crate::Agent`].
-    pub fn record(
-        &mut self,
-        tracepoint: &str,
-        exports: &[(&str, Value)],
-    ) {
+    pub fn record(&mut self, tracepoint: &str, exports: &[(&str, Value)]) {
         self.stamp.event();
         let seq = self.log.events.len() as u64;
         self.log.events.push(TraceEvent {
@@ -157,11 +153,7 @@ pub struct TracedCtxBranch {
 /// Aggregating queries return one row per group; streaming queries return
 /// one row per join result. Query references are not supported here —
 /// the evaluator exists to validate tracepoint queries.
-pub fn evaluate(
-    query: &Query,
-    resolver: &dyn Resolver,
-    log: &TraceLog,
-) -> Vec<Vec<Value>> {
+pub fn evaluate(query: &Query, resolver: &dyn Resolver, log: &TraceLog) -> Vec<Vec<Value>> {
     // Alias → (tracepoints, schema fields).
     let alias_events = |kind: &SourceKind| -> Vec<&TraceEvent> {
         let SourceKind::Tracepoints(names) = kind else {
@@ -194,9 +186,7 @@ pub fn evaluate(
             .fields()
             .iter()
             .map(|qf| {
-                let f = qf
-                    .strip_prefix(&format!("{alias}."))
-                    .unwrap_or(qf.as_ref());
+                let f = qf.strip_prefix(&format!("{alias}.")).unwrap_or(qf.as_ref());
                 e.exports
                     .iter()
                     .find(|(k, _)| k == f)
@@ -259,8 +249,7 @@ pub fn evaluate(
 
     // Build the join schema.
     let mut schema = schema_for(&query.from.alias, &query.from.kind);
-    let mut alias_schemas =
-        vec![(query.from.alias.clone(), schema.clone())];
+    let mut alias_schemas = vec![(query.from.alias.clone(), schema.clone())];
     for join in &query.joins {
         let s = schema_for(&join.source.alias, &join.source.kind);
         schema = schema.concat(&s);
@@ -295,9 +284,7 @@ pub fn evaluate(
 
     'asg: for asg in &assignments {
         let mut joined = Tuple::empty();
-        for ((alias, s), (_, e)) in
-            alias_schemas.iter().zip(&asg.chosen)
-        {
+        for ((alias, s), (_, e)) in alias_schemas.iter().zip(&asg.chosen) {
             joined = joined.concat(&tuple_for(s, alias, e));
         }
         let row = (&schema, &joined);
@@ -315,14 +302,10 @@ pub fn evaluate(
                 continue;
             };
             let key = GroupKey(key);
-            let states = match groups.iter_mut().find(|(k, _)| *k == key)
-            {
+            let states = match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, s)) => s,
                 None => {
-                    groups.push((
-                        key,
-                        aggs.iter().map(|(f, _)| f.init()).collect(),
-                    ));
+                    groups.push((key, aggs.iter().map(|(f, _)| f.init()).collect()));
                     &mut groups.last_mut().expect("just pushed").1
                 }
             };

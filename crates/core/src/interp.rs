@@ -64,14 +64,9 @@ pub fn run(
                             .unwrap_or(Value::Null)
                     })
                     .collect();
-                let obs_schema = Schema::new(
-                    fields.iter().map(|f| format!("{alias}.{f}")),
-                );
+                let obs_schema = Schema::new(fields.iter().map(|f| format!("{alias}.{f}")));
                 schema = schema.concat(&obs_schema);
-                tuples = tuples
-                    .iter()
-                    .map(|t| t.concat(&values))
-                    .collect();
+                tuples = tuples.iter().map(|t| t.concat(&values)).collect();
             }
             AdviceOp::Unpack {
                 slot,
@@ -88,18 +83,11 @@ pub fn run(
                 // packed earlier in this request's execution.
                 tuples = tuples
                     .iter()
-                    .flat_map(|t| {
-                        unpacked.iter().map(move |u| t.concat(u))
-                    })
+                    .flat_map(|t| unpacked.iter().map(move |u| t.concat(u)))
                     .collect();
             }
             AdviceOp::Filter { pred } => {
-                tuples.retain(|t| {
-                    matches!(
-                        pred.eval(&(&schema, t)),
-                        Ok(Value::Bool(true))
-                    )
-                });
+                tuples.retain(|t| matches!(pred.eval(&(&schema, t)), Ok(Value::Bool(true))));
             }
             AdviceOp::Pack {
                 slot,
@@ -256,23 +244,18 @@ mod tests {
         };
 
         let mut bag = Baggage::new();
-        let (emits, s1) =
-            run(&a1, &[("procName", Value::str("HGet"))], &mut bag);
+        let (emits, s1) = run(&a1, &[("procName", Value::str("HGet"))], &mut bag);
         assert!(emits.is_empty());
         assert_eq!(s1.packed, 1);
 
-        let (emits, s2) =
-            run(&a2, &[("delta", Value::I64(4096))], &mut bag);
+        let (emits, s2) = run(&a2, &[("delta", Value::I64(4096))], &mut bag);
         assert_eq!(s2.unpacked, 1);
         assert_eq!(s2.emitted, 1);
         let rows = emit_rows(&emits[0]);
         match rows {
             EmitRows::Grouped(rows) => {
                 assert_eq!(rows.len(), 1);
-                assert_eq!(
-                    rows[0].0 .0.get(0),
-                    &Value::str("HGet")
-                );
+                assert_eq!(rows[0].0 .0.get(0), &Value::str("HGet"));
                 assert_eq!(rows[0].1, vec![Value::I64(4096)]);
             }
             EmitRows::Raw(_) => panic!("expected grouped"),
@@ -309,11 +292,7 @@ mod tests {
             ops: vec![
                 observe("e", &["x"]),
                 AdviceOp::Filter {
-                    pred: Expr::bin(
-                        BinOp::Lt,
-                        Expr::field("e.x"),
-                        Expr::lit(10),
-                    ),
+                    pred: Expr::bin(BinOp::Lt, Expr::field("e.x"), Expr::lit(10)),
                 },
                 AdviceOp::Pack {
                     slot: QueryId(300),
@@ -341,10 +320,7 @@ mod tests {
                 AdviceOp::Emit {
                     query: QueryId(1),
                     spec: OutputSpec {
-                        key_exprs: vec![
-                            Expr::field("e.x"),
-                            Expr::field("e.ghost"),
-                        ],
+                        key_exprs: vec![Expr::field("e.x"), Expr::field("e.ghost")],
                         key_names: vec!["e.x".into(), "e.ghost".into()],
                         aggs: vec![],
                         agg_names: vec![],
@@ -358,10 +334,7 @@ mod tests {
         let (emits, _) = run(&a, &[("x", Value::I64(1))], &mut bag);
         match emit_rows(&emits[0]) {
             EmitRows::Raw(rows) => {
-                assert_eq!(
-                    rows[0].values(),
-                    &[Value::I64(1), Value::Null]
-                );
+                assert_eq!(rows[0].values(), &[Value::I64(1), Value::Null]);
             }
             _ => panic!("expected raw"),
         }
@@ -447,10 +420,7 @@ mod tests {
         let (emits, _) = run(&a, &[], &mut bag);
         match emit_rows(&emits[0]) {
             EmitRows::Raw(rows) => {
-                let got: Vec<i64> = rows
-                    .iter()
-                    .map(|r| r.get(0).as_i64().unwrap())
-                    .collect();
+                let got: Vec<i64> = rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
                 assert_eq!(got, vec![3, 4]);
             }
             _ => panic!("expected raw"),

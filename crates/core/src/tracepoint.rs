@@ -11,8 +11,7 @@ use pivot_query::AdviceProgram;
 /// The variables every tracepoint exports in addition to its declared ones
 /// (paper §3): host, timestamp, process id, process name, and the
 /// tracepoint name itself.
-pub const DEFAULT_EXPORTS: [&str; 5] =
-    ["host", "timestamp", "procid", "procname", "tracepoint"];
+pub const DEFAULT_EXPORTS: [&str; 5] = ["host", "timestamp", "procid", "procname", "tracepoint"];
 
 /// A tracepoint definition: a named location in the system plus its
 /// exported variables.
@@ -115,11 +114,7 @@ impl Registry {
         let mut map = self.map.write();
         map.retain(|_, entry| {
             let before = entry.len();
-            let list: Vec<Woven> = entry
-                .iter()
-                .filter(|w| w.query != query)
-                .cloned()
-                .collect();
+            let list: Vec<Woven> = entry.iter().filter(|w| w.query != query).cloned().collect();
             let removed = before - list.len();
             if removed > 0 {
                 self.woven_count.fetch_sub(removed, Ordering::Relaxed);

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use pivot_core::global::{evaluate, TraceLog, TracedCtx};
 use pivot_core::{Agent, Frontend, ProcessInfo, QueryHandle};
 use pivot_model::Value;
-use pivot_query::Resolver;
+
 use proptest::prelude::*;
 
 /// One step of a randomly generated execution.
@@ -49,13 +49,7 @@ fn make_frontend(optimized: bool) -> Frontend {
 
 /// Replays `steps` as `requests` independent requests, recording the trace
 /// log and running woven advice through `agent`.
-fn replay(
-    steps: &[Step],
-    requests: u64,
-    agent: &Agent,
-    log: &mut TraceLog,
-    allow_branches: bool,
-) {
+fn replay(steps: &[Step], requests: u64, agent: &Agent, log: &mut TraceLog, allow_branches: bool) {
     let mut now = 0u64;
     for req in 0..requests {
         let mut ctx = TracedCtx::new(log, req);
@@ -65,35 +59,21 @@ fn replay(
             match step {
                 Step::Invoke { tp, v, lane } => {
                     let name = TRACEPOINTS[*tp];
-                    let exports =
-                        [("x", Value::I64(*v + req as i64))];
+                    let exports = [("x", Value::I64(*v + req as i64))];
                     if branches.is_empty() || *lane == 0 {
                         ctx.record(name, &exports);
-                        agent.invoke(
-                            name,
-                            &mut ctx.baggage,
-                            now,
-                            &exports,
-                        );
+                        agent.invoke(name, &mut ctx.baggage, now, &exports);
                     } else {
                         let i = (*lane - 1) % branches.len();
                         // Split borrow: take the branch out briefly.
-                        let mut b: pivot_core::global::TracedCtxBranch =
-                            branches.remove(i);
+                        let mut b: pivot_core::global::TracedCtxBranch = branches.remove(i);
                         ctx.record_on(&mut b, name, &exports);
-                        agent.invoke(
-                            name,
-                            &mut b.baggage,
-                            now,
-                            &exports,
-                        );
+                        agent.invoke(name, &mut b.baggage, now, &exports);
                         branches.insert(i, b);
                     }
                 }
-                Step::Split if allow_branches => {
-                    if branches.len() < 3 {
-                        branches.push(ctx.split());
-                    }
+                Step::Split if allow_branches && branches.len() < 3 => {
+                    branches.push(ctx.split());
                 }
                 Step::Join if allow_branches => {
                     if let Some(b) = branches.pop() {
@@ -256,7 +236,7 @@ proptest! {
 /// on two branches, with the tuples each query must produce.
 #[test]
 fn figure_3_semantics() {
-    let mut fe = make_frontend(true);
+    let fe = make_frontend(true);
     let mut log = TraceLog::new();
 
     // Execution graph of Figure 3 (labels carry the invocation number):
@@ -278,9 +258,7 @@ fn figure_3_semantics() {
         let ast = pivot_query::parse(text).unwrap();
         evaluate(&ast, &fe, &log)
             .into_iter()
-            .map(|r| {
-                r.into_iter().map(|v| v.to_string()).collect::<Vec<_>>()
-            })
+            .map(|r| r.into_iter().map(|v| v.to_string()).collect::<Vec<_>>())
             .collect()
     };
 
@@ -292,20 +270,12 @@ fn figure_3_semantics() {
     // A ⋈→ B: a1 joins both b's; a2 joins only b2 (its branch).
     assert_eq!(
         rows("From b In B Join a In A On a -> b Select a.x, b.x"),
-        vec![
-            vec!["a1", "b1"],
-            vec!["a1", "b2"],
-            vec!["a2", "b2"],
-        ]
+        vec![vec!["a1", "b1"], vec!["a1", "b2"], vec!["a2", "b2"],]
     );
     // B ⋈→ C: b1 precedes c1 and c2; b2 precedes only c2.
     assert_eq!(
         rows("From c In C Join b In B On b -> c Select b.x, c.x"),
-        vec![
-            vec!["b1", "c1"],
-            vec!["b1", "c2"],
-            vec!["b2", "c2"],
-        ]
+        vec![vec!["b1", "c1"], vec!["b1", "c2"], vec!["b2", "c2"],]
     );
     // (A ⋈→ B) ⋈→ C.
     assert_eq!(

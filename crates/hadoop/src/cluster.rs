@@ -137,21 +137,9 @@ impl Cluster {
             hosts.push(Rc::new(Host {
                 idx,
                 name: name.clone(),
-                nic_in: FifoResource::new(
-                    clock.clone(),
-                    format!("{name}/nic-in"),
-                    cfg.nic_rate,
-                ),
-                nic_out: FifoResource::new(
-                    clock.clone(),
-                    format!("{name}/nic-out"),
-                    cfg.nic_rate,
-                ),
-                disk: FifoResource::new(
-                    clock.clone(),
-                    format!("{name}/disk"),
-                    cfg.disk_rate,
-                ),
+                nic_in: FifoResource::new(clock.clone(), format!("{name}/nic-in"), cfg.nic_rate),
+                nic_out: FifoResource::new(clock.clone(), format!("{name}/nic-out"), cfg.nic_rate),
+                disk: FifoResource::new(clock.clone(), format!("{name}/disk"), cfg.disk_rate),
                 net_tx: Counter::new(clock.clone()),
                 net_rx: Counter::new(clock.clone()),
                 disk_read: Counter::new(clock.clone()),
@@ -176,7 +164,9 @@ impl Cluster {
             baggage_bytes: Counter::new(clock.clone()),
             rt,
         });
-        cluster.rng.replace(SmallRng::seed_from_u64(cluster.cfg.seed));
+        cluster
+            .rng
+            .replace(SmallRng::seed_from_u64(cluster.cfg.seed));
         cluster.spawn_reporter();
         cluster
     }
@@ -229,13 +219,8 @@ impl Cluster {
     }
 
     /// Installs a query under a fixed name (referencable by later queries).
-    pub fn install_named(
-        &self,
-        name: &str,
-        text: &str,
-    ) -> Result<QueryHandle, InstallError> {
-        let handle =
-            self.frontend.borrow_mut().install_named(name, text)?;
+    pub fn install_named(&self, name: &str, text: &str) -> Result<QueryHandle, InstallError> {
+        let handle = self.frontend.borrow_mut().install_named(name, text)?;
         self.broadcast();
         Ok(handle)
     }
@@ -306,12 +291,7 @@ impl Cluster {
 /// Moves `bytes` from `src` to `dst` over both NICs (concurrently, as a
 /// real cut-through transfer would), counting utilization. Loopback
 /// traffic bypasses the NICs. Returns the transfer latency.
-pub async fn transfer(
-    clock: &Clock,
-    src: &Rc<Host>,
-    dst: &Rc<Host>,
-    bytes: f64,
-) -> Nanos {
+pub async fn transfer(clock: &Clock, src: &Rc<Host>, dst: &Rc<Host>, bytes: f64) -> Nanos {
     const PROPAGATION: Nanos = 100_000; // 100 µs switch + stack latency
     if src.idx == dst.idx {
         clock.sleep(20_000).await;
@@ -347,14 +327,13 @@ mod tests {
         let src = Rc::clone(&c.hosts[0]);
         let dst = Rc::clone(&c.hosts[1]);
         let clock = c.clock.clone();
-        let h = c.rt.spawn(async move {
-            transfer(&clock, &src, &dst, 125.0 * MB).await
-        });
+        let h =
+            c.rt.spawn(async move { transfer(&clock, &src, &dst, 125.0 * MB).await });
         // The reporter loop never terminates, so run bounded.
         c.rt.run_for_secs(10.0);
         let lat = h.try_take().unwrap();
         // 125 MB at 125 MB/s ≈ 1 s (+0.1 ms propagation).
-        assert!(lat >= 1_000_000_000 && lat < 1_010_000_000, "{lat}");
+        assert!((1_000_000_000..1_010_000_000).contains(&lat), "{lat}");
         assert_eq!(c.hosts[0].net_tx.total(), 125.0 * MB);
         assert_eq!(c.hosts[1].net_rx.total(), 125.0 * MB);
     }
@@ -364,9 +343,8 @@ mod tests {
         let c = Cluster::new(ClusterConfig::small(1));
         let src = Rc::clone(&c.hosts[0]);
         let clock = c.clock.clone();
-        let h = c.rt.spawn(async move {
-            transfer(&clock, &src.clone(), &src, 1000.0 * MB).await
-        });
+        let h =
+            c.rt.spawn(async move { transfer(&clock, &src.clone(), &src, 1000.0 * MB).await });
         c.rt.run_for_secs(10.0);
         assert!(h.try_take().unwrap() < 1_000_000);
         assert_eq!(c.hosts[0].net_tx.total(), 0.0);

@@ -21,12 +21,7 @@ pub struct Gc {
 impl Gc {
     /// Creates an injector and spawns its pause schedule: every
     /// `period_secs`, the process stops the world for `pause_secs`.
-    pub fn start(
-        rt: &SimRt,
-        clock: Clock,
-        period_secs: f64,
-        pause_secs: f64,
-    ) -> Rc<Gc> {
+    pub fn start(rt: &SimRt, clock: Clock, period_secs: f64, pause_secs: f64) -> Rc<Gc> {
         let gc = Rc::new(Gc {
             clock: clock.clone(),
             pause_until: Cell::new(0),
@@ -37,8 +32,7 @@ impl Gc {
             loop {
                 clock.sleep_secs(period_secs).await;
                 let Some(gc) = weak.upgrade() else { return };
-                let until =
-                    clock.now() + Clock::secs(pause_secs);
+                let until = clock.now() + Clock::secs(pause_secs);
                 gc.pause_until.set(until);
                 gc.total_paused
                     .set(gc.total_paused.get() + Clock::secs(pause_secs));

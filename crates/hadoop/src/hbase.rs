@@ -117,11 +117,7 @@ pub struct HBase {
 impl HBase {
     /// Starts HBase: one RegionServer per worker and `regions_per_server`
     /// regions each, with HFiles bootstrapped into HDFS.
-    pub fn start(
-        cluster: &Rc<Cluster>,
-        hdfs: &Rc<Hdfs>,
-        regions_per_server: usize,
-    ) -> Rc<HBase> {
+    pub fn start(cluster: &Rc<Cluster>, hdfs: &Rc<Hdfs>, regions_per_server: usize) -> Rc<HBase> {
         let mut regionservers = Vec::new();
         for h in cluster.workers() {
             let agent = cluster.new_agent(h, "RegionServer");
@@ -143,8 +139,7 @@ impl HBase {
         for r in 0..regions {
             let rs = r % regionservers.len();
             regionservers[rs].regions.borrow_mut().push(r);
-            hdfs.namenode
-                .bootstrap_file(&region_file(r), HFILE_SIZE, 3);
+            hdfs.namenode.bootstrap_file(&region_file(r), HFILE_SIZE, 3);
         }
         Rc::new(HBase {
             cluster: Rc::clone(cluster),
@@ -155,8 +150,7 @@ impl HBase {
 
     /// Maps a key in `[0, 1)` to its region.
     pub fn region_for(&self, key: f64) -> usize {
-        ((key.clamp(0.0, 0.999_999) * self.regions as f64) as usize)
-            .min(self.regions - 1)
+        ((key.clamp(0.0, 0.999_999) * self.regions as f64) as usize).min(self.regions - 1)
     }
 
     /// Builds a client bound to a process.
@@ -200,13 +194,7 @@ impl HBaseClient {
     }
 
     /// Issues one operation against the responsible RegionServer.
-    pub async fn request(
-        &self,
-        ctx: &mut Ctx,
-        op: &str,
-        key: f64,
-        size: f64,
-    ) {
+    pub async fn request(&self, ctx: &mut Ctx, op: &str, key: f64, size: f64) {
         let clock = self.hbase.cluster.clock.clone();
         self.agent.invoke(
             tp::CLIENT_PROTOCOLS,
@@ -215,19 +203,10 @@ impl HBaseClient {
             &[("procName", Value::str(&self.procname))],
         );
         let region = self.hbase.region_for(key);
-        let rs = Rc::clone(
-            &self.hbase.regionservers
-                [region % self.hbase.regionservers.len()],
-        );
+        let rs = Rc::clone(&self.hbase.regionservers[region % self.hbase.regionservers.len()]);
         let wire = ctx.to_wire();
         self.hbase.cluster.baggage_bytes.add(wire.len() as f64);
-        transfer(
-            &clock,
-            &self.host,
-            &rs.host,
-            RPC_BYTES + wire.len() as f64,
-        )
-        .await;
+        transfer(&clock, &self.host, &rs.host, RPC_BYTES + wire.len() as f64).await;
         let mut sctx = Ctx::from_wire(&wire);
         rs.handle(&mut sctx, op, region, size, &self.host).await;
         let back = sctx.to_wire();

@@ -91,11 +91,7 @@ impl NameNode {
         let agent = cluster.new_agent(&host, "NameNode");
         Rc::new(NameNode {
             cluster: Rc::clone(cluster),
-            lock: FifoResource::new(
-                cluster.clock.clone(),
-                "nn/lock",
-                Self::LOCK_RATE,
-            ),
+            lock: FifoResource::new(cluster.clock.clone(), "nn/lock", Self::LOCK_RATE),
             host,
             agent,
             files: RefCell::new(HashMap::new()),
@@ -105,22 +101,12 @@ impl NameNode {
 
     /// Creates a file with pre-placed blocks and **no simulated IO** —
     /// bootstrap for pre-existing datasets.
-    pub fn bootstrap_file(
-        &self,
-        name: &str,
-        size: f64,
-        replication: usize,
-    ) {
+    pub fn bootstrap_file(&self, name: &str, size: f64, replication: usize) {
         let meta = self.allocate(size, replication, None);
         self.files.borrow_mut().insert(name.to_owned(), meta);
     }
 
-    fn allocate(
-        &self,
-        size: f64,
-        replication: usize,
-        local_hint: Option<usize>,
-    ) -> FileMeta {
+    fn allocate(&self, size: f64, replication: usize, local_hint: Option<usize>) -> FileMeta {
         let workers = self.cluster.cfg.workers;
         let replication = replication.min(workers);
         let mut rng = self.cluster.rng.borrow_mut();
@@ -232,12 +218,7 @@ impl NameNode {
 
     /// Server-side metadata operation (`open` / `create` / `rename` / …).
     /// Mutating operations hold the namespace lock exclusively.
-    pub async fn metadata_op(
-        &self,
-        ctx: &mut Ctx,
-        op: &str,
-        mutating: bool,
-    ) {
+    pub async fn metadata_op(&self, ctx: &mut Ctx, op: &str, mutating: bool) {
         let cost = if mutating { Self::WRITE_COST } else { 1.0 };
         let lock_nanos = self.lock.acquire(cost).await;
         self.agent.invoke(
@@ -360,7 +341,11 @@ impl DataNode {
                 gc_total += waited;
             }
             // Random-IO positioning cost on the first chunk of the op.
-            let seek = if first { self.cluster.cfg.seek_bytes } else { 0.0 };
+            let seek = if first {
+                self.cluster.cfg.seek_bytes
+            } else {
+                0.0
+            };
             first = false;
             self.host.disk.acquire(c + seek).await;
             self.host.disk_read.add(c);
@@ -368,10 +353,7 @@ impl DataNode {
                 tp::FILE_INPUT_STREAM,
                 &mut ctx.bag,
                 clock.now(),
-                &[
-                    ("delta", Value::F64(c)),
-                    ("phase", Value::str("HDFS")),
-                ],
+                &[("delta", Value::F64(c)), ("phase", Value::str("HDFS"))],
             );
             self.agent.invoke(
                 tp::DN_INCR_BYTES_READ,
@@ -383,9 +365,7 @@ impl DataNode {
             // "Blocked" is measured against the *nominal* link rate: on a
             // limping link the anomalous extra service time counts as
             // blocking, as in the paper's Figure 9b.
-            let ideal = (c / self.cluster.cfg.nic_rate
-                * NANOS_PER_SEC as f64) as Nanos
-                + 100_000;
+            let ideal = (c / self.cluster.cfg.nic_rate * NANOS_PER_SEC as f64) as Nanos + 100_000;
             blocked += lat.saturating_sub(ideal);
         }
         self.agent.invoke(
@@ -425,7 +405,11 @@ impl DataNode {
             let c = remaining.min(chunk);
             remaining -= c;
             transfer(clock, from, &self.host, c).await;
-            let seek = if first { self.cluster.cfg.seek_bytes } else { 0.0 };
+            let seek = if first {
+                self.cluster.cfg.seek_bytes
+            } else {
+                0.0
+            };
             first = false;
             self.host.disk.acquire(c + seek).await;
             self.host.disk_write.add(c);
@@ -433,10 +417,7 @@ impl DataNode {
                 tp::FILE_OUTPUT_STREAM,
                 &mut ctx.bag,
                 clock.now(),
-                &[
-                    ("delta", Value::F64(c)),
-                    ("phase", Value::str("HDFS")),
-                ],
+                &[("delta", Value::F64(c)), ("phase", Value::str("HDFS"))],
             );
             self.agent.invoke(
                 tp::DN_INCR_BYTES_WRITTEN,
@@ -447,11 +428,8 @@ impl DataNode {
             // Forward through the rest of the pipeline, chunk by chunk.
             if let Some((next, rest)) = pipeline.split_first() {
                 // Box the recursion: async fn cannot be directly recursive.
-                let fut: std::pin::Pin<
-                    Box<dyn std::future::Future<Output = ()>>,
-                > = Box::pin(next.write_block_chunkless(
-                    ctx, c, &self.host, rest,
-                ));
+                let fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> =
+                    Box::pin(next.write_block_chunkless(ctx, c, &self.host, rest));
                 fut.await;
             }
         }
@@ -482,11 +460,8 @@ impl DataNode {
             &[("delta", Value::F64(c))],
         );
         if let Some((next, rest)) = pipeline.split_first() {
-            let fut: std::pin::Pin<
-                Box<dyn std::future::Future<Output = ()>>,
-            > = Box::pin(
-                next.write_block_chunkless(ctx, c, &self.host, rest),
-            );
+            let fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> =
+                Box::pin(next.write_block_chunkless(ctx, c, &self.host, rest));
             fut.await;
         }
     }
@@ -569,11 +544,7 @@ impl DfsClient {
     }
 
     /// A control RPC to the NameNode: ships the baggage both ways.
-    async fn nn_rpc<'a, R, F, Fut>(
-        &'a self,
-        ctx: &'a mut Ctx,
-        f: F,
-    ) -> R
+    async fn nn_rpc<'a, R, F, Fut>(&'a self, ctx: &'a mut Ctx, f: F) -> R
     where
         F: FnOnce(Rc<NameNode>, Ctx) -> Fut,
         Fut: std::future::Future<Output = (Ctx, R)> + 'a,
@@ -583,49 +554,25 @@ impl DfsClient {
         let clock = self.clock().clone();
         let wire = ctx.to_wire();
         self.hdfs.cluster.baggage_bytes.add(wire.len() as f64);
-        transfer(
-            &clock,
-            &self.host,
-            &nn.host,
-            RPC_BYTES + wire.len() as f64,
-        )
-        .await;
+        transfer(&clock, &self.host, &nn.host, RPC_BYTES + wire.len() as f64).await;
         let server_ctx = Ctx::from_wire(&wire);
         let (mut server_ctx, out) = f(Rc::clone(&nn), server_ctx).await;
         let back = server_ctx.to_wire();
-        transfer(
-            &clock,
-            &nn.host,
-            &self.host,
-            RPC_BYTES + back.len() as f64,
-        )
-        .await;
+        transfer(&clock, &nn.host, &self.host, RPC_BYTES + back.len() as f64).await;
         ctx.adopt_response(&back);
         out
     }
 
     /// Reads `size` bytes at `offset` from `file`, choosing replicas the
     /// way the HDFS client does (always the first location returned).
-    pub async fn read_at(
-        &self,
-        ctx: &mut Ctx,
-        file: &str,
-        offset: f64,
-        size: f64,
-    ) {
+    pub async fn read_at(&self, ctx: &mut Ctx, file: &str, offset: f64, size: f64) {
         self.client_protocols(ctx);
         let client_idx = self.host.idx;
         let file_owned = file.to_owned();
         let located = self
             .nn_rpc(ctx, move |nn, mut sctx| async move {
                 let out = nn
-                    .get_block_locations(
-                        &mut sctx,
-                        &file_owned,
-                        offset,
-                        size,
-                        client_idx,
-                    )
+                    .get_block_locations(&mut sctx, &file_owned, offset, size, client_idx)
                     .await;
                 (sctx, out)
             })
@@ -647,10 +594,8 @@ impl DfsClient {
             let wire = ctx.to_wire();
             self.hdfs.cluster.baggage_bytes.add(wire.len() as f64);
             let env_bytes = RPC_BYTES + wire.len() as f64;
-            let env_lat =
-                transfer(&clock, &self.host, &dn.host, env_bytes).await;
-            let env_ideal = (env_bytes / self.hdfs.cluster.cfg.nic_rate
-                * NANOS_PER_SEC as f64)
+            let env_lat = transfer(&clock, &self.host, &dn.host, env_bytes).await;
+            let env_ideal = (env_bytes / self.hdfs.cluster.cfg.nic_rate * NANOS_PER_SEC as f64)
                 as Nanos
                 + 100_000;
             let mut sctx = Ctx::from_wire(&wire);
@@ -669,11 +614,7 @@ impl DfsClient {
 
     /// Reads `size` bytes starting at a uniformly random block of `file`.
     pub async fn read_random(&self, ctx: &mut Ctx, file: &str, size: f64) {
-        let total = self
-            .hdfs
-            .namenode
-            .file_size(file)
-            .unwrap_or(BLOCK_SIZE);
+        let total = self.hdfs.namenode.file_size(file).unwrap_or(BLOCK_SIZE);
         let max_off = (total - size).max(0.0);
         let offset = if max_off > 0.0 {
             self.hdfs.cluster.rng.borrow_mut().gen_range(0.0..max_off)
@@ -685,13 +626,7 @@ impl DfsClient {
 
     /// Creates `file` of `size` bytes, writing through the replication
     /// pipeline.
-    pub async fn write(
-        &self,
-        ctx: &mut Ctx,
-        file: &str,
-        size: f64,
-        replication: usize,
-    ) {
+    pub async fn write(&self, ctx: &mut Ctx, file: &str, size: f64, replication: usize) {
         self.client_protocols(ctx);
         self.nn_rpc(ctx, move |nn, mut sctx| async move {
             nn.metadata_op(&mut sctx, "create", true).await;
@@ -716,13 +651,7 @@ impl DfsClient {
                 .collect();
             let clock = self.clock().clone();
             let wire = ctx.to_wire();
-            transfer(
-                &clock,
-                &self.host,
-                &dn.host,
-                RPC_BYTES + wire.len() as f64,
-            )
-            .await;
+            transfer(&clock, &self.host, &dn.host, RPC_BYTES + wire.len() as f64).await;
             let mut sctx = Ctx::from_wire(&wire);
             dn.write_block(&mut sctx, b.size, &self.host, &pipeline)
                 .await;

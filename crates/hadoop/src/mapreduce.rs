@@ -61,11 +61,7 @@ pub struct MapReduce {
 
 impl MapReduce {
     /// Starts the MapReduce service.
-    pub fn start(
-        cluster: &Rc<Cluster>,
-        hdfs: &Rc<Hdfs>,
-        yarn: &Rc<Yarn>,
-    ) -> Rc<MapReduce> {
+    pub fn start(cluster: &Rc<Cluster>, hdfs: &Rc<Hdfs>, yarn: &Rc<Yarn>) -> Rc<MapReduce> {
         Rc::new(MapReduce {
             cluster: Rc::clone(cluster),
             hdfs: Rc::clone(hdfs),
@@ -77,20 +73,19 @@ impl MapReduce {
     /// Returns the per-host agent for map / reduce task processes.
     fn task_agent(&self, host: usize, kind: &'static str) -> Arc<Agent> {
         let mut agents = self.task_agents.borrow_mut();
-        Arc::clone(agents.entry((host, kind)).or_insert_with(|| {
-            self.cluster
-                .new_agent(&self.cluster.hosts[host], kind)
-        }))
+        Arc::clone(
+            agents
+                .entry((host, kind))
+                .or_insert_with(|| self.cluster.new_agent(&self.cluster.hosts[host], kind)),
+        )
     }
 
     /// Runs a job to completion and returns its statistics.
     pub async fn run_job(self: &Rc<MapReduce>, spec: JobSpec) -> JobStats {
         let clock = self.cluster.clock.clone();
         let start = clock.now();
-        let client_host =
-            Rc::clone(&self.cluster.hosts[spec.client_host]);
-        let client_agent =
-            self.cluster.new_agent(&client_host, &spec.name);
+        let client_host = Rc::clone(&self.cluster.hosts[spec.client_host]);
+        let client_agent = self.cluster.new_agent(&client_host, &spec.name);
         let mut ctx = Ctx::new();
         client_agent.invoke(
             tp::CLIENT_PROTOCOLS,
@@ -101,8 +96,7 @@ impl MapReduce {
 
         let layout = self.hdfs.namenode.block_layout(&spec.input);
         let maps = layout.len();
-        let map_out: Rc<RefCell<HashMap<usize, f64>>> =
-            Rc::new(RefCell::new(HashMap::new()));
+        let map_out: Rc<RefCell<HashMap<usize, f64>>> = Rc::new(RefCell::new(HashMap::new()));
 
         // Map wave: allocate (data-local preferred), run, rejoin.
         let mut handles = Vec::new();
@@ -116,10 +110,7 @@ impl MapReduce {
                 let ctx = mr
                     .map_task(branch, container.host, &input, offset, size)
                     .await;
-                *map_out
-                    .borrow_mut()
-                    .entry(container.host)
-                    .or_insert(0.0) += size;
+                *map_out.borrow_mut().entry(container.host).or_insert(0.0) += size;
                 // Release inside the task: a driver still allocating later
                 // splits must be able to reuse this slot, or two concurrent
                 // jobs deadlock the container pool.
@@ -135,8 +126,7 @@ impl MapReduce {
 
         // Shuffle + reduce wave.
         let sources: Vec<(usize, f64)> = {
-            let mut v: Vec<(usize, f64)> =
-                map_out.borrow().iter().map(|(k, v)| (*k, *v)).collect();
+            let mut v: Vec<(usize, f64)> = map_out.borrow().iter().map(|(k, v)| (*k, *v)).collect();
             v.sort_by_key(|(h, _)| *h);
             v
         };
@@ -150,13 +140,7 @@ impl MapReduce {
             let out_name = format!("{}/part-{r}", spec.name);
             let h = self.cluster.rt.spawn(async move {
                 let out = mr
-                    .reduce_task(
-                        branch,
-                        container.host,
-                        sources,
-                        reducers,
-                        &out_name,
-                    )
+                    .reduce_task(branch, container.host, sources, reducers, &out_name)
                     .await;
                 mr.yarn.release(container);
                 out
@@ -190,18 +174,17 @@ impl MapReduce {
         size: f64,
     ) -> Ctx {
         let agent = self.task_agent(host, "MapTask");
-        let dfs = self.hdfs.client(
-            &self.cluster.hosts[host],
-            &agent,
-            "MapTask",
-        );
+        let dfs = self
+            .hdfs
+            .client(&self.cluster.hosts[host], &agent, "MapTask");
         dfs.read_at(&mut ctx, input, offset, size).await;
         self.cluster
             .clock
             .sleep((size / CPU_RATE * 1e9) as u64)
             .await;
         // Spill map output to local disk.
-        self.local_io(&mut ctx, host, &agent, size, "Map", true).await;
+        self.local_io(&mut ctx, host, &agent, size, "Map", true)
+            .await;
         ctx
     }
 
@@ -241,11 +224,9 @@ impl MapReduce {
         self.local_io(&mut ctx, host, &agent, partition, "Reduce", false)
             .await;
         clock.sleep((partition / CPU_RATE * 1e9) as u64).await;
-        let dfs = self.hdfs.client(
-            &self.cluster.hosts[host],
-            &agent,
-            "ReduceTask",
-        );
+        let dfs = self
+            .hdfs
+            .client(&self.cluster.hosts[host], &agent, "ReduceTask");
         dfs.write(&mut ctx, out_name, partition, 1).await;
         ctx
     }
@@ -275,10 +256,7 @@ impl MapReduce {
                     tp::FILE_OUTPUT_STREAM,
                     &mut ctx.bag,
                     clock.now(),
-                    &[
-                        ("delta", Value::F64(c)),
-                        ("phase", Value::str(phase)),
-                    ],
+                    &[("delta", Value::F64(c)), ("phase", Value::str(phase))],
                 );
             } else {
                 h.disk_read.add(c);
@@ -286,10 +264,7 @@ impl MapReduce {
                     tp::FILE_INPUT_STREAM,
                     &mut ctx.bag,
                     clock.now(),
-                    &[
-                        ("delta", Value::F64(c)),
-                        ("phase", Value::str(phase)),
-                    ],
+                    &[("delta", Value::F64(c)), ("phase", Value::str(phase))],
                 );
             }
         }

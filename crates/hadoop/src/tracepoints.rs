@@ -65,14 +65,8 @@ pub fn define_all(frontend: &mut Frontend) {
     frontend.define(DN_INCR_BYTES_READ, ["delta"]);
     frontend.define(DN_INCR_BYTES_WRITTEN, ["delta"]);
     frontend.define(DN_DATA_TRANSFER, ["op", "size"]);
-    frontend.define(
-        DN_TRANSFER_TIMING,
-        ["xferNanos", "blockedNanos", "gcNanos"],
-    );
-    frontend.define(
-        NN_GET_BLOCK_LOCATIONS,
-        ["src", "replicas", "lockNanos"],
-    );
+    frontend.define(DN_TRANSFER_TIMING, ["xferNanos", "blockedNanos", "gcNanos"]);
+    frontend.define(NN_GET_BLOCK_LOCATIONS, ["src", "replicas", "lockNanos"]);
     frontend.define(NN_CLIENT_PROTOCOL, ["op", "lockNanos"]);
     frontend.define(STRESS_DO_NEXT_OP, ["op"]);
     frontend.define(FILE_INPUT_STREAM, ["delta", "phase"]);

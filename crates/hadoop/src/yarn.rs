@@ -39,8 +39,7 @@ pub struct Container {
 impl Yarn {
     /// Starts YARN with `slots` containers per NodeManager.
     pub fn start(cluster: &Rc<Cluster>, slots: usize) -> Rc<Yarn> {
-        let rm_agent =
-            cluster.new_agent(cluster.nn_host(), "ResourceManager");
+        let rm_agent = cluster.new_agent(cluster.nn_host(), "ResourceManager");
         let nodemanagers = cluster
             .workers()
             .iter()

@@ -31,10 +31,7 @@ fn bootstrap_places_blocks_with_replication() {
         r.dedup();
         assert_eq!(r.len(), 3, "replicas must be distinct");
     }
-    assert_eq!(
-        hdfs.namenode.file_size("f"),
-        Some(300.0 * MB)
-    );
+    assert_eq!(hdfs.namenode.file_size("f"), Some(300.0 * MB));
 }
 
 #[test]
@@ -47,8 +44,7 @@ fn buggy_ordering_is_static_fixed_is_shuffled() {
         hdfs.namenode.bootstrap_file("f", BLOCK_SIZE, 3);
         // Find a host that holds no replica.
         let replicas = &hdfs.namenode.block_layout("f")[0].2;
-        let outsider =
-            (0..8).find(|h| !replicas.contains(h)).expect("8 > 3");
+        let outsider = (0..8).find(|h| !replicas.contains(h)).expect("8 > 3");
         let clock = c.clock.clone();
         let nn = Rc::clone(&hdfs.namenode);
         let h = c.rt.spawn(async move {
@@ -56,9 +52,7 @@ fn buggy_ordering_is_static_fixed_is_shuffled() {
             for _ in 0..20 {
                 let mut ctx = Ctx::new();
                 let lb = nn
-                    .get_block_locations(
-                        &mut ctx, "f", 0.0, 1.0, outsider,
-                    )
+                    .get_block_locations(&mut ctx, "f", 0.0, 1.0, outsider)
                     .await;
                 orders.push(lb[0].order.clone());
                 clock.sleep(1000).await;
@@ -110,8 +104,7 @@ fn write_pipeline_lands_bytes_on_all_replicas() {
     // Writer is a worker: local-first placement.
     assert_eq!(layout[0].2[0], 0);
     // All three replicas wrote 16 MB to disk.
-    let total_written: f64 =
-        c.workers().iter().map(|h| h.disk_write.total()).sum();
+    let total_written: f64 = c.workers().iter().map(|h| h.disk_write.total()).sum();
     assert!(
         (total_written - 48.0 * MB).abs() < 1.0,
         "pipeline wrote {total_written}"
@@ -134,8 +127,7 @@ fn reads_move_bytes_through_disk_and_network() {
     });
     c.rt.run_for_secs(30.0);
     assert!(h.is_done());
-    let disk_total: f64 =
-        c.workers().iter().map(|h| h.disk_read.total()).sum();
+    let disk_total: f64 = c.workers().iter().map(|h| h.disk_read.total()).sum();
     assert!((disk_total - 8.0 * MB).abs() < 1.0);
     let rx = c.hosts[outsider].net_rx.total();
     assert!(rx >= 8.0 * MB, "client received only {rx} bytes");

@@ -33,11 +33,7 @@ impl Event {
             _ => {
                 let m = left.base().min(right.base());
                 if m > 0 {
-                    Event::Node(
-                        n + m,
-                        Box::new(left.sink(m)),
-                        Box::new(right.sink(m)),
-                    )
+                    Event::Node(n + m, Box::new(left.sink(m)), Box::new(right.sink(m)))
                 } else {
                     Event::Node(n, Box::new(left), Box::new(right))
                 }
@@ -56,9 +52,7 @@ impl Event {
     fn lift(&self, m: u64) -> Event {
         match self {
             Event::Leaf(n) => Event::Leaf(n + m),
-            Event::Node(n, l, r) => {
-                Event::Node(n + m, l.clone(), r.clone())
-            }
+            Event::Node(n, l, r) => Event::Node(n + m, l.clone(), r.clone()),
         }
     }
 
@@ -71,9 +65,7 @@ impl Event {
     fn sink(&self, m: u64) -> Event {
         match self {
             Event::Leaf(n) => Event::Leaf(n - m),
-            Event::Node(n, l, r) => {
-                Event::Node(n - m, l.clone(), r.clone())
-            }
+            Event::Node(n, l, r) => Event::Node(n - m, l.clone(), r.clone()),
         }
     }
 
@@ -105,9 +97,7 @@ impl Event {
                     && r1.lift(*n1).leq(&Event::Leaf(*n2))
             }
             (Event::Node(n1, l1, r1), Event::Node(n2, l2, r2)) => {
-                *n1 <= *n2
-                    && l1.lift(*n1).leq(&l2.lift(*n2))
-                    && r1.lift(*n1).leq(&r2.lift(*n2))
+                *n1 <= *n2 && l1.lift(*n1).leq(&l2.lift(*n2)) && r1.lift(*n1).leq(&r2.lift(*n2))
             }
         }
     }
@@ -118,12 +108,9 @@ impl Event {
             (Event::Leaf(n1), Event::Leaf(n2)) => Event::Leaf(*n1.max(n2)),
             // Expand the leaf into an equivalent raw node (bypassing the
             // normalizing constructor, which would collapse it right back).
-            (Event::Leaf(n1), n @ Event::Node(..)) => Event::Node(
-                *n1,
-                Box::new(Event::zero()),
-                Box::new(Event::zero()),
-            )
-            .join(n),
+            (Event::Leaf(n1), n @ Event::Node(..)) => {
+                Event::Node(*n1, Box::new(Event::zero()), Box::new(Event::zero())).join(n)
+            }
             (n @ Event::Node(..), Event::Leaf(n2)) => n.join(&Event::Node(
                 *n2,
                 Box::new(Event::zero()),
@@ -134,11 +121,7 @@ impl Event {
                     return other.join(self);
                 }
                 let d = n2 - n1;
-                Event::node(
-                    *n1,
-                    l1.join(&l2.lift(d)),
-                    r1.join(&r2.lift(d)),
-                )
+                Event::node(*n1, l1.join(&l2.lift(d)), r1.join(&r2.lift(d)))
             }
         }
     }
@@ -195,21 +178,19 @@ fn fill(id: &Id, e: &Event) -> Event {
         (Id::Zero, e) => e.clone(),
         (Id::One, e) => Event::Leaf(e.max()),
         (_, Event::Leaf(n)) => Event::Leaf(*n),
-        (Id::Node(il, ir), Event::Node(n, el, er)) => {
-            match (il.as_ref(), ir.as_ref()) {
-                (Id::One, _) => {
-                    let er2 = fill(ir, er);
-                    let el2 = Event::Leaf(el.max().max(er2.min()));
-                    Event::node(*n, el2, er2)
-                }
-                (_, Id::One) => {
-                    let el2 = fill(il, el);
-                    let er2 = Event::Leaf(er.max().max(el2.min()));
-                    Event::node(*n, el2, er2)
-                }
-                _ => Event::node(*n, fill(il, el), fill(ir, er)),
+        (Id::Node(il, ir), Event::Node(n, el, er)) => match (il.as_ref(), ir.as_ref()) {
+            (Id::One, _) => {
+                let er2 = fill(ir, er);
+                let el2 = Event::Leaf(el.max().max(er2.min()));
+                Event::node(*n, el2, er2)
             }
-        }
+            (_, Id::One) => {
+                let el2 = fill(il, el);
+                let er2 = Event::Leaf(er.max().max(el2.min()));
+                Event::node(*n, el2, er2)
+            }
+            _ => Event::node(*n, fill(il, el), fill(ir, er)),
+        },
     }
 }
 
@@ -227,27 +208,25 @@ fn grow(id: &Id, e: &Event) -> (Event, u64) {
             );
             (e2, c + BIG)
         }
-        (Id::Node(il, ir), Event::Node(n, el, er)) => {
-            match (il.as_ref(), ir.as_ref()) {
-                (Id::Zero, _) => {
-                    let (er2, c) = grow(ir, er);
-                    (Event::node(*n, el.as_ref().clone(), er2), c + 1)
-                }
-                (_, Id::Zero) => {
-                    let (el2, c) = grow(il, el);
-                    (Event::node(*n, el2, er.as_ref().clone()), c + 1)
-                }
-                _ => {
-                    let (el2, cl) = grow(il, el);
-                    let (er2, cr) = grow(ir, er);
-                    if cl < cr {
-                        (Event::node(*n, el2, er.as_ref().clone()), cl + 1)
-                    } else {
-                        (Event::node(*n, el.as_ref().clone(), er2), cr + 1)
-                    }
+        (Id::Node(il, ir), Event::Node(n, el, er)) => match (il.as_ref(), ir.as_ref()) {
+            (Id::Zero, _) => {
+                let (er2, c) = grow(ir, er);
+                (Event::node(*n, el.as_ref().clone(), er2), c + 1)
+            }
+            (_, Id::Zero) => {
+                let (el2, c) = grow(il, el);
+                (Event::node(*n, el2, er.as_ref().clone()), c + 1)
+            }
+            _ => {
+                let (el2, cl) = grow(il, el);
+                let (er2, cr) = grow(ir, er);
+                if cl < cr {
+                    (Event::node(*n, el2, er.as_ref().clone()), cl + 1)
+                } else {
+                    (Event::node(*n, el.as_ref().clone(), er2), cr + 1)
                 }
             }
-        }
+        },
         // `event()` only calls `grow` after `fill` left the tree unchanged,
         // and `fill(One, _)` always collapses to a leaf — so a whole-interval
         // identity never reaches `grow` with a node. Handle it defensively by
@@ -353,7 +332,10 @@ mod tests {
     #[test]
     fn encode_round_trip() {
         let (a, b) = Id::One.split();
-        let e = Event::zero().event(&a).event(&a).join(&Event::zero().event(&b));
+        let e = Event::zero()
+            .event(&a)
+            .event(&a)
+            .join(&Event::zero().event(&b));
         let mut enc = Encoder::new();
         e.encode(&mut enc);
         let bytes = enc.finish();

@@ -21,6 +21,18 @@ pub enum Id {
     Node(Box<Id>, Box<Id>),
 }
 
+/// Two identities passed to [`Id::sum`] own overlapping intervals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OverlapError;
+
+impl fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("identities own overlapping intervals")
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
 impl Id {
     /// Returns the seed identity that owns the entire interval.
     pub fn one() -> Id {
@@ -58,10 +70,7 @@ impl Id {
     pub fn split(&self) -> (Id, Id) {
         match self {
             Id::Zero => (Id::Zero, Id::Zero),
-            Id::One => (
-                Id::node(Id::One, Id::Zero),
-                Id::node(Id::Zero, Id::One),
-            ),
+            Id::One => (Id::node(Id::One, Id::Zero), Id::node(Id::Zero, Id::One)),
             Id::Node(l, r) => match (l.as_ref(), r.as_ref()) {
                 (Id::Zero, r) => {
                     let (r1, r2) = r.split();
@@ -71,10 +80,7 @@ impl Id {
                     let (l1, l2) = l.split();
                     (Id::node(l1, Id::Zero), Id::node(l2, Id::Zero))
                 }
-                (l, r) => (
-                    Id::node(l.clone(), Id::Zero),
-                    Id::node(Id::Zero, r.clone()),
-                ),
+                (l, r) => (Id::node(l.clone(), Id::Zero), Id::node(Id::Zero, r.clone())),
             },
         }
     }
@@ -83,15 +89,14 @@ impl Id {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` if the identities overlap — summing overlapping
-    /// identities would forge ownership and indicates a protocol violation.
-    pub fn sum(&self, other: &Id) -> Result<Id, ()> {
+    /// Returns [`OverlapError`] if the identities overlap — summing
+    /// overlapping identities would forge ownership and indicates a
+    /// protocol violation.
+    pub fn sum(&self, other: &Id) -> Result<Id, OverlapError> {
         match (self, other) {
             (Id::Zero, x) | (x, Id::Zero) => Ok(x.clone()),
-            (Id::One, _) | (_, Id::One) => Err(()),
-            (Id::Node(l1, r1), Id::Node(l2, r2)) => {
-                Ok(Id::node(l1.sum(l2)?, r1.sum(r2)?))
-            }
+            (Id::One, _) | (_, Id::One) => Err(OverlapError),
+            (Id::Node(l1, r1), Id::Node(l2, r2)) => Ok(Id::node(l1.sum(l2)?, r1.sum(r2)?)),
         }
     }
 
@@ -100,9 +105,7 @@ impl Id {
         match (self, other) {
             (Id::Zero, _) | (_, Id::Zero) => false,
             (Id::One, _) | (_, Id::One) => true,
-            (Id::Node(l1, r1), Id::Node(l2, r2)) => {
-                l1.overlaps(l2) || r1.overlaps(r2)
-            }
+            (Id::Node(l1, r1), Id::Node(l2, r2)) => l1.overlaps(l2) || r1.overlaps(r2),
         }
     }
 
@@ -183,11 +186,7 @@ mod tests {
                 assert_eq!(x.overlaps(y), i == j, "{x:?} vs {y:?}");
             }
         }
-        let whole = a1
-            .sum(&a2)
-            .unwrap()
-            .sum(&b1.sum(&b2).unwrap())
-            .unwrap();
+        let whole = a1.sum(&a2).unwrap().sum(&b1.sum(&b2).unwrap()).unwrap();
         assert_eq!(whole, Id::One);
     }
 

@@ -34,5 +34,5 @@ mod stamp;
 
 pub use encode::{DecodeError, Decoder, Encoder};
 pub use event::Event;
-pub use id::Id;
+pub use id::{Id, OverlapError};
 pub use stamp::Stamp;

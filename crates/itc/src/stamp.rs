@@ -80,10 +80,7 @@ impl Stamp {
     /// Panics if the stamp is anonymous (identity zero) — anonymous stamps
     /// cannot witness events; this indicates misuse of [`Stamp::peek`].
     pub fn event(&mut self) {
-        assert!(
-            !self.id.is_zero(),
-            "anonymous stamps cannot witness events"
-        );
+        assert!(!self.id.is_zero(), "anonymous stamps cannot witness events");
         self.event = self.event.event(&self.id);
     }
 
@@ -93,10 +90,7 @@ impl Stamp {
     /// the overlap is resolved by keeping `self`'s identity — baggage join
     /// must be total, so we degrade gracefully rather than error.
     pub fn join(&self, other: &Stamp) -> Stamp {
-        let id = self
-            .id
-            .sum(&other.id)
-            .unwrap_or_else(|()| self.id.clone());
+        let id = self.id.sum(&other.id).unwrap_or_else(|_| self.id.clone());
         Stamp {
             id,
             event: self.event.join(&other.event),

@@ -154,7 +154,7 @@ fn deep_fork_chain_remains_correct() {
         acc = acc.join(&s);
     }
     assert!(acc.id().is_whole());
-    assert_eq!(Event::zero().leq(acc.event_tree()), true);
+    assert!(Event::zero().leq(acc.event_tree()));
     assert!(acc.event_tree().max() >= 1);
 }
 

@@ -154,27 +154,18 @@ impl AggState {
                 }
             }
             AggState::Min(cur) => {
-                if cur.is_null()
-                    || matches!(
-                        v.compare(cur),
-                        Some(std::cmp::Ordering::Less)
-                    )
+                if !v.is_null()
+                    && (cur.is_null() || matches!(v.compare(cur), Some(std::cmp::Ordering::Less)))
                 {
-                    if !v.is_null() {
-                        *cur = v.clone();
-                    }
+                    *cur = v.clone();
                 }
             }
             AggState::Max(cur) => {
-                if cur.is_null()
-                    || matches!(
-                        v.compare(cur),
-                        Some(std::cmp::Ordering::Greater)
-                    )
+                if !v.is_null()
+                    && (cur.is_null()
+                        || matches!(v.compare(cur), Some(std::cmp::Ordering::Greater)))
                 {
-                    if !v.is_null() {
-                        *cur = v.clone();
-                    }
+                    *cur = v.clone();
                 }
             }
             AggState::Average { sum, count } => {
@@ -194,35 +185,20 @@ impl AggState {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::Sum(a), AggState::Sum(b)) => a.merge(*b),
-            (AggState::Min(a), AggState::Min(b)) => {
+            (AggState::Min(a), AggState::Min(b))
+                if a.is_null()
+                    || (!b.is_null() && matches!(b.compare(a), Some(std::cmp::Ordering::Less))) =>
+            {
+                *a = b.clone();
+            }
+            (AggState::Max(a), AggState::Max(b))
                 if a.is_null()
                     || (!b.is_null()
-                        && matches!(
-                            b.compare(a),
-                            Some(std::cmp::Ordering::Less)
-                        ))
-                {
-                    *a = b.clone();
-                }
+                        && matches!(b.compare(a), Some(std::cmp::Ordering::Greater))) =>
+            {
+                *a = b.clone();
             }
-            (AggState::Max(a), AggState::Max(b)) => {
-                if a.is_null()
-                    || (!b.is_null()
-                        && matches!(
-                            b.compare(a),
-                            Some(std::cmp::Ordering::Greater)
-                        ))
-                {
-                    *a = b.clone();
-                }
-            }
-            (
-                AggState::Average { sum, count },
-                AggState::Average {
-                    sum: s2,
-                    count: c2,
-                },
-            ) => {
+            (AggState::Average { sum, count }, AggState::Average { sum: s2, count: c2 }) => {
                 *sum += s2;
                 *count += c2;
             }
@@ -267,10 +243,7 @@ impl AggState {
             AggState::Sum(Num::I(v)) => {
                 enc.put_u8(1);
                 // i128 sums fit i64 in practice; clamp on overflow.
-                enc.put_varint_i64((*v).clamp(
-                    i128::from(i64::MIN),
-                    i128::from(i64::MAX),
-                ) as i64);
+                enc.put_varint_i64((*v).clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64);
             }
             AggState::Sum(Num::F(v)) => {
                 enc.put_u8(2);

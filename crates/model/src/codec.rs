@@ -105,11 +105,7 @@ mod tests {
 
     #[test]
     fn tuple_round_trips() {
-        let t = Tuple::from_iter([
-            Value::str("procName"),
-            Value::I64(65536),
-            Value::Null,
-        ]);
+        let t = Tuple::from_iter([Value::str("procName"), Value::I64(65536), Value::Null]);
         let mut enc = Encoder::new();
         encode_tuple(&t, &mut enc);
         let bytes = enc.finish();

@@ -174,25 +174,26 @@ impl Expr {
             Expr::Binary(op, l, r) => {
                 // Short-circuit logical connectives.
                 if matches!(op, BinOp::And | BinOp::Or) {
-                    let lv = l.eval(row)?.as_bool().ok_or_else(|| {
-                        EvalError::TypeMismatch {
+                    let lv = l
+                        .eval(row)?
+                        .as_bool()
+                        .ok_or_else(|| EvalError::TypeMismatch {
                             op: op.symbol(),
                             left: "non-bool",
                             right: "bool",
-                        }
-                    })?;
+                        })?;
                     return match (op, lv) {
                         (BinOp::And, false) => Ok(Value::Bool(false)),
                         (BinOp::Or, true) => Ok(Value::Bool(true)),
                         _ => {
                             let rv =
-                                r.eval(row)?.as_bool().ok_or_else(|| {
-                                    EvalError::TypeMismatch {
+                                r.eval(row)?
+                                    .as_bool()
+                                    .ok_or_else(|| EvalError::TypeMismatch {
                                         op: op.symbol(),
                                         left: "bool",
                                         right: "non-bool",
-                                    }
-                                })?;
+                                    })?;
                             Ok(Value::Bool(rv))
                         }
                     };
@@ -226,14 +227,10 @@ impl Expr {
         match self {
             Expr::Field(name) => Expr::Field(f(name)),
             Expr::Lit(v) => Expr::Lit(v.clone()),
-            Expr::Unary(op, e) => {
-                Expr::Unary(*op, Box::new(e.map_fields(f)))
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.map_fields(f))),
+            Expr::Binary(op, l, r) => {
+                Expr::Binary(*op, Box::new(l.map_fields(f)), Box::new(r.map_fields(f)))
             }
-            Expr::Binary(op, l, r) => Expr::Binary(
-                *op,
-                Box::new(l.map_fields(f)),
-                Box::new(r.map_fields(f)),
-            ),
         }
     }
 }
@@ -326,11 +323,7 @@ mod tests {
     fn row() -> (Schema, Tuple) {
         (
             Schema::new(["e.size", "e.user", "e.time"]),
-            Tuple::from_iter([
-                Value::I64(8),
-                Value::str("alice"),
-                Value::U64(100),
-            ]),
+            Tuple::from_iter([Value::I64(8), Value::str("alice"), Value::U64(100)]),
         )
     }
 
@@ -350,11 +343,7 @@ mod tests {
     fn where_size_lt_10() {
         // Paper Table 1: `Where e.Size < 10`.
         let (s, t) = row();
-        let pred = Expr::bin(
-            BinOp::Lt,
-            Expr::field("e.size"),
-            Expr::lit(10),
-        );
+        let pred = Expr::bin(BinOp::Lt, Expr::field("e.size"), Expr::lit(10));
         assert_eq!(pred.eval(&(&s, &t)).unwrap(), Value::Bool(true));
     }
 
@@ -375,17 +364,9 @@ mod tests {
     fn string_comparison_and_concat() {
         let (s, t) = row();
         let r = (&s, &t);
-        let eq = Expr::bin(
-            BinOp::Ne,
-            Expr::field("user"),
-            Expr::lit("bob"),
-        );
+        let eq = Expr::bin(BinOp::Ne, Expr::field("user"), Expr::lit("bob"));
         assert_eq!(eq.eval(&r).unwrap(), Value::Bool(true));
-        let cat = Expr::bin(
-            BinOp::Add,
-            Expr::field("user"),
-            Expr::lit("!"),
-        );
+        let cat = Expr::bin(BinOp::Add, Expr::field("user"), Expr::lit("!"));
         assert_eq!(cat.eval(&r).unwrap(), Value::str("alice!"));
     }
 
@@ -400,11 +381,7 @@ mod tests {
     fn short_circuit_and() {
         let (s, t) = row();
         // Right side would error (unknown field) but is never evaluated.
-        let e = Expr::bin(
-            BinOp::And,
-            Expr::lit(false),
-            Expr::field("nope"),
-        );
+        let e = Expr::bin(BinOp::And, Expr::lit(false), Expr::field("nope"));
         assert_eq!(e.eval(&(&s, &t)).unwrap(), Value::Bool(false));
     }
 
@@ -426,11 +403,7 @@ mod tests {
 
     #[test]
     fn display_round_readable() {
-        let e = Expr::bin(
-            BinOp::Lt,
-            Expr::field("e.size"),
-            Expr::lit(10),
-        );
+        let e = Expr::bin(BinOp::Lt, Expr::field("e.size"), Expr::lit(10));
         assert_eq!(e.to_string(), "(e.size < 10)");
     }
 }

@@ -22,10 +22,7 @@ impl Schema {
         S: AsRef<str>,
     {
         Schema {
-            fields: fields
-                .into_iter()
-                .map(|s| Arc::from(s.as_ref()))
-                .collect(),
+            fields: fields.into_iter().map(|s| Arc::from(s.as_ref())).collect(),
         }
     }
 
@@ -65,8 +62,7 @@ impl Schema {
             .iter()
             .enumerate()
             .filter(|(_, f)| {
-                f.rsplit('.').next() == Some(name)
-                    || name.rsplit('.').next() == Some(f.as_ref())
+                f.rsplit('.').next() == Some(name) || name.rsplit('.').next() == Some(f.as_ref())
             })
             .map(|(i, _)| i)
             .collect();

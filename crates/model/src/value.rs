@@ -159,9 +159,7 @@ impl PartialEq for Value {
             (Str(a), Str(b)) => a == b,
             (Agg(a), Agg(b)) => a == b,
             // Cross-representation numeric equality.
-            (a, b) if a.is_numeric() && b.is_numeric() => {
-                a.compare(b) == Some(Ordering::Equal)
-            }
+            (a, b) if a.is_numeric() && b.is_numeric() => a.compare(b) == Some(Ordering::Equal),
             _ => false,
         }
     }
@@ -189,10 +187,7 @@ impl std::hash::Hash for Value {
                 }
             }
             Value::F64(v) => {
-                if v.fract() == 0.0
-                    && *v >= i64::MIN as f64
-                    && *v <= i64::MAX as f64
-                {
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
                     hash_numeric(state, *v, Some(*v as i64));
                 } else {
                     hash_numeric(state, *v, None);
@@ -333,10 +328,7 @@ mod tests {
             Value::I64(i64::MAX).compare(&Value::U64(i64::MAX as u64 + 1)),
             Some(Ordering::Less)
         );
-        assert_eq!(
-            Value::I64(-1).compare(&Value::U64(0)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::I64(-1).compare(&Value::U64(0)), Some(Ordering::Less));
     }
 
     #[test]

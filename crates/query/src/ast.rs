@@ -79,9 +79,7 @@ pub struct Query {
 impl Query {
     /// Returns `true` if any select item aggregates.
     pub fn has_aggregates(&self) -> bool {
-        self.select
-            .iter()
-            .any(|s| matches!(s, SelectItem::Agg(..)))
+        self.select.iter().any(|s| matches!(s, SelectItem::Agg(..)))
     }
 
     /// Returns the alias declared by the `From` clause.

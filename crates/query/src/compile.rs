@@ -15,9 +15,7 @@ use std::fmt;
 use pivot_baggage::PackMode;
 use pivot_model::{AggFunc, Expr, Value};
 
-use crate::advice::{
-    AdviceOp, AdviceProgram, ColumnRef, CompiledQuery, OutputSpec,
-};
+use crate::advice::{AdviceOp, AdviceProgram, ColumnRef, CompiledQuery, OutputSpec};
 use crate::ast::{Query, SelectItem, Source, SourceKind, TemporalFilter};
 use crate::parser::parse;
 use crate::plan::{QueryPlan, Stage, StageSink, UnpackEdge};
@@ -99,10 +97,9 @@ impl fmt::Display for CompileError {
             CompileError::UnknownField(x) => {
                 write!(f, "cannot resolve field `{x}`")
             }
-            CompileError::UnknownExport { tracepoint, field } => write!(
-                f,
-                "tracepoint `{tracepoint}` does not export `{field}`"
-            ),
+            CompileError::UnknownExport { tracepoint, field } => {
+                write!(f, "tracepoint `{tracepoint}` does not export `{field}`")
+            }
             CompileError::DuplicateAlias(a) => {
                 write!(f, "alias `{a}` declared twice")
             }
@@ -114,10 +111,9 @@ impl fmt::Display for CompileError {
             CompileError::TooManyStages => {
                 write!(f, "query exceeds 250 stages")
             }
-            CompileError::AliasNotScalar(a) => write!(
-                f,
-                "alias `{a}` used as a value but it has several columns"
-            ),
+            CompileError::AliasNotScalar(a) => {
+                write!(f, "alias `{a}` used as a value but it has several columns")
+            }
         }
     }
 }
@@ -139,8 +135,7 @@ pub fn compile(
     resolver: &dyn Resolver,
     options: Options,
 ) -> Result<CompiledQuery, CompileError> {
-    let ast =
-        parse(text).map_err(|e| CompileError::Parse(e.to_string()))?;
+    let ast = parse(text).map_err(|e| CompileError::Parse(e.to_string()))?;
     let plan = plan_query(&ast, resolver, options)?;
     Ok(lower(plan, name, text, id))
 }
@@ -228,8 +223,7 @@ impl<'r> Builder<'r> {
         let SourceKind::Tracepoints(tps) = names else {
             return Err(CompileError::FromMustBeTracepoints);
         };
-        let sink =
-            self.new_node(&ast.from, prefix, tps, None, &mut scope)?;
+        let sink = self.new_node(&ast.from, prefix, tps, None, &mut scope)?;
 
         // Joins, in declaration order.
         for join in &ast.joins {
@@ -250,24 +244,13 @@ impl<'r> Builder<'r> {
             };
             match self.classify(names)? {
                 SourceKind::Tracepoints(tps) => {
-                    let n = self.new_node(
-                        &join.source,
-                        prefix,
-                        tps,
-                        Some(later),
-                        &mut scope,
-                    )?;
+                    let n = self.new_node(&join.source, prefix, tps, Some(later), &mut scope)?;
                     self.nodes[later].preds.push(n);
                 }
                 SourceKind::QueryRef(qname) => {
-                    let sub = self
-                        .resolver
-                        .query_ast(&qname)
-                        .expect("classify checked");
-                    let sub_prefix =
-                        format!("{prefix}{}::", join.source.alias);
-                    let (sub_sink, sub_scope) =
-                        self.add_query(&sub, &sub_prefix)?;
+                    let sub = self.resolver.query_ast(&qname).expect("classify checked");
+                    let sub_prefix = format!("{prefix}{}::", join.source.alias);
+                    let (sub_sink, sub_scope) = self.add_query(&sub, &sub_prefix)?;
                     // Convert the sub-query's emit stage into a pack stage
                     // bound to the outer alias.
                     let inline = self.build_inline(
@@ -280,13 +263,8 @@ impl<'r> Builder<'r> {
                     self.nodes[sub_sink].inline = Some(inline);
                     self.nodes[sub_sink].succ = Some(later);
                     self.nodes[later].preds.push(sub_sink);
-                    if scope
-                        .insert(join.source.alias.clone(), sub_sink)
-                        .is_some()
-                    {
-                        return Err(CompileError::DuplicateAlias(
-                            join.source.alias.clone(),
-                        ));
+                    if scope.insert(join.source.alias.clone(), sub_sink).is_some() {
+                        return Err(CompileError::DuplicateAlias(join.source.alias.clone()));
                     }
                 }
             }
@@ -349,10 +327,7 @@ impl<'r> Builder<'r> {
     }
 
     /// Decides whether a single-name source refers to an installed query.
-    fn classify(
-        &self,
-        names: &[String],
-    ) -> Result<SourceKind, CompileError> {
+    fn classify(&self, names: &[String]) -> Result<SourceKind, CompileError> {
         if names.len() == 1 && self.resolver.query_ast(&names[0]).is_some() {
             return Ok(SourceKind::QueryRef(names[0].clone()));
         }
@@ -385,8 +360,7 @@ impl<'r> Builder<'r> {
     ) -> Result<Expr, CompileError> {
         Ok(match expr {
             Expr::Field(name) => {
-                let (producer, canonical) =
-                    self.resolve_field(name, scope)?;
+                let (producer, canonical) = self.resolve_field(name, scope)?;
                 refs.push(Ref {
                     producer,
                     field: canonical.clone(),
@@ -394,10 +368,7 @@ impl<'r> Builder<'r> {
                 Expr::Field(canonical)
             }
             Expr::Lit(v) => Expr::Lit(v.clone()),
-            Expr::Unary(op, e) => Expr::Unary(
-                *op,
-                Box::new(self.canon_rec(e, scope, refs)?),
-            ),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(self.canon_rec(e, scope, refs)?)),
             Expr::Binary(op, l, r) => Expr::Binary(
                 *op,
                 Box::new(self.canon_rec(l, scope, refs)?),
@@ -418,9 +389,7 @@ impl<'r> Builder<'r> {
                     // Reference into a sub-query's output columns.
                     let want_exact = format!("{prefix}.{rest}");
                     for (col, _) in &inline.select {
-                        if col == &want_exact
-                            || col.rsplit('.').next() == Some(rest)
-                        {
+                        if col == &want_exact || col.rsplit('.').next() == Some(rest) {
                             return Ok((idx, col.clone()));
                         }
                     }
@@ -470,11 +439,9 @@ impl<'r> Builder<'r> {
                 outer_alias.to_owned()
             } else {
                 let suffix = match item {
-                    SelectItem::Expr(Expr::Field(f)) => f
-                        .rsplit('.')
-                        .next()
-                        .unwrap_or("c")
-                        .to_owned(),
+                    SelectItem::Expr(Expr::Field(f)) => {
+                        f.rsplit('.').next().unwrap_or("c").to_owned()
+                    }
                     _ => format!("c{i}"),
                 };
                 format!("{outer_alias}.{suffix}")
@@ -485,8 +452,7 @@ impl<'r> Builder<'r> {
         }
         let mut group_keys = Vec::new();
         for g in &sub.group_by {
-            let (e, refs) =
-                self.canon_expr(&Expr::Field(g.clone()), sub_scope)?;
+            let (e, refs) = self.canon_expr(&Expr::Field(g.clone()), sub_scope)?;
             self.record_refs(&refs, sub_sink);
             let name = match &e {
                 Expr::Field(f) => f.clone(),
@@ -511,12 +477,8 @@ impl<'r> Builder<'r> {
             let is_inline_col = self.nodes[r.producer]
                 .inline
                 .as_ref()
-                .is_some_and(|i| {
-                    i.select.iter().any(|(n, _)| n == &r.field)
-                });
-            if !is_inline_col
-                && !self.nodes[r.producer].observed.contains(&r.field)
-            {
+                .is_some_and(|i| i.select.iter().any(|(n, _)| n == &r.field));
+            if !is_inline_col && !self.nodes[r.producer].observed.contains(&r.field) {
                 self.nodes[r.producer].observed.push(r.field.clone());
             }
             // Flow demand along the path producer → consumer.
@@ -573,8 +535,7 @@ impl<'r> Builder<'r> {
         }
         let mut group_keys: Vec<(String, Expr, Vec<Ref>)> = Vec::new();
         for g in &ast.group_by {
-            let (e, refs) =
-                self.canon_expr(&Expr::Field(g.clone()), &scope)?;
+            let (e, refs) = self.canon_expr(&Expr::Field(g.clone()), &scope)?;
             self.record_refs(&refs, sink);
             let name = match &e {
                 Expr::Field(f) => f.clone(),
@@ -590,8 +551,7 @@ impl<'r> Builder<'r> {
         let mut where_assignment: Vec<(usize, Expr, Vec<Ref>)> = Vec::new();
         for (expr, refs) in wheres {
             let assigned = if self.optimize {
-                let needed: Vec<usize> =
-                    refs.iter().map(|r| r.producer).collect();
+                let needed: Vec<usize> = refs.iter().map(|r| r.producer).collect();
                 (0..self.nodes.len())
                     .rev()
                     .find(|&n| {
@@ -661,8 +621,7 @@ impl<'r> Builder<'r> {
 
         // Default pack sinks for every non-sink node.
         // (Set before aggregation pushdown may override the sink's feeder.)
-        let mut sinks: Vec<Option<StageSink>> =
-            vec![None; self.nodes.len()];
+        let mut sinks: Vec<Option<StageSink>> = vec![None; self.nodes.len()];
         // Causal order (reverse creation) so predecessors' packs exist
         // before successors read them in the unoptimized flow-through.
         for idx in (0..self.nodes.len()).rev() {
@@ -671,75 +630,72 @@ impl<'r> Builder<'r> {
                 continue;
             }
             let node = &self.nodes[idx];
-            let (mode, mut exprs, mut names): (
-                PackMode,
-                Vec<Expr>,
-                Vec<String>,
-            ) = if let Some(inline) = &node.inline {
-                let sub_has_aggs = inline
-                    .select
-                    .iter()
-                    .any(|(_, i)| matches!(i, SelectItem::Agg(..)));
-                let mut exprs = Vec::new();
-                let mut names = Vec::new();
-                if sub_has_aggs {
-                    // Grouped sub-query: pack keys then agg args.
-                    let mut sub_aggs = Vec::new();
-                    for (name, e) in &inline.group_keys {
-                        names.push(name.clone());
-                        exprs.push(e.clone());
-                    }
-                    for (name, item) in &inline.select {
-                        match item {
-                            SelectItem::Expr(e) => {
-                                if !exprs.contains(e) {
-                                    names.push(name.clone());
-                                    exprs.push(e.clone());
+            let (mode, mut exprs, mut names): (PackMode, Vec<Expr>, Vec<String>) =
+                if let Some(inline) = &node.inline {
+                    let sub_has_aggs = inline
+                        .select
+                        .iter()
+                        .any(|(_, i)| matches!(i, SelectItem::Agg(..)));
+                    let mut exprs = Vec::new();
+                    let mut names = Vec::new();
+                    if sub_has_aggs {
+                        // Grouped sub-query: pack keys then agg args.
+                        let mut sub_aggs = Vec::new();
+                        for (name, e) in &inline.group_keys {
+                            names.push(name.clone());
+                            exprs.push(e.clone());
+                        }
+                        for (name, item) in &inline.select {
+                            match item {
+                                SelectItem::Expr(e) => {
+                                    if !exprs.contains(e) {
+                                        names.push(name.clone());
+                                        exprs.push(e.clone());
+                                    }
+                                }
+                                SelectItem::Agg(..) => {
+                                    let _ = name;
                                 }
                             }
-                            SelectItem::Agg(..) => {
-                                let _ = name;
+                        }
+                        let key_len = exprs.len();
+                        for (name, item) in &inline.select {
+                            if let SelectItem::Agg(f, e) = item {
+                                names.push(name.clone());
+                                exprs.push(e.clone());
+                                sub_aggs.push(*f);
                             }
                         }
-                    }
-                    let key_len = exprs.len();
-                    for (name, item) in &inline.select {
-                        if let SelectItem::Agg(f, e) = item {
-                            names.push(name.clone());
-                            exprs.push(e.clone());
-                            sub_aggs.push(*f);
+                        (
+                            PackMode::GroupAgg {
+                                key_len,
+                                aggs: sub_aggs,
+                            },
+                            exprs,
+                            names,
+                        )
+                    } else {
+                        for (name, item) in &inline.select {
+                            if let SelectItem::Expr(e) = item {
+                                names.push(name.clone());
+                                exprs.push(e.clone());
+                            }
                         }
+                        let mode = if self.optimize {
+                            temporal_to_mode(inline.outer_temporal)
+                        } else {
+                            PackMode::All
+                        };
+                        (mode, exprs, names)
                     }
-                    (
-                        PackMode::GroupAgg {
-                            key_len,
-                            aggs: sub_aggs,
-                        },
-                        exprs,
-                        names,
-                    )
                 } else {
-                    for (name, item) in &inline.select {
-                        if let SelectItem::Expr(e) = item {
-                            names.push(name.clone());
-                            exprs.push(e.clone());
-                        }
-                    }
                     let mode = if self.optimize {
-                        temporal_to_mode(inline.outer_temporal)
+                        temporal_to_mode(node.temporal)
                     } else {
                         PackMode::All
                     };
-                    (mode, exprs, names)
-                }
-            } else {
-                let mode = if self.optimize {
-                    temporal_to_mode(node.temporal)
-                } else {
-                    PackMode::All
+                    (mode, Vec::new(), Vec::new())
                 };
-                (mode, Vec::new(), Vec::new())
-            };
             // Append flow-through fields (everything demanded downstream
             // that is not already an output column).
             let flow: Vec<String> = if self.optimize {
@@ -747,18 +703,13 @@ impl<'r> Builder<'r> {
             } else {
                 // Unoptimized: everything available flows.
                 let mut all: Vec<String> = Vec::new();
-                for f in node
-                    .exports
-                    .iter()
-                    .map(|e| format!("{}.{}", node.alias, e))
-                {
+                for f in node.exports.iter().map(|e| format!("{}.{}", node.alias, e)) {
                     if !all.contains(&f) {
                         all.push(f);
                     }
                 }
                 for &p in &node.preds {
-                    if let Some(StageSink::Pack { names, .. }) = &sinks[p]
-                    {
+                    if let Some(StageSink::Pack { names, .. }) = &sinks[p] {
                         for f in names {
                             if !all.contains(f) {
                                 all.push(f.clone());
@@ -790,9 +741,9 @@ impl<'r> Builder<'r> {
         if self.optimize && has_aggs && self.nodes[sink].preds.len() == 1 {
             let p = self.nodes[sink].preds[0];
             let cov = self.coverage(p);
-            let all_aggs_pushable = agg_refs.iter().all(|refs| {
-                refs.iter().all(|r| cov.contains(&r.producer))
-            });
+            let all_aggs_pushable = agg_refs
+                .iter()
+                .all(|refs| refs.iter().all(|r| cov.contains(&r.producer)));
             let feeder_is_plain = matches!(
                 sinks[p],
                 Some(StageSink::Pack {
@@ -806,9 +757,7 @@ impl<'r> Builder<'r> {
                 let mut pk_exprs: Vec<Expr> = Vec::new();
                 let mut pk_names: Vec<String> = Vec::new();
                 for (i, k) in key_exprs.iter().enumerate() {
-                    let pushable = key_refs[i]
-                        .iter()
-                        .all(|r| cov.contains(&r.producer));
+                    let pushable = key_refs[i].iter().all(|r| cov.contains(&r.producer));
                     if pushable && !key_refs[i].is_empty() {
                         pk_names.push(key_names[i].clone());
                         pk_exprs.push(k.clone());
@@ -823,26 +772,16 @@ impl<'r> Builder<'r> {
                     .filter(|f| !covered.contains(f))
                     .filter(|f| {
                         // Needed raw unless referenced only by agg args.
-                        let only_aggs = agg_refs.iter().any(|refs| {
-                            refs.iter().any(|r| &r.field == *f)
-                        }) && !where_assignment.iter().any(
-                            |(at, _, refs)| {
-                                *at == sink
-                                    && refs
-                                        .iter()
-                                        .any(|r| &r.field == *f)
-                            },
-                        ) && !key_refs.iter().enumerate().any(
-                            |(i, refs)| {
-                                let pushed = key_refs[i].iter().all(
-                                    |r| cov.contains(&r.producer),
-                                );
-                                !pushed
-                                    && refs
-                                        .iter()
-                                        .any(|r| &r.field == *f)
-                            },
-                        );
+                        let only_aggs = agg_refs
+                            .iter()
+                            .any(|refs| refs.iter().any(|r| &r.field == *f))
+                            && !where_assignment.iter().any(|(at, _, refs)| {
+                                *at == sink && refs.iter().any(|r| &r.field == *f)
+                            })
+                            && !key_refs.iter().enumerate().any(|(i, refs)| {
+                                let pushed = key_refs[i].iter().all(|r| cov.contains(&r.producer));
+                                !pushed && refs.iter().any(|r| &r.field == *f)
+                            });
                         !only_aggs
                     })
                     .cloned()
@@ -856,8 +795,7 @@ impl<'r> Builder<'r> {
                 let mut all_exprs = pk_exprs;
                 let mut all_names = pk_names;
                 for (i, (f, e)) in aggs.iter().enumerate() {
-                    let col =
-                        format!("{}.$agg{i}", self.nodes[p].alias);
+                    let col = format!("{}.$agg{i}", self.nodes[p].alias);
                     funcs.push(*f);
                     all_exprs.push(e.clone());
                     all_names.push(col.clone());
@@ -867,13 +805,10 @@ impl<'r> Builder<'r> {
                 // Rewrite pushed keys at the emit to reference the packed
                 // column by name.
                 for (i, k) in key_exprs.iter().enumerate() {
-                    let pushed = key_refs[i]
-                        .iter()
-                        .all(|r| cov.contains(&r.producer))
+                    let pushed = key_refs[i].iter().all(|r| cov.contains(&r.producer))
                         && !key_refs[i].is_empty();
                     if pushed && !matches!(k, Expr::Field(_)) {
-                        out_keys[i] =
-                            Expr::Field(key_names[i].clone());
+                        out_keys[i] = Expr::Field(key_names[i].clone());
                     }
                 }
                 sinks[p] = Some(StageSink::Pack {
@@ -922,11 +857,7 @@ impl<'r> Builder<'r> {
             for f in &observe {
                 if !node.exports.contains(f) {
                     return Err(CompileError::UnknownExport {
-                        tracepoint: node
-                            .tracepoints
-                            .first()
-                            .cloned()
-                            .unwrap_or_default(),
+                        tracepoint: node.tracepoints.first().cloned().unwrap_or_default(),
                         field: f.clone(),
                     });
                 }
@@ -936,19 +867,16 @@ impl<'r> Builder<'r> {
                 .iter()
                 .map(|&p| {
                     let names = match &sinks[p] {
-                        Some(StageSink::Pack { names, .. }) => {
-                            names.clone()
-                        }
+                        Some(StageSink::Pack { names, .. }) => names.clone(),
                         _ => Vec::new(),
                     };
                     let post_filter = if self.optimize {
                         None
                     } else {
-                        let t = match &self.nodes[p].inline {
+                        match &self.nodes[p].inline {
                             Some(inline) => inline.outer_temporal,
                             None => self.nodes[p].temporal,
-                        };
-                        t
+                        }
                     };
                     UnpackEdge {
                         from_stage: pos_of[&p],
@@ -979,12 +907,7 @@ fn temporal_to_mode(t: Option<TemporalFilter>) -> PackMode {
 }
 
 /// Lowers a plan into advice programs.
-fn lower(
-    plan: QueryPlan,
-    name: &str,
-    text: &str,
-    id: QueryId,
-) -> CompiledQuery {
+fn lower(plan: QueryPlan, name: &str, text: &str, id: QueryId) -> CompiledQuery {
     // Stage position → slot id. Stage `i` packs under slot `i`.
     let advice = plan
         .stages
@@ -999,9 +922,7 @@ fn lower(
             for u in &stage.unpacks {
                 ops.push(AdviceOp::Unpack {
                     slot: CompiledQuery::slot_id(id, u.from_stage as u8),
-                    schema: pivot_model::Schema::new(
-                        u.names.iter().map(String::as_str),
-                    ),
+                    schema: pivot_model::Schema::new(u.names.iter().map(String::as_str)),
                     post_filter: u.post_filter,
                 });
             }

@@ -64,8 +64,7 @@ impl fmt::Display for Query {
             write!(f, " GroupBy {}", self.group_by.join(", "))?;
         }
         if !self.select.is_empty() {
-            let items: Vec<String> =
-                self.select.iter().map(|s| s.to_string()).collect();
+            let items: Vec<String> = self.select.iter().map(|s| s.to_string()).collect();
             write!(f, " Select {}", items.join(", "))?;
         }
         Ok(())

@@ -242,8 +242,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 while i < bytes.len() {
                     let c = bytes[i] as char;
-                    if c.is_alphanumeric() || c == '_' || c == '.' || c == '$'
-                    {
+                    if c.is_alphanumeric() || c == '_' || c == '.' || c == '$' {
                         i += 1;
                     } else {
                         break;
@@ -268,16 +267,13 @@ mod tests {
 
     #[test]
     fn lexes_q2() {
-        let toks = lex(
-            "From incr In DataNodeMetrics.incrBytesRead \
+        let toks = lex("From incr In DataNodeMetrics.incrBytesRead \
              Join cl In First(ClientProtocols) On cl -> incr \
              GroupBy cl.procName \
-             Select cl.procName, SUM(incr.delta)",
-        )
+             Select cl.procName, SUM(incr.delta)")
         .unwrap();
         assert!(toks.contains(&Token::Sym(Sym::Arrow)));
-        assert!(toks
-            .contains(&Token::Ident("DataNodeMetrics.incrBytesRead".into())));
+        assert!(toks.contains(&Token::Ident("DataNodeMetrics.incrBytesRead".into())));
         assert!(toks.contains(&Token::Ident("SUM".into())));
     }
 

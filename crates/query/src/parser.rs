@@ -92,10 +92,7 @@ impl Parser {
                 self.pos += 1;
                 Ok(())
             }
-            _ => Err(self.err(format!(
-                "expected `{kw}`, found `{}`",
-                self.peek_str()
-            ))),
+            _ => Err(self.err(format!("expected `{kw}`, found `{}`", self.peek_str()))),
         }
     }
 
@@ -109,10 +106,7 @@ impl Parser {
                 self.pos += 1;
                 Ok(())
             }
-            _ => Err(self.err(format!(
-                "expected `{s:?}`, found `{}`",
-                self.peek_str()
-            ))),
+            _ => Err(self.err(format!("expected `{s:?}`, found `{}`", self.peek_str()))),
         }
     }
 
@@ -203,18 +197,10 @@ impl Parser {
     fn source(&mut self, alias: String) -> Result<Source, ParseError> {
         let name = self.ident()?;
         let filter = match name.as_str() {
-            f if f.eq_ignore_ascii_case("First") => {
-                Some(self.temporal_args(false)?)
-            }
-            f if f.eq_ignore_ascii_case("FirstN") => {
-                Some(self.temporal_args_n(false)?)
-            }
-            f if f.eq_ignore_ascii_case("MostRecent") => {
-                Some(self.temporal_args(true)?)
-            }
-            f if f.eq_ignore_ascii_case("MostRecentN") => {
-                Some(self.temporal_args_n(true)?)
-            }
+            f if f.eq_ignore_ascii_case("First") => Some(self.temporal_args(false)?),
+            f if f.eq_ignore_ascii_case("FirstN") => Some(self.temporal_args_n(false)?),
+            f if f.eq_ignore_ascii_case("MostRecent") => Some(self.temporal_args(true)?),
+            f if f.eq_ignore_ascii_case("MostRecentN") => Some(self.temporal_args_n(true)?),
             _ => None,
         };
         match filter {
@@ -238,10 +224,7 @@ impl Parser {
     }
 
     /// Parses `(Source[, Source…])` after `First` / `MostRecent`.
-    fn temporal_args(
-        &mut self,
-        recent: bool,
-    ) -> Result<(TemporalFilter, Vec<String>), ParseError> {
+    fn temporal_args(&mut self, recent: bool) -> Result<(TemporalFilter, Vec<String>), ParseError> {
         self.sym(Sym::LParen)?;
         let mut names = vec![self.ident()?];
         while self.eat_sym(Sym::Comma) {
@@ -289,25 +272,17 @@ impl Parser {
         // Bare COUNT, or AGG(expr), or a scalar expression.
         if let Some(Token::Ident(name)) = self.peek() {
             if let Some(func) = AggFunc::parse(name) {
-                let next_is_paren = matches!(
-                    self.tokens.get(self.pos + 1),
-                    Some(Token::Sym(Sym::LParen))
-                );
+                let next_is_paren =
+                    matches!(self.tokens.get(self.pos + 1), Some(Token::Sym(Sym::LParen)));
                 if func == AggFunc::Count && !next_is_paren {
                     self.pos += 1;
-                    return Ok(SelectItem::Agg(
-                        AggFunc::Count,
-                        Expr::Lit(Value::Null),
-                    ));
+                    return Ok(SelectItem::Agg(AggFunc::Count, Expr::Lit(Value::Null)));
                 }
                 if next_is_paren {
                     self.pos += 2;
                     // COUNT() with no argument.
                     if func == AggFunc::Count && self.eat_sym(Sym::RParen) {
-                        return Ok(SelectItem::Agg(
-                            AggFunc::Count,
-                            Expr::Lit(Value::Null),
-                        ));
+                        return Ok(SelectItem::Agg(AggFunc::Count, Expr::Lit(Value::Null)));
                     }
                     let e = self.expr()?;
                     self.sym(Sym::RParen)?;
@@ -412,15 +387,9 @@ impl Parser {
             Some(Token::Float(v)) => Ok(Expr::Lit(Value::F64(v))),
             Some(Token::Str(s)) => Ok(Expr::Lit(Value::str(s))),
             Some(Token::Ident(s)) => match s.as_str() {
-                t if t.eq_ignore_ascii_case("true") => {
-                    Ok(Expr::Lit(Value::Bool(true)))
-                }
-                t if t.eq_ignore_ascii_case("false") => {
-                    Ok(Expr::Lit(Value::Bool(false)))
-                }
-                t if t.eq_ignore_ascii_case("null") => {
-                    Ok(Expr::Lit(Value::Null))
-                }
+                t if t.eq_ignore_ascii_case("true") => Ok(Expr::Lit(Value::Bool(true))),
+                t if t.eq_ignore_ascii_case("false") => Ok(Expr::Lit(Value::Bool(false))),
+                t if t.eq_ignore_ascii_case("null") => Ok(Expr::Lit(Value::Null)),
                 _ => Ok(Expr::Field(s)),
             },
             Some(Token::Sym(Sym::LParen)) => {
@@ -531,20 +500,15 @@ mod tests {
         let q = parse("From e In DataRPCs, ControlRPCs Select COUNT").unwrap();
         assert_eq!(
             q.from.kind,
-            SourceKind::Tracepoints(vec![
-                "DataRPCs".into(),
-                "ControlRPCs".into()
-            ])
+            SourceKind::Tracepoints(vec!["DataRPCs".into(), "ControlRPCs".into()])
         );
     }
 
     #[test]
     fn parses_firstn_and_mostrecentn() {
-        let q =
-            parse("From e In FirstN(3, RPCs) Select COUNT").unwrap();
+        let q = parse("From e In FirstN(3, RPCs) Select COUNT").unwrap();
         assert_eq!(q.from.filter, Some(TemporalFilter::First(3)));
-        let q =
-            parse("From e In MostRecentN(5, RPCs) Select COUNT").unwrap();
+        let q = parse("From e In MostRecentN(5, RPCs) Select COUNT").unwrap();
         assert_eq!(q.from.filter, Some(TemporalFilter::MostRecent(5)));
     }
 
@@ -555,10 +519,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_on_clause() {
-        assert!(parse(
-            "From a In X Join b In Y On b a Select COUNT"
-        )
-        .is_err());
+        assert!(parse("From a In X Join b In Y On b a Select COUNT").is_err());
     }
 
     #[test]
@@ -568,14 +529,8 @@ mod tests {
 
     #[test]
     fn where_precedence() {
-        let q = parse(
-            "From e In RPCs Where e.a < 1 && e.b == 2 || e.c != 3 Select COUNT",
-        )
-        .unwrap();
+        let q = parse("From e In RPCs Where e.a < 1 && e.b == 2 || e.c != 3 Select COUNT").unwrap();
         // Or binds loosest.
-        assert!(matches!(
-            &q.wheres[0],
-            Expr::Binary(BinOp::Or, _, _)
-        ));
+        assert!(matches!(&q.wheres[0], Expr::Binary(BinOp::Or, _, _)));
     }
 }

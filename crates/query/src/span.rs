@@ -1,0 +1,88 @@
+//! Source spans for diagnostics.
+//!
+//! The lexer does not thread byte positions through tokens, so tools that
+//! report on query text (the static verifier, `pivot-lint`) locate the
+//! offending fragment by token-aware substring search instead. Queries are
+//! a few hundred bytes, so the scan is negligible next to compilation.
+
+/// A byte range within a query's source text, with 1-based line/column of
+/// its start for human-readable reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based column of `start`.
+    pub col: usize,
+}
+
+impl Span {
+    /// Builds a span for `[start, end)` within `text`, computing the
+    /// line/column of `start`.
+    pub fn at(text: &str, start: usize, end: usize) -> Span {
+        let mut line = 1;
+        let mut col = 1;
+        for c in text[..start.min(text.len())].chars() {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Finds the first occurrence of `needle` in `text` that is not embedded
+/// inside a longer identifier path (so `op.size` does not match within
+/// `DNop.size`). Returns `None` when `needle` is empty or absent.
+pub fn locate(text: &str, needle: &str) -> Option<Span> {
+    if needle.is_empty() {
+        return None;
+    }
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let ok_before = !text[..start].chars().next_back().is_some_and(is_ident_char);
+        let ok_after = !text[end..].chars().next().is_some_and(is_ident_char);
+        if ok_before && ok_after {
+            return Some(Span::at(text, start, end));
+        }
+        from = start + needle.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_respects_token_boundaries() {
+        let text = "GroupBy DNop.size\nSelect op.size";
+        let s = locate(text, "op.size").expect("found");
+        assert_eq!(&text[s.start..s.end], "op.size");
+        assert_eq!((s.line, s.col), (2, 8));
+        assert!(locate(text, "missing").is_none());
+    }
+
+    #[test]
+    fn line_and_column_are_one_based() {
+        let s = locate("a.b\nc.d", "a.b").expect("found");
+        assert_eq!((s.line, s.col), (1, 1));
+    }
+}

@@ -7,8 +7,7 @@ use pivot_query::advice::ColumnRef;
 use pivot_query::compile::plan_query;
 use pivot_query::plan::StageSink;
 use pivot_query::{
-    compile, parse, AdviceOp, CompileError, CompiledQuery, Options, Query,
-    Resolver, TemporalFilter,
+    compile, parse, AdviceOp, CompileError, CompiledQuery, Options, Query, Resolver, TemporalFilter,
 };
 
 /// A resolver over a fixed tracepoint table plus registered queries.
@@ -29,8 +28,7 @@ impl TestResolver {
     }
 }
 
-const DEFAULT_EXPORTS: [&str; 5] =
-    ["host", "timestamp", "procid", "procname", "tracepoint"];
+const DEFAULT_EXPORTS: [&str; 5] = ["host", "timestamp", "procid", "procname", "tracepoint"];
 
 impl Resolver for TestResolver {
     fn tracepoint_exports(&self, name: &str) -> Option<Vec<String>> {
@@ -64,8 +62,14 @@ impl Resolver for TestResolver {
 }
 
 fn compile_ok(text: &str) -> CompiledQuery {
-    compile(text, "test", QueryId(1), &TestResolver::new(), Options::default())
-        .unwrap()
+    compile(
+        text,
+        "test",
+        QueryId(1),
+        &TestResolver::new(),
+        Options::default(),
+    )
+    .unwrap()
 }
 
 const Q2: &str = "From incr In DataNodeMetrics.incrBytesRead
@@ -126,10 +130,7 @@ fn q2_compiles_to_paper_advice_a1_a2() {
             assert_eq!(spec.key_names, vec!["cl.procName"]);
             assert_eq!(spec.aggs.len(), 1);
             assert_eq!(spec.aggs[0].0, AggFunc::Sum);
-            assert_eq!(
-                spec.column_names(),
-                vec!["cl.procName", "SUM(incr.delta)"]
-            );
+            assert_eq!(spec.column_names(), vec!["cl.procName", "SUM(incr.delta)"]);
         }
         op => panic!("unexpected {op:?}"),
     }
@@ -148,10 +149,7 @@ fn q7_chain_compiles_in_causal_order() {
     assert_eq!(cq.advice.len(), 3);
     assert_eq!(cq.advice[0].tracepoints, vec!["StressTest.DoNextOp"]);
     assert_eq!(cq.advice[1].tracepoints, vec!["NN.GetBlockLocations"]);
-    assert_eq!(
-        cq.advice[2].tracepoints,
-        vec!["DN.DataTransferProtocol"]
-    );
+    assert_eq!(cq.advice[2].tracepoints, vec!["DN.DataTransferProtocol"]);
     // st.host must flow through the getloc pack to reach the Where at DNop.
     let getloc_pack = cq.advice[1]
         .ops
@@ -301,10 +299,7 @@ fn unoptimized_packs_everything_and_defers_filters() {
     match &st_opt.sink {
         StageSink::Pack { names, mode, .. } => {
             assert_eq!(names, &["st.host", "st.$agg0"]);
-            assert!(matches!(
-                mode,
-                PackMode::GroupAgg { key_len: 1, .. }
-            ));
+            assert!(matches!(mode, PackMode::GroupAgg { key_len: 1, .. }));
         }
         s => panic!("unexpected {s:?}"),
     }
@@ -356,9 +351,7 @@ fn union_sources_weave_everywhere() {
 
 #[test]
 fn select_columns_follow_select_order() {
-    let cq = compile_ok(
-        "From e In RPCs GroupBy e.user Select SUM(e.cost), e.user",
-    );
+    let cq = compile_ok("From e In RPCs GroupBy e.user Select SUM(e.cost), e.user");
     assert_eq!(
         cq.output.columns,
         vec![ColumnRef::Agg(0), ColumnRef::Key(0)]
@@ -367,8 +360,7 @@ fn select_columns_follow_select_order() {
 
 #[test]
 fn hidden_group_keys_group_but_do_not_display() {
-    let cq =
-        compile_ok("From e In RPCs GroupBy e.user Select SUM(e.cost)");
+    let cq = compile_ok("From e In RPCs GroupBy e.user Select SUM(e.cost)");
     assert_eq!(cq.output.key_exprs.len(), 1);
     assert_eq!(cq.output.columns, vec![ColumnRef::Agg(0)]);
 }
@@ -376,9 +368,8 @@ fn hidden_group_keys_group_but_do_not_display() {
 #[test]
 fn errors_are_reported() {
     let r = TestResolver::new();
-    let must_fail = |text: &str| {
-        compile(text, "t", QueryId(9), &r, Options::default()).unwrap_err()
-    };
+    let must_fail =
+        |text: &str| compile(text, "t", QueryId(9), &r, Options::default()).unwrap_err();
     assert!(matches!(
         must_fail("From e In NoSuchTracepoint Select COUNT"),
         CompileError::UnknownTracepoint(_)
@@ -433,12 +424,7 @@ fn unoptimized_applies_temporal_filter_at_unpack() {
          Select e.user, f.user",
     )
     .unwrap();
-    let plan = plan_query(
-        &ast,
-        &TestResolver::new(),
-        Options::unoptimized(),
-    )
-    .unwrap();
+    let plan = plan_query(&ast, &TestResolver::new(), Options::unoptimized()).unwrap();
     let emit = plan.stages.last().unwrap();
     assert_eq!(
         emit.unpacks[0].post_filter,

@@ -2,9 +2,7 @@
 //! reproduces the same AST — the printer and the grammar agree.
 
 use pivot_model::{AggFunc, BinOp, Expr, Value};
-use pivot_query::{
-    parse, JoinClause, Query, SelectItem, Source, SourceKind, TemporalFilter,
-};
+use pivot_query::{parse, JoinClause, Query, SelectItem, Source, SourceKind, TemporalFilter};
 use proptest::prelude::*;
 
 fn ident() -> impl Strategy<Value = String> {
@@ -115,15 +113,11 @@ fn query() -> impl Strategy<Value = Query> {
                 .into_iter()
                 .map(|item| match item {
                     SelectItem::Expr(e) => SelectItem::Expr(
-                        e.map_fields(&|f| {
-                            f.replacen("a0.", &format!("{from_alias}."), 1)
-                        }),
+                        e.map_fields(&|f| f.replacen("a0.", &format!("{from_alias}."), 1)),
                     ),
                     SelectItem::Agg(f, e) => SelectItem::Agg(
                         f,
-                        e.map_fields(&|x| {
-                            x.replacen("a0.", &format!("{from_alias}."), 1)
-                        }),
+                        e.map_fields(&|x| x.replacen("a0.", &format!("{from_alias}."), 1)),
                     ),
                 })
                 .collect();

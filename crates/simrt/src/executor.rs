@@ -15,14 +15,11 @@ use crate::clock::{Clock, Nanos};
 type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// Global diagnostics: total task polls across all runtimes (relaxed).
-pub static POLLS: std::sync::atomic::AtomicU64 =
-    std::sync::atomic::AtomicU64::new(0);
+pub static POLLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 /// Global diagnostics: total timer firings across all runtimes (relaxed).
-pub static TIMER_FIRES: std::sync::atomic::AtomicU64 =
-    std::sync::atomic::AtomicU64::new(0);
+pub static TIMER_FIRES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 /// Global diagnostics: last observed virtual now (nanoseconds).
-pub static LAST_NOW: std::sync::atomic::AtomicU64 =
-    std::sync::atomic::AtomicU64::new(0);
+pub static LAST_NOW: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 #[derive(Default)]
 struct ReadyState {
@@ -144,9 +141,7 @@ impl SimRt {
         loop {
             // Drain every runnable task.
             while let Some(id) = self.ready.pop() {
-                let Some(mut task) =
-                    self.tasks.borrow_mut().remove(&id)
-                else {
+                let Some(mut task) = self.tasks.borrow_mut().remove(&id) else {
                     continue; // completed task woken late
                 };
                 let waker = Waker::from(Arc::new(TaskWaker {
@@ -174,17 +169,13 @@ impl SimRt {
                 if e.0.deadline > t {
                     break;
                 }
-                let entry =
-                    timers.heap.pop().expect("peek succeeded").0;
-                TIMER_FIRES
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let entry = timers.heap.pop().expect("peek succeeded").0;
+                TIMER_FIRES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 entry.waker.wake();
             }
             drop(timers);
         }
-        if deadline != Nanos::MAX
-            && self.clock.now.load(Ordering::Relaxed) < deadline
-        {
+        if deadline != Nanos::MAX && self.clock.now.load(Ordering::Relaxed) < deadline {
             self.clock.now.store(deadline, Ordering::Relaxed);
         }
         self.clock.now.load(Ordering::Relaxed)
@@ -271,9 +262,7 @@ mod tests {
     fn concurrent_sleeps_interleave_deterministically() {
         let rt = SimRt::new();
         let order = std::rc::Rc::new(RefCell::new(Vec::new()));
-        for (name, delay) in
-            [("b", 2.0), ("a", 1.0), ("c", 3.0), ("a2", 1.0)]
-        {
+        for (name, delay) in [("b", 2.0), ("a", 1.0), ("c", 3.0), ("a2", 1.0)] {
             let clock = rt.clock();
             let order = std::rc::Rc::clone(&order);
             rt.spawn(async move {

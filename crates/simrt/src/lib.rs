@@ -72,15 +72,19 @@ pub fn diag_last_now() -> u64 {
 }
 
 /// Diagnostics: count and last culprit of sub-microsecond acquires.
-pub static TINY_ACQUIRES: std::sync::atomic::AtomicU64 =
-    std::sync::atomic::AtomicU64::new(0);
-static TINY_NAME: parking_lot::Mutex<String> =
-    parking_lot::Mutex::new(String::new());
+pub static TINY_ACQUIRES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TINY_NAME: parking_lot::Mutex<String> = parking_lot::Mutex::new(String::new());
 
+// Only called from the `debug_assertions`-gated check in `resource.rs`.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
 pub(crate) fn diag_record_tiny(name: &str, amount: f64) {
     TINY_ACQUIRES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut n = TINY_NAME.lock();
-    if n.is_empty() || TINY_ACQUIRES.load(std::sync::atomic::Ordering::Relaxed) % 100000 == 0 {
+    if n.is_empty()
+        || TINY_ACQUIRES
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .is_multiple_of(100_000)
+    {
         *n = format!("{name} amount={amount}");
     }
 }

@@ -24,9 +24,7 @@ impl Counter {
 
     /// Records `amount` at the current virtual time.
     pub fn add(&self, amount: f64) {
-        self.samples
-            .borrow_mut()
-            .push((self.clock.now(), amount));
+        self.samples.borrow_mut().push((self.clock.now(), amount));
     }
 
     /// Sums all recorded amounts.
@@ -87,9 +85,7 @@ impl Gauge {
 
     /// Records the current value.
     pub fn set(&self, value: f64) {
-        self.samples
-            .borrow_mut()
-            .push((self.clock.now(), value));
+        self.samples.borrow_mut().push((self.clock.now(), value));
     }
 
     /// Returns the most recent value.

@@ -77,8 +77,7 @@ impl FifoResource {
         }
         let now = self.clock.now();
         let start = self.inner.busy_until.get().max(now);
-        let service =
-            (amount / self.inner.rate.get() * NANOS_PER_SEC as f64) as Nanos;
+        let service = (amount / self.inner.rate.get() * NANOS_PER_SEC as f64) as Nanos;
         let done = start.saturating_add(service.max(1));
         self.inner.busy_until.set(done);
         self.inner
@@ -91,10 +90,7 @@ impl FifoResource {
 
     /// Returns the instantaneous queueing delay a new arrival would see.
     pub fn backlog(&self) -> Nanos {
-        self.inner
-            .busy_until
-            .get()
-            .saturating_sub(self.clock.now())
+        self.inner.busy_until.get().saturating_sub(self.clock.now())
     }
 
     /// Total units served so far.
@@ -136,13 +132,9 @@ mod tests {
             handles.push(rt.spawn(async move { disk.acquire(100.0).await }));
         }
         rt.run_until_idle();
-        let lats: Vec<u64> =
-            handles.iter().map(|h| h.try_take().unwrap()).collect();
+        let lats: Vec<u64> = handles.iter().map(|h| h.try_take().unwrap()).collect();
         // Three 1-second jobs arriving together: 1 s, 2 s, 3 s.
-        assert_eq!(
-            lats,
-            vec![1_000_000_000, 2_000_000_000, 3_000_000_000]
-        );
+        assert_eq!(lats, vec![1_000_000_000, 2_000_000_000, 3_000_000_000]);
         assert_eq!(disk.served(), 300.0);
         assert_eq!(disk.served_ops(), 3);
     }

@@ -66,10 +66,7 @@ pub struct Join2<A: Future, B: Future> {
 impl<A: Future, B: Future> Future for Join2<A, B> {
     type Output = (A::Output, B::Output);
 
-    fn poll(
-        self: Pin<&mut Self>,
-        cx: &mut Context<'_>,
-    ) -> Poll<(A::Output, B::Output)> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<(A::Output, B::Output)> {
         // SAFETY: we never move `a`/`b` out of the pinned struct until both
         // are complete (see MaybeDone::poll_inner contract).
         let this = unsafe { self.get_unchecked_mut() };

@@ -27,7 +27,11 @@ fn main() {
                     ..Default::default()
                 },
             );
-            println!("fig9 latencies={} wall={:?}", r.latencies.len(), t.elapsed());
+            println!(
+                "fig9 latencies={} wall={:?}",
+                r.latencies.len(),
+                t.elapsed()
+            );
         }
         "fig9base" => {
             // Same workload but no fault: is limplock itself the issue?
@@ -39,7 +43,11 @@ fn main() {
                     ..Default::default()
                 },
             );
-            println!("fig9gc latencies={} wall={:?}", r.latencies.len(), t.elapsed());
+            println!(
+                "fig9gc latencies={} wall={:?}",
+                r.latencies.len(),
+                t.elapsed()
+            );
         }
         "fig8" => {
             let r = pivot_workloads::experiments::fig8::run(

@@ -23,12 +23,7 @@ pub struct ClientHandle {
 
 /// Spawns a closed-loop HDFS reader (`FSread4m` / `FSread64m`): random
 /// reads of `read_size` bytes from the pre-loaded dataset.
-pub fn spawn_fsread(
-    stack: &SimStack,
-    host: usize,
-    name: &str,
-    read_size: f64,
-) -> ClientHandle {
+pub fn spawn_fsread(stack: &SimStack, host: usize, name: &str, read_size: f64) -> ClientHandle {
     let h = Rc::clone(&stack.cluster.hosts[host]);
     let agent = stack.cluster.new_agent(&h, name);
     let dfs = stack.hdfs.client(&h, &agent, name);
@@ -40,12 +35,8 @@ pub fn spawn_fsread(
         loop {
             let i = rng.borrow_mut().gen_range(0..files);
             let mut ctx = Ctx::new();
-            dfs.read_random(
-                &mut ctx,
-                &StackConfig::dataset_file(i),
-                read_size,
-            )
-            .await;
+            dfs.read_random(&mut ctx, &StackConfig::dataset_file(i), read_size)
+                .await;
             counter.add(1.0);
         }
     });
@@ -66,12 +57,7 @@ pub fn spawn_hscan(stack: &SimStack, host: usize) -> ClientHandle {
     spawn_hbase(stack, host, "HScan", true)
 }
 
-fn spawn_hbase(
-    stack: &SimStack,
-    host: usize,
-    name: &str,
-    scan: bool,
-) -> ClientHandle {
+fn spawn_hbase(stack: &SimStack, host: usize, name: &str, scan: bool) -> ClientHandle {
     let h = Rc::clone(&stack.cluster.hosts[host]);
     let agent = stack.cluster.new_agent(&h, name);
     let client = stack.hbase.client(&h, &agent, name);
@@ -105,11 +91,10 @@ pub fn spawn_mrsort(
     reducers: usize,
 ) -> ClientHandle {
     let input = format!("{name}/input");
-    stack.hdfs.namenode.bootstrap_file(
-        &input,
-        input_gb * 1024.0 * MB,
-        3,
-    );
+    stack
+        .hdfs
+        .namenode
+        .bootstrap_file(&input, input_gb * 1024.0 * MB, 3);
     let mr = Rc::clone(&stack.mr);
     let completed = Counter::new(stack.cluster.clock.clone());
     let counter = completed.clone();
@@ -154,12 +139,8 @@ pub fn spawn_stress(stack: &SimStack, host: usize, id: usize) -> ClientHandle {
                 clock.now(),
                 &[("op", Value::str("read8k"))],
             );
-            dfs.read_random(
-                &mut ctx,
-                &StackConfig::dataset_file(i),
-                8.0 * 1024.0,
-            )
-            .await;
+            dfs.read_random(&mut ctx, &StackConfig::dataset_file(i), 8.0 * 1024.0)
+                .await;
             counter.add(1.0);
         }
     });
@@ -185,8 +166,7 @@ pub enum NnOp {
 
 impl NnOp {
     /// All four operations.
-    pub const ALL: [NnOp; 4] =
-        [NnOp::Read8k, NnOp::Open, NnOp::Create, NnOp::Rename];
+    pub const ALL: [NnOp; 4] = [NnOp::Read8k, NnOp::Open, NnOp::Create, NnOp::Rename];
 
     /// Display name matching the paper's Table 5.
     pub fn name(self) -> &'static str {
@@ -201,12 +181,7 @@ impl NnOp {
 
 /// Runs `count` closed-loop NNBench operations from `host`, returning the
 /// mean per-request virtual latency in nanoseconds.
-pub async fn nnbench_run(
-    stack: &SimStack,
-    host: usize,
-    op: NnOp,
-    count: usize,
-) -> f64 {
+pub async fn nnbench_run(stack: &SimStack, host: usize, op: NnOp, count: usize) -> f64 {
     let h = Rc::clone(&stack.cluster.hosts[host]);
     let agent = stack.cluster.new_agent(&h, "NNBench");
     let dfs = stack.hdfs.client(&h, &agent, "NNBench");
@@ -220,12 +195,8 @@ pub async fn nnbench_run(
         match op {
             NnOp::Read8k => {
                 let i = rng.borrow_mut().gen_range(0..files);
-                dfs.read_random(
-                    &mut ctx,
-                    &StackConfig::dataset_file(i),
-                    8.0 * 1024.0,
-                )
-                .await;
+                dfs.read_random(&mut ctx, &StackConfig::dataset_file(i), 8.0 * 1024.0)
+                    .await;
             }
             NnOp::Open => dfs.metadata(&mut ctx, "open", false).await,
             NnOp::Create => dfs.metadata(&mut ctx, "create", true).await,

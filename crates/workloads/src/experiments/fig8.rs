@@ -146,8 +146,7 @@ pub fn run(cfg: &Config) -> Result {
         .map(|h| (stack.cluster.hosts[h].name.clone(), 0.0))
         .collect();
     for handle in &handles {
-        client_rate[handle.host].1 +=
-            handle.completed.total() / dur / cfg.clients_per_host as f64;
+        client_rate[handle.host].1 += handle.completed.total() / dur / cfg.clients_per_host as f64;
     }
 
     // 8b: per-host network transmit.
@@ -178,11 +177,7 @@ pub fn run(cfg: &Config) -> Result {
         .map(|(h, counts)| {
             let n = counts.len().max(1) as f64;
             let mean = counts.iter().sum::<f64>() / n;
-            let var = counts
-                .iter()
-                .map(|c| (c - mean) * (c - mean))
-                .sum::<f64>()
-                / n;
+            let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
             ReadDistribution {
                 host: stack.cluster.hosts[h].name.clone(),
                 files: counts.len(),
@@ -195,7 +190,9 @@ pub fn run(cfg: &Config) -> Result {
     // 8e from Q5: split the replica list.
     let mut replica_freq = vec![vec![0.0; w]; w];
     for (keys, v) in rows_with_value(&stack.results(&q5)) {
-        let Some(client) = host_index(&keys[0]) else { continue };
+        let Some(client) = host_index(&keys[0]) else {
+            continue;
+        };
         for part in keys[1].split(',') {
             if let Some(dn) = host_index(part) {
                 replica_freq[client][dn] += v;
@@ -207,9 +204,7 @@ pub fn run(cfg: &Config) -> Result {
     // 8f from Q6.
     let mut selection_freq = vec![vec![0.0; w]; w];
     for (keys, v) in rows_with_value(&stack.results(&q6)) {
-        if let (Some(client), Some(dn)) =
-            (host_index(&keys[0]), host_index(&keys[1]))
-        {
+        if let (Some(client), Some(dn)) = (host_index(&keys[0]), host_index(&keys[1])) {
             selection_freq[client][dn] += v;
         }
     }
@@ -218,7 +213,9 @@ pub fn run(cfg: &Config) -> Result {
     // 8g from Q7: chosen vs. alternatives.
     let mut chosen_over = vec![vec![0.0; w]; w];
     for (keys, v) in rows_with_value(&stack.results(&q7)) {
-        let Some(chosen) = host_index(&keys[0]) else { continue };
+        let Some(chosen) = host_index(&keys[0]) else {
+            continue;
+        };
         for part in keys[1].split(',') {
             if let Some(other) = host_index(part) {
                 if other != chosen {

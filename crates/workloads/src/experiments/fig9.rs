@@ -126,22 +126,14 @@ pub fn run(cfg: &Config) -> Result {
         }
         Case::RogueGc => {
             let rs = &stack.hbase.regionservers[cfg.faulty_host];
-            let gc = Gc::start(
-                &stack.cluster.rt,
-                stack.cluster.clock.clone(),
-                10.0,
-                4.0,
-            );
+            let gc = Gc::start(&stack.cluster.rt, stack.cluster.clock.clone(), 10.0, 4.0);
             *rs.gc.borrow_mut() = Some(gc);
         }
         Case::NnLock => {
             // A metadata-write flood from several processes.
             for i in 0..16 {
-                let h = Rc::clone(
-                    &stack.cluster.hosts[i % cfg.workers],
-                );
-                let agent =
-                    stack.cluster.new_agent(&h, "MetadataFlood");
+                let h = Rc::clone(&stack.cluster.hosts[i % cfg.workers]);
+                let agent = stack.cluster.new_agent(&h, "MetadataFlood");
                 let dfs = stack.hdfs.client(&h, &agent, "MetadataFlood");
                 stack.cluster.rt.spawn(async move {
                     loop {
@@ -168,9 +160,7 @@ pub fn run(cfg: &Config) -> Result {
     let mut all = Decomposition::default();
     let mut rows = Vec::new();
     for (t, row) in results.raw_rows() {
-        let v = |i: usize| -> f64 {
-            row.get(i).as_f64().unwrap_or(0.0) / 1e9
-        };
+        let v = |i: usize| -> f64 { row.get(i).as_f64().unwrap_or(0.0) / 1e9 };
         let e2e = v(0);
         let queue = v(1);
         let process = v(2);

@@ -34,12 +34,7 @@ pub fn series_by_key(results: &QueryResults, scale: f64) -> Vec<Series> {
         for row in rows {
             let label = row.values.first().map(Value::to_string);
             let Some(label) = label else { continue };
-            let value = row
-                .values
-                .get(1)
-                .and_then(Value::as_f64)
-                .unwrap_or(0.0)
-                * scale;
+            let value = row.values.get(1).and_then(Value::as_f64).unwrap_or(0.0) * scale;
             let s = match out.iter_mut().find(|s| s.label == label) {
                 Some(s) => s,
                 None => {
@@ -64,10 +59,7 @@ pub fn rows_with_value(results: &QueryResults) -> Vec<(Vec<String>, f64)> {
         .into_iter()
         .map(|r| {
             let n = r.values.len();
-            let keys = r.values[..n - 1]
-                .iter()
-                .map(Value::to_string)
-                .collect();
+            let keys = r.values[..n - 1].iter().map(Value::to_string).collect();
             let v = r.values[n - 1].as_f64().unwrap_or(0.0);
             (keys, v)
         })

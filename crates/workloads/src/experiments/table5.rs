@@ -157,17 +157,9 @@ fn measure(cfg: &Config, setup: Setup, op: NnOp) -> Cell {
             // Hard-disable every agent: invoke() returns immediately.
             stack.cluster.set_agents_enabled(false);
         }
-        Setup::PivotTracingEnabled
-        | Setup::Baggage1
-        | Setup::Baggage60 => {}
+        Setup::PivotTracingEnabled | Setup::Baggage1 | Setup::Baggage60 => {}
         Setup::Queries61 => {
-            for q in [
-                fig8::Q3,
-                fig8::Q4,
-                fig8::Q5,
-                fig8::Q6,
-                fig8::Q7,
-            ] {
+            for q in [fig8::Q3, fig8::Q4, fig8::Q5, fig8::Q6, fig8::Q7] {
                 stack.install(q).expect("§6.1 queries compile");
             }
         }
@@ -219,15 +211,9 @@ fn measure(cfg: &Config, setup: Setup, op: NnOp) -> Cell {
                     )
                     .await;
                 }
-                NnOp::Open => {
-                    dfs.metadata(&mut ctx, "open", false).await
-                }
-                NnOp::Create => {
-                    dfs.metadata(&mut ctx, "create", true).await
-                }
-                NnOp::Rename => {
-                    dfs.metadata(&mut ctx, "rename", true).await
-                }
+                NnOp::Open => dfs.metadata(&mut ctx, "open", false).await,
+                NnOp::Create => dfs.metadata(&mut ctx, "create", true).await,
+                NnOp::Rename => dfs.metadata(&mut ctx, "rename", true).await,
             }
             virtual_total += clock.now() - t0;
             let _ = r;
@@ -251,8 +237,7 @@ fn measure(cfg: &Config, setup: Setup, op: NnOp) -> Cell {
 /// Packs `n` 8-byte tuples into the baggage under an otherwise-unused
 /// query id (the paper's "baggage but no advice" rows).
 fn seed_baggage(bag: &mut Baggage, n: usize) {
-    let tuples = (0..n)
-        .map(|i| Tuple::from_iter([Value::U64(i as u64)]));
+    let tuples = (0..n).map(|i| Tuple::from_iter([Value::U64(i as u64)]));
     bag.pack(QueryId(0xDEAD), &PackMode::All, tuples);
 }
 

@@ -79,8 +79,7 @@ impl SimStack {
     pub fn build(cfg: StackConfig) -> SimStack {
         let cluster = Cluster::new(cfg.cluster.clone());
         let hdfs = Hdfs::start(&cluster);
-        let hbase =
-            HBase::start(&cluster, &hdfs, cfg.regions_per_server);
+        let hbase = HBase::start(&cluster, &hdfs, cfg.regions_per_server);
         let yarn = Yarn::start(&cluster, cfg.yarn_slots);
         let mr = MapReduce::start(&cluster, &hdfs, &yarn);
         for i in 0..cfg.dataset_files {
@@ -106,11 +105,7 @@ impl SimStack {
     }
 
     /// Installs a named query.
-    pub fn install_named(
-        &self,
-        name: &str,
-        text: &str,
-    ) -> Result<QueryHandle, InstallError> {
+    pub fn install_named(&self, name: &str, text: &str) -> Result<QueryHandle, InstallError> {
         self.cluster.install_named(name, text)
     }
 

@@ -18,14 +18,12 @@ fn main() {
     println!("HBase scan workload with host-B's NIC at 100 Mbit:\n");
     println!(
         "{:<10} {:>9} {:>9} {:>11} {:>10} {:>7} {:>8}",
-        "bucket", "RS queue", "RS proc", "DN transfer", "DN blocked",
-        "GC", "NN lock"
+        "bucket", "RS queue", "RS proc", "DN transfer", "DN blocked", "GC", "NN lock"
     );
     for (label, d) in [("average", &r.avg), ("slow", &r.slow)] {
         println!(
             "{label:<10} {:>8.3}s {:>8.3}s {:>10.3}s {:>9.3}s {:>6.3}s {:>7.3}s",
-            d.rs_queue, d.rs_process, d.dn_transfer, d.dn_blocked,
-            d.gc, d.nn_lock
+            d.rs_queue, d.rs_process, d.dn_transfer, d.dn_blocked, d.gc, d.nn_lock
         );
     }
     println!(

@@ -61,10 +61,7 @@ fn run(bug: bool) {
             let dname = format!("host-{}", (b'A' + dn) as char);
             let count = rows
                 .iter()
-                .find(|r| {
-                    r.values[0].to_string() == cname
-                        && r.values[1].to_string() == dname
-                })
+                .find(|r| r.values[0].to_string() == cname && r.values[1].to_string() == dname)
                 .and_then(|r| r.values[2].as_f64())
                 .unwrap_or(0.0);
             print!("{count:>6.0}");

@@ -49,7 +49,7 @@ fn empty_baggage_serializes_to_zero_bytes_in_flight() {
     let stack = SimStack::build(StackConfig::small(22));
     clients::spawn_fsread(&stack, 0, "FSread4m", 4.0 * MB);
     stack.run_for_secs(5.0);
-    assert!(stack.cluster.baggage_bytes.len() > 0, "no RPCs observed");
+    assert!(!stack.cluster.baggage_bytes.is_empty(), "no RPCs observed");
     assert_eq!(
         stack.cluster.baggage_bytes.total(),
         0.0,

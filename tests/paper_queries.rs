@@ -171,8 +171,7 @@ fn union_sources_and_where_filters() {
     stack.run_for_secs(10.0);
     let rows = stack.results(&q).rows();
     assert!(
-        rows.iter()
-            .any(|r| r.values[0] == Value::str("HDFS")),
+        rows.iter().any(|r| r.values[0] == Value::str("HDFS")),
         "expected HDFS-phase IO rows: {rows:?}"
     );
 }

@@ -1,0 +1,801 @@
+//! Offline shim for the `proptest` API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness: deterministic generation
+//! (seeded per test name), the `Strategy` combinators the tests use
+//! (`prop_map`, `prop_filter`, `prop_recursive`, tuples, ranges, regex
+//! string literals, `prop_oneof!`, `prop::collection::vec`), and the
+//! `proptest!` / `prop_assert*` macros. No shrinking: a failing case
+//! panics with the full debug rendering of its inputs.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The inputs were rejected (does not count as a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (subset of proptest's `Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// Returns a config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// The deterministic generator backing all strategies (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name, so each property gets a
+        /// stable, independent stream across runs.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty choice");
+            self.next_u64() % n
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn f64_01(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use std::fmt;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// A value generator. The shim generates only — there is no
+    /// shrinking, so `Value` needs `Debug` (for failure reports) but not
+    /// `Clone`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred` (regenerating up to
+        /// an attempt bound — the shim panics if the filter is too
+        /// selective, rather than tracking global rejection budgets).
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Builds recursive values: `recurse` receives a strategy for
+        /// smaller instances and returns the composite case.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let base = self.boxed();
+            Recursive {
+                base,
+                depth,
+                recurse: Arc::new(move |inner| recurse(inner).boxed()),
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        depth: u32,
+        #[allow(clippy::type_complexity)]
+        recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T> + 'static>,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                depth: self.depth,
+                recurse: Arc::clone(&self.recurse),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug + 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // Build a ladder of strategies where each level mixes the
+            // base with one more application of the recursive case, then
+            // sample the level uniformly — small trees stay common.
+            let levels = rng.below(u64::from(self.depth) + 1) as u32;
+            let mut s = self.base.clone();
+            for _ in 0..levels {
+                let deeper = (self.recurse)(s.clone());
+                s = Union::new(vec![(1, s), (1, deeper)]).boxed();
+            }
+            s.generate(rng)
+        }
+    }
+
+    /// Weighted choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(!options.is_empty(), "empty prop_oneof");
+            Union { options }
+        }
+    }
+
+    impl<T: fmt::Debug + 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.below(total.max(1));
+            for (w, s) in &self.options {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            self.options[0].1.generate(rng)
+        }
+    }
+
+    // ----- ranges ---------------------------------------------------------
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span =
+                        (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(usize, u64, u32, i64, i32, u8, i8, u16, i16);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.f64_01() * (self.end - self.start)
+        }
+    }
+
+    // ----- tuples ---------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    // ----- regex string literals -----------------------------------------
+
+    /// One atom of the tiny regex subset the shim generates from.
+    #[derive(Clone, Debug)]
+    enum ReNode {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<(ReNode, u32, u32)>),
+    }
+
+    fn parse_regex(
+        pat: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        in_group: bool,
+    ) -> Vec<(ReNode, u32, u32)> {
+        let mut out = Vec::new();
+        while let Some(&c) = pat.peek() {
+            match c {
+                ')' if in_group => break,
+                '[' => {
+                    pat.next();
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    while let Some(&c) = pat.peek() {
+                        pat.next();
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && pat.peek() != Some(&']') => {
+                                let lo = prev.take().expect("checked");
+                                let hi = pat.next().expect("checked peek");
+                                ranges.push((lo, hi));
+                            }
+                            other => {
+                                if let Some(p) = prev.replace(other) {
+                                    ranges.push((p, p));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    push_quantified(&mut out, ReNode::Class(ranges), pat);
+                }
+                '(' => {
+                    pat.next();
+                    let inner = parse_regex(pat, true);
+                    assert_eq!(pat.next(), Some(')'), "unclosed group");
+                    push_quantified(&mut out, ReNode::Group(inner), pat);
+                }
+                '\\' => {
+                    pat.next();
+                    let lit = pat.next().expect("dangling escape");
+                    push_quantified(&mut out, ReNode::Lit(lit), pat);
+                }
+                other => {
+                    pat.next();
+                    push_quantified(&mut out, ReNode::Lit(other), pat);
+                }
+            }
+        }
+        out
+    }
+
+    fn push_quantified(
+        out: &mut Vec<(ReNode, u32, u32)>,
+        node: ReNode,
+        pat: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) {
+        let (min, max) = match pat.peek() {
+            Some('?') => {
+                pat.next();
+                (0, 1)
+            }
+            Some('*') => {
+                pat.next();
+                (0, 8)
+            }
+            Some('+') => {
+                pat.next();
+                (1, 8)
+            }
+            Some('{') => {
+                pat.next();
+                let mut spec = String::new();
+                for c in pat.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n}"),
+                        hi.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        out.push((node, min, max));
+    }
+
+    fn gen_nodes(nodes: &[(ReNode, u32, u32)], rng: &mut TestRng, out: &mut String) {
+        for (node, min, max) in nodes {
+            let reps = *min + rng.below(u64::from(*max - *min) + 1) as u32;
+            for _ in 0..reps {
+                match node {
+                    ReNode::Lit(c) => out.push(*c),
+                    ReNode::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                            .sum();
+                        let mut pick = rng.below(total.max(1));
+                        for (lo, hi) in ranges {
+                            let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                            if pick < span {
+                                let c = char::from_u32(*lo as u32 + pick as u32)
+                                    .expect("class range in bounds");
+                                out.push(c);
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    ReNode::Group(inner) => gen_nodes(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// String literals act as regex-shaped string strategies, matching
+    /// proptest's `&str: Strategy<Value = String>` impl for the subset of
+    /// regex syntax the tests use (classes, groups, `?`, `{m,n}`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let nodes = parse_regex(&mut self.chars().peekable(), false);
+            let mut out = String::new();
+            gen_nodes(&nodes, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use std::fmt;
+        use std::ops::Range;
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Generates `Vec`s with lengths drawn from `len` and elements
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S> Strategy for VecStrategy<S>
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start).max(1);
+                let n = self.len.start + rng.below(span as u64) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Either boolean, uniformly.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The uniform boolean strategy (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.below(2) == 1
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a property, failing the current case (not the process) so the
+/// harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!(
+            $cond,
+            "assertion failed: {}",
+            stringify!($cond)
+        )
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!($($fmt)*),
+                ),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal under `PartialEq`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values are unequal under `PartialEq`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($weight:expr => $strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $(
+                (
+                    $weight as u32,
+                    $crate::strategy::Strategy::boxed($strat),
+                )
+            ),+
+        ])
+    };
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $(
+                (1u32, $crate::strategy::Strategy::boxed($strat))
+            ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::Config::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident(
+                $($pat:pat in $strat:expr),+ $(,)?
+            ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                    );
+                for case in 0..config.cases {
+                    let values = (
+                        $(
+                            $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut rng,
+                            ),
+                        )+
+                    );
+                    let repr = format!("{values:#?}");
+                    let ( $($pat,)+ ) = values;
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(
+                            _,
+                        )) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(
+                            msg,
+                        )) => {
+                            panic!(
+                                "property `{}` failed at case {}/{}:\n\
+                                 {}\ninputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                msg,
+                                repr,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategy_shapes() {
+        let mut rng = crate::test_runner::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-zA-Z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().expect("nonempty").is_ascii_lowercase());
+
+            let t = Strategy::generate(&"[A-Z][a-z0-9]{0,5}(\\.[a-z]{1,3})?", &mut rng);
+            assert!(t.chars().next().expect("nonempty").is_ascii_uppercase());
+            if let Some((_, suffix)) = t.split_once('.') {
+                assert!((1..=3).contains(&suffix.len()), "{t:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_vec_work(
+            v in prop::collection::vec(
+                prop_oneof![2 => 0usize..3, 1 => 10usize..13],
+                0..20
+            ),
+            flag in prop::bool::ANY,
+        ) {
+            let _ = flag;
+            for x in v {
+                prop_assert!(x < 3 || (10..13).contains(&x), "{x}");
+            }
+        }
+
+        #[test]
+        fn map_filter_recursive_compose(
+            n in (0usize..50).prop_map(|x| x * 2)
+                .prop_filter("even", |x| x % 2 == 0)
+        ) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+}
