@@ -84,6 +84,26 @@ impl Baggage {
         }
     }
 
+    /// Adopts a serialized baggage, decoding it **eagerly** and rejecting
+    /// malformed input.
+    ///
+    /// [`Baggage::from_bytes`] is the right call on a request path — it is
+    /// lazy and degrades corruption to an empty baggage so the carrying
+    /// request survives. Transport boundaries that receive baggage from
+    /// untrusted peers (the live TCP runtime) instead want corruption
+    /// *surfaced*, so the connection can be closed and the fault counted
+    /// rather than silently dropping query state.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Baggage, pivot_itc::DecodeError> {
+        if bytes.is_empty() {
+            return Ok(Baggage::new());
+        }
+        let live = wire::decode(bytes)?;
+        Ok(Baggage {
+            live: Some(live),
+            bytes: Some(Arc::from(bytes)),
+        })
+    }
+
     /// Serializes the baggage, reusing the cached encoding when the baggage
     /// has not been modified since it was last encoded or decoded.
     ///

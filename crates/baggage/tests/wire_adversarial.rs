@@ -1,0 +1,113 @@
+//! Adversarial round-trip tests for the baggage wire codec.
+//!
+//! The live TCP runtime (`pivot-live`) puts serialized baggage in message
+//! headers received from real peers, so malformed input is no longer a
+//! hypothetical: truncated or bit-flipped buffers must decode to an
+//! `Err`, never panic or mis-decode, and well-formed extremes (empty
+//! bags, maximum-arity tuples) must round-trip exactly.
+
+use pivot_baggage::{Baggage, PackMode, QueryId};
+use pivot_model::{Tuple, Value};
+
+fn wide_tuple(arity: usize, salt: u64) -> Tuple {
+    (0..arity)
+        .map(|i| match i % 6 {
+            0 => Value::Null,
+            1 => Value::Bool(i % 2 == 0),
+            2 => Value::I64(-(i as i64) * salt as i64),
+            3 => Value::U64(u64::MAX - i as u64),
+            4 => Value::F64(i as f64 * 1.5 + salt as f64),
+            _ => Value::str(format!("field-{salt}-{i}-{}", "x".repeat(i % 32))),
+        })
+        .collect()
+}
+
+#[test]
+fn empty_bag_is_zero_bytes_and_strict_decodes() {
+    let mut bag = Baggage::new();
+    let bytes = bag.to_bytes();
+    assert_eq!(bytes.len(), 0);
+    let mut back = Baggage::try_from_bytes(&bytes).expect("empty is valid");
+    assert!(back.is_empty());
+}
+
+#[test]
+fn max_arity_tuples_round_trip() {
+    let mut bag = Baggage::new();
+    // Several queries sharing the bag, one with a pathologically wide row.
+    bag.pack(QueryId(1), &PackMode::All, [wide_tuple(512, 7)]);
+    bag.pack(
+        QueryId(u64::MAX / 256),
+        &PackMode::Recent(3),
+        (0..5).map(|i| wide_tuple(64, i)),
+    );
+    bag.pack(QueryId(2), &PackMode::First(2), [wide_tuple(1, 0)]);
+    let bytes = bag.to_bytes();
+    let mut back = Baggage::try_from_bytes(&bytes).expect("valid encoding");
+    assert_eq!(back.unpack(QueryId(1)), vec![wide_tuple(512, 7)]);
+    assert_eq!(back.unpack(QueryId(u64::MAX / 256)).len(), 3);
+    assert_eq!(back.unpack(QueryId(2)), vec![wide_tuple(1, 0)]);
+}
+
+#[test]
+fn branched_bag_round_trips_through_strict_decode() {
+    let mut main = Baggage::new();
+    main.pack(QueryId(4), &PackMode::All, [wide_tuple(8, 1)]);
+    let mut side = main.split();
+    side.pack(QueryId(4), &PackMode::All, [wide_tuple(8, 2)]);
+    main.join(side);
+    let bytes = main.to_bytes();
+    let mut back = Baggage::try_from_bytes(&bytes).expect("valid encoding");
+    assert_eq!(back.unpack(QueryId(4)).len(), 2);
+}
+
+#[test]
+fn every_truncation_errors_not_panics() {
+    let mut bag = Baggage::new();
+    bag.pack(QueryId(9), &PackMode::All, [wide_tuple(24, 3)]);
+    let mut side = bag.split();
+    side.pack(QueryId(10), &PackMode::Recent(2), [wide_tuple(6, 4)]);
+    bag.join(side);
+    let bytes = bag.to_bytes();
+    assert!(bytes.len() > 16, "want a non-trivial encoding");
+    // Every strict prefix is missing declared content.
+    for cut in 1..bytes.len() {
+        assert!(
+            Baggage::try_from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut} of {} decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let mut bag = Baggage::new();
+    bag.pack(
+        QueryId(3),
+        &PackMode::All,
+        (0..4).map(|i| wide_tuple(12, i)),
+    );
+    let bytes = bag.to_bytes().to_vec();
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 1 << bit;
+            // Either outcome is legal; what matters is no panic and that a
+            // successful decode stays internally consistent.
+            if let Ok(mut b) = Baggage::try_from_bytes(&mutated) {
+                let _ = b.unpack(QueryId(3));
+                let _ = b.total_tuples();
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_path_degrades_where_strict_path_errors() {
+    let garbage = [0x01u8, 0xff, 0xff, 0xff];
+    assert!(Baggage::try_from_bytes(&garbage).is_err());
+    // The request-path constructor must keep the request alive instead.
+    let mut lazy = Baggage::from_bytes(&garbage);
+    assert!(lazy.unpack(QueryId(1)).is_empty());
+}

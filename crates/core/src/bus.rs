@@ -11,6 +11,34 @@ use pivot_baggage::QueryId;
 use pivot_model::{AggState, GroupKey, Tuple};
 use pivot_query::CompiledQuery;
 
+/// A transport between the frontend and the per-process agents (the
+/// paper's Figure 2 pub/sub server).
+///
+/// Implementations decide *how* [`Command`]s reach agents and how
+/// [`Report`]s travel back: [`LocalBus`] delivers both synchronously inside
+/// one process, the simulated cluster delivers over its virtual network,
+/// and `pivot-live`'s TCP bus carries the same messages over real sockets
+/// between real processes. The frontend-facing code is identical across
+/// all three.
+pub trait Bus {
+    /// Broadcasts a frontend command to every connected agent.
+    fn broadcast(&self, cmd: &Command);
+
+    /// Collects the reports currently addressed to the frontend.
+    ///
+    /// `now` is the flush timestamp for transports that flush agents on
+    /// demand; transports whose agents self-report on their own clocks
+    /// (e.g. over TCP) ignore it.
+    fn drain_reports(&self, now: u64) -> Vec<Report>;
+
+    /// Drains pending reports into `frontend`.
+    fn pump_into(&self, now: u64, frontend: &mut crate::Frontend) {
+        for report in self.drain_reports(now) {
+            frontend.accept(report);
+        }
+    }
+}
+
 /// A frontend → agents control message.
 #[derive(Clone, Debug)]
 pub enum Command {
@@ -86,17 +114,23 @@ impl LocalBus {
 
     /// Broadcasts a command to every agent.
     pub fn broadcast(&self, cmd: &Command) {
+        Bus::broadcast(self, cmd);
+    }
+
+    /// Flushes every agent and delivers the reports to `frontend`.
+    pub fn pump(&self, now: u64, frontend: &mut crate::Frontend) {
+        self.pump_into(now, frontend);
+    }
+}
+
+impl Bus for LocalBus {
+    fn broadcast(&self, cmd: &Command) {
         for a in &self.agents {
             a.apply(cmd);
         }
     }
 
-    /// Flushes every agent and delivers the reports to `frontend`.
-    pub fn pump(&self, now: u64, frontend: &mut crate::Frontend) {
-        for a in &self.agents {
-            for report in a.flush(now) {
-                frontend.accept(report);
-            }
-        }
+    fn drain_reports(&self, now: u64) -> Vec<Report> {
+        self.agents.iter().flat_map(|a| a.flush(now)).collect()
     }
 }

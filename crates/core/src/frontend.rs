@@ -191,7 +191,6 @@ impl std::error::Error for InstallError {}
 struct Installed {
     handle: QueryHandle,
     ast: Query,
-    #[allow(dead_code)]
     compiled: Arc<CompiledQuery>,
 }
 

@@ -37,6 +37,6 @@ pub mod interp;
 pub mod tracepoint;
 
 pub use agent::{Agent, ProcessInfo};
-pub use bus::{Command, LocalBus, Report, ReportRows};
+pub use bus::{Bus, Command, LocalBus, Report, ReportRows};
 pub use frontend::{Frontend, QueryHandle, QueryResults, ResultRow};
 pub use tracepoint::{Registry, TracepointDef, DEFAULT_EXPORTS};

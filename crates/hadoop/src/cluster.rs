@@ -5,7 +5,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use pivot_core::frontend::InstallError;
-use pivot_core::{Agent, Frontend, ProcessInfo, QueryHandle};
+use pivot_core::{Agent, Bus, Command, Frontend, ProcessInfo, QueryHandle, Report};
 use pivot_simrt::{join2, Clock, Counter, FifoResource, Nanos, SimRt};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -233,11 +233,8 @@ impl Cluster {
 
     fn broadcast(&self) {
         let cmds = self.frontend.borrow_mut().drain_commands();
-        let agents = self.agents.borrow().clone();
         for cmd in &cmds {
-            for a in &agents {
-                a.apply(cmd);
-            }
+            Bus::broadcast(self, cmd);
         }
     }
 
@@ -245,13 +242,8 @@ impl Cluster {
     /// of an experiment to collect the final partial interval).
     pub fn flush_now(&self) {
         let now = self.clock.now();
-        let list = self.agents.borrow().clone();
         let mut fe = self.frontend.borrow_mut();
-        for agent in &list {
-            for report in agent.flush(now) {
-                fe.accept(report);
-            }
-        }
+        self.pump_into(now, &mut fe);
     }
 
     /// Returns the worker hosts (excludes the NameNode host).
@@ -285,6 +277,24 @@ impl Cluster {
             total.rows_reported += s.rows_reported;
         }
         total
+    }
+}
+
+/// The simulated cluster *is* a [`Bus`]: commands reach every simulated
+/// process's agent and flushing collects their partial reports, making the
+/// control plane interchangeable with [`pivot_core::LocalBus`] and the
+/// live TCP bus.
+impl Bus for Cluster {
+    fn broadcast(&self, cmd: &Command) {
+        let agents = self.agents.borrow().clone();
+        for a in &agents {
+            a.apply(cmd);
+        }
+    }
+
+    fn drain_reports(&self, now: u64) -> Vec<Report> {
+        let agents = self.agents.borrow().clone();
+        agents.iter().flat_map(|a| a.flush(now)).collect()
     }
 }
 

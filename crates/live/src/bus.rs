@@ -1,0 +1,441 @@
+//! The TCP message bus: real-socket transport for commands and reports.
+//!
+//! Reproduces the paper's Figure 2 topology on actual sockets: a central
+//! pub/sub endpoint ([`TcpBusServer`]) owned by the frontend process, and
+//! one [`LiveAgent`] per traced process that connects out, registers with
+//! a `Hello`, applies incoming weave/unweave commands to its local
+//! registry, and streams partial-result reports back on its own reporting
+//! interval. [`LiveFrontend`] bundles a [`pivot_core::Frontend`] with the
+//! server side so installing a query over TCP is one call.
+//!
+//! The server implements [`pivot_core::Bus`], making it interchangeable
+//! with [`pivot_core::LocalBus`] and the simulated cluster.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pivot_baggage::QueryId;
+use pivot_core::frontend::InstallError;
+use pivot_core::{
+    Agent, Bus, Command, Frontend, ProcessInfo, QueryHandle, QueryResults, Report, TracepointDef,
+};
+use pivot_query::CompiledQuery;
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{decode_message, encode_message, Message};
+
+/// One connected agent, from the server's point of view.
+struct Peer {
+    writer: Arc<Mutex<TcpStream>>,
+    /// Set once the peer's `Hello` arrives.
+    info: Arc<Mutex<Option<ProcessInfo>>>,
+}
+
+struct BusInner {
+    addr: SocketAddr,
+    peers: Mutex<Vec<Peer>>,
+    /// Reports received and not yet drained by the frontend.
+    reports: Mutex<Vec<Report>>,
+    /// Currently installed queries, replayed to agents that join late
+    /// (mirrors the simulated cluster weaving installed queries into new
+    /// processes).
+    installed: Mutex<Vec<Arc<CompiledQuery>>>,
+    shutdown: AtomicBool,
+}
+
+/// The frontend side of the TCP bus (the paper's central pub/sub server).
+pub struct TcpBusServer {
+    inner: Arc<BusInner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpBusServer {
+    /// Binds a loopback listener on an ephemeral port and starts the
+    /// accept loop.
+    pub fn start() -> io::Result<TcpBusServer> {
+        TcpBusServer::bind("127.0.0.1:0")
+    }
+
+    /// Binds `addr` and starts the accept loop.
+    pub fn bind(addr: &str) -> io::Result<TcpBusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let inner = Arc::new(BusInner {
+            addr: listener.local_addr()?,
+            peers: Mutex::new(Vec::new()),
+            reports: Mutex::new(Vec::new()),
+            installed: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let server = TcpBusServer {
+            inner: Arc::clone(&inner),
+            threads: Mutex::new(Vec::new()),
+        };
+        let accept_inner = Arc::clone(&inner);
+        let handle = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+        server.threads.lock().push(handle);
+        Ok(server)
+    }
+
+    /// The address agents should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Number of agents that have completed registration.
+    pub fn agent_count(&self) -> usize {
+        self.inner
+            .peers
+            .lock()
+            .iter()
+            .filter(|p| p.info.lock().is_some())
+            .count()
+    }
+
+    /// Identities of the registered agents.
+    pub fn agents(&self) -> Vec<ProcessInfo> {
+        self.inner
+            .peers
+            .lock()
+            .iter()
+            .filter_map(|p| p.info.lock().clone())
+            .collect()
+    }
+
+    /// Blocks until at least `n` agents have registered or `timeout`
+    /// elapses; returns whether the target was reached.
+    pub fn wait_for_agents(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.agent_count() < n {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stops the accept loop and disconnects every agent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.inner.addr);
+        for peer in self.inner.peers.lock().drain(..) {
+            let _ = peer.writer.lock().shutdown(Shutdown::Both);
+        }
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpBusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Bus for TcpBusServer {
+    fn broadcast(&self, cmd: &Command) {
+        match cmd {
+            Command::Install(q) => self.inner.installed.lock().push(Arc::clone(q)),
+            Command::Uninstall(id) => self.inner.installed.lock().retain(|q| q.id != *id),
+        }
+        let payload = encode_message(&Message::Command(cmd.clone()));
+        // Drop peers whose connection is gone; the write error is the
+        // only signal a crashed agent leaves behind.
+        self.inner
+            .peers
+            .lock()
+            .retain(|peer| write_frame(&mut *peer.writer.lock(), &payload).is_ok());
+    }
+
+    fn drain_reports(&self, _now: u64) -> Vec<Report> {
+        std::mem::take(&mut *self.inner.reports.lock())
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<BusInner>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let peer = Peer {
+            writer: Arc::new(Mutex::new(write_half)),
+            info: Arc::new(Mutex::new(None)),
+        };
+        let writer = Arc::clone(&peer.writer);
+        let info = Arc::clone(&peer.info);
+        let reader_inner = Arc::clone(inner);
+        inner.peers.lock().push(peer);
+        std::thread::spawn(move || peer_reader(stream, &writer, &info, &reader_inner));
+    }
+}
+
+/// Per-connection reader: registers the peer on `Hello`, collects its
+/// reports, and exits on EOF or a protocol violation (closing the
+/// connection — malformed frames from live peers are a fault, not
+/// something to silently skip).
+fn peer_reader(
+    mut stream: TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    info: &Arc<Mutex<Option<ProcessInfo>>>,
+    inner: &Arc<BusInner>,
+) {
+    while let Ok(payload) = read_frame(&mut stream) {
+        match decode_message(&payload) {
+            Ok(Message::Hello(process)) => {
+                *info.lock() = Some(process);
+                // Weave the currently installed queries into the newcomer.
+                let installed: Vec<Arc<CompiledQuery>> = inner.installed.lock().clone();
+                for q in installed {
+                    let payload = encode_message(&Message::Command(Command::Install(q)));
+                    if write_frame(&mut *writer.lock(), &payload).is_err() {
+                        break;
+                    }
+                }
+            }
+            Ok(Message::Report(report)) => inner.reports.lock().push(report),
+            Ok(Message::Command(_)) | Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    let dead = Arc::as_ptr(writer);
+    inner
+        .peers
+        .lock()
+        .retain(|p| Arc::as_ptr(&p.writer) != dead);
+}
+
+/// A per-process agent connected to the TCP bus.
+///
+/// Owns the process's [`Agent`] (registry + local aggregation) plus two
+/// service threads: a reader applying incoming weave/unweave commands and
+/// a reporter flushing partial results every `report_interval` (the
+/// paper's default is one second; tests use much shorter).
+pub struct LiveAgent {
+    agent: Arc<Agent>,
+    writer: Arc<Mutex<TcpStream>>,
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl LiveAgent {
+    /// Connects to the bus at `addr`, registers `info`, and starts the
+    /// reader and reporter threads.
+    pub fn connect(
+        addr: SocketAddr,
+        info: ProcessInfo,
+        report_interval: Duration,
+    ) -> io::Result<LiveAgent> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let agent = Arc::new(Agent::new(info.clone()));
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        write_frame(&mut *writer.lock(), &encode_message(&Message::Hello(info)))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let mut read_half = stream.try_clone()?;
+        let reader_agent = Arc::clone(&agent);
+        threads.push(std::thread::spawn(move || {
+            while let Ok(payload) = read_frame(&mut read_half) {
+                match decode_message(&payload) {
+                    Ok(Message::Command(cmd)) => reader_agent.apply(&cmd),
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        }));
+
+        let reporter_agent = Arc::clone(&agent);
+        let reporter_writer = Arc::clone(&writer);
+        let reporter_stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            while !reporter_stop.load(Ordering::SeqCst) {
+                std::thread::sleep(report_interval);
+                flush_reports(&reporter_agent, &reporter_writer);
+            }
+            // Final flush so short-lived processes still report.
+            flush_reports(&reporter_agent, &reporter_writer);
+        }));
+
+        Ok(LiveAgent {
+            agent,
+            writer,
+            stream,
+            stop,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The process-local agent: invoke tracepoints against it (usually
+    /// via [`crate::tracepoint`]).
+    pub fn agent(&self) -> &Arc<Agent> {
+        &self.agent
+    }
+
+    /// Flushes partial results to the frontend immediately.
+    pub fn flush_now(&self) {
+        flush_reports(&self.agent, &self.writer);
+    }
+
+    /// Flushes once more, then disconnects and joins the service threads.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        flush_reports(&self.agent, &self.writer);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LiveAgent {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn flush_reports(agent: &Agent, writer: &Arc<Mutex<TcpStream>>) {
+    for report in agent.flush(crate::now_nanos()) {
+        let payload = encode_message(&Message::Report(report));
+        if write_frame(&mut *writer.lock(), &payload).is_err() {
+            break;
+        }
+    }
+}
+
+/// A [`Frontend`] wired to a [`TcpBusServer`]: the live counterpart of
+/// the simulated cluster's control plane. Queries installed here are
+/// verified (PR-1 static analysis), compiled, and broadcast to every
+/// connected process over TCP; results stream back continuously.
+pub struct LiveFrontend {
+    frontend: Frontend,
+    bus: TcpBusServer,
+}
+
+impl LiveFrontend {
+    /// Starts a frontend with a loopback bus on an ephemeral port.
+    pub fn start() -> io::Result<LiveFrontend> {
+        Ok(LiveFrontend {
+            frontend: Frontend::new(),
+            bus: TcpBusServer::start()?,
+        })
+    }
+
+    /// The bus address agents connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.bus.addr()
+    }
+
+    /// The underlying bus.
+    pub fn bus(&self) -> &TcpBusServer {
+        &self.bus
+    }
+
+    /// Direct access to the frontend (tracepoint defs, verifier toggle).
+    pub fn frontend_mut(&mut self) -> &mut Frontend {
+        &mut self.frontend
+    }
+
+    /// Defines a tracepoint (the query vocabulary).
+    pub fn define(&mut self, name: &str, exports: impl IntoIterator<Item = impl Into<String>>) {
+        self.frontend.define(name, exports);
+    }
+
+    /// Defines a tracepoint from a full definition.
+    pub fn define_tracepoint(&mut self, def: TracepointDef) {
+        self.frontend.define_tracepoint(def);
+    }
+
+    /// Blocks until `n` agents registered (see
+    /// [`TcpBusServer::wait_for_agents`]).
+    pub fn wait_for_agents(&self, n: usize, timeout: Duration) -> bool {
+        self.bus.wait_for_agents(n, timeout)
+    }
+
+    /// Installs a query: static verification, compilation, then broadcast
+    /// of the weave command over TCP. A rejected query broadcasts
+    /// nothing.
+    pub fn install(&mut self, text: &str) -> Result<QueryHandle, InstallError> {
+        let handle = self.frontend.install(text)?;
+        self.broadcast_pending();
+        Ok(handle)
+    }
+
+    /// Installs a query under a fixed name.
+    pub fn install_named(&mut self, name: &str, text: &str) -> Result<QueryHandle, InstallError> {
+        let handle = self.frontend.install_named(name, text)?;
+        self.broadcast_pending();
+        Ok(handle)
+    }
+
+    /// Uninstalls a query everywhere (agents unweave on receipt).
+    pub fn uninstall(&mut self, handle: &QueryHandle) {
+        self.frontend.uninstall(handle);
+        self.broadcast_pending();
+    }
+
+    fn broadcast_pending(&mut self) {
+        for cmd in self.frontend.drain_commands() {
+            self.bus.broadcast(&cmd);
+        }
+    }
+
+    /// Merges reports received since the last poll into the frontend.
+    pub fn poll(&mut self) {
+        self.bus.pump_into(crate::now_nanos(), &mut self.frontend);
+    }
+
+    /// Returns a query's accumulated results (polling first).
+    pub fn results(&mut self, handle: &QueryHandle) -> &QueryResults {
+        self.poll();
+        self.frontend.results(handle)
+    }
+
+    /// Blocks until the query has at least `min_rows` result rows or
+    /// `timeout` elapses; returns whether the target was reached.
+    pub fn wait_for_rows(
+        &mut self,
+        handle: &QueryHandle,
+        min_rows: usize,
+        timeout: Duration,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.poll();
+            if self.frontend.results(handle).len() >= min_rows {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Uninstall by query id, for tests churning many handles.
+    pub fn uninstall_id(&mut self, id: QueryId, name: &str) {
+        self.uninstall(&QueryHandle {
+            id,
+            name: name.to_owned(),
+        });
+    }
+}

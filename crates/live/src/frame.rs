@@ -1,0 +1,81 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Every bus and service message travels as `len: u32 (big-endian)`
+//! followed by `len` payload bytes. Frames above [`MAX_FRAME`] are
+//! rejected on both sides so a corrupt or malicious peer cannot make the
+//! receiver allocate unboundedly.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload (16 MiB — far above any report).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one length-prefixed frame and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `ErrorKind::UnexpectedEof` on a cleanly closed stream and
+/// `ErrorKind::InvalidData` on an oversized length prefix.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_including_empty() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").expect("write empty");
+        write_frame(&mut buf, b"hello").expect("write payload");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("read empty"), b"");
+        assert_eq!(read_frame(&mut r).expect("read payload"), b"hello");
+        assert!(read_frame(&mut r).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        assert_eq!(
+            read_frame(&mut &buf[..]).expect_err("oversized").kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").expect("write");
+        let cut = &buf[..buf.len() - 2];
+        assert_eq!(
+            read_frame(&mut &cut[..]).expect_err("truncated").kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,686 @@
+//! Binary codec for the bus protocol.
+//!
+//! The TCP bus carries three message kinds between live agents and the
+//! frontend: a `Hello` registering the agent's process identity, the
+//! frontend's weave/unweave [`Command`]s (including the **full compiled
+//! query** — advice programs, expression trees, pack modes, output spec),
+//! and the agents' partial-result [`Report`]s. Everything is encoded with
+//! the same LEB128 encoder the baggage wire format uses, so one decoder
+//! discipline covers the whole attack surface: malformed input returns
+//! [`DecodeError`], never panics.
+
+use std::sync::Arc;
+
+use pivot_baggage::{PackMode, QueryId};
+use pivot_core::{Command, ProcessInfo, Report, ReportRows};
+use pivot_itc::{DecodeError, Decoder, Encoder};
+use pivot_model::{codec, AggFunc, AggState, BinOp, Expr, GroupKey, Schema, Tuple, UnOp};
+use pivot_query::advice::ColumnRef;
+use pivot_query::{AdviceOp, AdviceProgram, CompiledQuery, OutputSpec, TemporalFilter};
+
+/// Maximum expression nesting the decoder accepts. Honest queries stay in
+/// single digits; the cap keeps a hostile peer from overflowing the stack.
+const MAX_EXPR_DEPTH: usize = 128;
+
+/// One bus message.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Agent → frontend: registration with the agent's process identity.
+    Hello(ProcessInfo),
+    /// Frontend → agent: weave or unweave a query.
+    Command(Command),
+    /// Agent → frontend: partial results for one interval.
+    Report(Report),
+}
+
+/// Encodes one message to bytes (the payload of one frame).
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(128);
+    match msg {
+        Message::Hello(info) => {
+            enc.put_u8(0);
+            enc.put_str(&info.host);
+            enc.put_varint(info.procid);
+            enc.put_str(&info.procname);
+        }
+        Message::Command(Command::Install(compiled)) => {
+            enc.put_u8(1);
+            encode_compiled(compiled, &mut enc);
+        }
+        Message::Command(Command::Uninstall(id)) => {
+            enc.put_u8(2);
+            enc.put_varint(id.0);
+        }
+        Message::Report(report) => {
+            enc.put_u8(3);
+            encode_report(report, &mut enc);
+        }
+    }
+    enc.finish()
+}
+
+/// Decodes one message; trailing garbage is rejected.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let msg = match dec.take_u8()? {
+        0 => Message::Hello(ProcessInfo {
+            host: dec.take_str()?.to_owned(),
+            procid: dec.take_varint()?,
+            procname: dec.take_str()?.to_owned(),
+        }),
+        1 => Message::Command(Command::Install(Arc::new(decode_compiled(&mut dec)?))),
+        2 => Message::Command(Command::Uninstall(QueryId(dec.take_varint()?))),
+        3 => Message::Report(decode_report(&mut dec)?),
+        t => return Err(DecodeError::BadTag("message", t)),
+    };
+    if !dec.is_empty() {
+        return Err(DecodeError::BadTag("message trailing bytes", 0));
+    }
+    Ok(msg)
+}
+
+fn encode_compiled(q: &CompiledQuery, enc: &mut Encoder) {
+    enc.put_varint(q.id.0);
+    enc.put_str(&q.name);
+    enc.put_str(&q.text);
+    enc.put_varint(q.advice.len() as u64);
+    for program in &q.advice {
+        encode_program(program, enc);
+    }
+    encode_output_spec(&q.output, enc);
+}
+
+fn decode_compiled(dec: &mut Decoder<'_>) -> Result<CompiledQuery, DecodeError> {
+    let id = QueryId(dec.take_varint()?);
+    let name = dec.take_str()?.to_owned();
+    let text = dec.take_str()?.to_owned();
+    let n = dec.take_varint()? as usize;
+    let mut advice = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        advice.push(decode_program(dec)?);
+    }
+    let output = decode_output_spec(dec)?;
+    Ok(CompiledQuery {
+        id,
+        name,
+        text,
+        advice,
+        output,
+    })
+}
+
+fn encode_program(p: &AdviceProgram, enc: &mut Encoder) {
+    encode_strs(&p.tracepoints, enc);
+    enc.put_varint(p.ops.len() as u64);
+    for op in &p.ops {
+        encode_op(op, enc);
+    }
+}
+
+fn decode_program(dec: &mut Decoder<'_>) -> Result<AdviceProgram, DecodeError> {
+    let tracepoints = decode_strs(dec)?;
+    let n = dec.take_varint()? as usize;
+    let mut ops = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        ops.push(decode_op(dec)?);
+    }
+    Ok(AdviceProgram { tracepoints, ops })
+}
+
+fn encode_op(op: &AdviceOp, enc: &mut Encoder) {
+    match op {
+        AdviceOp::Observe { alias, fields } => {
+            enc.put_u8(0);
+            enc.put_str(alias);
+            encode_strs(fields, enc);
+        }
+        AdviceOp::Unpack {
+            slot,
+            schema,
+            post_filter,
+        } => {
+            enc.put_u8(1);
+            enc.put_varint(slot.0);
+            encode_schema(schema, enc);
+            encode_opt_filter(post_filter, enc);
+        }
+        AdviceOp::Filter { pred } => {
+            enc.put_u8(2);
+            encode_expr(pred, enc);
+        }
+        AdviceOp::Pack {
+            slot,
+            mode,
+            exprs,
+            names,
+        } => {
+            enc.put_u8(3);
+            enc.put_varint(slot.0);
+            encode_pack_mode(mode, enc);
+            enc.put_varint(exprs.len() as u64);
+            for e in exprs {
+                encode_expr(e, enc);
+            }
+            encode_strs(names, enc);
+        }
+        AdviceOp::Emit { query, spec } => {
+            enc.put_u8(4);
+            enc.put_varint(query.0);
+            encode_output_spec(spec, enc);
+        }
+    }
+}
+
+fn decode_op(dec: &mut Decoder<'_>) -> Result<AdviceOp, DecodeError> {
+    Ok(match dec.take_u8()? {
+        0 => AdviceOp::Observe {
+            alias: dec.take_str()?.to_owned(),
+            fields: decode_strs(dec)?,
+        },
+        1 => AdviceOp::Unpack {
+            slot: QueryId(dec.take_varint()?),
+            schema: decode_schema(dec)?,
+            post_filter: decode_opt_filter(dec)?,
+        },
+        2 => AdviceOp::Filter {
+            pred: decode_expr(dec, 0)?,
+        },
+        3 => {
+            let slot = QueryId(dec.take_varint()?);
+            let mode = decode_pack_mode(dec)?;
+            let n = dec.take_varint()? as usize;
+            let mut exprs = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                exprs.push(decode_expr(dec, 0)?);
+            }
+            let names = decode_strs(dec)?;
+            AdviceOp::Pack {
+                slot,
+                mode,
+                exprs,
+                names,
+            }
+        }
+        4 => AdviceOp::Emit {
+            query: QueryId(dec.take_varint()?),
+            spec: decode_output_spec(dec)?,
+        },
+        t => return Err(DecodeError::BadTag("advice op", t)),
+    })
+}
+
+fn encode_output_spec(spec: &OutputSpec, enc: &mut Encoder) {
+    enc.put_varint(spec.key_exprs.len() as u64);
+    for e in &spec.key_exprs {
+        encode_expr(e, enc);
+    }
+    encode_strs(&spec.key_names, enc);
+    enc.put_varint(spec.aggs.len() as u64);
+    for (f, e) in &spec.aggs {
+        enc.put_u8(agg_func_tag(*f));
+        encode_expr(e, enc);
+    }
+    encode_strs(&spec.agg_names, enc);
+    enc.put_varint(spec.columns.len() as u64);
+    for c in &spec.columns {
+        match c {
+            ColumnRef::Key(i) => {
+                enc.put_u8(0);
+                enc.put_varint(*i as u64);
+            }
+            ColumnRef::Agg(i) => {
+                enc.put_u8(1);
+                enc.put_varint(*i as u64);
+            }
+        }
+    }
+    enc.put_u8(u8::from(spec.streaming));
+}
+
+fn decode_output_spec(dec: &mut Decoder<'_>) -> Result<OutputSpec, DecodeError> {
+    let n = dec.take_varint()? as usize;
+    let mut key_exprs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        key_exprs.push(decode_expr(dec, 0)?);
+    }
+    let key_names = decode_strs(dec)?;
+    let n = dec.take_varint()? as usize;
+    let mut aggs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let f = decode_agg_func(dec.take_u8()?)?;
+        aggs.push((f, decode_expr(dec, 0)?));
+    }
+    let agg_names = decode_strs(dec)?;
+    let n = dec.take_varint()? as usize;
+    let mut columns = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let tag = dec.take_u8()?;
+        let idx = dec.take_varint()? as usize;
+        columns.push(match tag {
+            0 => ColumnRef::Key(idx),
+            1 => ColumnRef::Agg(idx),
+            t => return Err(DecodeError::BadTag("column ref", t)),
+        });
+    }
+    let streaming = match dec.take_u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(DecodeError::BadTag("streaming flag", t)),
+    };
+    Ok(OutputSpec {
+        key_exprs,
+        key_names,
+        aggs,
+        agg_names,
+        columns,
+        streaming,
+    })
+}
+
+fn encode_expr(e: &Expr, enc: &mut Encoder) {
+    match e {
+        Expr::Field(name) => {
+            enc.put_u8(0);
+            enc.put_str(name);
+        }
+        Expr::Lit(v) => {
+            enc.put_u8(1);
+            codec::encode_value(v, enc);
+        }
+        Expr::Unary(op, inner) => {
+            enc.put_u8(2);
+            enc.put_u8(un_op_tag(*op));
+            encode_expr(inner, enc);
+        }
+        Expr::Binary(op, l, r) => {
+            enc.put_u8(3);
+            enc.put_u8(bin_op_tag(*op));
+            encode_expr(l, enc);
+            encode_expr(r, enc);
+        }
+    }
+}
+
+fn decode_expr(dec: &mut Decoder<'_>, depth: usize) -> Result<Expr, DecodeError> {
+    if depth > MAX_EXPR_DEPTH {
+        return Err(DecodeError::BadTag("expr depth", 0));
+    }
+    Ok(match dec.take_u8()? {
+        0 => Expr::Field(dec.take_str()?.to_owned()),
+        1 => Expr::Lit(codec::decode_value(dec)?),
+        2 => {
+            let op = decode_un_op(dec.take_u8()?)?;
+            Expr::Unary(op, Box::new(decode_expr(dec, depth + 1)?))
+        }
+        3 => {
+            let op = decode_bin_op(dec.take_u8()?)?;
+            let l = decode_expr(dec, depth + 1)?;
+            let r = decode_expr(dec, depth + 1)?;
+            Expr::Binary(op, Box::new(l), Box::new(r))
+        }
+        t => return Err(DecodeError::BadTag("expr", t)),
+    })
+}
+
+fn encode_pack_mode(mode: &PackMode, enc: &mut Encoder) {
+    match mode {
+        PackMode::All => enc.put_u8(0),
+        PackMode::First(n) => {
+            enc.put_u8(1);
+            enc.put_varint(*n as u64);
+        }
+        PackMode::Recent(n) => {
+            enc.put_u8(2);
+            enc.put_varint(*n as u64);
+        }
+        PackMode::GroupAgg { key_len, aggs } => {
+            enc.put_u8(3);
+            enc.put_varint(*key_len as u64);
+            enc.put_varint(aggs.len() as u64);
+            for f in aggs {
+                enc.put_u8(agg_func_tag(*f));
+            }
+        }
+    }
+}
+
+fn decode_pack_mode(dec: &mut Decoder<'_>) -> Result<PackMode, DecodeError> {
+    Ok(match dec.take_u8()? {
+        0 => PackMode::All,
+        1 => PackMode::First(dec.take_varint()? as usize),
+        2 => PackMode::Recent(dec.take_varint()? as usize),
+        3 => {
+            let key_len = dec.take_varint()? as usize;
+            let n = dec.take_varint()? as usize;
+            let mut aggs = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                aggs.push(decode_agg_func(dec.take_u8()?)?);
+            }
+            PackMode::GroupAgg { key_len, aggs }
+        }
+        t => return Err(DecodeError::BadTag("pack mode", t)),
+    })
+}
+
+fn encode_opt_filter(f: &Option<TemporalFilter>, enc: &mut Encoder) {
+    match f {
+        None => enc.put_u8(0),
+        Some(TemporalFilter::First(n)) => {
+            enc.put_u8(1);
+            enc.put_varint(*n as u64);
+        }
+        Some(TemporalFilter::MostRecent(n)) => {
+            enc.put_u8(2);
+            enc.put_varint(*n as u64);
+        }
+    }
+}
+
+fn decode_opt_filter(dec: &mut Decoder<'_>) -> Result<Option<TemporalFilter>, DecodeError> {
+    Ok(match dec.take_u8()? {
+        0 => None,
+        1 => Some(TemporalFilter::First(dec.take_varint()? as usize)),
+        2 => Some(TemporalFilter::MostRecent(dec.take_varint()? as usize)),
+        t => return Err(DecodeError::BadTag("temporal filter", t)),
+    })
+}
+
+fn encode_report(r: &Report, enc: &mut Encoder) {
+    enc.put_varint(r.query.0);
+    enc.put_str(&r.host);
+    enc.put_str(&r.procname);
+    enc.put_varint(r.time);
+    match &r.rows {
+        ReportRows::Raw(rows) => {
+            enc.put_u8(0);
+            enc.put_varint(rows.len() as u64);
+            for t in rows {
+                codec::encode_tuple(t, enc);
+            }
+        }
+        ReportRows::Grouped(groups) => {
+            enc.put_u8(1);
+            enc.put_varint(groups.len() as u64);
+            for (key, states) in groups {
+                codec::encode_tuple(&key.0, enc);
+                enc.put_varint(states.len() as u64);
+                for s in states {
+                    s.encode(enc);
+                }
+            }
+        }
+    }
+}
+
+fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
+    let query = QueryId(dec.take_varint()?);
+    let host = dec.take_str()?.to_owned();
+    let procname = dec.take_str()?.to_owned();
+    let time = dec.take_varint()?;
+    let rows = match dec.take_u8()? {
+        0 => {
+            let n = dec.take_varint()? as usize;
+            let mut rows: Vec<Tuple> = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                rows.push(codec::decode_tuple(dec)?);
+            }
+            ReportRows::Raw(rows)
+        }
+        1 => {
+            let n = dec.take_varint()? as usize;
+            let mut groups: Vec<(GroupKey, Vec<AggState>)> = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let key = GroupKey(codec::decode_tuple(dec)?);
+                let m = dec.take_varint()? as usize;
+                let mut states = Vec::with_capacity(m.min(64));
+                for _ in 0..m {
+                    states.push(AggState::decode(dec)?);
+                }
+                groups.push((key, states));
+            }
+            ReportRows::Grouped(groups)
+        }
+        t => return Err(DecodeError::BadTag("report rows", t)),
+    };
+    Ok(Report {
+        query,
+        host,
+        procname,
+        time,
+        rows,
+    })
+}
+
+fn encode_strs(strs: &[String], enc: &mut Encoder) {
+    enc.put_varint(strs.len() as u64);
+    for s in strs {
+        enc.put_str(s);
+    }
+}
+
+fn decode_strs(dec: &mut Decoder<'_>) -> Result<Vec<String>, DecodeError> {
+    let n = dec.take_varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        out.push(dec.take_str()?.to_owned());
+    }
+    Ok(out)
+}
+
+fn encode_schema(s: &Schema, enc: &mut Encoder) {
+    enc.put_varint(s.len() as u64);
+    for f in s.fields() {
+        enc.put_str(f);
+    }
+}
+
+fn decode_schema(dec: &mut Decoder<'_>) -> Result<Schema, DecodeError> {
+    let n = dec.take_varint()? as usize;
+    let mut fields = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        fields.push(dec.take_str()?.to_owned());
+    }
+    Ok(Schema::new(fields))
+}
+
+fn agg_func_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Average => 4,
+    }
+}
+
+fn decode_agg_func(tag: u8) -> Result<AggFunc, DecodeError> {
+    Ok(match tag {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum,
+        2 => AggFunc::Min,
+        3 => AggFunc::Max,
+        4 => AggFunc::Average,
+        t => return Err(DecodeError::BadTag("agg func", t)),
+    })
+}
+
+fn bin_op_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn decode_bin_op(tag: u8) -> Result<BinOp, DecodeError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        t => return Err(DecodeError::BadTag("bin op", t)),
+    })
+}
+
+fn un_op_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+    }
+}
+
+fn decode_un_op(tag: u8) -> Result<UnOp, DecodeError> {
+    Ok(match tag {
+        0 => UnOp::Neg,
+        1 => UnOp::Not,
+        t => return Err(DecodeError::BadTag("un op", t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_core::Frontend;
+    use pivot_model::Value;
+
+    fn q2_compiled() -> Arc<CompiledQuery> {
+        let mut fe = Frontend::new();
+        fe.define("ClientProtocols", ["procName"]);
+        fe.define("DataNodeMetrics.incrBytesRead", ["delta"]);
+        let handle = fe
+            .install(
+                "From incr In DataNodeMetrics.incrBytesRead
+                 Join cl In First(ClientProtocols) On cl -> incr
+                 Where incr.delta > 0 && incr.delta != 13
+                 GroupBy cl.procName
+                 Select cl.procName, SUM(incr.delta), COUNT, AVERAGE(incr.delta)",
+            )
+            .expect("q2 installs");
+        fe.compiled(&handle).expect("compiled available")
+    }
+
+    #[test]
+    fn install_command_round_trips_a_real_query() {
+        let compiled = q2_compiled();
+        let bytes = encode_message(&Message::Command(Command::Install(Arc::clone(&compiled))));
+        let back = decode_message(&bytes).expect("decodes");
+        let Message::Command(Command::Install(decoded)) = back else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(*decoded, *compiled);
+    }
+
+    #[test]
+    fn uninstall_and_hello_round_trip() {
+        for msg in [
+            Message::Command(Command::Uninstall(QueryId(77))),
+            Message::Hello(ProcessInfo {
+                host: "host-B".into(),
+                procid: 12,
+                procname: "kvnode".into(),
+            }),
+        ] {
+            let bytes = encode_message(&msg);
+            let back = decode_message(&bytes).expect("decodes");
+            match (&msg, &back) {
+                (
+                    Message::Command(Command::Uninstall(a)),
+                    Message::Command(Command::Uninstall(b)),
+                ) => assert_eq!(a, b),
+                (Message::Hello(a), Message::Hello(b)) => assert_eq!(a, b),
+                other => panic!("mismatched kinds: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_raw_and_grouped() {
+        let raw = Report {
+            query: QueryId(5),
+            host: "host-A".into(),
+            procname: "kvnode".into(),
+            time: 123_456_789,
+            rows: ReportRows::Raw(vec![
+                Tuple::from_iter([Value::str("x"), Value::I64(-4)]),
+                Tuple::empty(),
+            ]),
+        };
+        let grouped = Report {
+            query: QueryId(6),
+            host: "host-A".into(),
+            procname: "kvnode".into(),
+            time: 1,
+            rows: ReportRows::Grouped(vec![(
+                GroupKey(Tuple::from_iter([Value::str("client-1")])),
+                vec![AggFunc::Sum.init(), AggFunc::Count.init()],
+            )]),
+        };
+        for report in [raw, grouped] {
+            let bytes = encode_message(&Message::Report(report.clone()));
+            let Message::Report(back) = decode_message(&bytes).expect("decodes") else {
+                panic!("wrong kind");
+            };
+            assert_eq!(back.query, report.query);
+            assert_eq!(back.host, report.host);
+            assert_eq!(back.time, report.time);
+            assert_eq!(back.rows.len(), report.rows.len());
+        }
+    }
+
+    #[test]
+    fn truncations_error_not_panic() {
+        let compiled = q2_compiled();
+        let bytes = encode_message(&Message::Command(Command::Install(compiled)));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_message(&bytes[..cut]).is_err(),
+                "cut at {cut} of {} decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let compiled = q2_compiled();
+        let bytes = encode_message(&Message::Command(Command::Install(compiled)));
+        for pos in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x55;
+            let _ = decode_message(&mutated);
+        }
+    }
+
+    #[test]
+    fn deep_expression_nesting_is_bounded() {
+        let mut enc = Encoder::new();
+        // A chain of unary-neg tags with no terminal: the depth guard must
+        // reject before the stack does.
+        for _ in 0..100_000 {
+            enc.put_u8(2); // Expr::Unary
+            enc.put_u8(0); // Neg
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(decode_expr(&mut dec, 0).is_err());
+    }
+}

@@ -75,8 +75,8 @@ pub fn diag_last_now() -> u64 {
 pub static TINY_ACQUIRES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 static TINY_NAME: parking_lot::Mutex<String> = parking_lot::Mutex::new(String::new());
 
-// Only called from the `debug_assertions`-gated check in `resource.rs`.
-#[cfg_attr(not(debug_assertions), allow(dead_code))]
+// Called from the tiny-acquire check in `resource.rs` on every acquire
+// whose service time falls below one microsecond.
 pub(crate) fn diag_record_tiny(name: &str, amount: f64) {
     TINY_ACQUIRES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut n = TINY_NAME.lock();

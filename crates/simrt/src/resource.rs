@@ -68,16 +68,13 @@ impl FifoResource {
     /// transfer completes. Returns the total latency (queueing + service)
     /// in nanoseconds.
     pub async fn acquire(&self, amount: f64) -> Nanos {
-        #[cfg(debug_assertions)]
-        {
-            let service = amount / self.inner.rate.get();
-            if service < 1e-6 {
-                crate::diag_record_tiny(&self.inner.name, amount);
-            }
+        let raw_service = amount / self.inner.rate.get();
+        if raw_service < 1e-6 {
+            crate::diag_record_tiny(&self.inner.name, amount);
         }
         let now = self.clock.now();
         let start = self.inner.busy_until.get().max(now);
-        let service = (amount / self.inner.rate.get() * NANOS_PER_SEC as f64) as Nanos;
+        let service = (raw_service * NANOS_PER_SEC as f64) as Nanos;
         let done = start.saturating_add(service.max(1));
         self.inner.busy_until.set(done);
         self.inner

@@ -19,6 +19,9 @@
 //! - [`simrt`] — a deterministic discrete-event simulation runtime.
 //! - [`hadoop`] — instrumented HDFS / HBase / MapReduce / YARN simulators.
 //! - [`workloads`] — the paper's client applications and experiment drivers.
+//! - [`live`] — the live runtime: thread-local baggage, instrumented
+//!   threads/channels, a TCP message bus, and a real multi-threaded demo
+//!   service (run `--example live_quickstart`).
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@ pub use pivot_baggage as baggage;
 pub use pivot_core as core;
 pub use pivot_hadoop as hadoop;
 pub use pivot_itc as itc;
+pub use pivot_live as live;
 pub use pivot_model as model;
 pub use pivot_query as query;
 pub use pivot_simrt as simrt;
