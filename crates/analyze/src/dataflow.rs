@@ -1,28 +1,51 @@
-//! Pass 3 — advice dataflow well-formedness.
+//! Pass 3 — advice dataflow well-formedness, over **lowered bytecode**.
 //!
 //! Advice programs are straight-line (the paper's §5 safety argument:
 //! no jumps, no loops, so termination is structural). This pass checks
-//! the *inter*-program structure the compiler relies on at weave time:
+//! the *inter*-program structure the runtime relies on at weave time:
 //! every `Unpack` must read a slot some causally earlier program packed
 //! with the same tuple width, the `Emit` layout must be internally
 //! consistent with its `OutputSpec`, and nothing is dead — a pack no
 //! later stage consumes never reaches an `Emit` and only bloats baggage.
+//!
+//! The pass runs on [`CompiledCode`] — the exact artifact agents execute
+//! and the bus ships — rather than on the advice-op trees it was lowered
+//! from ("verify what you execute"). Two defects are only visible here:
+//!
+//! - a lowering **note** records a field reference no schema position
+//!   satisfies (lowered to an unconditional per-tuple failure), and
+//! - a lowered program that fails [`AdviceByteCode::validate`]
+//!   (out-of-range register, constant, skip, or pool reference) would be
+//!   rejected by every remote decoder and must never leave the frontend.
+//!
+//! Both are reported as `PT008` errors.
+//!
+//! [`AdviceByteCode::validate`]: pivot_query::AdviceByteCode::validate
 
 use std::collections::HashMap;
 
 use pivot_baggage::{PackMode, QueryId};
 use pivot_query::advice::ColumnRef;
-use pivot_query::{AdviceOp, CompiledQuery};
+use pivot_query::bytecode::Inst;
+use pivot_query::CompiledCode;
 
 use crate::diag::{Code, Diagnostic};
 
-/// Checks the advice programs of `cq`, appending diagnostics.
-pub(crate) fn check(cq: &CompiledQuery, diags: &mut Vec<Diagnostic>) {
+/// Checks the lowered programs of `code`, appending diagnostics.
+/// `notes` are the degradation notes produced by lowering.
+pub(crate) fn check(code: &CompiledCode, notes: &[String], diags: &mut Vec<Diagnostic>) {
+    for note in notes {
+        diags.push(Diagnostic::error(
+            Code::LoweringError,
+            format!("advice lowering degraded: {note}"),
+        ));
+    }
+
     // Slot → (pack width, consumed by a later unpack).
     let mut packed: HashMap<QueryId, (usize, bool)> = HashMap::new();
     let mut emits = 0usize;
 
-    for (pi, prog) in cq.advice.iter().enumerate() {
+    for (pi, prog) in code.programs.iter().enumerate() {
         let at = prog
             .tracepoints
             .first()
@@ -34,10 +57,16 @@ pub(crate) fn check(cq: &CompiledQuery, diags: &mut Vec<Diagnostic>) {
                 format!("advice program {pi} weaves into no tracepoint"),
             ));
         }
-        for op in &prog.ops {
-            match op {
-                AdviceOp::Observe { .. } => {}
-                AdviceOp::Unpack { slot, schema, .. } => match packed.get_mut(slot) {
+        if let Err(e) = prog.validate() {
+            diags.push(Diagnostic::error(
+                Code::LoweringError,
+                format!("advice at `{at}` failed bytecode validation: {e}"),
+            ));
+        }
+        for inst in &prog.insts {
+            match inst {
+                Inst::Observe { .. } | Inst::Filter { .. } => {}
+                Inst::Unpack { slot, width, .. } => match packed.get_mut(slot) {
                     None => diags.push(Diagnostic::error(
                         Code::DataflowError,
                         format!(
@@ -46,57 +75,41 @@ pub(crate) fn check(cq: &CompiledQuery, diags: &mut Vec<Diagnostic>) {
                             slot.0
                         ),
                     )),
-                    Some((width, consumed)) => {
+                    Some((packed_width, consumed)) => {
                         *consumed = true;
-                        if *width != schema.len() {
+                        if *packed_width != usize::from(*width) {
                             diags.push(Diagnostic::error(
                                 Code::DataflowError,
                                 format!(
                                     "advice at `{at}` unpacks slot \
-                                         {} expecting {} columns but it \
-                                         was packed with {width}",
+                                         {} expecting {width} columns but it \
+                                         was packed with {packed_width}",
                                     slot.0,
-                                    schema.len()
                                 ),
                             ));
                         }
                     }
                 },
-                AdviceOp::Filter { .. } => {}
-                AdviceOp::Pack {
-                    slot,
-                    mode,
-                    exprs,
-                    names,
+                Inst::Pack {
+                    slot, mode, exprs, ..
                 } => {
-                    if exprs.len() != names.len() {
-                        diags.push(Diagnostic::error(
-                            Code::DataflowError,
-                            format!(
-                                "advice at `{at}` packs {} expressions \
-                                 under {} names",
-                                exprs.len(),
-                                names.len()
-                            ),
-                        ));
-                    }
+                    let width = (exprs.1 - exprs.0) as usize;
                     if let PackMode::GroupAgg { key_len, aggs } = mode {
-                        if key_len + aggs.len() != names.len() {
+                        if key_len + aggs.len() != width {
                             diags.push(Diagnostic::error(
                                 Code::DataflowError,
                                 format!(
                                     "advice at `{at}`: grouped pack has \
                                      {key_len} keys + {} aggregates but \
-                                     {} columns",
+                                     {width} columns",
                                     aggs.len(),
-                                    names.len()
                                 ),
                             ));
                         }
                     }
-                    packed.insert(*slot, (names.len(), false));
+                    packed.insert(*slot, (width, false));
                 }
-                AdviceOp::Emit { spec, .. } => {
+                Inst::Emit { spec, .. } => {
                     emits += 1;
                     if spec.key_exprs.len() != spec.key_names.len()
                         || spec.aggs.len() != spec.agg_names.len()
@@ -165,5 +178,99 @@ pub(crate) fn check(cq: &CompiledQuery, diags: &mut Vec<Diagnostic>) {
                 ),
             ));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use pivot_query::advice::OutputSpec;
+    use pivot_query::bytecode::{AdviceByteCode, EInst, ExprProg};
+    use pivot_query::CompiledCode;
+
+    use super::*;
+
+    fn empty_code() -> CompiledCode {
+        CompiledCode {
+            id: QueryId(1),
+            name: "t".into(),
+            programs: vec![],
+            output: Arc::new(OutputSpec::default()),
+        }
+    }
+
+    #[test]
+    fn lowering_notes_become_pt008_errors() {
+        let mut diags = Vec::new();
+        let notes = vec!["field `ghost` resolves to no schema position".to_string()];
+        check(&empty_code(), &notes, &mut diags);
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::LoweringError)
+            .expect("PT008 reported");
+        assert!(d.is_error(), "{d:?}");
+        assert!(d.message.contains("ghost"), "{d:?}");
+    }
+
+    #[test]
+    fn invalid_bytecode_is_pt008() {
+        // References register 9 with a 1-register file: structurally
+        // invalid, every decoder would reject it, so the verifier must
+        // block the install.
+        let bad = AdviceByteCode {
+            tracepoints: vec!["tp".into()],
+            insts: vec![Inst::Filter { pred: 0 }],
+            einsts: vec![EInst::Load { dst: 9, col: 0 }],
+            exprs: vec![ExprProg {
+                start: 0,
+                len: 1,
+                result: 9,
+            }],
+            consts: vec![],
+            names: vec![],
+            num_regs: 1,
+        };
+        let code = CompiledCode {
+            programs: vec![Arc::new(bad)],
+            ..empty_code()
+        };
+        let mut diags = Vec::new();
+        check(&code, &[], &mut diags);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::LoweringError && d.is_error()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unpack_of_unpacked_slot_is_pt003_on_bytecode() {
+        let orphan = AdviceByteCode {
+            tracepoints: vec!["tp".into()],
+            insts: vec![Inst::Unpack {
+                slot: QueryId(7),
+                width: 2,
+                temporal: None,
+            }],
+            einsts: vec![],
+            exprs: vec![],
+            consts: vec![],
+            names: vec![],
+            num_regs: 0,
+        };
+        let code = CompiledCode {
+            programs: vec![Arc::new(orphan)],
+            ..empty_code()
+        };
+        let mut diags = Vec::new();
+        check(&code, &[], &mut diags);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::DataflowError && d.message.contains("slot 7")),
+            "{diags:?}"
+        );
     }
 }

@@ -34,6 +34,12 @@ pub enum Code {
     /// `PT007` — a defect the compiler reported that the earlier passes
     /// did not classify more precisely.
     CompileError,
+    /// `PT008` — a bytecode-lowering mismatch: the lowered program the
+    /// agents will execute degrades from the advice the compiler produced
+    /// (a field reference no schema position satisfies, or a lowered
+    /// program that fails structural validation). The verifier checks the
+    /// executable artifact, not the source ("verify what you execute").
+    LoweringError,
 }
 
 impl Code {
@@ -48,6 +54,7 @@ impl Code {
             Code::QueryCycle => "PT005",
             Code::UnboundedPack => "PT006",
             Code::CompileError => "PT007",
+            Code::LoweringError => "PT008",
         }
     }
 }

@@ -23,10 +23,18 @@
 //! 5. **Reference-cycle detection** (`PT005`, over the
 //!    [`SourceKind::QueryRef`](pivot_query::SourceKind) graph) — guards
 //!    the compiler's recursive inlining against open-world resolvers.
+//! 6. **Lowering fidelity** (`PT008`) — the dataflow pass runs on the
+//!    *lowered bytecode* ([`CompiledCode::lower`]), the exact artifact
+//!    agents execute and the bus ships, not on the advice-op trees it
+//!    came from. Degradation notes from lowering and programs that fail
+//!    structural bytecode validation are install-blocking errors:
+//!    verify what you execute.
 //!
 //! The frontend runs this gate in `install_named` and surfaces failures
 //! as `InstallError::Rejected`; the standalone `pivot-lint` binary runs
 //! it over query files.
+//!
+//! [`CompiledCode::lower`]: pivot_query::CompiledCode::lower
 
 pub mod cost;
 mod cycle;
@@ -39,7 +47,9 @@ pub use cost::{plan_cost, Bound, CostModel, PlanCost, StageCost};
 pub use diag::{Code, Diagnostic, Severity};
 
 use pivot_baggage::QueryId;
-use pivot_query::{compile, locate, parse, plan_query, CompileError, Options, Resolver};
+use pivot_query::{
+    compile, locate, parse, plan_query, CompileError, CompiledCode, Options, Resolver,
+};
 
 /// The verdict of the verifier on one query.
 #[derive(Clone, Debug)]
@@ -136,7 +146,10 @@ impl<'r> Analyzer<'r> {
                 return analysis(diags);
             }
         };
-        dataflow::check(&compiled, &mut diags);
+        // Dataflow runs over the lowered bytecode — the artifact agents
+        // execute — so lowering defects (PT008) surface here too.
+        let (code, lowering_notes) = CompiledCode::lower(&compiled);
+        dataflow::check(&code, &lowering_notes, &mut diags);
 
         let optimized = plan_query(&ast, self.resolver, Options::default()).ok();
         let unoptimized = plan_query(&ast, self.resolver, Options::unoptimized()).ok();

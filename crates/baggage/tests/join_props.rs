@@ -132,9 +132,9 @@ fn check_algebra(seed: u64) {
     // Associativity: (a ⋈ b) ⋈ c ~ a ⋈ (b ⋈ c).
     let mut ab_c = ab.clone();
     ab_c.join(c.clone());
-    let mut bc = b.clone();
-    bc.join(c.clone());
-    let mut a_bc = a.clone();
+    let mut bc = b;
+    bc.join(c);
+    let mut a_bc = a;
     a_bc.join(bc);
     assert_eq!(
         observe(&ab_c),

@@ -1,21 +1,32 @@
 //! The per-process Pivot Tracing agent.
 //!
 //! One [`Agent`] lives in every Pivot Tracing-enabled process (paper §5).
-//! It owns the process's weave [`Registry`], runs woven advice on every
-//! tracepoint invocation, accumulates emitted tuples with process-local
-//! aggregation, and publishes partial query results at a configurable
-//! interval (by default one second of simulated time).
+//! It owns the process's weave [`Registry`], runs woven advice bytecode on
+//! every tracepoint invocation, accumulates emitted tuples with
+//! process-local aggregation, and publishes partial query results at a
+//! configurable interval (by default one second of simulated time).
+//!
+//! # Hot path
+//!
+//! [`Agent::invoke`] executes lowered [`AdviceByteCode`] through a
+//! thread-local [`Vm`] whose scratch buffers persist across invocations, so
+//! a woven event allocates only for the data it actually produces. Emitted
+//! rows stream straight into the aggregation buffers through an
+//! [`EmitSink`] — no intermediate `Emitted` batch, no per-event clone of
+//! the output spec or schema. The default exports `host` and `procname`
+//! are interned once at construction and the `tracepoint` name once at
+//! weave time.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use pivot_baggage::{Baggage, QueryId};
-use pivot_model::{AggState, GroupKey, Tuple, Value};
-use pivot_query::{CompiledQuery, OutputSpec};
+use pivot_model::{intern, AggState, GroupKey, Tuple, Value};
+use pivot_query::{AdviceByteCode, CompiledCode, EmitSink, OutputSpec, Vm};
 
 use crate::bus::{Command, Report, ReportRows};
-use crate::interp::{self, EmitRows};
 use crate::tracepoint::{Registry, DEFAULT_EXPORTS};
 
 /// Identity of the process an agent runs in.
@@ -47,7 +58,7 @@ pub struct AgentStats {
 /// Per-query local aggregation buffer.
 enum Buffer {
     Grouped {
-        spec: OutputSpec,
+        spec: Arc<OutputSpec>,
         groups: HashMap<GroupKey, Vec<AggState>>,
     },
     Streaming {
@@ -55,9 +66,75 @@ enum Buffer {
     },
 }
 
+impl Buffer {
+    fn new(spec: &Arc<OutputSpec>) -> Buffer {
+        if spec.streaming {
+            Buffer::Streaming { rows: Vec::new() }
+        } else {
+            Buffer::Grouped {
+                spec: Arc::clone(spec),
+                groups: HashMap::new(),
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable VM scratch (registers, tuple buffers) shared by every agent
+    /// on this thread. Advice runs to completion within one `invoke`, so a
+    /// single VM per thread suffices.
+    static VM: RefCell<Vm> = RefCell::new(Vm::new());
+}
+
+/// Streams VM emits into the agent's aggregation buffers.
+///
+/// The buffer lock is taken lazily on the first emitted row, so advice that
+/// only packs (or drops everything) never touches the buffer mutex.
+struct AgentSink<'a> {
+    buffers: &'a Mutex<HashMap<QueryId, Buffer>>,
+    guard: Option<MutexGuard<'a, HashMap<QueryId, Buffer>>>,
+}
+
+impl<'a> AgentSink<'a> {
+    fn buf(&mut self, query: QueryId, spec: &Arc<OutputSpec>) -> &mut Buffer {
+        let buffers = self.buffers;
+        let guard = self.guard.get_or_insert_with(|| buffers.lock());
+        guard.entry(query).or_insert_with(|| Buffer::new(spec))
+    }
+}
+
+impl EmitSink for AgentSink<'_> {
+    fn streaming_row(&mut self, query: QueryId, spec: &Arc<OutputSpec>, row: Tuple) {
+        if let Buffer::Streaming { rows } = self.buf(query, spec) {
+            rows.push(row);
+        }
+    }
+
+    fn grouped_row(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        args: &[Value],
+    ) {
+        if let Buffer::Grouped { spec, groups } = self.buf(query, spec) {
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
+            for (st, arg) in states.iter_mut().zip(args) {
+                st.update(arg);
+            }
+        }
+    }
+}
+
 /// The per-process agent.
 pub struct Agent {
     info: ProcessInfo,
+    /// `info.host` as an interned `Value`, built once.
+    host_value: Value,
+    /// `info.procname` as an interned `Value`, built once.
+    procname_value: Value,
     registry: Registry,
     buffers: Mutex<HashMap<QueryId, Buffer>>,
     stats: Mutex<AgentStats>,
@@ -68,6 +145,8 @@ impl Agent {
     /// Creates an agent for the given process identity.
     pub fn new(info: ProcessInfo) -> Agent {
         Agent {
+            host_value: Value::Str(intern(&info.host)),
+            procname_value: Value::Str(intern(&info.procname)),
             info,
             registry: Registry::new(),
             buffers: Mutex::new(HashMap::new()),
@@ -102,15 +181,23 @@ impl Agent {
     /// Applies a frontend command (weave / unweave).
     pub fn apply(&self, cmd: &Command) {
         match cmd {
-            Command::Install(compiled) => self.install(compiled),
+            Command::Install(code) => self.install(code),
             Command::Uninstall(id) => self.registry.unweave(*id),
         }
     }
 
-    /// Weaves every advice program of `compiled` into the local registry.
-    pub fn install(&self, compiled: &CompiledQuery) {
-        for program in &compiled.advice {
-            self.registry.weave(compiled.id, Arc::new(program.clone()));
+    /// Weaves every bytecode program of `code` into the local registry and
+    /// pre-creates the query's aggregation buffer so the first emit does
+    /// not pay for it.
+    pub fn install(&self, code: &CompiledCode) {
+        if code.programs.iter().any(|p| p.emits()) {
+            self.buffers
+                .lock()
+                .entry(code.id)
+                .or_insert_with(|| Buffer::new(&code.output));
+        }
+        for program in &code.programs {
+            self.registry.weave(code.id, Arc::clone(program));
         }
     }
 
@@ -129,7 +216,7 @@ impl Agent {
         if !self.enabled.load(std::sync::atomic::Ordering::Relaxed) {
             return;
         }
-        let Some(list) = self.registry.lookup(tracepoint) else {
+        let Some((tp_value, list)) = self.registry.lookup(tracepoint) else {
             if !self.registry.is_idle() {
                 self.stats.lock().idle_invocations += 1;
             }
@@ -137,58 +224,48 @@ impl Agent {
         };
         let mut full: Vec<(&str, Value)> =
             Vec::with_capacity(exports.len() + DEFAULT_EXPORTS.len());
-        full.push(("host", Value::str(&self.info.host)));
+        full.push(("host", self.host_value.clone()));
         full.push(("timestamp", Value::U64(now)));
         full.push(("procid", Value::U64(self.info.procid)));
-        full.push(("procname", Value::str(&self.info.procname)));
-        full.push(("tracepoint", Value::str(tracepoint)));
+        full.push(("procname", self.procname_value.clone()));
+        full.push(("tracepoint", tp_value));
         full.extend(exports.iter().cloned());
 
-        let mut stats = InvokeOutcome::default();
-        for woven in list.iter() {
-            let (emits, s) = interp::run(&woven.program, &full, baggage);
-            stats.packed += s.packed as u64;
-            stats.emitted += s.emitted as u64;
-            for e in emits {
-                self.absorb(e);
-            }
-        }
-        let mut st = self.stats.lock();
-        st.advised_invocations += 1;
-        st.tuples_packed += stats.packed;
-        st.tuples_emitted += stats.emitted;
-    }
-
-    /// Folds one emit batch into the local aggregation buffers.
-    fn absorb(&self, e: interp::Emitted) {
-        let rows = interp::emit_rows(&e);
-        let mut buffers = self.buffers.lock();
-        let buf = buffers.entry(e.query).or_insert_with(|| {
-            if e.spec.streaming {
-                Buffer::Streaming { rows: Vec::new() }
-            } else {
-                Buffer::Grouped {
-                    spec: e.spec.clone(),
-                    groups: HashMap::new(),
-                }
+        let mut sink = AgentSink {
+            buffers: &self.buffers,
+            guard: None,
+        };
+        let mut packed = 0u64;
+        let mut emitted = 0u64;
+        VM.with(|vm| {
+            let mut vm = vm.borrow_mut();
+            for woven in list.iter() {
+                let s = vm.run(&woven.code, &full, baggage, &mut sink);
+                packed += s.packed as u64;
+                emitted += s.emitted as u64;
             }
         });
-        match (buf, rows) {
-            (Buffer::Streaming { rows }, EmitRows::Raw(mut new)) => {
-                rows.append(&mut new);
-            }
-            (Buffer::Grouped { spec, groups }, EmitRows::Grouped(new)) => {
-                for (key, args) in new {
-                    let states = groups
-                        .entry(key)
-                        .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
-                    for (st, arg) in states.iter_mut().zip(&args) {
-                        st.update(arg);
-                    }
-                }
-            }
-            _ => {}
-        }
+        drop(sink);
+        let mut st = self.stats.lock();
+        st.advised_invocations += 1;
+        st.tuples_packed += packed;
+        st.tuples_emitted += emitted;
+    }
+
+    /// Runs one bytecode program directly (exposed for benches and tests
+    /// that bypass the registry). `exports` must already include the
+    /// default exports.
+    pub fn run_code(
+        &self,
+        code: &AdviceByteCode,
+        exports: &[(&str, Value)],
+        baggage: &mut Baggage,
+    ) -> pivot_query::VmStats {
+        let mut sink = AgentSink {
+            buffers: &self.buffers,
+            guard: None,
+        };
+        VM.with(|vm| vm.borrow_mut().run(code, exports, baggage, &mut sink))
     }
 
     /// Publishes and clears the local partial results (paper Figure 2, Æ).
@@ -229,19 +306,13 @@ impl Agent {
     }
 }
 
-#[derive(Default)]
-struct InvokeOutcome {
-    packed: u64,
-    emitted: u64,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use pivot_baggage::PackMode;
     use pivot_model::{AggFunc, Expr, Schema};
     use pivot_query::advice::ColumnRef;
-    use pivot_query::{AdviceOp, AdviceProgram};
+    use pivot_query::{AdviceOp, AdviceProgram, CompiledQuery};
 
     fn agent() -> Agent {
         Agent::new(ProcessInfo {
@@ -253,19 +324,20 @@ mod tests {
 
     fn q2_like() -> CompiledQuery {
         let slot = QueryId(256 + 1);
-        let spec = OutputSpec {
+        let spec = Arc::new(OutputSpec {
             key_exprs: vec![Expr::field("cl.procName")],
             key_names: vec!["cl.procName".into()],
             aggs: vec![(AggFunc::Sum, Expr::field("incr.delta"))],
             agg_names: vec!["SUM(incr.delta)".into()],
             columns: vec![ColumnRef::Key(0), ColumnRef::Agg(0)],
             streaming: false,
-        };
+            ..OutputSpec::default()
+        });
         CompiledQuery {
             id: QueryId(1),
             name: "q2".into(),
             text: String::new(),
-            output: spec.clone(),
+            output: Arc::clone(&spec),
             advice: vec![
                 AdviceProgram {
                     tracepoints: vec!["ClientProtocols".into()],
@@ -304,6 +376,12 @@ mod tests {
         }
     }
 
+    fn q2_code() -> Arc<CompiledCode> {
+        let (code, notes) = CompiledCode::lower(&q2_like());
+        assert!(notes.is_empty(), "unexpected lowering notes: {notes:?}");
+        Arc::new(code)
+    }
+
     #[test]
     fn unwoven_invocation_is_cheap_noop() {
         let a = agent();
@@ -316,8 +394,7 @@ mod tests {
     #[test]
     fn end_to_end_q2_through_one_agent() {
         let a = agent();
-        let q = q2_like();
-        a.apply(&Command::Install(Arc::new(q)));
+        a.apply(&Command::Install(q2_code()));
 
         // A client invocation packs the process name...
         let mut bag = Baggage::new();
@@ -358,8 +435,7 @@ mod tests {
     #[test]
     fn uninstall_stops_advice() {
         let a = agent();
-        let q = q2_like();
-        a.install(&q);
+        a.install(&q2_code());
         a.apply(&Command::Uninstall(QueryId(1)));
         let mut bag = Baggage::new();
         a.invoke("ClientProtocols", &mut bag, 0, &[]);

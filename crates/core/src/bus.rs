@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use pivot_baggage::QueryId;
 use pivot_model::{AggState, GroupKey, Tuple};
-use pivot_query::CompiledQuery;
+use pivot_query::CompiledCode;
 
 /// A transport between the frontend and the per-process agents (the
 /// paper's Figure 2 pub/sub server).
@@ -40,10 +40,15 @@ pub trait Bus {
 }
 
 /// A frontend → agents control message.
+///
+/// `Install` carries the *lowered* bytecode ([`CompiledCode`]), not the
+/// advice-op tree: agents execute exactly the artifact the frontend
+/// verified, and the wire protocol serializes flat instructions instead of
+/// expression trees.
 #[derive(Clone, Debug)]
 pub enum Command {
-    /// Weave this query's advice.
-    Install(Arc<CompiledQuery>),
+    /// Weave this query's lowered advice bytecode.
+    Install(Arc<CompiledCode>),
     /// Unweave every program owned by this query.
     Uninstall(QueryId),
 }

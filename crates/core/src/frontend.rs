@@ -8,7 +8,9 @@ use pivot_analyze::{Analyzer, Diagnostic};
 use pivot_baggage::QueryId;
 use pivot_model::{AggState, GroupKey, Tuple, Value};
 use pivot_query::advice::ColumnRef;
-use pivot_query::{compile, CompileError, CompiledQuery, Options, OutputSpec, Query, Resolver};
+use pivot_query::{
+    compile, CompileError, CompiledCode, CompiledQuery, Options, OutputSpec, Query, Resolver,
+};
 
 use crate::bus::{Command, Report, ReportRows};
 use crate::tracepoint::TracepointDef;
@@ -34,8 +36,8 @@ pub struct ResultRow {
 /// Accumulated results for one query.
 #[derive(Clone, Debug)]
 pub struct QueryResults {
-    /// The query's output shape.
-    pub spec: OutputSpec,
+    /// The query's output shape (shared with the compiled query).
+    pub spec: Arc<OutputSpec>,
     /// Merged-over-all-time groups.
     cumulative: HashMap<GroupKey, Vec<AggState>>,
     /// Per-report-interval merged groups.
@@ -45,7 +47,7 @@ pub struct QueryResults {
 }
 
 impl QueryResults {
-    fn new(spec: OutputSpec) -> QueryResults {
+    fn new(spec: Arc<OutputSpec>) -> QueryResults {
         QueryResults {
             spec,
             cumulative: HashMap::new(),
@@ -192,6 +194,7 @@ struct Installed {
     handle: QueryHandle,
     ast: Query,
     compiled: Arc<CompiledQuery>,
+    code: Arc<CompiledCode>,
 }
 
 /// The query frontend (paper Figure 2's "Pivot Tracing frontend").
@@ -282,17 +285,24 @@ impl Frontend {
         let ast = pivot_query::parse(text).expect("compile re-parses successfully");
         self.next_id += 1;
         let compiled = Arc::new(compiled);
+        // Lower the advice to bytecode: the one executable artifact that is
+        // shipped to agents and checked by the verifier ("verify what you
+        // execute"). Lowering is total; notes record degradations such as
+        // fields that can never resolve (surfaced by the verifier's PT008).
+        let (code, _lowering_notes) = CompiledCode::lower(&compiled);
+        let code = Arc::new(code);
         let handle = QueryHandle {
             id,
             name: name.to_owned(),
         };
         self.results
-            .insert(id, QueryResults::new(compiled.output.clone()));
-        self.commands.push(Command::Install(Arc::clone(&compiled)));
+            .insert(id, QueryResults::new(Arc::clone(&compiled.output)));
+        self.commands.push(Command::Install(Arc::clone(&code)));
         self.queries.push(Installed {
             handle: handle.clone(),
             ast,
             compiled,
+            code,
         });
         Ok(handle)
     }
@@ -321,21 +331,26 @@ impl Frontend {
         &self.results[&handle.id]
     }
 
-    /// Returns every currently installed compiled query (used to weave
-    /// advice into processes that join after installation).
-    pub fn installed(&self) -> Vec<Arc<CompiledQuery>> {
-        self.queries
-            .iter()
-            .map(|q| Arc::clone(&q.compiled))
-            .collect()
+    /// Returns every currently installed query's lowered bytecode (used to
+    /// weave advice into processes that join after installation).
+    pub fn installed(&self) -> Vec<Arc<CompiledCode>> {
+        self.queries.iter().map(|q| Arc::clone(&q.code)).collect()
     }
 
-    /// Returns the compiled form of an installed query.
+    /// Returns the compiled (advice-op) form of an installed query.
     pub fn compiled(&self, handle: &QueryHandle) -> Option<Arc<CompiledQuery>> {
         self.queries
             .iter()
             .find(|q| q.handle == *handle)
             .map(|q| Arc::clone(&q.compiled))
+    }
+
+    /// Returns the lowered bytecode of an installed query.
+    pub fn code(&self, handle: &QueryHandle) -> Option<Arc<CompiledCode>> {
+        self.queries
+            .iter()
+            .find(|q| q.handle == *handle)
+            .map(|q| Arc::clone(&q.code))
     }
 }
 

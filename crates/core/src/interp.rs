@@ -6,10 +6,16 @@
 //!
 //! The interpreter is total: expression evaluation errors drop the affected
 //! tuple instead of failing the carrying request (advice safety, paper §3).
+//!
+//! Production agents execute lowered bytecode through
+//! [`pivot_query::Vm`]; this tree-walking interpreter is kept as the
+//! *differential ground truth* the VM is tested against (and as the
+//! readable reference semantics for Table 2).
+
+use std::sync::Arc;
 
 use pivot_baggage::Baggage;
 use pivot_model::{GroupKey, Schema, Tuple, Value};
-use pivot_query::ast::TemporalFilter;
 use pivot_query::{AdviceOp, AdviceProgram, OutputSpec};
 
 /// One `Emit` outcome handed to the process-local aggregator.
@@ -17,8 +23,8 @@ use pivot_query::{AdviceOp, AdviceProgram, OutputSpec};
 pub struct Emitted {
     /// The emitting query.
     pub query: pivot_baggage::QueryId,
-    /// The query's output spec (key/agg layout).
-    pub spec: OutputSpec,
+    /// The query's output spec (key/agg layout; shared, never deep-cloned).
+    pub spec: Arc<OutputSpec>,
     /// Joined tuples that reached the `Emit`, with their schema.
     pub schema: Schema,
     /// The tuples themselves.
@@ -51,7 +57,8 @@ pub fn run(
     let mut emits = Vec::new();
     let mut stats = InterpStats::default();
 
-    for op in &program.ops {
+    let last = program.ops.len().wrapping_sub(1);
+    for (i, op) in program.ops.iter().enumerate() {
         match op {
             AdviceOp::Observe { alias, fields } => {
                 let values: Tuple = fields
@@ -75,7 +82,7 @@ pub fn run(
             } => {
                 let mut unpacked = baggage.unpack(*slot);
                 if let Some(f) = post_filter {
-                    apply_temporal(&mut unpacked, *f);
+                    f.apply(&mut unpacked);
                 }
                 stats.unpacked += unpacked.len();
                 schema = schema.concat(unpack_schema);
@@ -110,11 +117,21 @@ pub fn run(
             }
             AdviceOp::Emit { query, spec } => {
                 stats.emitted += tuples.len();
+                // On the (overwhelmingly common) final op, hand off the
+                // buffers instead of cloning them.
+                let (batch, batch_schema) = if i == last {
+                    (
+                        std::mem::take(&mut tuples),
+                        std::mem::replace(&mut schema, Schema::empty()),
+                    )
+                } else {
+                    (tuples.clone(), schema.clone())
+                };
                 emits.push(Emitted {
                     query: *query,
-                    spec: spec.clone(),
-                    schema: schema.clone(),
-                    tuples: tuples.clone(),
+                    spec: Arc::clone(spec),
+                    schema: batch_schema,
+                    tuples: batch,
                 });
             }
         }
@@ -125,19 +142,6 @@ pub fn run(
         }
     }
     (emits, stats)
-}
-
-fn apply_temporal(tuples: &mut Vec<Tuple>, f: TemporalFilter) {
-    match f {
-        TemporalFilter::First(n) => tuples.truncate(n.max(1)),
-        TemporalFilter::MostRecent(n) => {
-            let keep = n.max(1);
-            if tuples.len() > keep {
-                let skip = tuples.len() - keep;
-                tuples.drain(..skip);
-            }
-        }
-    }
 }
 
 /// Evaluates an emitted batch into `(group key, agg input values)` pairs or
@@ -195,6 +199,7 @@ mod tests {
     use pivot_baggage::{PackMode, QueryId};
     use pivot_model::{AggFunc, BinOp, Expr};
     use pivot_query::advice::ColumnRef;
+    use pivot_query::ast::TemporalFilter;
 
     fn observe(alias: &str, fields: &[&str]) -> AdviceOp {
         AdviceOp::Observe {
@@ -219,14 +224,15 @@ mod tests {
                 },
             ],
         };
-        let spec = OutputSpec {
+        let spec = Arc::new(OutputSpec {
             key_exprs: vec![Expr::field("cl.procName")],
             key_names: vec!["cl.procName".into()],
             aggs: vec![(AggFunc::Sum, Expr::field("incr.delta"))],
             agg_names: vec!["SUM(incr.delta)".into()],
             columns: vec![ColumnRef::Key(0), ColumnRef::Agg(0)],
             streaming: false,
-        };
+            ..OutputSpec::default()
+        });
         let a2 = AdviceProgram {
             tracepoints: vec!["DataNodeMetrics.incrBytesRead".into()],
             ops: vec![
@@ -275,7 +281,7 @@ mod tests {
                 },
                 AdviceOp::Emit {
                     query: QueryId(1),
-                    spec: OutputSpec::default(),
+                    spec: Arc::new(OutputSpec::default()),
                 },
             ],
         };
@@ -319,14 +325,15 @@ mod tests {
                 observe("e", &["x", "ghost"]),
                 AdviceOp::Emit {
                     query: QueryId(1),
-                    spec: OutputSpec {
+                    spec: Arc::new(OutputSpec {
                         key_exprs: vec![Expr::field("e.x"), Expr::field("e.ghost")],
                         key_names: vec!["e.x".into(), "e.ghost".into()],
                         aggs: vec![],
                         agg_names: vec![],
                         columns: vec![ColumnRef::Key(0), ColumnRef::Key(1)],
                         streaming: true,
-                    },
+                        ..OutputSpec::default()
+                    }),
                 },
             ],
         };
@@ -378,7 +385,7 @@ mod tests {
                 },
                 AdviceOp::Emit {
                     query: QueryId(1),
-                    spec: OutputSpec::default(),
+                    spec: Arc::new(OutputSpec::default()),
                 },
             ],
         };
@@ -406,14 +413,15 @@ mod tests {
                 },
                 AdviceOp::Emit {
                     query: QueryId(1),
-                    spec: OutputSpec {
+                    spec: Arc::new(OutputSpec {
                         key_exprs: vec![Expr::field("p.x")],
                         key_names: vec!["p.x".into()],
                         aggs: vec![],
                         agg_names: vec![],
                         columns: vec![ColumnRef::Key(0)],
                         streaming: true,
-                    },
+                        ..OutputSpec::default()
+                    }),
                 },
             ],
         };

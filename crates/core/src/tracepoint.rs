@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use pivot_baggage::QueryId;
-use pivot_query::AdviceProgram;
+use pivot_model::{intern, Value};
+use pivot_query::AdviceByteCode;
 
 /// The variables every tracepoint exports in addition to its declared ones
 /// (paper §3): host, timestamp, process id, process name, and the
@@ -51,13 +52,23 @@ impl TracepointDef {
     }
 }
 
-/// One woven advice program tagged with the query that owns it.
+/// One woven bytecode program tagged with the query that owns it.
 #[derive(Clone, Debug)]
 pub struct Woven {
     /// The owning query (used for unweaving).
     pub query: QueryId,
-    /// The advice to run.
-    pub program: Arc<AdviceProgram>,
+    /// The lowered advice to run.
+    pub code: Arc<AdviceByteCode>,
+}
+
+/// Registry slot for one tracepoint: the woven programs plus an interned
+/// `Value` of the tracepoint's own name, built once at weave time so every
+/// invocation reuses it for the `tracepoint` default export instead of
+/// allocating a fresh string.
+#[derive(Clone, Debug)]
+struct WeaveEntry {
+    name: Value,
+    list: Arc<Vec<Woven>>,
 }
 
 /// The per-process registry mapping tracepoints to woven advice.
@@ -69,7 +80,7 @@ pub struct Woven {
 #[derive(Default)]
 pub struct Registry {
     woven_count: AtomicUsize,
-    map: RwLock<HashMap<String, Arc<Vec<Woven>>>>,
+    map: RwLock<HashMap<String, WeaveEntry>>,
 }
 
 impl Registry {
@@ -78,14 +89,18 @@ impl Registry {
         Registry::default()
     }
 
-    /// Returns the advice woven at `tracepoint`, or `None` cheaply when the
-    /// whole registry is empty.
+    /// Returns the advice woven at `tracepoint` together with the interned
+    /// tracepoint-name `Value`, or `None` cheaply when the whole registry
+    /// is empty. Both halves are reference-counted clones.
     #[inline]
-    pub fn lookup(&self, tracepoint: &str) -> Option<Arc<Vec<Woven>>> {
+    pub fn lookup(&self, tracepoint: &str) -> Option<(Value, Arc<Vec<Woven>>)> {
         if self.woven_count.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        self.map.read().get(tracepoint).cloned()
+        self.map
+            .read()
+            .get(tracepoint)
+            .map(|e| (e.name.clone(), Arc::clone(&e.list)))
     }
 
     /// Returns `true` if nothing is woven anywhere.
@@ -94,18 +109,21 @@ impl Registry {
         self.woven_count.load(Ordering::Relaxed) == 0
     }
 
-    /// Weaves `program` (owned by `query`) into each of its tracepoints.
-    pub fn weave(&self, query: QueryId, program: Arc<AdviceProgram>) {
+    /// Weaves `code` (owned by `query`) into each of its tracepoints.
+    pub fn weave(&self, query: QueryId, code: Arc<AdviceByteCode>) {
         let mut map = self.map.write();
-        for tp in &program.tracepoints {
-            let entry = map.entry(tp.clone()).or_default();
-            let mut list = entry.as_ref().clone();
+        for tp in &code.tracepoints {
+            let entry = map.entry(tp.clone()).or_insert_with(|| WeaveEntry {
+                name: Value::Str(intern(tp)),
+                list: Arc::new(Vec::new()),
+            });
+            let mut list = entry.list.as_ref().clone();
             list.push(Woven {
                 query,
-                program: Arc::clone(&program),
+                code: Arc::clone(&code),
             });
             self.woven_count.fetch_add(1, Ordering::Relaxed);
-            *entry = Arc::new(list);
+            entry.list = Arc::new(list);
         }
     }
 
@@ -113,8 +131,13 @@ impl Registry {
     pub fn unweave(&self, query: QueryId) {
         let mut map = self.map.write();
         map.retain(|_, entry| {
-            let before = entry.len();
-            let list: Vec<Woven> = entry.iter().filter(|w| w.query != query).cloned().collect();
+            let before = entry.list.len();
+            let list: Vec<Woven> = entry
+                .list
+                .iter()
+                .filter(|w| w.query != query)
+                .cloned()
+                .collect();
             let removed = before - list.len();
             if removed > 0 {
                 self.woven_count.fetch_sub(removed, Ordering::Relaxed);
@@ -122,7 +145,7 @@ impl Registry {
             if list.is_empty() {
                 false
             } else {
-                *entry = Arc::new(list);
+                entry.list = Arc::new(list);
                 true
             }
         });
@@ -137,16 +160,18 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pivot_query::AdviceOp;
+    use pivot_query::bytecode::lower_program;
+    use pivot_query::{AdviceOp, AdviceProgram};
 
-    fn program(tps: &[&str]) -> Arc<AdviceProgram> {
-        Arc::new(AdviceProgram {
+    fn program(tps: &[&str]) -> Arc<AdviceByteCode> {
+        let lowered = lower_program(&AdviceProgram {
             tracepoints: tps.iter().map(|s| (*s).to_owned()).collect(),
             ops: vec![AdviceOp::Observe {
                 alias: "x".into(),
                 fields: vec![],
             }],
-        })
+        });
+        Arc::new(lowered.code)
     }
 
     #[test]
@@ -156,12 +181,14 @@ mod tests {
         assert!(reg.lookup("tp").is_none());
         reg.weave(QueryId(1), program(&["tp", "tp2"]));
         assert_eq!(reg.woven_count(), 2);
-        assert_eq!(reg.lookup("tp").unwrap().len(), 1);
+        let (name, list) = reg.lookup("tp").unwrap();
+        assert_eq!(name, Value::str("tp"));
+        assert_eq!(list.len(), 1);
         reg.weave(QueryId(2), program(&["tp"]));
-        assert_eq!(reg.lookup("tp").unwrap().len(), 2);
+        assert_eq!(reg.lookup("tp").unwrap().1.len(), 2);
         reg.unweave(QueryId(1));
         assert_eq!(reg.woven_count(), 1);
-        assert_eq!(reg.lookup("tp").unwrap().len(), 1);
+        assert_eq!(reg.lookup("tp").unwrap().1.len(), 1);
         assert!(reg.lookup("tp2").is_none());
         reg.unweave(QueryId(2));
         assert!(reg.is_idle());

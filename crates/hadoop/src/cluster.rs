@@ -161,7 +161,7 @@ impl Cluster {
             agents_enabled: std::cell::Cell::new(true),
             next_procid: std::cell::Cell::new(1),
             rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(42))),
-            baggage_bytes: Counter::new(clock.clone()),
+            baggage_bytes: Counter::new(clock),
             rt,
         });
         cluster

@@ -61,7 +61,7 @@ fn buggy_ordering_is_static_fixed_is_shuffled() {
         });
         c.rt.run_for_secs(5.0);
         let orders = h.try_take().expect("lookups completed");
-        let mut unique = orders.clone();
+        let mut unique = orders;
         unique.sort();
         unique.dedup();
         unique.len()
@@ -172,7 +172,6 @@ fn metadata_writes_contend_on_the_namespace_lock() {
     let agent = c.new_agent(&c.hosts[0], "bench2");
     let dfs = hdfs.client(&c.hosts[0], &agent, "bench2");
     let loaded = c.rt.spawn({
-        let clock = clock.clone();
         async move {
             let mut total = 0u64;
             for _ in 0..20 {

@@ -23,7 +23,7 @@ use pivot_core::frontend::InstallError;
 use pivot_core::{
     Agent, Bus, Command, Frontend, ProcessInfo, QueryHandle, QueryResults, Report, TracepointDef,
 };
-use pivot_query::CompiledQuery;
+use pivot_query::CompiledCode;
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{decode_message, encode_message, Message};
@@ -43,7 +43,7 @@ struct BusInner {
     /// Currently installed queries, replayed to agents that join late
     /// (mirrors the simulated cluster weaving installed queries into new
     /// processes).
-    installed: Mutex<Vec<Arc<CompiledQuery>>>,
+    installed: Mutex<Vec<Arc<CompiledCode>>>,
     shutdown: AtomicBool,
 }
 
@@ -199,7 +199,7 @@ fn peer_reader(
             Ok(Message::Hello(process)) => {
                 *info.lock() = Some(process);
                 // Weave the currently installed queries into the newcomer.
-                let installed: Vec<Arc<CompiledQuery>> = inner.installed.lock().clone();
+                let installed: Vec<Arc<CompiledCode>> = inner.installed.lock().clone();
                 for q in installed {
                     let payload = encode_message(&Message::Command(Command::Install(q)));
                     if write_frame(&mut *writer.lock(), &payload).is_err() {

@@ -2,21 +2,37 @@
 //!
 //! The TCP bus carries three message kinds between live agents and the
 //! frontend: a `Hello` registering the agent's process identity, the
-//! frontend's weave/unweave [`Command`]s (including the **full compiled
-//! query** — advice programs, expression trees, pack modes, output spec),
-//! and the agents' partial-result [`Report`]s. Everything is encoded with
-//! the same LEB128 encoder the baggage wire format uses, so one decoder
-//! discipline covers the whole attack surface: malformed input returns
-//! [`DecodeError`], never panics.
+//! frontend's weave/unweave [`Command`]s, and the agents' partial-result
+//! [`Report`]s. Every payload starts with a protocol **version byte**
+//! ([`PROTO_VERSION`]); peers speaking a different version are rejected
+//! with a decode error instead of misinterpreting bytes.
+//!
+//! `Install` ships the query's **lowered bytecode** ([`CompiledCode`]) —
+//! flat register instructions, constant pool, pre-resolved column indices —
+//! not the advice-op `Expr` trees. Agents therefore execute exactly the
+//! artifact the frontend verified, and the decoder runs
+//! [`AdviceByteCode::validate`] on every received program so a hostile or
+//! corrupted peer can never make the VM index out of bounds. The only
+//! expression trees still on the wire live in the [`OutputSpec`] (display
+//! metadata and aggregate identities for the frontend's result layout).
+//!
+//! Everything is encoded with the same LEB128 encoder the baggage wire
+//! format uses, so one decoder discipline covers the whole attack surface:
+//! malformed input returns [`DecodeError`], never panics.
 
 use std::sync::Arc;
 
 use pivot_baggage::{PackMode, QueryId};
 use pivot_core::{Command, ProcessInfo, Report, ReportRows};
 use pivot_itc::{DecodeError, Decoder, Encoder};
-use pivot_model::{codec, AggFunc, AggState, BinOp, Expr, GroupKey, Schema, Tuple, UnOp};
+use pivot_model::{codec, AggFunc, AggState, BinOp, Expr, GroupKey, Sym, Tuple, UnOp};
 use pivot_query::advice::ColumnRef;
-use pivot_query::{AdviceOp, AdviceProgram, CompiledQuery, OutputSpec, TemporalFilter};
+use pivot_query::bytecode::{EInst, ExprProg, Inst, PoolRange};
+use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
+
+/// Wire-protocol version. Bumped to 2 when `Install` switched from
+/// advice-op trees to lowered bytecode.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Maximum expression nesting the decoder accepts. Honest queries stay in
 /// single digits; the cap keeps a hostile peer from overflowing the stack.
@@ -36,6 +52,7 @@ pub enum Message {
 /// Encodes one message to bytes (the payload of one frame).
 pub fn encode_message(msg: &Message) -> Vec<u8> {
     let mut enc = Encoder::with_capacity(128);
+    enc.put_u8(PROTO_VERSION);
     match msg {
         Message::Hello(info) => {
             enc.put_u8(0);
@@ -43,9 +60,9 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             enc.put_varint(info.procid);
             enc.put_str(&info.procname);
         }
-        Message::Command(Command::Install(compiled)) => {
+        Message::Command(Command::Install(code)) => {
             enc.put_u8(1);
-            encode_compiled(compiled, &mut enc);
+            encode_code(code, &mut enc);
         }
         Message::Command(Command::Uninstall(id)) => {
             enc.put_u8(2);
@@ -59,16 +76,21 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
     enc.finish()
 }
 
-/// Decodes one message; trailing garbage is rejected.
+/// Decodes one message; trailing garbage, version mismatches, and bytecode
+/// that fails validation are all rejected.
 pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     let mut dec = Decoder::new(bytes);
+    let version = dec.take_u8()?;
+    if version != PROTO_VERSION {
+        return Err(DecodeError::BadTag("protocol version", version));
+    }
     let msg = match dec.take_u8()? {
         0 => Message::Hello(ProcessInfo {
             host: dec.take_str()?.to_owned(),
             procid: dec.take_varint()?,
             procname: dec.take_str()?.to_owned(),
         }),
-        1 => Message::Command(Command::Install(Arc::new(decode_compiled(&mut dec)?))),
+        1 => Message::Command(Command::Install(Arc::new(decode_code(&mut dec)?))),
         2 => Message::Command(Command::Uninstall(QueryId(dec.take_varint()?))),
         3 => Message::Report(decode_report(&mut dec)?),
         t => return Err(DecodeError::BadTag("message", t)),
@@ -79,135 +101,298 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     Ok(msg)
 }
 
-fn encode_compiled(q: &CompiledQuery, enc: &mut Encoder) {
-    enc.put_varint(q.id.0);
-    enc.put_str(&q.name);
-    enc.put_str(&q.text);
-    enc.put_varint(q.advice.len() as u64);
-    for program in &q.advice {
-        encode_program(program, enc);
+// ---------------------------------------------------------------------------
+// Compiled bytecode
+// ---------------------------------------------------------------------------
+
+fn encode_code(code: &CompiledCode, enc: &mut Encoder) {
+    enc.put_varint(code.id.0);
+    enc.put_str(&code.name);
+    encode_output_spec(&code.output, enc);
+    enc.put_varint(code.programs.len() as u64);
+    for program in &code.programs {
+        encode_bytecode(program, enc);
     }
-    encode_output_spec(&q.output, enc);
 }
 
-fn decode_compiled(dec: &mut Decoder<'_>) -> Result<CompiledQuery, DecodeError> {
+fn decode_code(dec: &mut Decoder<'_>) -> Result<CompiledCode, DecodeError> {
     let id = QueryId(dec.take_varint()?);
     let name = dec.take_str()?.to_owned();
-    let text = dec.take_str()?.to_owned();
+    let output = Arc::new(decode_output_spec(dec)?);
+    output.warm();
     let n = dec.take_varint()? as usize;
-    let mut advice = Vec::with_capacity(n.min(64));
+    let mut programs = Vec::with_capacity(n.min(64));
     for _ in 0..n {
-        advice.push(decode_program(dec)?);
+        let code = decode_bytecode(dec, &output)?;
+        // Reject anything the VM could not execute safely. Validation at
+        // the trust boundary is what lets the VM index registers, pools,
+        // and skips unchecked on the hot path.
+        if code.validate().is_err() {
+            return Err(DecodeError::BadTag("bytecode validation", 0));
+        }
+        programs.push(Arc::new(code));
     }
-    let output = decode_output_spec(dec)?;
-    Ok(CompiledQuery {
+    Ok(CompiledCode {
         id,
         name,
-        text,
-        advice,
+        programs,
         output,
     })
 }
 
-fn encode_program(p: &AdviceProgram, enc: &mut Encoder) {
-    encode_strs(&p.tracepoints, enc);
-    enc.put_varint(p.ops.len() as u64);
-    for op in &p.ops {
-        encode_op(op, enc);
+/// The wire format assumes the canonical [`CompiledCode::lower`] shape in
+/// which every `Emit`'s spec *is* the query's output spec, so the spec is
+/// encoded once at the top level and rehydrated (Arc-shared) on decode.
+fn encode_bytecode(code: &AdviceByteCode, enc: &mut Encoder) {
+    encode_strs(&code.tracepoints, enc);
+    enc.put_varint(u64::from(code.num_regs));
+    enc.put_varint(code.consts.len() as u64);
+    for v in &code.consts {
+        codec::encode_value(v, enc);
+    }
+    enc.put_varint(code.names.len() as u64);
+    for s in &code.names {
+        enc.put_str(s.as_str());
+    }
+    enc.put_varint(code.einsts.len() as u64);
+    for e in &code.einsts {
+        encode_einst(e, enc);
+    }
+    enc.put_varint(code.exprs.len() as u64);
+    for p in &code.exprs {
+        enc.put_varint(u64::from(p.start));
+        enc.put_varint(u64::from(p.len));
+        enc.put_varint(u64::from(p.result));
+    }
+    enc.put_varint(code.insts.len() as u64);
+    for inst in &code.insts {
+        encode_inst(inst, enc);
     }
 }
 
-fn decode_program(dec: &mut Decoder<'_>) -> Result<AdviceProgram, DecodeError> {
+fn decode_bytecode(
+    dec: &mut Decoder<'_>,
+    output: &Arc<OutputSpec>,
+) -> Result<AdviceByteCode, DecodeError> {
     let tracepoints = decode_strs(dec)?;
+    let num_regs = take_u16(dec)?;
     let n = dec.take_varint()? as usize;
-    let mut ops = Vec::with_capacity(n.min(64));
+    let mut consts = Vec::with_capacity(n.min(256));
     for _ in 0..n {
-        ops.push(decode_op(dec)?);
+        consts.push(codec::decode_value(dec)?);
     }
-    Ok(AdviceProgram { tracepoints, ops })
+    let n = dec.take_varint()? as usize;
+    let mut names: Vec<Sym> = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        names.push(Sym::from(dec.take_str()?));
+    }
+    let n = dec.take_varint()? as usize;
+    let mut einsts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        einsts.push(decode_einst(dec)?);
+    }
+    let n = dec.take_varint()? as usize;
+    let mut exprs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        exprs.push(ExprProg {
+            start: take_u32(dec)?,
+            len: take_u32(dec)?,
+            result: take_u16(dec)?,
+        });
+    }
+    let n = dec.take_varint()? as usize;
+    let mut insts = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        insts.push(decode_inst(dec, output)?);
+    }
+    Ok(AdviceByteCode {
+        tracepoints,
+        insts,
+        einsts,
+        exprs,
+        consts,
+        names,
+        num_regs,
+    })
 }
 
-fn encode_op(op: &AdviceOp, enc: &mut Encoder) {
-    match op {
-        AdviceOp::Observe { alias, fields } => {
+fn encode_einst(e: &EInst, enc: &mut Encoder) {
+    match e {
+        EInst::Load { dst, col } => {
             enc.put_u8(0);
-            enc.put_str(alias);
-            encode_strs(fields, enc);
+            enc.put_varint(u64::from(*dst));
+            enc.put_varint(u64::from(*col));
         }
-        AdviceOp::Unpack {
+        EInst::Const { dst, idx } => {
+            enc.put_u8(1);
+            enc.put_varint(u64::from(*dst));
+            enc.put_varint(u64::from(*idx));
+        }
+        EInst::Unary { dst, op, src } => {
+            enc.put_u8(2);
+            enc.put_varint(u64::from(*dst));
+            enc.put_u8(un_op_tag(*op));
+            enc.put_varint(u64::from(*src));
+        }
+        EInst::Binary { dst, op, lhs, rhs } => {
+            enc.put_u8(3);
+            enc.put_varint(u64::from(*dst));
+            enc.put_u8(bin_op_tag(*op));
+            enc.put_varint(u64::from(*lhs));
+            enc.put_varint(u64::from(*rhs));
+        }
+        EInst::CoerceBool { dst, src } => {
+            enc.put_u8(4);
+            enc.put_varint(u64::from(*dst));
+            enc.put_varint(u64::from(*src));
+        }
+        EInst::SkipIfBool { src, when, skip } => {
+            enc.put_u8(5);
+            enc.put_varint(u64::from(*src));
+            enc.put_u8(u8::from(*when));
+            enc.put_varint(u64::from(*skip));
+        }
+        EInst::Fail => enc.put_u8(6),
+    }
+}
+
+fn decode_einst(dec: &mut Decoder<'_>) -> Result<EInst, DecodeError> {
+    Ok(match dec.take_u8()? {
+        0 => EInst::Load {
+            dst: take_u16(dec)?,
+            col: take_u16(dec)?,
+        },
+        1 => EInst::Const {
+            dst: take_u16(dec)?,
+            idx: take_u16(dec)?,
+        },
+        2 => EInst::Unary {
+            dst: take_u16(dec)?,
+            op: decode_un_op(dec.take_u8()?)?,
+            src: take_u16(dec)?,
+        },
+        3 => EInst::Binary {
+            dst: take_u16(dec)?,
+            op: decode_bin_op(dec.take_u8()?)?,
+            lhs: take_u16(dec)?,
+            rhs: take_u16(dec)?,
+        },
+        4 => EInst::CoerceBool {
+            dst: take_u16(dec)?,
+            src: take_u16(dec)?,
+        },
+        5 => EInst::SkipIfBool {
+            src: take_u16(dec)?,
+            when: match dec.take_u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::BadTag("skip flag", t)),
+            },
+            skip: take_u16(dec)?,
+        },
+        6 => EInst::Fail,
+        t => return Err(DecodeError::BadTag("expr inst", t)),
+    })
+}
+
+fn encode_inst(inst: &Inst, enc: &mut Encoder) {
+    match inst {
+        Inst::Observe { names } => {
+            enc.put_u8(0);
+            encode_range(*names, enc);
+        }
+        Inst::Unpack {
             slot,
-            schema,
-            post_filter,
+            width,
+            temporal,
         } => {
             enc.put_u8(1);
             enc.put_varint(slot.0);
-            encode_schema(schema, enc);
-            encode_opt_filter(post_filter, enc);
+            enc.put_varint(u64::from(*width));
+            encode_opt_filter(temporal, enc);
         }
-        AdviceOp::Filter { pred } => {
+        Inst::Filter { pred } => {
             enc.put_u8(2);
-            encode_expr(pred, enc);
+            enc.put_varint(u64::from(*pred));
         }
-        AdviceOp::Pack {
+        Inst::Pack {
             slot,
             mode,
+            pre,
             exprs,
-            names,
         } => {
             enc.put_u8(3);
             enc.put_varint(slot.0);
             encode_pack_mode(mode, enc);
-            enc.put_varint(exprs.len() as u64);
-            for e in exprs {
-                encode_expr(e, enc);
-            }
-            encode_strs(names, enc);
+            encode_range(*pre, enc);
+            encode_range(*exprs, enc);
         }
-        AdviceOp::Emit { query, spec } => {
+        Inst::Emit {
+            query,
+            spec: _, // canonical form: always the top-level output spec
+            pre,
+            keys,
+            aggs,
+        } => {
             enc.put_u8(4);
             enc.put_varint(query.0);
-            encode_output_spec(spec, enc);
+            encode_range(*pre, enc);
+            encode_range(*keys, enc);
+            encode_range(*aggs, enc);
         }
     }
 }
 
-fn decode_op(dec: &mut Decoder<'_>) -> Result<AdviceOp, DecodeError> {
+fn decode_inst(dec: &mut Decoder<'_>, output: &Arc<OutputSpec>) -> Result<Inst, DecodeError> {
     Ok(match dec.take_u8()? {
-        0 => AdviceOp::Observe {
-            alias: dec.take_str()?.to_owned(),
-            fields: decode_strs(dec)?,
+        0 => Inst::Observe {
+            names: decode_range(dec)?,
         },
-        1 => AdviceOp::Unpack {
+        1 => Inst::Unpack {
             slot: QueryId(dec.take_varint()?),
-            schema: decode_schema(dec)?,
-            post_filter: decode_opt_filter(dec)?,
+            width: take_u16(dec)?,
+            temporal: decode_opt_filter(dec)?,
         },
-        2 => AdviceOp::Filter {
-            pred: decode_expr(dec, 0)?,
+        2 => Inst::Filter {
+            pred: take_u32(dec)?,
         },
-        3 => {
-            let slot = QueryId(dec.take_varint()?);
-            let mode = decode_pack_mode(dec)?;
-            let n = dec.take_varint()? as usize;
-            let mut exprs = Vec::with_capacity(n.min(64));
-            for _ in 0..n {
-                exprs.push(decode_expr(dec, 0)?);
-            }
-            let names = decode_strs(dec)?;
-            AdviceOp::Pack {
-                slot,
-                mode,
-                exprs,
-                names,
-            }
-        }
-        4 => AdviceOp::Emit {
+        3 => Inst::Pack {
+            slot: QueryId(dec.take_varint()?),
+            mode: decode_pack_mode(dec)?,
+            pre: decode_range(dec)?,
+            exprs: decode_range(dec)?,
+        },
+        4 => Inst::Emit {
             query: QueryId(dec.take_varint()?),
-            spec: decode_output_spec(dec)?,
+            spec: Arc::clone(output),
+            pre: decode_range(dec)?,
+            keys: decode_range(dec)?,
+            aggs: decode_range(dec)?,
         },
-        t => return Err(DecodeError::BadTag("advice op", t)),
+        t => return Err(DecodeError::BadTag("bytecode inst", t)),
     })
 }
+
+fn encode_range(r: PoolRange, enc: &mut Encoder) {
+    enc.put_varint(u64::from(r.0));
+    enc.put_varint(u64::from(r.1));
+}
+
+fn decode_range(dec: &mut Decoder<'_>) -> Result<PoolRange, DecodeError> {
+    Ok((take_u32(dec)?, take_u32(dec)?))
+}
+
+fn take_u16(dec: &mut Decoder<'_>) -> Result<u16, DecodeError> {
+    u16::try_from(dec.take_varint()?).map_err(|_| DecodeError::BadTag("u16 overflow", 0))
+}
+
+fn take_u32(dec: &mut Decoder<'_>) -> Result<u32, DecodeError> {
+    u32::try_from(dec.take_varint()?).map_err(|_| DecodeError::BadTag("u32 overflow", 0))
+}
+
+// ---------------------------------------------------------------------------
+// Output spec (frontend-side result metadata)
+// ---------------------------------------------------------------------------
 
 fn encode_output_spec(spec: &OutputSpec, enc: &mut Encoder) {
     enc.put_varint(spec.key_exprs.len() as u64);
@@ -267,6 +452,18 @@ fn decode_output_spec(dec: &mut Decoder<'_>) -> Result<OutputSpec, DecodeError> 
         1 => true,
         t => return Err(DecodeError::BadTag("streaming flag", t)),
     };
+    // Column refs index into the key/agg name lists (e.g. when building
+    // display names); reject dangling refs at the trust boundary so the
+    // spec can be used without bounds anxiety.
+    for c in &columns {
+        let ok = match c {
+            ColumnRef::Key(i) => *i < key_names.len() && *i < key_exprs.len(),
+            ColumnRef::Agg(i) => *i < agg_names.len() && *i < aggs.len(),
+        };
+        if !ok {
+            return Err(DecodeError::BadTag("column ref range", 0));
+        }
+    }
     Ok(OutputSpec {
         key_exprs,
         key_names,
@@ -274,6 +471,7 @@ fn decode_output_spec(dec: &mut Decoder<'_>) -> Result<OutputSpec, DecodeError> 
         agg_names,
         columns,
         streaming,
+        ..OutputSpec::default()
     })
 }
 
@@ -467,22 +665,6 @@ fn decode_strs(dec: &mut Decoder<'_>) -> Result<Vec<String>, DecodeError> {
     Ok(out)
 }
 
-fn encode_schema(s: &Schema, enc: &mut Encoder) {
-    enc.put_varint(s.len() as u64);
-    for f in s.fields() {
-        enc.put_str(f);
-    }
-}
-
-fn decode_schema(dec: &mut Decoder<'_>) -> Result<Schema, DecodeError> {
-    let n = dec.take_varint()? as usize;
-    let mut fields = Vec::with_capacity(n.min(256));
-    for _ in 0..n {
-        fields.push(dec.take_str()?.to_owned());
-    }
-    Ok(Schema::new(fields))
-}
-
 fn agg_func_tag(f: AggFunc) -> u8 {
     match f {
         AggFunc::Count => 0,
@@ -562,7 +744,7 @@ mod tests {
     use pivot_core::Frontend;
     use pivot_model::Value;
 
-    fn q2_compiled() -> Arc<CompiledQuery> {
+    fn q2_code() -> Arc<CompiledCode> {
         let mut fe = Frontend::new();
         fe.define("ClientProtocols", ["procName"]);
         fe.define("DataNodeMetrics.incrBytesRead", ["delta"]);
@@ -575,18 +757,71 @@ mod tests {
                  Select cl.procName, SUM(incr.delta), COUNT, AVERAGE(incr.delta)",
             )
             .expect("q2 installs");
-        fe.compiled(&handle).expect("compiled available")
+        fe.code(&handle).expect("bytecode available")
     }
 
     #[test]
-    fn install_command_round_trips_a_real_query() {
-        let compiled = q2_compiled();
-        let bytes = encode_message(&Message::Command(Command::Install(Arc::clone(&compiled))));
+    fn install_command_round_trips_real_bytecode() {
+        let code = q2_code();
+        let bytes = encode_message(&Message::Command(Command::Install(Arc::clone(&code))));
         let back = decode_message(&bytes).expect("decodes");
         let Message::Command(Command::Install(decoded)) = back else {
             panic!("wrong message kind");
         };
-        assert_eq!(*decoded, *compiled);
+        assert_eq!(*decoded, *code);
+        // Decoded programs share the top-level output spec by pointer, as
+        // the canonical lowered form does.
+        for p in &decoded.programs {
+            for inst in &p.insts {
+                if let Inst::Emit { spec, .. } = inst {
+                    assert!(Arc::ptr_eq(spec, &decoded.output));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let code = q2_code();
+        let mut bytes = encode_message(&Message::Command(Command::Install(code)));
+        assert_eq!(bytes[0], PROTO_VERSION);
+        bytes[0] = PROTO_VERSION + 1;
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DecodeError::BadTag("protocol version", _))
+        ));
+    }
+
+    #[test]
+    fn invalid_bytecode_is_rejected_at_decode() {
+        // A frame that parses but whose program references register 9 with
+        // a 1-register file: validation at the trust boundary must reject
+        // it before it can reach a VM.
+        let bad = AdviceByteCode {
+            tracepoints: vec!["tp".into()],
+            insts: vec![Inst::Filter { pred: 0 }],
+            einsts: vec![EInst::Load { dst: 9, col: 0 }],
+            exprs: vec![ExprProg {
+                start: 0,
+                len: 1,
+                result: 9,
+            }],
+            consts: vec![],
+            names: vec![],
+            num_regs: 1,
+        };
+        assert!(bad.validate().is_err());
+        let code = CompiledCode {
+            id: QueryId(9),
+            name: "bad".into(),
+            programs: vec![Arc::new(bad)],
+            output: Arc::new(OutputSpec::default()),
+        };
+        let bytes = encode_message(&Message::Command(Command::Install(Arc::new(code))));
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DecodeError::BadTag("bytecode validation", 0))
+        ));
     }
 
     #[test]
@@ -648,8 +883,8 @@ mod tests {
 
     #[test]
     fn truncations_error_not_panic() {
-        let compiled = q2_compiled();
-        let bytes = encode_message(&Message::Command(Command::Install(compiled)));
+        let code = q2_code();
+        let bytes = encode_message(&Message::Command(Command::Install(code)));
         for cut in 0..bytes.len() {
             assert!(
                 decode_message(&bytes[..cut]).is_err(),
@@ -661,11 +896,14 @@ mod tests {
 
     #[test]
     fn bit_flips_never_panic() {
-        let compiled = q2_compiled();
-        let bytes = encode_message(&Message::Command(Command::Install(compiled)));
+        let code = q2_code();
+        let bytes = encode_message(&Message::Command(Command::Install(code)));
         for pos in 0..bytes.len() {
             let mut mutated = bytes.clone();
             mutated[pos] ^= 0x55;
+            // Must not panic; decoding may fail or (rarely) produce a
+            // different-but-valid message. If it decodes, the bytecode
+            // inside already passed validation.
             let _ = decode_message(&mutated);
         }
     }

@@ -150,26 +150,7 @@ impl Expr {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Unary(op, e) => {
                 let v = e.eval(row)?;
-                match op {
-                    UnOp::Neg => match v {
-                        Value::I64(x) => Ok(Value::I64(-x)),
-                        Value::U64(x) => Ok(Value::I64(-(x as i64))),
-                        Value::F64(x) => Ok(Value::F64(-x)),
-                        other => Err(EvalError::TypeMismatch {
-                            op: "-",
-                            left: other.type_name(),
-                            right: "()",
-                        }),
-                    },
-                    UnOp::Not => match v {
-                        Value::Bool(b) => Ok(Value::Bool(!b)),
-                        other => Err(EvalError::TypeMismatch {
-                            op: "!",
-                            left: other.type_name(),
-                            right: "()",
-                        }),
-                    },
-                }
+                eval_unary(*op, &v)
             }
             Expr::Binary(op, l, r) => {
                 // Short-circuit logical connectives.
@@ -235,7 +216,49 @@ impl Expr {
     }
 }
 
-fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+/// Applies a unary operator to an already-evaluated operand.
+///
+/// Shared by the tree-walking [`Expr::eval`] and the bytecode VM so both
+/// engines have bit-identical leaf semantics.
+///
+/// # Errors
+///
+/// Returns [`EvalError::TypeMismatch`] for unsupported operand types.
+pub fn eval_unary(op: UnOp, v: &Value) -> Result<Value, EvalError> {
+    match op {
+        UnOp::Neg => match v {
+            Value::I64(x) => Ok(Value::I64(-x)),
+            Value::U64(x) => Ok(Value::I64(-(*x as i64))),
+            Value::F64(x) => Ok(Value::F64(-x)),
+            other => Err(EvalError::TypeMismatch {
+                op: "-",
+                left: other.type_name(),
+                right: "()",
+            }),
+        },
+        UnOp::Not => match v {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(EvalError::TypeMismatch {
+                op: "!",
+                left: other.type_name(),
+                right: "()",
+            }),
+        },
+    }
+}
+
+/// Applies a non-short-circuiting binary operator to evaluated operands.
+///
+/// Shared by the tree-walking [`Expr::eval`] and the bytecode VM so both
+/// engines have bit-identical leaf semantics. `And`/`Or` never reach this
+/// function: both engines implement their short-circuit evaluation
+/// (including the left-operand bool coercion error) before operand
+/// evaluation.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on type mismatches or division by zero.
+pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     use BinOp::*;
     match op {
         Eq => Ok(Value::Bool(l.loose_eq(r))),
@@ -296,7 +319,13 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
                 _ => unreachable!(),
             }))
         }
-        And | Or => unreachable!("handled by eval"),
+        // Callers lower short-circuit connectives themselves; a stray
+        // non-bool application reports a mismatch instead of panicking.
+        And | Or => Err(EvalError::TypeMismatch {
+            op: op.symbol(),
+            left: l.type_name(),
+            right: r.type_name(),
+        }),
     }
 }
 

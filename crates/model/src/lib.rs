@@ -17,10 +17,12 @@
 pub mod agg;
 pub mod codec;
 pub mod expr;
+pub mod intern;
 pub mod tuple;
 pub mod value;
 
 pub use agg::{AggFunc, AggState};
 pub use expr::{BinOp, EvalError, Expr, UnOp};
+pub use intern::{intern, Sym};
 pub use tuple::{GroupKey, Row, Schema, Tuple};
 pub use value::Value;

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::intern::intern;
 use crate::value::Value;
 
 /// A field-name schema shared by all tuples of one dataset.
@@ -22,7 +23,9 @@ impl Schema {
         S: AsRef<str>,
     {
         Schema {
-            fields: fields.into_iter().map(|s| Arc::from(s.as_ref())).collect(),
+            // Field names recur across every schema built for the same
+            // query, so they come from the intern pool.
+            fields: fields.into_iter().map(|s| intern(s.as_ref())).collect(),
         }
     }
 
@@ -92,7 +95,7 @@ impl Schema {
                 .iter()
                 .map(|f| {
                     let base = f.rsplit('.').next().unwrap_or(f);
-                    Arc::from(format!("{alias}.{base}").as_str())
+                    intern(&format!("{alias}.{base}"))
                 })
                 .collect(),
         }
@@ -106,17 +109,39 @@ impl fmt::Debug for Schema {
     }
 }
 
+/// Values stored inline before a tuple spills to the heap. Paper queries
+/// observe a handful of exports per tracepoint, so nearly every tuple on
+/// the hot path fits inline and costs no allocation.
+const INLINE_CAP: usize = 4;
+
 /// A positional row of [`Value`]s.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Short tuples (≤ [`INLINE_CAP`] values — the common case for tracepoint
+/// exports and packed baggage rows) are stored inline without heap
+/// allocation; longer rows spill to a boxed slice.
 pub struct Tuple {
-    values: Box<[Value]>,
+    repr: Repr,
+}
+
+enum Repr {
+    Inline { len: u8, vals: [Value; INLINE_CAP] },
+    Heap(Box<[Value]>),
+}
+
+fn null_array() -> [Value; INLINE_CAP] {
+    std::array::from_fn(|_| Value::Null)
 }
 
 impl Tuple {
     /// Builds a tuple from values.
     pub fn new(values: impl Into<Box<[Value]>>) -> Tuple {
-        Tuple {
-            values: values.into(),
+        let boxed = values.into();
+        if boxed.len() <= INLINE_CAP {
+            Vec::from(boxed).into_iter().collect()
+        } else {
+            Tuple {
+                repr: Repr::Heap(boxed),
+            }
         }
     }
 
@@ -127,49 +152,90 @@ impl Tuple {
 
     /// Number of values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values().len()
     }
 
     /// Returns `true` if the tuple has no values.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.values().is_empty()
     }
 
     /// Returns the value at `idx`, or `Null` when out of range.
     pub fn get(&self, idx: usize) -> &Value {
         static NULL: Value = Value::Null;
-        self.values.get(idx).unwrap_or(&NULL)
+        self.values().get(idx).unwrap_or(&NULL)
     }
 
     /// Returns all values.
     pub fn values(&self) -> &[Value] {
-        &self.values
+        match &self.repr {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Heap(b) => b,
+        }
     }
 
     /// Concatenates two tuples (used by joins).
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        Tuple {
-            values: self
-                .values
-                .iter()
-                .chain(other.values.iter())
-                .cloned()
-                .collect(),
-        }
+        self.values()
+            .iter()
+            .chain(other.values().iter())
+            .cloned()
+            .collect()
     }
 
     /// Projects the tuple onto the given indices.
     pub fn project(&self, indices: &[usize]) -> Tuple {
+        indices.iter().map(|&i| self.get(i).clone()).collect()
+    }
+}
+
+impl Default for Tuple {
+    fn default() -> Tuple {
         Tuple {
-            values: indices.iter().map(|&i| self.get(i).clone()).collect(),
+            repr: Repr::Inline {
+                len: 0,
+                vals: null_array(),
+            },
         }
+    }
+}
+
+impl Clone for Tuple {
+    fn clone(&self) -> Tuple {
+        match &self.repr {
+            Repr::Inline { len, vals } => Tuple {
+                repr: Repr::Inline {
+                    len: *len,
+                    vals: vals.clone(),
+                },
+            },
+            Repr::Heap(b) => Tuple {
+                repr: Repr::Heap(b.clone()),
+            },
+        }
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the logical value sequence so inline and heap tuples with
+        // equal contents collide.
+        self.values().hash(state);
     }
 }
 
 impl fmt::Debug for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -181,8 +247,34 @@ impl fmt::Debug for Tuple {
 
 impl FromIterator<Value> for Tuple {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
-        Tuple {
-            values: iter.into_iter().collect(),
+        let mut it = iter.into_iter();
+        let mut vals = null_array();
+        let mut len = 0usize;
+        loop {
+            match it.next() {
+                None => {
+                    return Tuple {
+                        repr: Repr::Inline {
+                            len: len as u8,
+                            vals,
+                        },
+                    }
+                }
+                Some(v) if len < INLINE_CAP => {
+                    vals[len] = v;
+                    len += 1;
+                }
+                Some(v) => {
+                    let (lo, _) = it.size_hint();
+                    let mut vec = Vec::with_capacity(INLINE_CAP + 1 + lo);
+                    vec.extend(vals);
+                    vec.push(v);
+                    vec.extend(it);
+                    return Tuple {
+                        repr: Repr::Heap(vec.into_boxed_slice()),
+                    };
+                }
+            }
         }
     }
 }
@@ -267,6 +359,34 @@ mod tests {
         let row = (&s, &t);
         assert_eq!(row.field("procName"), Some(&Value::str("HBase")));
         assert_eq!(row.field("cl.procName"), Some(&Value::str("HBase")));
+    }
+
+    #[test]
+    fn inline_and_heap_tuples_behave_identically() {
+        // Cross the INLINE_CAP boundary: equality, hashing, get, concat,
+        // and project must not care which representation holds the values.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        for n in 0..(INLINE_CAP + 3) {
+            let vals: Vec<Value> = (0..n).map(|i| Value::I64(i as i64)).collect();
+            let from_iter: Tuple = vals.iter().cloned().collect();
+            let from_new = Tuple::new(vals.clone());
+            assert_eq!(from_iter, from_new);
+            assert_eq!(from_iter.len(), n);
+            assert_eq!(from_iter.values(), &vals[..]);
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            from_iter.hash(&mut h1);
+            from_new.hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish());
+        }
+        // Concat across the boundary spills to the heap transparently.
+        let a = Tuple::from_iter((0..3).map(Value::I64));
+        let b = Tuple::from_iter((3..8).map(Value::I64));
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.get(7), &Value::I64(7));
+        assert_eq!(c.project(&[7, 0]).values(), &[Value::I64(7), Value::I64(0)]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! | `Pack`    | Make tuples available to later advice via the baggage |
 //! | `Emit`    | Output a tuple for global aggregation |
 
+use std::sync::{Arc, OnceLock};
+
 use pivot_baggage::{PackMode, QueryId};
 use pivot_model::{AggFunc, Expr, Schema};
 
@@ -27,7 +29,7 @@ pub enum ColumnRef {
 }
 
 /// The shape of a query's emitted results.
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct OutputSpec {
     /// Grouping key expressions (explicit `GroupBy` plus non-aggregate
     /// select items).
@@ -42,18 +44,44 @@ pub struct OutputSpec {
     pub columns: Vec<ColumnRef>,
     /// `true` when the query has no aggregates and emits raw rows.
     pub streaming: bool,
+    /// Cache for [`OutputSpec::column_names`]; populated once (at compile
+    /// time via [`OutputSpec::warm`]) so report ticks never rebuild the
+    /// name list. Excluded from equality.
+    pub names_cache: OnceLock<Box<[String]>>,
+}
+
+// Manual impl: the lazily-filled name cache is derived data and must not
+// participate in spec equality.
+impl PartialEq for OutputSpec {
+    fn eq(&self, other: &OutputSpec) -> bool {
+        self.key_exprs == other.key_exprs
+            && self.key_names == other.key_names
+            && self.aggs == other.aggs
+            && self.agg_names == other.agg_names
+            && self.columns == other.columns
+            && self.streaming == other.streaming
+    }
 }
 
 impl OutputSpec {
-    /// Returns the column names in `Select` order.
-    pub fn column_names(&self) -> Vec<String> {
-        self.columns
-            .iter()
-            .map(|c| match c {
-                ColumnRef::Key(i) => self.key_names[*i].clone(),
-                ColumnRef::Agg(i) => self.agg_names[*i].clone(),
-            })
-            .collect()
+    /// Returns the column names in `Select` order (cached after the first
+    /// call).
+    pub fn column_names(&self) -> &[String] {
+        self.names_cache.get_or_init(|| {
+            self.columns
+                .iter()
+                .map(|c| match c {
+                    ColumnRef::Key(i) => self.key_names[*i].clone(),
+                    ColumnRef::Agg(i) => self.agg_names[*i].clone(),
+                })
+                .collect()
+        })
+    }
+
+    /// Populates the column-name cache eagerly (called by the compiler so
+    /// steady-state reporting never takes the init path).
+    pub fn warm(&self) {
+        let _ = self.column_names();
     }
 }
 
@@ -100,8 +128,8 @@ pub enum AdviceOp {
     Emit {
         /// The query whose results these are.
         query: QueryId,
-        /// The query's output shape.
-        spec: OutputSpec,
+        /// The query's output shape (shared, never cloned per event).
+        spec: Arc<OutputSpec>,
     },
 }
 
@@ -138,8 +166,8 @@ pub struct CompiledQuery {
     pub text: String,
     /// One advice program per stage, in causal order (emit stage last).
     pub advice: Vec<AdviceProgram>,
-    /// Output shape.
-    pub output: OutputSpec,
+    /// Output shape (shared with the emit advice and the agent buffers).
+    pub output: Arc<OutputSpec>,
 }
 
 impl CompiledQuery {

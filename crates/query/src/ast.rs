@@ -12,6 +12,24 @@ pub enum TemporalFilter {
     MostRecent(usize),
 }
 
+impl TemporalFilter {
+    /// Restricts `tuples` (in causal order, oldest first) to the filter's
+    /// window. Shared by the tree-walk interpreter and the bytecode VM so
+    /// post-unpack temporal semantics cannot drift between engines.
+    pub fn apply(self, tuples: &mut Vec<pivot_model::Tuple>) {
+        match self {
+            TemporalFilter::First(n) => tuples.truncate(n.max(1)),
+            TemporalFilter::MostRecent(n) => {
+                let keep = n.max(1);
+                if tuples.len() > keep {
+                    let skip = tuples.len() - keep;
+                    tuples.drain(..skip);
+                }
+            }
+        }
+    }
+}
+
 /// What a source name refers to.
 ///
 /// Names are resolved at compile time: a name matching an installed query

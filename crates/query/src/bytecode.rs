@@ -1,0 +1,1164 @@
+//! Register bytecode for advice programs: the one execution core shared by
+//! the simulated runtime, the live runtime, and the static verifier.
+//!
+//! [`AdviceProgram`]s are straight-line lists of Table-2 ops whose
+//! expressions are `Expr` trees over *named* fields. Executing them
+//! directly costs a tree walk plus a `Schema::index_of` name resolution
+//! (with suffix matching) per field reference per tuple per event. This
+//! module lowers each program once, at install time, into
+//! [`AdviceByteCode`]:
+//!
+//! - every `Expr` tree becomes a flat run of register instructions
+//!   ([`EInst`]) over a small register file, with literals in a constant
+//!   pool and field references pre-resolved to column indices;
+//! - short-circuit `&&` / `||` lower to [`EInst::CoerceBool`] +
+//!   [`EInst::SkipIfBool`] forward skips, so the right operand is not
+//!   evaluated (and cannot error) exactly when the tree-walk would not
+//!   evaluate it;
+//! - field references the schema cannot resolve (unknown or ambiguous
+//!   names) lower to [`EInst::Fail`], matching the tree-walk's
+//!   `UnknownField` error-per-tuple behavior;
+//! - `Filter` ops immediately preceding the program's final sink op fuse
+//!   into that sink as pre-predicates, skipping one intermediate tuple
+//!   materialization per event.
+//!
+//! The [`Vm`] executes bytecode with reusable scratch buffers: on the
+//! steady-state path it allocates nothing for unwoven or filtered-out
+//! events and only what the emitted rows themselves need otherwise.
+//!
+//! Lowering preserves the tree-walk interpreter's observable semantics
+//! *exactly* (rows, stats, and resulting baggage); the property tests in
+//! `pivot-core` assert this over randomized programs. The verifier runs
+//! its dataflow checks on this same lowered artifact ("verify what you
+//! execute"), and the live bus ships it — [`AdviceByteCode::validate`]
+//! bounds-checks every register, constant, and skip so a decoded program
+//! can never make the VM index out of range.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pivot_baggage::{Baggage, PackMode, QueryId};
+use pivot_model::expr::{eval_binary, eval_unary};
+use pivot_model::{BinOp, Expr, GroupKey, Schema, Sym, Tuple, UnOp, Value};
+
+use crate::advice::{AdviceOp, AdviceProgram, CompiledQuery, OutputSpec};
+use crate::ast::TemporalFilter;
+
+/// A register index.
+pub type Reg = u16;
+
+/// One flat expression instruction.
+///
+/// Expression programs are straight-line except for *forward* skips
+/// ([`EInst::SkipIfBool`]); there are no backward jumps, so termination is
+/// structural, like the advice ops themselves.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EInst {
+    /// `regs[dst] = tuple[col]` (`Null` when the tuple is shorter — same
+    /// as `Tuple::get`).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Pre-resolved column index into the joined tuple.
+        col: u16,
+    },
+    /// `regs[dst] = consts[idx]`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant-pool index.
+        idx: u16,
+    },
+    /// `regs[dst] = op(regs[src])`; evaluation errors drop the tuple.
+    Unary {
+        /// Destination register.
+        dst: Reg,
+        /// The operator.
+        op: UnOp,
+        /// Operand register.
+        src: Reg,
+    },
+    /// `regs[dst] = op(regs[lhs], regs[rhs])` for non-short-circuit
+    /// operators; evaluation errors drop the tuple.
+    Binary {
+        /// Destination register.
+        dst: Reg,
+        /// The operator.
+        op: BinOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// `regs[dst] = Bool(regs[src])`, erroring when `regs[src]` is not a
+    /// bool — the `&&`/`||` operand coercion of the tree-walk evaluator.
+    CoerceBool {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// If `regs[src]` is `Bool(when)`, skip the next `skip` instructions
+    /// (the short-circuited operand block). `regs[src]` is always a bool
+    /// here: lowering only emits this after [`EInst::CoerceBool`].
+    SkipIfBool {
+        /// Register holding the already-coerced left operand.
+        src: Reg,
+        /// Skip when the operand equals this value (`false` for `&&`,
+        /// `true` for `||`).
+        when: bool,
+        /// Number of instructions to skip forward.
+        skip: u16,
+    },
+    /// Unconditional evaluation failure: the lowered form of a field
+    /// reference the schema could not resolve (the tree-walk's
+    /// `UnknownField` error, which recurs for every tuple).
+    Fail,
+}
+
+/// A lowered expression: a range of [`EInst`]s in the shared pool plus the
+/// register its value ends up in.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExprProg {
+    /// First instruction index in [`AdviceByteCode::einsts`].
+    pub start: u32,
+    /// Number of instructions.
+    pub len: u32,
+    /// Register holding the result after execution.
+    pub result: Reg,
+}
+
+/// An inclusive-exclusive index range into one of the bytecode pools.
+pub type PoolRange = (u32, u32);
+
+/// One lowered advice operation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Inst {
+    /// Append the named tracepoint exports (a range into
+    /// [`AdviceByteCode::names`]) to every live tuple; absent exports
+    /// observe `Null`.
+    Observe {
+        /// Range of export names in the name pool.
+        names: PoolRange,
+    },
+    /// Unpack baggage tuples for `slot` and cross-join them with the live
+    /// tuples (the happened-before join).
+    Unpack {
+        /// The baggage slot to read.
+        slot: QueryId,
+        /// Declared width of the packed tuples (static metadata for the
+        /// verifier; execution never needs it).
+        width: u16,
+        /// Temporal window applied after unpacking, when the optimizer
+        /// did not push it into the pack mode.
+        temporal: Option<TemporalFilter>,
+    },
+    /// Drop tuples whose predicate is not `Ok(Bool(true))`.
+    Filter {
+        /// Index into [`AdviceByteCode::exprs`].
+        pred: u32,
+    },
+    /// Project each surviving tuple and pack the results into the baggage.
+    Pack {
+        /// The baggage slot to write.
+        slot: QueryId,
+        /// Retention / aggregation mode.
+        mode: PackMode,
+        /// Fused pre-predicates (trailing `Filter` ops when this is the
+        /// program's final op); a tuple must pass all of them.
+        pre: PoolRange,
+        /// Projection expressions, one per packed column.
+        exprs: PoolRange,
+    },
+    /// Evaluate the output spec on each surviving tuple and hand rows to
+    /// the [`EmitSink`].
+    Emit {
+        /// The query whose results these are.
+        query: QueryId,
+        /// The query's output shape (shared with the installing frontend
+        /// and the agent buffers).
+        spec: Arc<OutputSpec>,
+        /// Fused pre-predicates, as for `Pack`.
+        pre: PoolRange,
+        /// Group-key expressions (also the projected row for streaming
+        /// specs).
+        keys: PoolRange,
+        /// Aggregate argument expressions.
+        aggs: PoolRange,
+    },
+}
+
+/// A lowered advice program: flat instructions plus shared pools.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AdviceByteCode {
+    /// Tracepoints this program weaves into.
+    pub tracepoints: Vec<String>,
+    /// Top-level instructions, in op order.
+    pub insts: Vec<Inst>,
+    /// Shared expression-instruction pool; [`ExprProg`]s are ranges into
+    /// this.
+    pub einsts: Vec<EInst>,
+    /// Lowered expressions referenced by index from [`Inst`]s.
+    pub exprs: Vec<ExprProg>,
+    /// Constant pool (representation-exact deduplicated literals).
+    pub consts: Vec<Value>,
+    /// Export-name pool for `Observe` (interned).
+    pub names: Vec<Sym>,
+    /// Register-file size required to execute any expression.
+    pub num_regs: u16,
+}
+
+impl AdviceByteCode {
+    /// Returns `true` if this program packs into the baggage.
+    pub fn packs(&self) -> bool {
+        self.insts.iter().any(|i| matches!(i, Inst::Pack { .. }))
+    }
+
+    /// Returns `true` if this program emits results.
+    pub fn emits(&self) -> bool {
+        self.insts.iter().any(|i| matches!(i, Inst::Emit { .. }))
+    }
+}
+
+/// Execution statistics for one advice run; field-for-field the same
+/// meaning as the tree-walk interpreter's stats.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct VmStats {
+    /// Tuples packed into the baggage.
+    pub packed: usize,
+    /// Tuples unpacked from the baggage.
+    pub unpacked: usize,
+    /// Tuples that reached an `Emit` (before output projection).
+    pub emitted: usize,
+}
+
+/// Receives evaluated rows from [`Vm::run`].
+///
+/// The VM hands the sink *evaluated* output rows — group keys and
+/// aggregate arguments, or projected streaming rows — so the process-local
+/// aggregator updates its states in place without ever cloning specs or
+/// re-evaluating expressions.
+pub trait EmitSink {
+    /// One projected row of a streaming (no-aggregate) query.
+    fn streaming_row(&mut self, query: QueryId, spec: &Arc<OutputSpec>, row: Tuple);
+    /// One `(group key, aggregate arguments)` row of an aggregating query;
+    /// `args` has one value per `spec.aggs` entry.
+    fn grouped_row(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        args: &[Value],
+    );
+}
+
+/// An [`EmitSink`] that buffers rows, for tests and differential checks.
+#[derive(Default, Debug)]
+pub struct CollectSink {
+    /// Streaming rows, in emit order.
+    pub raw: Vec<(QueryId, Tuple)>,
+    /// Grouped rows, in emit order.
+    pub grouped: Vec<(QueryId, GroupKey, Vec<Value>)>,
+}
+
+impl EmitSink for CollectSink {
+    fn streaming_row(&mut self, query: QueryId, _spec: &Arc<OutputSpec>, row: Tuple) {
+        self.raw.push((query, row));
+    }
+    fn grouped_row(
+        &mut self,
+        query: QueryId,
+        _spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        args: &[Value],
+    ) {
+        self.grouped.push((query, key, args.to_vec()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+/// A lowered program plus any notes about constructs that could only be
+/// lowered to runtime failures (surfaced by the verifier as PT008).
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The bytecode.
+    pub code: AdviceByteCode,
+    /// Human-readable notes, one per degraded lowering (e.g. an
+    /// unresolvable field reference).
+    pub notes: Vec<String>,
+}
+
+struct LowerCtx {
+    einsts: Vec<EInst>,
+    exprs: Vec<ExprProg>,
+    consts: Vec<Value>,
+    names: Vec<Sym>,
+    num_regs: u16,
+    notes: Vec<String>,
+}
+
+impl LowerCtx {
+    fn new() -> LowerCtx {
+        LowerCtx {
+            einsts: Vec::new(),
+            exprs: Vec::new(),
+            consts: Vec::new(),
+            names: Vec::new(),
+            num_regs: 0,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Interns `v` in the constant pool with *representation-exact*
+    /// equality: `I64(5)` and `U64(5)` compare loosely equal but behave
+    /// differently under arithmetic, so they must not collapse (nor may
+    /// `F64(0.0)` and `F64(-0.0)`).
+    fn const_idx(&mut self, v: &Value) -> u16 {
+        let same_repr = |a: &Value, b: &Value| -> bool {
+            if std::mem::discriminant(a) != std::mem::discriminant(b) {
+                return false;
+            }
+            match (a, b) {
+                (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+                _ => a == b,
+            }
+        };
+        if let Some(i) = self.consts.iter().position(|c| same_repr(c, v)) {
+            return i as u16;
+        }
+        self.consts.push(v.clone());
+        (self.consts.len() - 1) as u16
+    }
+
+    /// Lowers `expr` against `schema`, appending to the shared pools, and
+    /// returns its index in `exprs`.
+    fn lower_expr(&mut self, expr: &Expr, schema: &Schema, what: &str) -> u32 {
+        let start = self.einsts.len() as u32;
+        let result = self.lower_node(expr, schema, 0, what);
+        self.exprs.push(ExprProg {
+            start,
+            len: self.einsts.len() as u32 - start,
+            result,
+        });
+        (self.exprs.len() - 1) as u32
+    }
+
+    /// Lowers one node with stack-discipline register allocation: the
+    /// result lands in register `depth`, temporaries use `depth + 1…`.
+    fn lower_node(&mut self, expr: &Expr, schema: &Schema, depth: u16, what: &str) -> Reg {
+        self.num_regs = self.num_regs.max(depth + 1);
+        match expr {
+            Expr::Field(name) => {
+                match schema.index_of(name) {
+                    Some(col) => self.einsts.push(EInst::Load {
+                        dst: depth,
+                        col: col as u16,
+                    }),
+                    None => {
+                        // The tree-walk errors `UnknownField` for every
+                        // tuple; `Fail` reproduces that deterministically.
+                        self.notes.push(format!(
+                            "field `{name}` in {what} does not resolve against \
+                             the advice schema {schema:?}; it will fail at runtime"
+                        ));
+                        self.einsts.push(EInst::Fail);
+                    }
+                }
+                depth
+            }
+            Expr::Lit(v) => {
+                let idx = self.const_idx(v);
+                self.einsts.push(EInst::Const { dst: depth, idx });
+                depth
+            }
+            Expr::Unary(op, e) => {
+                let src = self.lower_node(e, schema, depth, what);
+                self.einsts.push(EInst::Unary {
+                    dst: depth,
+                    op: *op,
+                    src,
+                });
+                depth
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), l, r) => {
+                // Short-circuit: coerce lhs to bool (erroring on non-bool),
+                // then skip the rhs block exactly when the tree-walk would
+                // not evaluate it.
+                let lhs = self.lower_node(l, schema, depth, what);
+                self.einsts.push(EInst::CoerceBool {
+                    dst: depth,
+                    src: lhs,
+                });
+                let skip_at = self.einsts.len();
+                self.einsts.push(EInst::SkipIfBool {
+                    src: depth,
+                    when: matches!(op, BinOp::Or),
+                    skip: 0, // patched below
+                });
+                let rhs = self.lower_node(r, schema, depth + 1, what);
+                self.einsts.push(EInst::CoerceBool {
+                    dst: depth,
+                    src: rhs,
+                });
+                let block_len = (self.einsts.len() - skip_at - 1) as u16;
+                if let EInst::SkipIfBool { skip, .. } = &mut self.einsts[skip_at] {
+                    *skip = block_len;
+                }
+                depth
+            }
+            Expr::Binary(op, l, r) => {
+                let lhs = self.lower_node(l, schema, depth, what);
+                let rhs = self.lower_node(r, schema, depth + 1, what);
+                self.einsts.push(EInst::Binary {
+                    dst: depth,
+                    op: *op,
+                    lhs,
+                    rhs,
+                });
+                depth
+            }
+        }
+    }
+
+    fn lower_expr_list(&mut self, exprs: &[Expr], schema: &Schema, what: &str) -> PoolRange {
+        let start = self.exprs.len() as u32;
+        for e in exprs {
+            self.lower_expr(e, schema, what);
+        }
+        (start, self.exprs.len() as u32)
+    }
+}
+
+/// Lowers one advice program into register bytecode.
+///
+/// Lowering is total: programs that would error at runtime (unresolvable
+/// fields) lower to bytecode with the same runtime behavior, and the
+/// degradation is reported in [`Lowered::notes`].
+pub fn lower_program(program: &AdviceProgram) -> Lowered {
+    let mut cx = LowerCtx::new();
+    let mut insts = Vec::with_capacity(program.ops.len());
+    // The running joined schema, maintained exactly as the tree-walk
+    // interpreter builds it, so field resolution (including suffix
+    // matching and ambiguity) is bit-identical.
+    let mut schema = Schema::empty();
+
+    // `Filter` ops immediately preceding the final op fuse into it when it
+    // is a sink; they are predicates over an unchanged schema, so running
+    // them per-tuple inside the sink is observationally equivalent.
+    let mut fused_from = program.ops.len();
+    if matches!(
+        program.ops.last(),
+        Some(AdviceOp::Pack { .. } | AdviceOp::Emit { .. })
+    ) {
+        let sink_at = program.ops.len() - 1;
+        let mut first_filter = sink_at;
+        while first_filter > 0 && matches!(program.ops[first_filter - 1], AdviceOp::Filter { .. }) {
+            first_filter -= 1;
+        }
+        fused_from = first_filter;
+    }
+
+    for (i, op) in program.ops.iter().enumerate() {
+        match op {
+            AdviceOp::Observe { alias, fields } => {
+                let start = cx.names.len() as u32;
+                cx.names.extend(fields.iter().map(Sym::new));
+                let obs = Schema::new(fields.iter().map(|f| format!("{alias}.{f}")));
+                schema = schema.concat(&obs);
+                insts.push(Inst::Observe {
+                    names: (start, cx.names.len() as u32),
+                });
+            }
+            AdviceOp::Unpack {
+                slot,
+                schema: unpack_schema,
+                post_filter,
+            } => {
+                schema = schema.concat(unpack_schema);
+                insts.push(Inst::Unpack {
+                    slot: *slot,
+                    width: unpack_schema.len() as u16,
+                    temporal: *post_filter,
+                });
+            }
+            AdviceOp::Filter { pred } => {
+                if i >= fused_from {
+                    continue; // lowered as part of the sink below
+                }
+                let pred = cx.lower_expr(pred, &schema, "a Where predicate");
+                insts.push(Inst::Filter { pred });
+            }
+            AdviceOp::Pack {
+                slot,
+                mode,
+                exprs,
+                names: _,
+            } => {
+                let pre = fused_predicates(&mut cx, program, fused_from, i, &schema);
+                let exprs = cx.lower_expr_list(exprs, &schema, "a Pack projection");
+                insts.push(Inst::Pack {
+                    slot: *slot,
+                    mode: mode.clone(),
+                    pre,
+                    exprs,
+                });
+            }
+            AdviceOp::Emit { query, spec } => {
+                let pre = fused_predicates(&mut cx, program, fused_from, i, &schema);
+                let keys = cx.lower_expr_list(&spec.key_exprs, &schema, "a Select key");
+                let agg_exprs: Vec<Expr> = spec.aggs.iter().map(|(_, e)| e.clone()).collect();
+                let aggs = cx.lower_expr_list(&agg_exprs, &schema, "an aggregate argument");
+                insts.push(Inst::Emit {
+                    query: *query,
+                    spec: spec.clone(),
+                    pre,
+                    keys,
+                    aggs,
+                });
+            }
+        }
+    }
+
+    Lowered {
+        code: AdviceByteCode {
+            tracepoints: program.tracepoints.clone(),
+            insts,
+            einsts: cx.einsts,
+            exprs: cx.exprs,
+            consts: cx.consts,
+            names: cx.names,
+            num_regs: cx.num_regs,
+        },
+        notes: cx.notes,
+    }
+}
+
+/// Lowers the trailing `Filter` predicates fused into the sink at `sink_at`.
+fn fused_predicates(
+    cx: &mut LowerCtx,
+    program: &AdviceProgram,
+    fused_from: usize,
+    sink_at: usize,
+    schema: &Schema,
+) -> PoolRange {
+    let start = cx.exprs.len() as u32;
+    if sink_at == program.ops.len() - 1 {
+        for op in &program.ops[fused_from..sink_at] {
+            if let AdviceOp::Filter { pred } = op {
+                cx.lower_expr(pred, schema, "a Where predicate");
+            }
+        }
+    }
+    (start, cx.exprs.len() as u32)
+}
+
+/// A fully lowered query: the executable artifact installed on agents,
+/// shipped over the bus, and checked by the verifier.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledCode {
+    /// The query's identity (also the emit slot).
+    pub id: QueryId,
+    /// Optional user-facing name.
+    pub name: String,
+    /// One bytecode program per advice stage, in causal order.
+    pub programs: Vec<Arc<AdviceByteCode>>,
+    /// Output shape, shared with the emit instructions.
+    pub output: Arc<OutputSpec>,
+}
+
+impl CompiledCode {
+    /// Lowers every advice program of `query`; notes from all stages are
+    /// concatenated.
+    pub fn lower(query: &CompiledQuery) -> (CompiledCode, Vec<String>) {
+        let mut notes = Vec::new();
+        let programs = query
+            .advice
+            .iter()
+            .map(|p| {
+                let lowered = lower_program(p);
+                notes.extend(lowered.notes);
+                Arc::new(lowered.code)
+            })
+            .collect();
+        (
+            CompiledCode {
+                id: query.id,
+                name: query.name.clone(),
+                programs,
+                output: query.output.clone(),
+            },
+            notes,
+        )
+    }
+
+    /// Returns every tracepoint the query weaves bytecode into.
+    pub fn tracepoints(&self) -> impl Iterator<Item = &str> {
+        self.programs
+            .iter()
+            .flat_map(|p| p.tracepoints.iter().map(String::as_str))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// Why a bytecode program failed validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidateError(pub String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bytecode: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl AdviceByteCode {
+    /// Bounds-checks every reference in the program: registers against
+    /// `num_regs`, constants against the pool, expression indices and
+    /// name ranges against their pools, and skips against their
+    /// expression's extent. The verifier runs this at install time and the
+    /// live agent runs it on every decoded program, so the VM itself can
+    /// index without checks failing into panics.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |msg: String| Err(ValidateError(msg));
+        if self.num_regs == 0 && !self.einsts.is_empty() {
+            return err("num_regs is 0 but expression instructions exist".into());
+        }
+        for (xi, x) in self.exprs.iter().enumerate() {
+            let (start, len) = (x.start as usize, x.len as usize);
+            let end = match start.checked_add(len) {
+                Some(e) if e <= self.einsts.len() => e,
+                _ => return err(format!("expr {xi} range out of bounds")),
+            };
+            if len == 0 {
+                return err(format!("expr {xi} is empty"));
+            }
+            if x.result >= self.num_regs {
+                return err(format!("expr {xi} result register out of range"));
+            }
+            for (pc, inst) in self.einsts[start..end].iter().enumerate() {
+                let reg_ok = |r: Reg| r < self.num_regs;
+                match inst {
+                    EInst::Load { dst, .. } if !reg_ok(*dst) => {
+                        return err(format!("expr {xi}+{pc}: register out of range"))
+                    }
+                    EInst::Const { dst, idx }
+                        if !reg_ok(*dst) || *idx as usize >= self.consts.len() =>
+                    {
+                        return err(format!("expr {xi}+{pc}: const reference out of range"));
+                    }
+                    EInst::Unary { dst, src, .. } if !reg_ok(*dst) || !reg_ok(*src) => {
+                        return err(format!("expr {xi}+{pc}: register out of range"))
+                    }
+                    EInst::Binary { dst, lhs, rhs, .. }
+                        if !reg_ok(*dst) || !reg_ok(*lhs) || !reg_ok(*rhs) =>
+                    {
+                        return err(format!("expr {xi}+{pc}: register out of range"))
+                    }
+                    EInst::CoerceBool { dst, src } if !reg_ok(*dst) || !reg_ok(*src) => {
+                        return err(format!("expr {xi}+{pc}: register out of range"))
+                    }
+                    EInst::SkipIfBool { src, skip, .. } => {
+                        if !reg_ok(*src) {
+                            return err(format!("expr {xi}+{pc}: register out of range"));
+                        }
+                        // Skips must stay within this expression's range.
+                        if pc + 1 + *skip as usize > len {
+                            return err(format!("expr {xi}+{pc}: skip target out of range"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let expr_range_ok = |(s, e): PoolRange| s <= e && e as usize <= self.exprs.len();
+        for (ii, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::Observe { names: (s, e) } => {
+                    if s > e || *e as usize > self.names.len() {
+                        return err(format!("inst {ii}: observe name range out of bounds"));
+                    }
+                }
+                Inst::Unpack { .. } => {}
+                Inst::Filter { pred } => {
+                    if *pred as usize >= self.exprs.len() {
+                        return err(format!("inst {ii}: filter predicate out of bounds"));
+                    }
+                }
+                Inst::Pack {
+                    pre, exprs, mode, ..
+                } => {
+                    if !expr_range_ok(*pre) || !expr_range_ok(*exprs) {
+                        return err(format!("inst {ii}: pack expr range out of bounds"));
+                    }
+                    if let PackMode::GroupAgg { key_len, aggs } = mode {
+                        let width = (exprs.1 - exprs.0) as usize;
+                        if key_len + aggs.len() != width {
+                            return err(format!(
+                                "inst {ii}: GroupAgg layout ({} keys + {} aggs) does not \
+                                 match pack width {width}",
+                                key_len,
+                                aggs.len()
+                            ));
+                        }
+                    }
+                }
+                Inst::Emit {
+                    spec,
+                    pre,
+                    keys,
+                    aggs,
+                    ..
+                } => {
+                    if !expr_range_ok(*pre) || !expr_range_ok(*keys) || !expr_range_ok(*aggs) {
+                        return err(format!("inst {ii}: emit expr range out of bounds"));
+                    }
+                    if (keys.1 - keys.0) as usize != spec.key_exprs.len()
+                        || (aggs.1 - aggs.0) as usize != spec.aggs.len()
+                    {
+                        return err(format!("inst {ii}: emit ranges do not match its spec"));
+                    }
+                    // The spec's column layout is consumed by reporting; a
+                    // forged spec must not be able to index out of range.
+                    for c in &spec.columns {
+                        let ok = match c {
+                            crate::advice::ColumnRef::Key(i) => *i < spec.key_names.len(),
+                            crate::advice::ColumnRef::Agg(i) => *i < spec.agg_names.len(),
+                        };
+                        if !ok {
+                            return err(format!("inst {ii}: emit spec column out of range"));
+                        }
+                    }
+                    if spec.key_names.len() != spec.key_exprs.len()
+                        || spec.agg_names.len() != spec.aggs.len()
+                    {
+                        return err(format!("inst {ii}: emit spec name/expr arity mismatch"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// The register VM. Holds reusable scratch (register file, tuple buffers)
+/// so steady-state advice execution does not allocate for the machinery
+/// itself — only for the tuples and rows it produces.
+#[derive(Default)]
+pub struct Vm {
+    regs: Vec<Value>,
+    tuples: Vec<Tuple>,
+    joined: Vec<Tuple>,
+    projected: Vec<Tuple>,
+    args: Vec<Value>,
+}
+
+/// Expression evaluation failed; the affected tuple is dropped (advice
+/// safety: errors never propagate to the carrying request).
+struct EvalFailed;
+
+impl Vm {
+    /// Creates a VM with empty scratch buffers.
+    pub fn new() -> Vm {
+        Vm::default()
+    }
+
+    /// Executes `code` for one tracepoint invocation.
+    ///
+    /// `exports` supplies the tracepoint's variables (default exports
+    /// included by the caller). Packs mutate `baggage`; emitted rows go to
+    /// `sink`. Semantics match the tree-walk interpreter exactly.
+    pub fn run(
+        &mut self,
+        code: &AdviceByteCode,
+        exports: &[(&str, Value)],
+        baggage: &mut Baggage,
+        sink: &mut impl EmitSink,
+    ) -> VmStats {
+        let mut stats = VmStats::default();
+        self.regs.clear();
+        self.regs.resize(code.num_regs as usize, Value::Null);
+        self.tuples.clear();
+        self.tuples.push(Tuple::empty());
+
+        for inst in &code.insts {
+            match inst {
+                Inst::Observe { names } => {
+                    let observed: Tuple = code.names[names.0 as usize..names.1 as usize]
+                        .iter()
+                        .map(|f| {
+                            exports
+                                .iter()
+                                .find(|(name, _)| *name == f.as_str())
+                                .map(|(_, v)| v.clone())
+                                .unwrap_or(Value::Null)
+                        })
+                        .collect();
+                    if self.tuples.len() == 1 && self.tuples[0].is_empty() {
+                        // First op of almost every program: the single
+                        // seed tuple takes the observation by move.
+                        self.tuples[0] = observed;
+                    } else {
+                        for t in &mut self.tuples {
+                            *t = t.concat(&observed);
+                        }
+                    }
+                }
+                Inst::Unpack { slot, temporal, .. } => {
+                    let mut unpacked = baggage.unpack(*slot);
+                    if let Some(f) = temporal {
+                        f.apply(&mut unpacked);
+                    }
+                    stats.unpacked += unpacked.len();
+                    // Happened-before join: cross product with the tuples
+                    // packed earlier in this request's execution.
+                    self.joined.clear();
+                    for t in &self.tuples {
+                        for u in &unpacked {
+                            self.joined.push(t.concat(u));
+                        }
+                    }
+                    std::mem::swap(&mut self.tuples, &mut self.joined);
+                }
+                Inst::Filter { pred } => {
+                    let prog = code.exprs[*pred as usize];
+                    self.joined.clear();
+                    for t in self.tuples.drain(..) {
+                        if matches!(eval(code, prog, &t, &mut self.regs), Ok(Value::Bool(true))) {
+                            self.joined.push(t);
+                        }
+                    }
+                    std::mem::swap(&mut self.tuples, &mut self.joined);
+                }
+                Inst::Pack {
+                    slot,
+                    mode,
+                    pre,
+                    exprs,
+                } => {
+                    self.projected.clear();
+                    let mut survivors = 0usize;
+                    for i in 0..self.tuples.len() {
+                        let t = &self.tuples[i];
+                        if !passes_pre(code, *pre, t, &mut self.regs) {
+                            continue;
+                        }
+                        survivors += 1;
+                        if let Ok(p) = project(code, *exprs, t, &mut self.regs) {
+                            self.projected.push(p);
+                        }
+                    }
+                    // When fused predicates drop every tuple, the tree-walk
+                    // stops at the filter and never packs; otherwise it
+                    // packs whatever projections survive (possibly none).
+                    if survivors > 0 {
+                        stats.packed += self.projected.len();
+                        baggage.pack(*slot, mode, self.projected.drain(..));
+                    }
+                }
+                Inst::Emit {
+                    query,
+                    spec,
+                    pre,
+                    keys,
+                    aggs,
+                } => {
+                    for i in 0..self.tuples.len() {
+                        let t = &self.tuples[i];
+                        if !passes_pre(code, *pre, t, &mut self.regs) {
+                            continue;
+                        }
+                        stats.emitted += 1;
+                        if spec.streaming {
+                            if let Ok(row) = project(code, *keys, t, &mut self.regs) {
+                                sink.streaming_row(*query, spec, row);
+                            }
+                        } else {
+                            let Ok(key) = project(code, *keys, t, &mut self.regs) else {
+                                continue;
+                            };
+                            self.args.clear();
+                            for xi in aggs.0..aggs.1 {
+                                let prog = code.exprs[xi as usize];
+                                self.args.push(
+                                    eval(code, prog, t, &mut self.regs).unwrap_or(Value::Null),
+                                );
+                            }
+                            sink.grouped_row(*query, spec, GroupKey(key), &self.args);
+                        }
+                    }
+                }
+            }
+            if self.tuples.is_empty() {
+                // Inner-join semantics: once no tuple survives, later ops
+                // can produce nothing.
+                break;
+            }
+        }
+        self.tuples.clear();
+        stats
+    }
+}
+
+/// Evaluates every predicate in `pre` against `t`; a tuple passes only
+/// when all evaluate to `Ok(Bool(true))`.
+fn passes_pre(code: &AdviceByteCode, pre: PoolRange, t: &Tuple, regs: &mut [Value]) -> bool {
+    (pre.0..pre.1).all(|xi| {
+        let prog = code.exprs[xi as usize];
+        matches!(eval(code, prog, t, regs), Ok(Value::Bool(true)))
+    })
+}
+
+/// Projects `t` through the expressions in `range`; any evaluation error
+/// drops the whole row.
+fn project(
+    code: &AdviceByteCode,
+    range: PoolRange,
+    t: &Tuple,
+    regs: &mut [Value],
+) -> Result<Tuple, EvalFailed> {
+    (range.0..range.1)
+        .map(|xi| eval(code, code.exprs[xi as usize], t, regs))
+        .collect()
+}
+
+/// Runs one lowered expression over `t`.
+fn eval(
+    code: &AdviceByteCode,
+    prog: ExprProg,
+    t: &Tuple,
+    regs: &mut [Value],
+) -> Result<Value, EvalFailed> {
+    let insts = &code.einsts[prog.start as usize..(prog.start + prog.len) as usize];
+    let mut pc = 0usize;
+    while pc < insts.len() {
+        match &insts[pc] {
+            EInst::Load { dst, col } => {
+                regs[*dst as usize] = t.get(*col as usize).clone();
+            }
+            EInst::Const { dst, idx } => {
+                regs[*dst as usize] = code.consts[*idx as usize].clone();
+            }
+            EInst::Unary { dst, op, src } => {
+                let v = eval_unary(*op, &regs[*src as usize]).map_err(|_| EvalFailed)?;
+                regs[*dst as usize] = v;
+            }
+            EInst::Binary { dst, op, lhs, rhs } => {
+                let v = eval_binary(*op, &regs[*lhs as usize], &regs[*rhs as usize])
+                    .map_err(|_| EvalFailed)?;
+                regs[*dst as usize] = v;
+            }
+            EInst::CoerceBool { dst, src } => match regs[*src as usize] {
+                Value::Bool(b) => regs[*dst as usize] = Value::Bool(b),
+                _ => return Err(EvalFailed),
+            },
+            EInst::SkipIfBool { src, when, skip } => {
+                if regs[*src as usize] == Value::Bool(*when) {
+                    pc += *skip as usize;
+                }
+            }
+            EInst::Fail => return Err(EvalFailed),
+        }
+        pc += 1;
+    }
+    Ok(regs[prog.result as usize].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_model::AggFunc;
+
+    fn observe(alias: &str, fields: &[&str]) -> AdviceOp {
+        AdviceOp::Observe {
+            alias: alias.into(),
+            fields: fields.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    fn run_collect(
+        program: &AdviceProgram,
+        exports: &[(&str, Value)],
+        baggage: &mut Baggage,
+    ) -> (CollectSink, VmStats) {
+        let lowered = lower_program(program);
+        lowered.code.validate().expect("lowered bytecode validates");
+        let mut vm = Vm::new();
+        let mut sink = CollectSink::default();
+        let stats = vm.run(&lowered.code, exports, baggage, &mut sink);
+        (sink, stats)
+    }
+
+    #[test]
+    fn observe_filter_pack_unpack_emit_pipeline() {
+        let slot = QueryId(300);
+        let a1 = AdviceProgram {
+            tracepoints: vec!["ClientProtocols".into()],
+            ops: vec![
+                observe("cl", &["procName"]),
+                AdviceOp::Pack {
+                    slot,
+                    mode: PackMode::First(1),
+                    exprs: vec![Expr::field("cl.procName")],
+                    names: vec!["cl.procName".into()],
+                },
+            ],
+        };
+        let a2 = AdviceProgram {
+            tracepoints: vec!["DataNodeMetrics.incrBytesRead".into()],
+            ops: vec![
+                observe("incr", &["delta"]),
+                AdviceOp::Unpack {
+                    slot,
+                    schema: Schema::new(["cl.procName"]),
+                    post_filter: None,
+                },
+                AdviceOp::Emit {
+                    query: QueryId(1),
+                    spec: Arc::new(OutputSpec {
+                        key_exprs: vec![Expr::field("cl.procName")],
+                        key_names: vec!["cl.procName".into()],
+                        aggs: vec![(AggFunc::Sum, Expr::field("incr.delta"))],
+                        agg_names: vec!["SUM(incr.delta)".into()],
+                        columns: vec![
+                            crate::advice::ColumnRef::Key(0),
+                            crate::advice::ColumnRef::Agg(0),
+                        ],
+                        streaming: false,
+                        ..OutputSpec::default()
+                    }),
+                },
+            ],
+        };
+
+        let mut bag = Baggage::new();
+        let (sink, s1) = run_collect(&a1, &[("procName", Value::str("HGet"))], &mut bag);
+        assert!(sink.grouped.is_empty() && sink.raw.is_empty());
+        assert_eq!(s1.packed, 1);
+
+        let (sink, s2) = run_collect(&a2, &[("delta", Value::I64(4096))], &mut bag);
+        assert_eq!(s2.unpacked, 1);
+        assert_eq!(s2.emitted, 1);
+        assert_eq!(sink.grouped.len(), 1);
+        let (_, key, args) = &sink.grouped[0];
+        assert_eq!(key.0.get(0), &Value::str("HGet"));
+        assert_eq!(args, &vec![Value::I64(4096)]);
+    }
+
+    #[test]
+    fn short_circuit_matches_tree_walk() {
+        // `false && <unknown field>`: the unknown field must not be reached.
+        let program = AdviceProgram {
+            tracepoints: vec!["tp".into()],
+            ops: vec![
+                observe("e", &["x"]),
+                AdviceOp::Filter {
+                    pred: Expr::bin(
+                        BinOp::Or,
+                        Expr::bin(BinOp::Lt, Expr::field("e.x"), Expr::lit(10)),
+                        Expr::field("e.ghost"),
+                    ),
+                },
+                AdviceOp::Pack {
+                    slot: QueryId(7),
+                    mode: PackMode::All,
+                    exprs: vec![Expr::field("e.x")],
+                    names: vec!["e.x".into()],
+                },
+            ],
+        };
+        let mut bag = Baggage::new();
+        // lhs true → rhs (which lowers to Fail) skipped → tuple survives.
+        let (_, s) = run_collect(&program, &[("x", Value::I64(5))], &mut bag);
+        assert_eq!(s.packed, 1);
+        // lhs false → rhs evaluated → Fail → tuple dropped.
+        let (_, s) = run_collect(&program, &[("x", Value::I64(50))], &mut bag);
+        assert_eq!(s.packed, 0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_references() {
+        let program = AdviceProgram {
+            tracepoints: vec!["tp".into()],
+            ops: vec![
+                observe("e", &["x"]),
+                AdviceOp::Filter {
+                    pred: Expr::bin(BinOp::Lt, Expr::field("e.x"), Expr::lit(10)),
+                },
+            ],
+        };
+        let mut code = lower_program(&program).code;
+        code.validate().expect("valid as lowered");
+        code.num_regs = 0;
+        assert!(code.validate().is_err());
+
+        let mut code = lower_program(&program).code;
+        if let Some(EInst::Const { idx, .. }) = code
+            .einsts
+            .iter_mut()
+            .find(|i| matches!(i, EInst::Const { .. }))
+        {
+            *idx = 99;
+        }
+        assert!(code.validate().is_err());
+    }
+
+    #[test]
+    fn constant_pool_is_representation_exact() {
+        let program = AdviceProgram {
+            tracepoints: vec!["tp".into()],
+            ops: vec![
+                observe("e", &["x"]),
+                AdviceOp::Pack {
+                    slot: QueryId(7),
+                    mode: PackMode::All,
+                    exprs: vec![
+                        Expr::lit(Value::I64(5)),
+                        Expr::lit(Value::U64(5)),
+                        Expr::lit(Value::I64(5)),
+                    ],
+                    names: vec!["a".into(), "b".into(), "c".into()],
+                },
+            ],
+        };
+        let code = lower_program(&program).code;
+        // I64(5) deduped, U64(5) kept distinct despite loose equality.
+        assert_eq!(code.consts.len(), 2);
+    }
+
+    #[test]
+    fn unresolved_fields_note_and_fail() {
+        let program = AdviceProgram {
+            tracepoints: vec!["tp".into()],
+            ops: vec![
+                observe("e", &["x"]),
+                AdviceOp::Filter {
+                    pred: Expr::field("ghost"),
+                },
+                AdviceOp::Pack {
+                    slot: QueryId(7),
+                    mode: PackMode::All,
+                    exprs: vec![Expr::field("e.x")],
+                    names: vec!["e.x".into()],
+                },
+            ],
+        };
+        let lowered = lower_program(&program);
+        assert_eq!(lowered.notes.len(), 1, "one unresolved-field note");
+        let mut bag = Baggage::new();
+        let mut vm = Vm::new();
+        let mut sink = CollectSink::default();
+        let stats = vm.run(&lowered.code, &[("x", Value::I64(1))], &mut bag, &mut sink);
+        assert_eq!(stats.packed, 0, "failing predicate drops every tuple");
+    }
+}

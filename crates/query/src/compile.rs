@@ -752,6 +752,25 @@ impl<'r> Builder<'r> {
                 })
             );
             if all_aggs_pushable && feeder_is_plain && !aggs.is_empty() {
+                // Expressions pushed into the feeder evaluate against the
+                // feeder's *advice schema*, not its pack output. When the
+                // feeder is an inlined sub-query, sink-side references to
+                // its output columns (e.g. a bare `lat` for a single-column
+                // sub-query) name pack outputs that do not exist in that
+                // schema — substitute each with its defining expression.
+                let inline_cols: Vec<(String, Expr)> = match &self.nodes[p].inline {
+                    Some(inline) => inline
+                        .select
+                        .iter()
+                        .filter_map(|(name, item)| match item {
+                            SelectItem::Expr(e) => Some((name.clone(), e.clone())),
+                            SelectItem::Agg(..) => None,
+                        })
+                        .chain(inline.group_keys.iter().cloned())
+                        .collect(),
+                    None => Vec::new(),
+                };
+                let subst = |e: &Expr| substitute_fields(e, &inline_cols);
                 // Pack keys: pushable group keys + any feeder-side field
                 // still needed raw at the sink (filters / mixed keys).
                 let mut pk_exprs: Vec<Expr> = Vec::new();
@@ -760,7 +779,7 @@ impl<'r> Builder<'r> {
                     let pushable = key_refs[i].iter().all(|r| cov.contains(&r.producer));
                     if pushable && !key_refs[i].is_empty() {
                         pk_names.push(key_names[i].clone());
-                        pk_exprs.push(k.clone());
+                        pk_exprs.push(subst(k));
                     }
                 }
                 // Raw fields demanded downstream of p that are not already
@@ -797,7 +816,7 @@ impl<'r> Builder<'r> {
                 for (i, (f, e)) in aggs.iter().enumerate() {
                     let col = format!("{}.$agg{i}", self.nodes[p].alias);
                     funcs.push(*f);
-                    all_exprs.push(e.clone());
+                    all_exprs.push(subst(e));
                     all_names.push(col.clone());
                     // The emit now combines the travelling state.
                     out_aggs[i] = (*f, Expr::Field(col));
@@ -829,6 +848,7 @@ impl<'r> Builder<'r> {
             agg_names,
             columns,
             streaming: !has_aggs,
+            ..OutputSpec::default()
         };
 
         // Materialize stages in causal order (reverse creation order).
@@ -898,6 +918,26 @@ impl<'r> Builder<'r> {
     }
 }
 
+/// Replaces `Field(name)` references that match a `(name, expr)` binding
+/// with the bound expression (used when pushing sink-side expressions into
+/// an inlined feeder, whose output columns are expressions, not fields).
+fn substitute_fields(e: &Expr, bindings: &[(String, Expr)]) -> Expr {
+    match e {
+        Expr::Field(f) => bindings
+            .iter()
+            .find(|(name, _)| name == f)
+            .map(|(_, bound)| bound.clone())
+            .unwrap_or_else(|| e.clone()),
+        Expr::Lit(_) => e.clone(),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(substitute_fields(a, bindings))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(substitute_fields(a, bindings)),
+            Box::new(substitute_fields(b, bindings)),
+        ),
+    }
+}
+
 fn temporal_to_mode(t: Option<TemporalFilter>) -> PackMode {
     match t {
         None => PackMode::All,
@@ -908,6 +948,11 @@ fn temporal_to_mode(t: Option<TemporalFilter>) -> PackMode {
 
 /// Lowers a plan into advice programs.
 fn lower(plan: QueryPlan, name: &str, text: &str, id: QueryId) -> CompiledQuery {
+    // One shared spec for the emit advice, the compiled query, and (via
+    // install) the agent buffers; warm the column-name cache now so report
+    // ticks never rebuild it.
+    let output = std::sync::Arc::new(plan.output.clone());
+    output.warm();
     // Stage position → slot id. Stage `i` packs under slot `i`.
     let advice = plan
         .stages
@@ -941,7 +986,7 @@ fn lower(plan: QueryPlan, name: &str, text: &str, id: QueryId) -> CompiledQuery 
                 StageSink::Emit => {
                     ops.push(AdviceOp::Emit {
                         query: id,
-                        spec: plan.output.clone(),
+                        spec: output.clone(),
                     });
                 }
             }
@@ -956,6 +1001,6 @@ fn lower(plan: QueryPlan, name: &str, text: &str, id: QueryId) -> CompiledQuery 
         name: name.to_owned(),
         text: text.to_owned(),
         advice,
-        output: plan.output,
+        output,
     }
 }

@@ -169,7 +169,6 @@ mod tests {
             }
         });
         let h = rt.spawn({
-            let clock = clock.clone();
             async move {
                 let v = rx.recv().await;
                 (v, clock.now())

@@ -298,7 +298,6 @@ mod tests {
         let rt = SimRt::new();
         let clock = rt.clock();
         let inner = rt.spawn({
-            let clock = clock.clone();
             async move {
                 clock.sleep_secs(1.0).await;
                 7

@@ -110,10 +110,7 @@ mod tests {
     fn service_time_follows_rate() {
         let rt = SimRt::new();
         let disk = FifoResource::new(rt.clock(), "disk", 100.0);
-        let h = rt.spawn({
-            let disk = disk.clone();
-            async move { disk.acquire(50.0).await }
-        });
+        let h = rt.spawn(async move { disk.acquire(50.0).await });
         rt.run_until_idle();
         // 50 units at 100/s = 0.5 s.
         assert_eq!(h.try_take(), Some(500_000_000));
@@ -141,10 +138,7 @@ mod tests {
         let rt = SimRt::new();
         let nic = FifoResource::new(rt.clock(), "nic", 1000.0);
         nic.set_rate(100.0);
-        let h = rt.spawn({
-            let nic = nic.clone();
-            async move { nic.acquire(100.0).await }
-        });
+        let h = rt.spawn(async move { nic.acquire(100.0).await });
         rt.run_until_idle();
         assert_eq!(h.try_take(), Some(1_000_000_000));
     }

@@ -13,10 +13,7 @@ fn fig8_bug_skews_selection_and_fix_restores_uniformity() {
         ..fig8::Config::default()
     };
 
-    let buggy = fig8::run(&fig8::Config {
-        bug: true,
-        ..base.clone()
-    });
+    let buggy = fig8::run(&fig8::Config { bug: true, ..base });
     let fixed = fig8::run(&fig8::Config { bug: false, ..base });
 
     // DataNode ops skew: with the bug, host-A serves far more than host-H
