@@ -1,0 +1,222 @@
+//! A deterministic, scripted KV-store workload for chaos testing.
+//!
+//! [`run_kv`] drives the repo's canonical two-process KV scenario — a
+//! client packs a request tuple into baggage, a shard executes it and
+//! emits — over a [`crate::ChaosBus`]-wrapped `LocalBus`, on a virtual
+//! step clock (no wall time anywhere). The shard agent can crash at flush
+//! boundaries per the plan's crash schedule; the harness restarts it and
+//! re-syncs the installed-query set through [`pivot_core::Agent::sync`],
+//! exactly mirroring the live runtime's epoch re-sync after reconnect.
+//!
+//! Every run returns a [`RunOutcome`] whose accounting identity
+//!
+//! ```text
+//! emitted == loss.tuples_delivered + chaos.tuples_dropped + crash_lost
+//! ```
+//!
+//! must balance exactly: each emitted tuple was either delivered to the
+//! frontend, dropped on the report path (and tallied by the injector), or
+//! died unflushed in a crash (and tallied by the harness).
+
+use std::sync::Arc;
+
+use pivot_baggage::Baggage;
+use pivot_core::{Agent, Bus, Frontend, LocalBus, LossStats, ProcessInfo, ResultRow};
+use pivot_model::Value;
+
+use crate::bus::{source_key, ChaosBus, ChaosStats};
+use crate::plan::{FaultConfig, FaultPlan};
+
+/// The workload query: per-request execution counts and bytes, joined
+/// across the client → shard causal edge (a Q2-shaped query from the
+/// paper, grouped by a per-request key so differential runs can be joined
+/// on surviving request ids).
+pub const KV_QUERY: &str = "From exec In KvShard.execute \
+     Join req In First(KvClient.issueRequest) On req -> exec \
+     GroupBy req.key \
+     Select req.key, COUNT, SUM(exec.bytes)";
+
+/// Virtual nanoseconds between requests.
+pub const STEP_NS: u64 = 1_000_000;
+
+/// Requests per flush interval (a flush boundary is also a crash
+/// opportunity).
+pub const FLUSH_EVERY: u64 = 16;
+
+/// Everything observable about one harness run. Two runs of the same
+/// `(seed, config, requests)` must compare equal — the determinism
+/// regression test relies on `PartialEq` here.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunOutcome {
+    /// Final cumulative result rows (sorted by key).
+    pub rows: Vec<ResultRow>,
+    /// The frontend's per-query loss accounting.
+    pub loss: LossStats,
+    /// The injector's tallies.
+    pub chaos: ChaosStats,
+    /// Ground-truth tuples emitted, summed over every shard/client agent
+    /// incarnation.
+    pub emitted: u64,
+    /// Tuples that died unflushed when an agent crashed.
+    pub crash_lost: u64,
+    /// Agent crash/restart cycles the schedule triggered.
+    pub crashes: u64,
+}
+
+impl RunOutcome {
+    /// Whether the loss-accounting identity balances exactly (see the
+    /// module docs).
+    pub fn balanced(&self) -> bool {
+        self.emitted == self.loss.tuples_delivered + self.chaos.tuples_dropped + self.crash_lost
+    }
+}
+
+fn shard_info() -> ProcessInfo {
+    ProcessInfo {
+        host: "kv-server".into(),
+        procid: 2,
+        procname: "KvShard".into(),
+    }
+}
+
+/// The fault-schedule source keys of the harness's two processes
+/// `(client, shard)` — exposed so tests can fingerprint plans over the
+/// exact sources the workload uses.
+pub fn kv_sources() -> (u64, u64) {
+    (source_key("kv-client", 1), source_key("kv-server", 2))
+}
+
+/// Runs `requests` KV operations under the fault schedule `(seed, cfg)`
+/// and returns the converged outcome. Deterministic: no wall clock, no
+/// stateful RNG, no thread interleaving.
+pub fn run_kv(seed: u64, cfg: FaultConfig, requests: u64) -> RunOutcome {
+    let plan = FaultPlan::new(seed, cfg);
+    let mut fe = Frontend::new();
+    fe.define("KvClient.issueRequest", ["client", "op", "key"]);
+    fe.define("KvShard.execute", ["shard", "op", "bytes"]);
+    let handle = fe.install(KV_QUERY).expect("chaos harness query compiles");
+    let qid = handle.id;
+
+    let client = Arc::new(Agent::new(ProcessInfo {
+        host: "kv-client".into(),
+        procid: 1,
+        procname: "KvClient".into(),
+    }));
+    let mut shard = Arc::new(Agent::new(shard_info()));
+    let (_, shard_src) = kv_sources();
+
+    let mut bus = LocalBus::new();
+    bus.register(Arc::clone(&client));
+    bus.register(Arc::clone(&shard));
+    let mut chaos = ChaosBus::new(bus, plan);
+    for cmd in fe.drain_commands() {
+        Bus::broadcast(&chaos, &cmd);
+    }
+
+    let mut emitted = 0u64;
+    let mut crash_lost = 0u64;
+    let mut crashes = 0u64;
+
+    for i in 0..requests {
+        let now = (i + 1) * STEP_NS;
+        let key = format!("req-{i:05}");
+        let mut bag = Baggage::new();
+        client.invoke(
+            "KvClient.issueRequest",
+            &mut bag,
+            now,
+            &[
+                ("client", Value::str("client-0")),
+                ("op", Value::str("put")),
+                ("key", Value::str(&key)),
+            ],
+        );
+        // "RPC" to the shard: baggage crosses the process boundary by
+        // serialization, as it would on a real wire.
+        let bytes = bag.to_bytes();
+        let mut remote = Baggage::from_bytes(&bytes);
+        shard.invoke(
+            "KvShard.execute",
+            &mut remote,
+            now,
+            &[
+                ("shard", Value::U64(i % 4)),
+                ("op", Value::str("put")),
+                ("bytes", Value::I64((i % 97) as i64 + 1)),
+            ],
+        );
+
+        if (i + 1) % FLUSH_EVERY == 0 {
+            let step = (i + 1) / FLUSH_EVERY;
+            if chaos.plan().should_crash(shard_src, step) {
+                // The shard process dies mid-interval: its cumulative
+                // emission counter is the last word of this incarnation,
+                // and whatever it had not flushed is lost for good.
+                crashes += 1;
+                emitted += shard.emitted_for(qid);
+                for report in shard.flush(now) {
+                    crash_lost += report.tuples;
+                }
+                chaos.inner_mut().unregister(&shard);
+                // Restart: fresh incarnation, same process identity. The
+                // replacement re-syncs the full installed-query set from
+                // the frontend (the epoch re-sync path).
+                let fresh = Arc::new(Agent::new(shard_info()));
+                fresh.sync(&fe.installed());
+                chaos.inner_mut().register(Arc::clone(&fresh));
+                shard = fresh;
+            }
+            chaos.pump_into(now, &mut fe);
+        }
+    }
+
+    // Convergence: stop injecting, release held frames, final flush.
+    chaos.settle_into((requests + 2) * STEP_NS, &mut fe);
+    emitted += shard.emitted_for(qid) + client.emitted_for(qid);
+
+    let res = fe.results(&handle);
+    RunOutcome {
+        rows: res.rows(),
+        loss: res.loss(),
+        chaos: chaos.stats(),
+        emitted,
+        crash_lost,
+        crashes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_is_exact() {
+        let out = run_kv(0, FaultConfig::off(), 128);
+        assert_eq!(out.rows.len(), 128);
+        assert_eq!(out.emitted, 128);
+        assert_eq!(out.loss.tuples_delivered, 128);
+        assert_eq!(out.loss.tuples_dropped, 0);
+        assert_eq!(out.loss.reports_missed, 0);
+        assert_eq!(out.crashes, 0);
+        assert!(out.balanced());
+        // COUNT == 1 and SUM(bytes) == the scripted value for each request.
+        for (i, row) in out.rows.iter().enumerate() {
+            assert_eq!(row.values[0], Value::str(format!("req-{i:05}")));
+            assert_eq!(row.values[1], Value::U64(1));
+            assert_eq!(row.values[2], Value::I64((i as i64 % 97) + 1));
+        }
+    }
+
+    #[test]
+    fn chaotic_run_balances_and_is_a_subset() {
+        let baseline = run_kv(11, FaultConfig::off(), 256);
+        let out = run_kv(11, FaultConfig::for_seed(11), 256);
+        assert!(out.balanced(), "accounting identity violated: {out:?}");
+        for row in &out.rows {
+            assert!(
+                baseline.rows.contains(row),
+                "row {row:?} not in fault-free baseline"
+            );
+        }
+    }
+}

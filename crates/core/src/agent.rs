@@ -55,26 +55,42 @@ pub struct AgentStats {
     pub rows_reported: u64,
 }
 
+/// Rows accumulated for one query between flushes.
+enum Rows {
+    Grouped(HashMap<GroupKey, Vec<AggState>>),
+    Streaming(Vec<Tuple>),
+}
+
 /// Per-query local aggregation buffer.
-enum Buffer {
-    Grouped {
-        spec: Arc<OutputSpec>,
-        groups: HashMap<GroupKey, Vec<AggState>>,
-    },
-    Streaming {
-        rows: Vec<Tuple>,
-    },
+///
+/// The buffer outlives individual flushes: `seq` and `emitted_cum` are the
+/// loss-accounting envelope every [`Report`] carries, so they must keep
+/// counting across reporting intervals (a flush only takes the rows and
+/// the since-flush tuple delta).
+struct Buffer {
+    spec: Arc<OutputSpec>,
+    rows: Rows,
+    /// Next flush sequence number for this query.
+    seq: u64,
+    /// Tuples folded in since the last flush.
+    tuples_since_flush: u64,
+    /// Tuples emitted for this query over the agent's lifetime.
+    emitted_cum: u64,
 }
 
 impl Buffer {
     fn new(spec: &Arc<OutputSpec>) -> Buffer {
-        if spec.streaming {
-            Buffer::Streaming { rows: Vec::new() }
+        let rows = if spec.streaming {
+            Rows::Streaming(Vec::new())
         } else {
-            Buffer::Grouped {
-                spec: Arc::clone(spec),
-                groups: HashMap::new(),
-            }
+            Rows::Grouped(HashMap::new())
+        };
+        Buffer {
+            spec: Arc::clone(spec),
+            rows,
+            seq: 0,
+            tuples_since_flush: 0,
+            emitted_cum: 0,
         }
     }
 }
@@ -105,7 +121,10 @@ impl<'a> AgentSink<'a> {
 
 impl EmitSink for AgentSink<'_> {
     fn streaming_row(&mut self, query: QueryId, spec: &Arc<OutputSpec>, row: Tuple) {
-        if let Buffer::Streaming { rows } = self.buf(query, spec) {
+        let buf = self.buf(query, spec);
+        if let Rows::Streaming(rows) = &mut buf.rows {
+            buf.tuples_since_flush += 1;
+            buf.emitted_cum += 1;
             rows.push(row);
         }
     }
@@ -117,16 +136,25 @@ impl EmitSink for AgentSink<'_> {
         key: GroupKey,
         args: &[Value],
     ) {
-        if let Buffer::Grouped { spec, groups } = self.buf(query, spec) {
+        let buf = self.buf(query, spec);
+        if let Rows::Grouped(groups) = &mut buf.rows {
+            buf.tuples_since_flush += 1;
+            buf.emitted_cum += 1;
             let states = groups
                 .entry(key)
-                .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
+                .or_insert_with(|| buf.spec.aggs.iter().map(|(f, _)| f.init()).collect());
             for (st, arg) in states.iter_mut().zip(args) {
                 st.update(arg);
             }
         }
     }
 }
+
+/// Process-wide incarnation counter: every [`Agent`] gets a distinct
+/// incarnation number, so a restarted agent (same host/procid, fresh
+/// `seq` space) is distinguishable from duplicated reports of its
+/// previous life.
+static NEXT_INCARNATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// The per-process agent.
 pub struct Agent {
@@ -135,6 +163,7 @@ pub struct Agent {
     host_value: Value,
     /// `info.procname` as an interned `Value`, built once.
     procname_value: Value,
+    incarnation: u64,
     registry: Registry,
     buffers: Mutex<HashMap<QueryId, Buffer>>,
     stats: Mutex<AgentStats>,
@@ -148,11 +177,18 @@ impl Agent {
             host_value: Value::Str(intern(&info.host)),
             procname_value: Value::Str(intern(&info.procname)),
             info,
+            incarnation: NEXT_INCARNATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             registry: Registry::new(),
             buffers: Mutex::new(HashMap::new()),
             stats: Mutex::new(AgentStats::default()),
             enabled: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// Returns this agent's incarnation number (unique per `Agent` within
+    /// the process; carried on every [`Report`]).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     /// Turns the whole agent on or off. A disabled agent's
@@ -189,7 +225,15 @@ impl Agent {
     /// Weaves every bytecode program of `code` into the local registry and
     /// pre-creates the query's aggregation buffer so the first emit does
     /// not pay for it.
+    ///
+    /// Idempotent: a query that is already woven is left untouched, so
+    /// re-shipped bytecode (a duplicated install frame, or an epoch
+    /// re-sync after reconnect) can never weave the same advice twice and
+    /// double-count emissions.
     pub fn install(&self, code: &CompiledCode) {
+        if self.registry.has_query(code.id) {
+            return;
+        }
         if code.programs.iter().any(|p| p.emits()) {
             self.buffers
                 .lock()
@@ -199,6 +243,32 @@ impl Agent {
         for program in &code.programs {
             self.registry.weave(code.id, Arc::clone(program));
         }
+    }
+
+    /// Reconciles the registry with the frontend's full installed-query
+    /// set (the epoch re-sync path): weaves queries the agent is missing
+    /// and unweaves queries the frontend no longer has. Used when an agent
+    /// reconnects after a crash, restart, or partition during which it may
+    /// have missed any number of install/uninstall commands.
+    pub fn sync(&self, installed: &[Arc<CompiledCode>]) {
+        let keep: std::collections::HashSet<QueryId> = installed.iter().map(|c| c.id).collect();
+        for stale in self
+            .registry
+            .woven_queries()
+            .into_iter()
+            .filter(|q| !keep.contains(q))
+        {
+            self.registry.unweave(stale);
+        }
+        for code in installed {
+            self.install(code);
+        }
+    }
+
+    /// Cumulative tuples emitted for `query` by this agent (the ground
+    /// truth the frontend's loss accounting reconciles against).
+    pub fn emitted_for(&self, query: QueryId) -> u64 {
+        self.buffers.lock().get(&query).map_or(0, |b| b.emitted_cum)
     }
 
     /// Invokes `tracepoint` with `exports`, running any woven advice.
@@ -275,26 +345,36 @@ impl Agent {
     pub fn flush(&self, now: u64) -> Vec<Report> {
         let mut buffers = self.buffers.lock();
         let mut out = Vec::new();
-        for (query, buf) in buffers.drain() {
-            let rows = match buf {
-                Buffer::Streaming { rows } => {
+        for (query, buf) in buffers.iter_mut() {
+            let rows = match &mut buf.rows {
+                Rows::Streaming(rows) => {
                     if rows.is_empty() {
                         continue;
                     }
-                    ReportRows::Raw(rows)
+                    ReportRows::Raw(std::mem::take(rows))
                 }
-                Buffer::Grouped { groups, .. } => {
+                Rows::Grouped(groups) => {
                     if groups.is_empty() {
                         continue;
                     }
-                    ReportRows::Grouped(groups.into_iter().collect())
+                    ReportRows::Grouped(groups.drain().collect())
                 }
             };
+            // Sequence numbers are only consumed by reports that actually
+            // exist, so a receiver-side gap always means a lost report,
+            // never an idle interval.
+            let seq = buf.seq;
+            buf.seq += 1;
             out.push(Report {
-                query,
+                query: *query,
                 host: self.info.host.clone(),
+                procid: self.info.procid,
                 procname: self.info.procname.clone(),
+                incarnation: self.incarnation,
                 time: now,
+                seq,
+                tuples: std::mem::take(&mut buf.tuples_since_flush),
+                emitted_cum: buf.emitted_cum,
                 rows,
             });
         }

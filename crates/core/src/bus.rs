@@ -39,6 +39,27 @@ pub trait Bus {
     }
 }
 
+// Shared handles forward to the underlying bus, so embeddings that hand
+// out `Rc<Cluster>` / `Arc<TcpBusServer>` handles can still be wrapped by
+// bus middleware such as `pivot-chaos`'s fault injector.
+impl<B: Bus + ?Sized> Bus for std::rc::Rc<B> {
+    fn broadcast(&self, cmd: &Command) {
+        (**self).broadcast(cmd);
+    }
+    fn drain_reports(&self, now: u64) -> Vec<Report> {
+        (**self).drain_reports(now)
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for Arc<B> {
+    fn broadcast(&self, cmd: &Command) {
+        (**self).broadcast(cmd);
+    }
+    fn drain_reports(&self, now: u64) -> Vec<Report> {
+        (**self).drain_reports(now)
+    }
+}
+
 /// A frontend → agents control message.
 ///
 /// `Install` carries the *lowered* bytecode ([`CompiledCode`]), not the
@@ -54,16 +75,35 @@ pub enum Command {
 }
 
 /// Partial results of one query from one process over one interval.
+///
+/// Besides the rows themselves, every report carries the loss-accounting
+/// envelope the frontend needs to detect faults on the report path:
+/// `seq` (a per-agent, per-query flush counter) exposes duplicated and
+/// missing reports, and `tuples` / `emitted_cum` let the frontend balance
+/// `tuples_dropped + delivered == emitted` even when whole reports vanish.
 #[derive(Clone, Debug)]
 pub struct Report {
     /// The query.
     pub query: QueryId,
     /// Reporting host.
     pub host: String,
+    /// Reporting process id (with `host`, the agent's stable identity).
+    pub procid: u64,
     /// Reporting process name.
     pub procname: String,
+    /// Agent incarnation: distinguishes a restarted agent (whose `seq`
+    /// restarts at 0) from duplicated frames of the previous life.
+    pub incarnation: u64,
     /// Report timestamp (nanoseconds).
     pub time: u64,
+    /// Per-(agent, query) flush sequence number, starting at 0. Consecutive
+    /// on the sender; gaps or repeats on the receiver are transport faults.
+    pub seq: u64,
+    /// Tuples folded into this report (the delta since the previous flush).
+    pub tuples: u64,
+    /// Cumulative tuples emitted for this query by this agent incarnation,
+    /// including the ones in this report.
+    pub emitted_cum: u64,
     /// The partial rows.
     pub rows: ReportRows,
 }
@@ -110,6 +150,13 @@ impl LocalBus {
     /// Registers an agent.
     pub fn register(&mut self, agent: Arc<crate::Agent>) {
         self.agents.push(agent);
+    }
+
+    /// Removes an agent (by identity), e.g. when a chaos harness crashes a
+    /// simulated process. Unflushed tuples die with it, exactly as a real
+    /// process crash would lose them.
+    pub fn unregister(&mut self, agent: &Arc<crate::Agent>) {
+        self.agents.retain(|a| !Arc::ptr_eq(a, agent));
     }
 
     /// Returns the registered agents.

@@ -33,6 +33,82 @@ pub struct ResultRow {
     pub values: Vec<Value>,
 }
 
+/// Per-query loss accounting, aggregated over every reporting agent.
+///
+/// A faulty transport can drop, duplicate, or reorder reports; these
+/// counters make the damage visible instead of silently wrong:
+/// duplicates are suppressed before merging (so aggregates never double
+/// count), gaps in the per-agent sequence space are surfaced as
+/// `reports_missed`, and the tuple counters balance as
+/// `tuples_delivered + tuples_dropped == tuples_emitted` (where
+/// `tuples_emitted` is the frontend's latest view of each agent's
+/// cumulative emission counter).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct LossStats {
+    /// Reports merged into the results.
+    pub reports_accepted: u64,
+    /// Reports suppressed as duplicates (same agent, same sequence number).
+    pub reports_duplicate: u64,
+    /// Sequence-number gaps: reports known to exist but never received.
+    pub reports_missed: u64,
+    /// Tuples carried by accepted reports.
+    pub tuples_delivered: u64,
+    /// Tuples the agents report having emitted (max cumulative counter per
+    /// agent incarnation, summed).
+    pub tuples_emitted: u64,
+    /// Tuples lost on the report path (`tuples_emitted - tuples_delivered`).
+    pub tuples_dropped: u64,
+}
+
+impl LossStats {
+    /// Returns `true` when any report or tuple is known to be lost: the
+    /// accumulated results are a lower bound, not the full picture.
+    pub fn is_degraded(&self) -> bool {
+        self.reports_missed > 0 || self.tuples_dropped > 0
+    }
+}
+
+/// Loss tracking for one reporting agent incarnation.
+#[derive(Clone, Default, Debug)]
+struct SourceTrack {
+    /// Every sequence number below this has been received.
+    next_contig: u64,
+    /// Received sequence numbers at or above `next_contig` (out-of-order
+    /// arrivals awaiting their predecessors).
+    pending: std::collections::BTreeSet<u64>,
+    accepted: u64,
+    duplicates: u64,
+    delivered_tuples: u64,
+    emitted_cum: u64,
+}
+
+impl SourceTrack {
+    /// Records `seq`; returns `false` when it is a duplicate.
+    fn record(&mut self, seq: u64) -> bool {
+        if seq < self.next_contig || !self.pending.insert(seq) {
+            self.duplicates += 1;
+            return false;
+        }
+        while self.pending.remove(&self.next_contig) {
+            self.next_contig += 1;
+        }
+        self.accepted += 1;
+        true
+    }
+
+    /// Sequence numbers known to exist (some later seq arrived) but never
+    /// received.
+    fn missed(&self) -> u64 {
+        match self.pending.iter().next_back() {
+            Some(max) => (max + 1 - self.next_contig) - self.pending.len() as u64,
+            None => 0,
+        }
+    }
+}
+
+/// Identity of one reporting agent incarnation.
+type SourceKey = (String, u64, u64);
+
 /// Accumulated results for one query.
 #[derive(Clone, Debug)]
 pub struct QueryResults {
@@ -44,6 +120,8 @@ pub struct QueryResults {
     intervals: BTreeMap<u64, HashMap<GroupKey, Vec<AggState>>>,
     /// Raw rows of streaming queries, with report timestamps.
     raw: Vec<(u64, Tuple)>,
+    /// Per-agent-incarnation sequence tracking and loss accounting.
+    sources: HashMap<SourceKey, SourceTrack>,
 }
 
 impl QueryResults {
@@ -53,10 +131,22 @@ impl QueryResults {
             cumulative: HashMap::new(),
             intervals: BTreeMap::new(),
             raw: Vec::new(),
+            sources: HashMap::new(),
         }
     }
 
     fn absorb(&mut self, report: Report) {
+        let track = self
+            .sources
+            .entry((report.host.clone(), report.procid, report.incarnation))
+            .or_default();
+        if !track.record(report.seq) {
+            // A duplicated report frame: merging it again would double
+            // count every aggregate, so it is suppressed here.
+            return;
+        }
+        track.delivered_tuples += report.tuples;
+        track.emitted_cum = track.emitted_cum.max(report.emitted_cum);
         match report.rows {
             ReportRows::Raw(rows) => {
                 for r in rows {
@@ -71,6 +161,22 @@ impl QueryResults {
                 }
             }
         }
+    }
+
+    /// Returns the query's loss accounting, aggregated over all reporting
+    /// agents. When [`LossStats::is_degraded`] is set, [`Self::rows`] is a
+    /// lower bound on the true results.
+    pub fn loss(&self) -> LossStats {
+        let mut loss = LossStats::default();
+        for track in self.sources.values() {
+            loss.reports_accepted += track.accepted;
+            loss.reports_duplicate += track.duplicates;
+            loss.reports_missed += track.missed();
+            loss.tuples_delivered += track.delivered_tuples;
+            loss.tuples_emitted += track.emitted_cum;
+        }
+        loss.tuples_dropped = loss.tuples_emitted.saturating_sub(loss.tuples_delivered);
+        loss
     }
 
     /// Returns the merged-over-all-time rows in `Select` order, sorted by
@@ -209,6 +315,7 @@ pub struct Frontend {
     results: HashMap<QueryId, QueryResults>,
     commands: Vec<Command>,
     next_id: u64,
+    epoch: u64,
     optimize: bool,
     skip_verify: bool,
 }
@@ -297,6 +404,7 @@ impl Frontend {
         };
         self.results
             .insert(id, QueryResults::new(Arc::clone(&compiled.output)));
+        self.epoch += 1;
         self.commands.push(Command::Install(Arc::clone(&code)));
         self.queries.push(Installed {
             handle: handle.clone(),
@@ -311,7 +419,15 @@ impl Frontend {
     /// remain readable.
     pub fn uninstall(&mut self, handle: &QueryHandle) {
         self.queries.retain(|q| q.handle != *handle);
+        self.epoch += 1;
         self.commands.push(Command::Uninstall(handle.id));
+    }
+
+    /// The install epoch: bumped on every install and uninstall. Agents
+    /// that re-sync against [`Frontend::installed`] are up to date exactly
+    /// when they have observed this epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Drains the pending weave/unweave commands for broadcast.

@@ -38,5 +38,5 @@ pub mod tracepoint;
 
 pub use agent::{Agent, ProcessInfo};
 pub use bus::{Bus, Command, LocalBus, Report, ReportRows};
-pub use frontend::{Frontend, QueryHandle, QueryResults, ResultRow};
+pub use frontend::{Frontend, LossStats, QueryHandle, QueryResults, ResultRow};
 pub use tracepoint::{Registry, TracepointDef, DEFAULT_EXPORTS};

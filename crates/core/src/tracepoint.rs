@@ -155,6 +155,28 @@ impl Registry {
     pub fn woven_count(&self) -> usize {
         self.woven_count.load(Ordering::Relaxed)
     }
+
+    /// Returns `true` if any advice owned by `query` is woven. Weave-time
+    /// only (takes the map lock), never on the invoke hot path.
+    pub fn has_query(&self, query: QueryId) -> bool {
+        self.map
+            .read()
+            .values()
+            .any(|entry| entry.list.iter().any(|w| w.query == query))
+    }
+
+    /// Returns the distinct query ids with woven advice, in sorted order
+    /// (used by epoch re-sync to reconcile against the frontend's set).
+    pub fn woven_queries(&self) -> Vec<QueryId> {
+        let map = self.map.read();
+        let mut ids: Vec<QueryId> = map
+            .values()
+            .flat_map(|entry| entry.list.iter().map(|w| w.query))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
 }
 
 #[cfg(test)]

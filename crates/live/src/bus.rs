@@ -10,10 +10,30 @@
 //!
 //! The server implements [`pivot_core::Bus`], making it interchangeable
 //! with [`pivot_core::LocalBus`] and the simulated cluster.
+//!
+//! # Crash recovery (DESIGN.md §5e)
+//!
+//! Connections fail and processes die; the bus makes both *visible* and
+//! *recoverable* instead of silently wrong:
+//!
+//! - **Orderly vs lost.** Both sides send [`Message::Goodbye`] before an
+//!   intentional close. A socket that dies without one is a **lost**
+//!   connection: the server counts it in [`TcpBusServer::peers_lost`], and
+//!   the agent enters [`ConnStatus::Reconnecting`] instead of quietly
+//!   exiting its reader thread.
+//! - **Reconnect.** A [`LiveAgent`] retries with capped exponential
+//!   backoff plus deterministic jitter ([`ReconnectPolicy`]); the agent's
+//!   weave registry, aggregation buffers, and report sequence numbers all
+//!   survive the reconnect, so nothing double-counts.
+//! - **Epoch re-sync.** On every `Hello` the server answers with one
+//!   [`Message::Sync`] frame carrying the full installed-query set tagged
+//!   with the current install epoch; [`pivot_core::Agent::sync`]
+//!   reconciles the registry in one step no matter how many commands were
+//!   missed while disconnected.
 
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,10 +60,19 @@ struct BusInner {
     peers: Mutex<Vec<Peer>>,
     /// Reports received and not yet drained by the frontend.
     reports: Mutex<Vec<Report>>,
-    /// Currently installed queries, replayed to agents that join late
-    /// (mirrors the simulated cluster weaving installed queries into new
-    /// processes).
+    /// Currently installed queries, synced to agents that join (or
+    /// rejoin) late — mirrors the simulated cluster weaving installed
+    /// queries into new processes.
     installed: Mutex<Vec<Arc<CompiledCode>>>,
+    /// Install epoch: bumped on every install/uninstall broadcast and
+    /// stamped on each `Sync` frame, so agents know which snapshot of the
+    /// query set they have converged to.
+    epoch: AtomicU64,
+    /// Peers that closed with a `Goodbye` (orderly).
+    peers_closed: AtomicU64,
+    /// Peers whose connection died without a `Goodbye` (crash, kill,
+    /// network fault).
+    peers_lost: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -68,6 +97,9 @@ impl TcpBusServer {
             peers: Mutex::new(Vec::new()),
             reports: Mutex::new(Vec::new()),
             installed: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+            peers_closed: AtomicU64::new(0),
+            peers_lost: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         let server = TcpBusServer {
@@ -118,15 +150,47 @@ impl TcpBusServer {
         true
     }
 
-    /// Stops the accept loop and disconnects every agent.
+    /// The current install epoch (see [`Message::Sync`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Peers that disconnected orderly (with a `Goodbye`).
+    pub fn peers_closed(&self) -> u64 {
+        self.inner.peers_closed.load(Ordering::SeqCst)
+    }
+
+    /// Peers whose connection died without a `Goodbye` — crashed or
+    /// killed agents, severed links.
+    pub fn peers_lost(&self) -> u64 {
+        self.inner.peers_lost.load(Ordering::SeqCst)
+    }
+
+    /// Abruptly severs every live connection *without* a `Goodbye`, while
+    /// the listener keeps accepting. From the agents' point of view this
+    /// is indistinguishable from a network fault: their readers see EOF
+    /// with no orderly-shutdown marker and enter reconnection. A chaos
+    /// hook for recovery tests and benches.
+    pub fn sever(&self) {
+        for peer in self.inner.peers.lock().drain(..) {
+            let _ = peer.writer.lock().shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stops the accept loop and disconnects every agent (orderly: each
+    /// peer is sent a `Goodbye` first, so agents mark the close as clean
+    /// instead of entering reconnection).
     pub fn shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.inner.addr);
+        let bye = encode_message(&Message::Goodbye);
         for peer in self.inner.peers.lock().drain(..) {
-            let _ = peer.writer.lock().shutdown(Shutdown::Both);
+            let mut w = peer.writer.lock();
+            let _ = write_frame(&mut *w, &bye);
+            let _ = w.shutdown(Shutdown::Both);
         }
         for handle in self.threads.lock().drain(..) {
             let _ = handle.join();
@@ -146,6 +210,7 @@ impl Bus for TcpBusServer {
             Command::Install(q) => self.inner.installed.lock().push(Arc::clone(q)),
             Command::Uninstall(id) => self.inner.installed.lock().retain(|q| q.id != *id),
         }
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst);
         let payload = encode_message(&Message::Command(cmd.clone()));
         // Drop peers whose connection is gone; the write error is the
         // only signal a crashed agent leaves behind.
@@ -184,31 +249,49 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<BusInner>) {
     }
 }
 
-/// Per-connection reader: registers the peer on `Hello`, collects its
-/// reports, and exits on EOF or a protocol violation (closing the
-/// connection — malformed frames from live peers are a fault, not
-/// something to silently skip).
+/// Per-connection reader: registers the peer on `Hello` (answering with
+/// an epoch-tagged `Sync` of the full installed-query set), collects its
+/// reports, and exits on `Goodbye`, EOF, or a protocol violation (closing
+/// the connection — malformed frames from live peers are a fault, not
+/// something to silently skip). EOF without a preceding `Goodbye` is
+/// tallied as a *lost* peer, not a clean close.
 fn peer_reader(
     mut stream: TcpStream,
     writer: &Arc<Mutex<TcpStream>>,
     info: &Arc<Mutex<Option<ProcessInfo>>>,
     inner: &Arc<BusInner>,
 ) {
+    let mut orderly = false;
     while let Ok(payload) = read_frame(&mut stream) {
         match decode_message(&payload) {
             Ok(Message::Hello(process)) => {
                 *info.lock() = Some(process);
-                // Weave the currently installed queries into the newcomer.
-                let installed: Vec<Arc<CompiledCode>> = inner.installed.lock().clone();
-                for q in installed {
-                    let payload = encode_message(&Message::Command(Command::Install(q)));
-                    if write_frame(&mut *writer.lock(), &payload).is_err() {
-                        break;
+                // One Sync frame converges the newcomer (or the rejoiner)
+                // to the exact installed set at the current epoch.
+                let sync = {
+                    let queries = inner.installed.lock().clone();
+                    Message::Sync {
+                        epoch: inner.epoch.load(Ordering::SeqCst),
+                        queries,
                     }
+                };
+                if write_frame(&mut *writer.lock(), &encode_message(&sync)).is_err() {
+                    break;
                 }
             }
             Ok(Message::Report(report)) => inner.reports.lock().push(report),
-            Ok(Message::Command(_)) | Err(_) => break,
+            Ok(Message::Goodbye) => {
+                orderly = true;
+                break;
+            }
+            Ok(Message::Command(_) | Message::Sync { .. }) | Err(_) => break,
+        }
+    }
+    if !inner.shutdown.load(Ordering::SeqCst) {
+        if orderly {
+            inner.peers_closed.fetch_add(1, Ordering::SeqCst);
+        } else {
+            inner.peers_lost.fetch_add(1, Ordering::SeqCst);
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
@@ -219,66 +302,179 @@ fn peer_reader(
         .retain(|p| Arc::as_ptr(&p.writer) != dead);
 }
 
+/// Connection state of a [`LiveAgent`], distinguishing *orderly* closes
+/// from *lost* connections. Historically the agent's reader treated any
+/// closed socket as a clean shutdown and exited silently; a killed bus or
+/// severed link now surfaces as `Reconnecting`/`Lost` instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConnStatus {
+    /// Connected and registered.
+    Connected,
+    /// Connection lost; reconnection attempts in progress.
+    Reconnecting,
+    /// Closed on purpose: local shutdown, or the server said `Goodbye`.
+    Closed,
+    /// Connection lost for good (reconnection disabled or exhausted).
+    /// An error status — tuples emitted in this state never reach the
+    /// frontend.
+    Lost,
+}
+
+impl ConnStatus {
+    /// `true` for the error state ([`ConnStatus::Lost`]).
+    pub fn is_error(self) -> bool {
+        self == ConnStatus::Lost
+    }
+}
+
+/// Reconnection behaviour of a [`LiveAgent`]: capped exponential backoff
+/// with deterministic jitter (drawn from [`pivot_simrt::mix64`], keyed by
+/// `jitter_seed ^ attempt` — never from wall time, so retry schedules are
+/// reproducible given the seed).
+#[derive(Clone, Copy, Debug)]
+pub struct ReconnectPolicy {
+    /// Attempts before giving up and going [`ConnStatus::Lost`].
+    pub max_attempts: u32,
+    /// First retry delay; doubles each attempt.
+    pub base_delay: Duration,
+    /// Upper bound on the exponential portion.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter term.
+    pub jitter_seed: u64,
+}
+
+impl ReconnectPolicy {
+    /// A practical default: 10 attempts, 10 ms doubling to a 500 ms cap.
+    pub fn new(jitter_seed: u64) -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed,
+        }
+    }
+
+    /// No reconnection: the first lost connection goes straight to
+    /// [`ConnStatus::Lost`].
+    pub fn disabled() -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Delay before attempt `attempt` (0-based): `min(base · 2^attempt,
+    /// max)` plus a deterministic jitter in `[0, base]`.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let spread = self.base_delay.as_nanos() as u64;
+        let jitter = match spread {
+            0 => 0,
+            s => pivot_simrt::mix64(self.jitter_seed ^ u64::from(attempt)) % (s + 1),
+        };
+        exp + Duration::from_nanos(jitter)
+    }
+}
+
+/// State shared by a [`LiveAgent`]'s handle and service threads.
+struct LiveShared {
+    agent: Arc<Agent>,
+    info: ProcessInfo,
+    addr: SocketAddr,
+    /// The live write half; replaced in place on reconnect.
+    writer: Mutex<TcpStream>,
+    status: Mutex<ConnStatus>,
+    /// Last install epoch observed in a `Sync` frame.
+    epoch: AtomicU64,
+    /// Successful reconnections.
+    reconnects: AtomicU64,
+    stop: AtomicBool,
+    policy: ReconnectPolicy,
+}
+
+impl LiveShared {
+    fn set_status(&self, s: ConnStatus) {
+        *self.status.lock() = s;
+    }
+}
+
 /// A per-process agent connected to the TCP bus.
 ///
 /// Owns the process's [`Agent`] (registry + local aggregation) plus two
-/// service threads: a reader applying incoming weave/unweave commands and
-/// a reporter flushing partial results every `report_interval` (the
-/// paper's default is one second; tests use much shorter).
+/// service threads: a reader applying incoming weave/unweave commands
+/// (and `Sync` re-syncs) and a reporter flushing partial results every
+/// `report_interval` (the paper's default is one second; tests use much
+/// shorter). If the connection dies without a `Goodbye`, the reader
+/// reconnects per the [`ReconnectPolicy`]; the agent's registry, buffers,
+/// and report sequence numbers survive, so recovery never double-counts.
 pub struct LiveAgent {
-    agent: Arc<Agent>,
-    writer: Arc<Mutex<TcpStream>>,
-    stream: TcpStream,
-    stop: Arc<AtomicBool>,
+    shared: Arc<LiveShared>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl LiveAgent {
     /// Connects to the bus at `addr`, registers `info`, and starts the
-    /// reader and reporter threads.
+    /// reader and reporter threads, with reconnection enabled (jitter
+    /// seeded from the process id).
     pub fn connect(
         addr: SocketAddr,
         info: ProcessInfo,
         report_interval: Duration,
     ) -> io::Result<LiveAgent> {
+        let seed = info.procid;
+        LiveAgent::connect_with(addr, info, report_interval, ReconnectPolicy::new(seed))
+    }
+
+    /// [`LiveAgent::connect`] with an explicit [`ReconnectPolicy`].
+    pub fn connect_with(
+        addr: SocketAddr,
+        info: ProcessInfo,
+        report_interval: Duration,
+        policy: ReconnectPolicy,
+    ) -> io::Result<LiveAgent> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let agent = Arc::new(Agent::new(info.clone()));
-        let writer = Arc::new(Mutex::new(stream.try_clone()?));
-        write_frame(&mut *writer.lock(), &encode_message(&Message::Hello(info)))?;
+        let writer = stream.try_clone()?;
+        let shared = Arc::new(LiveShared {
+            agent,
+            info,
+            addr,
+            writer: Mutex::new(writer),
+            status: Mutex::new(ConnStatus::Connected),
+            epoch: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            policy,
+        });
+        write_frame(
+            &mut *shared.writer.lock(),
+            &encode_message(&Message::Hello(shared.info.clone())),
+        )?;
 
-        let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
-
-        let mut read_half = stream.try_clone()?;
-        let reader_agent = Arc::clone(&agent);
+        let reader_shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || {
-            while let Ok(payload) = read_frame(&mut read_half) {
-                match decode_message(&payload) {
-                    Ok(Message::Command(cmd)) => reader_agent.apply(&cmd),
-                    Ok(_) => {}
-                    Err(_) => break,
-                }
-            }
+            reader_loop(stream, &reader_shared);
         }));
 
-        let reporter_agent = Arc::clone(&agent);
-        let reporter_writer = Arc::clone(&writer);
-        let reporter_stop = Arc::clone(&stop);
+        let reporter_shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || {
-            while !reporter_stop.load(Ordering::SeqCst) {
+            while !reporter_shared.stop.load(Ordering::SeqCst) {
                 std::thread::sleep(report_interval);
-                flush_reports(&reporter_agent, &reporter_writer);
+                flush_if_connected(&reporter_shared);
             }
             // Final flush so short-lived processes still report.
-            flush_reports(&reporter_agent, &reporter_writer);
+            flush_if_connected(&reporter_shared);
         }));
 
         Ok(LiveAgent {
-            agent,
-            writer,
-            stream,
-            stop,
+            shared,
             threads: Mutex::new(threads),
         })
     }
@@ -286,21 +482,80 @@ impl LiveAgent {
     /// The process-local agent: invoke tracepoints against it (usually
     /// via [`crate::tracepoint`]).
     pub fn agent(&self) -> &Arc<Agent> {
-        &self.agent
+        &self.shared.agent
     }
 
-    /// Flushes partial results to the frontend immediately.
+    /// Current connection status. [`ConnStatus::Lost`] is an error: the
+    /// agent is emitting into buffers nothing will ever drain to the
+    /// frontend.
+    pub fn status(&self) -> ConnStatus {
+        *self.shared.status.lock()
+    }
+
+    /// The last install epoch observed in a `Sync` frame (0 before the
+    /// first sync arrives).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Successful reconnections so far.
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the status is [`ConnStatus::Connected`] and the
+    /// observed epoch reaches `epoch`, or `timeout` elapses; returns
+    /// whether the target was reached. The post-reconnect convergence
+    /// barrier for tests and benches.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.status() == ConnStatus::Connected && self.epoch() >= epoch {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Flushes partial results to the frontend immediately (when
+    /// connected; otherwise tuples keep accumulating locally).
     pub fn flush_now(&self) {
-        flush_reports(&self.agent, &self.writer);
+        flush_if_connected(&self.shared);
     }
 
-    /// Flushes once more, then disconnects and joins the service threads.
+    /// Flushes once more, announces `Goodbye`, then disconnects and joins
+    /// the service threads (orderly close).
     pub fn shutdown(&self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        flush_reports(&self.agent, &self.writer);
-        let _ = self.stream.shutdown(Shutdown::Both);
+        if *self.shared.status.lock() == ConnStatus::Connected {
+            flush_reports(&self.shared.agent, &self.shared.writer);
+            let _ = write_frame(
+                &mut *self.shared.writer.lock(),
+                &encode_message(&Message::Goodbye),
+            );
+        }
+        self.shared.set_status(ConnStatus::Closed);
+        let _ = self.shared.writer.lock().shutdown(Shutdown::Both);
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Kills the connection the way a crashing process would: no final
+    /// flush, no `Goodbye`, socket torn down. Unflushed tuples are lost,
+    /// the server tallies a *lost* peer, and this handle ends
+    /// [`ConnStatus::Lost`]. A chaos hook for recovery tests and benches.
+    pub fn abort(&self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.set_status(ConnStatus::Lost);
+        let _ = self.shared.writer.lock().shutdown(Shutdown::Both);
         for handle in self.threads.lock().drain(..) {
             let _ = handle.join();
         }
@@ -313,7 +568,114 @@ impl Drop for LiveAgent {
     }
 }
 
-fn flush_reports(agent: &Agent, writer: &Arc<Mutex<TcpStream>>) {
+/// Why one read session ended.
+enum SessionEnd {
+    /// The server said `Goodbye`: orderly, do not reconnect.
+    Orderly,
+    /// EOF or protocol violation with no `Goodbye`: the connection is
+    /// lost — exactly the case that used to masquerade as a clean exit.
+    Lost,
+}
+
+/// Reads one connection until it ends; applies commands and `Sync`
+/// re-syncs to the local agent along the way.
+fn read_session(read: &mut TcpStream, shared: &LiveShared) -> SessionEnd {
+    while let Ok(payload) = read_frame(read) {
+        match decode_message(&payload) {
+            Ok(Message::Command(cmd)) => shared.agent.apply(&cmd),
+            Ok(Message::Sync { epoch, queries }) => {
+                shared.agent.sync(&queries);
+                shared.epoch.store(epoch, Ordering::SeqCst);
+            }
+            Ok(Message::Goodbye) => return SessionEnd::Orderly,
+            // Hello/Report flow agent→server only; receiving one here is
+            // a protocol violation, treated like a corrupt frame.
+            Ok(Message::Hello(_) | Message::Report(_)) | Err(_) => return SessionEnd::Lost,
+        }
+    }
+    SessionEnd::Lost
+}
+
+/// The reader thread: session loop with reconnection.
+fn reader_loop(mut read: TcpStream, shared: &Arc<LiveShared>) {
+    loop {
+        let end = read_session(&mut read, shared);
+        if shared.stop.load(Ordering::SeqCst) {
+            // Local shutdown()/abort() already chose the final status.
+            return;
+        }
+        if matches!(end, SessionEnd::Orderly) {
+            shared.set_status(ConnStatus::Closed);
+            return;
+        }
+        shared.set_status(ConnStatus::Reconnecting);
+        match reconnect(shared) {
+            Some(new_read) => {
+                read = new_read;
+                shared.reconnects.fetch_add(1, Ordering::SeqCst);
+                shared.set_status(ConnStatus::Connected);
+            }
+            None => {
+                if !shared.stop.load(Ordering::SeqCst) {
+                    shared.set_status(ConnStatus::Lost);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Attempts to re-establish the connection per the policy. On success the
+/// shared writer is replaced and a fresh `Hello` sent (the server answers
+/// with a `Sync` that reconciles any missed installs).
+fn reconnect(shared: &Arc<LiveShared>) -> Option<TcpStream> {
+    for attempt in 0..shared.policy.max_attempts {
+        if sleep_unless_stopped(shared.policy.backoff(attempt), &shared.stop) {
+            return None;
+        }
+        let Ok(stream) = TcpStream::connect(shared.addr) else {
+            continue;
+        };
+        if stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        *shared.writer.lock() = write_half;
+        let hello = encode_message(&Message::Hello(shared.info.clone()));
+        if write_frame(&mut *shared.writer.lock(), &hello).is_ok() {
+            return Some(stream);
+        }
+    }
+    None
+}
+
+/// Sleeps `d` in small slices, returning `true` (and early) if `stop` is
+/// raised — so shutdown never waits out a long backoff.
+fn sleep_unless_stopped(d: Duration, stop: &AtomicBool) -> bool {
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        if stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2).min(deadline - Instant::now()));
+    }
+    stop.load(Ordering::SeqCst)
+}
+
+fn flush_if_connected(shared: &LiveShared) {
+    // While disconnected, skip the flush entirely: tuples keep
+    // accumulating in the agent's buffers (and seq numbers are not
+    // consumed), so everything emitted during the outage is delivered
+    // after recovery instead of being written into a dead socket.
+    if *shared.status.lock() != ConnStatus::Connected {
+        return;
+    }
+    flush_reports(&shared.agent, &shared.writer);
+}
+
+fn flush_reports(agent: &Agent, writer: &Mutex<TcpStream>) {
     for report in agent.flush(crate::now_nanos()) {
         let payload = encode_message(&Message::Report(report));
         if write_frame(&mut *writer.lock(), &payload).is_err() {

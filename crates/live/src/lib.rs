@@ -40,7 +40,7 @@ pub mod proto;
 pub mod service;
 pub mod thread;
 
-pub use bus::{LiveAgent, LiveFrontend, TcpBusServer};
+pub use bus::{ConnStatus, LiveAgent, LiveFrontend, ReconnectPolicy, TcpBusServer};
 pub use ctx::{attach, with_baggage, BaggageScope};
 
 use pivot_core::Agent;

@@ -1,9 +1,14 @@
 //! Binary codec for the bus protocol.
 //!
-//! The TCP bus carries three message kinds between live agents and the
+//! The TCP bus carries five message kinds between live agents and the
 //! frontend: a `Hello` registering the agent's process identity, the
-//! frontend's weave/unweave [`Command`]s, and the agents' partial-result
-//! [`Report`]s. Every payload starts with a protocol **version byte**
+//! frontend's weave/unweave [`Command`]s, the agents' partial-result
+//! [`Report`]s, the server's [`Message::Sync`] (the full installed-query
+//! set, version-tagged with the install epoch, sent on every Hello so a
+//! restarted agent converges in one frame), and [`Message::Goodbye`] (the
+//! orderly-shutdown marker that lets the other side distinguish a clean
+//! close from a lost connection). Every payload starts with a protocol
+//! **version byte**
 //! ([`PROTO_VERSION`]); peers speaking a different version are rejected
 //! with a decode error instead of misinterpreting bytes.
 //!
@@ -31,8 +36,10 @@ use pivot_query::bytecode::{EInst, ExprProg, Inst, PoolRange};
 use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
 
 /// Wire-protocol version. Bumped to 2 when `Install` switched from
-/// advice-op trees to lowered bytecode.
-pub const PROTO_VERSION: u8 = 2;
+/// advice-op trees to lowered bytecode; to 3 when `Report` grew the
+/// loss-accounting envelope (procid, incarnation, seq, tuple counters)
+/// and the `Sync`/`Goodbye` messages were added for crash recovery.
+pub const PROTO_VERSION: u8 = 3;
 
 /// Maximum expression nesting the decoder accepts. Honest queries stay in
 /// single digits; the cap keeps a hostile peer from overflowing the stack.
@@ -47,6 +54,20 @@ pub enum Message {
     Command(Command),
     /// Agent → frontend: partial results for one interval.
     Report(Report),
+    /// Frontend → agent: the complete installed-query set at install epoch
+    /// `epoch`. Sent in response to every `Hello`, so an agent that missed
+    /// any number of install/uninstall commands (crash, restart, partition)
+    /// reconciles its weave registry in a single frame.
+    Sync {
+        /// The frontend's install epoch when this snapshot was taken.
+        epoch: u64,
+        /// Every currently installed query's lowered bytecode.
+        queries: Vec<Arc<CompiledCode>>,
+    },
+    /// Orderly shutdown: the sender is closing this connection on purpose.
+    /// A socket that closes *without* a preceding `Goodbye` is a lost
+    /// connection and must be surfaced as a fault, not a clean exit.
+    Goodbye,
 }
 
 /// Encodes one message to bytes (the payload of one frame).
@@ -72,6 +93,15 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             enc.put_u8(3);
             encode_report(report, &mut enc);
         }
+        Message::Sync { epoch, queries } => {
+            enc.put_u8(4);
+            enc.put_varint(*epoch);
+            enc.put_varint(queries.len() as u64);
+            for code in queries {
+                encode_code(code, &mut enc);
+            }
+        }
+        Message::Goodbye => enc.put_u8(5),
     }
     enc.finish()
 }
@@ -93,6 +123,18 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
         1 => Message::Command(Command::Install(Arc::new(decode_code(&mut dec)?))),
         2 => Message::Command(Command::Uninstall(QueryId(dec.take_varint()?))),
         3 => Message::Report(decode_report(&mut dec)?),
+        4 => {
+            let epoch = dec.take_varint()?;
+            let n = dec.take_varint()? as usize;
+            let mut queries = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                // Each embedded program passes the same validation as a
+                // standalone Install: a hostile Sync is no more powerful.
+                queries.push(Arc::new(decode_code(&mut dec)?));
+            }
+            Message::Sync { epoch, queries }
+        }
+        5 => Message::Goodbye,
         t => return Err(DecodeError::BadTag("message", t)),
     };
     if !dec.is_empty() {
@@ -586,8 +628,13 @@ fn decode_opt_filter(dec: &mut Decoder<'_>) -> Result<Option<TemporalFilter>, De
 fn encode_report(r: &Report, enc: &mut Encoder) {
     enc.put_varint(r.query.0);
     enc.put_str(&r.host);
+    enc.put_varint(r.procid);
     enc.put_str(&r.procname);
+    enc.put_varint(r.incarnation);
     enc.put_varint(r.time);
+    enc.put_varint(r.seq);
+    enc.put_varint(r.tuples);
+    enc.put_varint(r.emitted_cum);
     match &r.rows {
         ReportRows::Raw(rows) => {
             enc.put_u8(0);
@@ -613,8 +660,13 @@ fn encode_report(r: &Report, enc: &mut Encoder) {
 fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
     let query = QueryId(dec.take_varint()?);
     let host = dec.take_str()?.to_owned();
+    let procid = dec.take_varint()?;
     let procname = dec.take_str()?.to_owned();
+    let incarnation = dec.take_varint()?;
     let time = dec.take_varint()?;
+    let seq = dec.take_varint()?;
+    let tuples = dec.take_varint()?;
+    let emitted_cum = dec.take_varint()?;
     let rows = match dec.take_u8()? {
         0 => {
             let n = dec.take_varint()? as usize;
@@ -643,8 +695,13 @@ fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
     Ok(Report {
         query,
         host,
+        procid,
         procname,
+        incarnation,
         time,
+        seq,
+        tuples,
+        emitted_cum,
         rows,
     })
 }
@@ -852,8 +909,13 @@ mod tests {
         let raw = Report {
             query: QueryId(5),
             host: "host-A".into(),
+            procid: 31,
             procname: "kvnode".into(),
+            incarnation: 4,
             time: 123_456_789,
+            seq: 17,
+            tuples: 2,
+            emitted_cum: 2_000_001,
             rows: ReportRows::Raw(vec![
                 Tuple::from_iter([Value::str("x"), Value::I64(-4)]),
                 Tuple::empty(),
@@ -862,8 +924,13 @@ mod tests {
         let grouped = Report {
             query: QueryId(6),
             host: "host-A".into(),
+            procid: u64::MAX,
             procname: "kvnode".into(),
+            incarnation: 1,
             time: 1,
+            seq: 0,
+            tuples: 1,
+            emitted_cum: 1,
             rows: ReportRows::Grouped(vec![(
                 GroupKey(Tuple::from_iter([Value::str("client-1")])),
                 vec![AggFunc::Sum.init(), AggFunc::Count.init()],
@@ -876,35 +943,136 @@ mod tests {
             };
             assert_eq!(back.query, report.query);
             assert_eq!(back.host, report.host);
+            assert_eq!(back.procid, report.procid);
+            assert_eq!(back.incarnation, report.incarnation);
             assert_eq!(back.time, report.time);
+            assert_eq!(back.seq, report.seq);
+            assert_eq!(back.tuples, report.tuples);
+            assert_eq!(back.emitted_cum, report.emitted_cum);
             assert_eq!(back.rows.len(), report.rows.len());
         }
     }
 
     #[test]
-    fn truncations_error_not_panic() {
+    fn sync_and_goodbye_round_trip() {
         let code = q2_code();
-        let bytes = encode_message(&Message::Command(Command::Install(code)));
-        for cut in 0..bytes.len() {
-            assert!(
-                decode_message(&bytes[..cut]).is_err(),
-                "cut at {cut} of {} decoded",
-                bytes.len()
-            );
+        let msg = Message::Sync {
+            epoch: 42,
+            queries: vec![Arc::clone(&code), code],
+        };
+        let bytes = encode_message(&msg);
+        let Message::Sync { epoch, queries } = decode_message(&bytes).expect("decodes") else {
+            panic!("wrong kind");
+        };
+        assert_eq!(epoch, 42);
+        assert_eq!(queries.len(), 2);
+        assert_eq!(*queries[0], *queries[1]);
+
+        let bytes = encode_message(&Message::Goodbye);
+        assert!(matches!(decode_message(&bytes), Ok(Message::Goodbye)));
+        // Goodbye carries nothing: trailing bytes are an error.
+        let mut padded = encode_message(&Message::Goodbye);
+        padded.push(0);
+        assert!(decode_message(&padded).is_err());
+    }
+
+    #[test]
+    fn sync_with_invalid_bytecode_is_rejected() {
+        // A Sync frame is just as much a trust boundary as an Install:
+        // splice a validation-failing program into an otherwise valid
+        // Sync payload and the decoder must reject the whole frame.
+        let bad = AdviceByteCode {
+            tracepoints: vec!["tp".into()],
+            insts: vec![Inst::Filter { pred: 0 }],
+            einsts: vec![EInst::Load { dst: 9, col: 0 }],
+            exprs: vec![ExprProg {
+                start: 0,
+                len: 1,
+                result: 9,
+            }],
+            consts: vec![],
+            names: vec![],
+            num_regs: 1,
+        };
+        let msg = Message::Sync {
+            epoch: 1,
+            queries: vec![
+                q2_code(),
+                Arc::new(CompiledCode {
+                    id: QueryId(9),
+                    name: "bad".into(),
+                    programs: vec![Arc::new(bad)],
+                    output: Arc::new(OutputSpec::default()),
+                }),
+            ],
+        };
+        let bytes = encode_message(&msg);
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DecodeError::BadTag("bytecode validation", 0))
+        ));
+    }
+
+    /// Every adversarial pass runs over each frame kind on the wire,
+    /// including the crash-recovery frames (v3 Report envelope, Sync,
+    /// Goodbye).
+    fn all_frames() -> Vec<Vec<u8>> {
+        let code = q2_code();
+        vec![
+            encode_message(&Message::Command(Command::Install(Arc::clone(&code)))),
+            encode_message(&Message::Command(Command::Uninstall(QueryId(3)))),
+            encode_message(&Message::Hello(ProcessInfo {
+                host: "host-C".into(),
+                procid: 8,
+                procname: "kvnode".into(),
+            })),
+            encode_message(&Message::Report(Report {
+                query: QueryId(5),
+                host: "host-A".into(),
+                procid: 31,
+                procname: "kvnode".into(),
+                incarnation: 2,
+                time: 9,
+                seq: 3,
+                tuples: 5,
+                emitted_cum: 11,
+                rows: ReportRows::Grouped(vec![(
+                    GroupKey(Tuple::from_iter([Value::str("k")])),
+                    vec![AggFunc::Count.init()],
+                )]),
+            })),
+            encode_message(&Message::Sync {
+                epoch: 7,
+                queries: vec![code],
+            }),
+            encode_message(&Message::Goodbye),
+        ]
+    }
+
+    #[test]
+    fn truncations_error_not_panic() {
+        for bytes in all_frames() {
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_message(&bytes[..cut]).is_err(),
+                    "cut at {cut} of {} decoded",
+                    bytes.len()
+                );
+            }
         }
     }
 
     #[test]
     fn bit_flips_never_panic() {
-        let code = q2_code();
-        let bytes = encode_message(&Message::Command(Command::Install(code)));
-        for pos in 0..bytes.len() {
-            let mut mutated = bytes.clone();
-            mutated[pos] ^= 0x55;
-            // Must not panic; decoding may fail or (rarely) produce a
-            // different-but-valid message. If it decodes, the bytecode
-            // inside already passed validation.
-            let _ = decode_message(&mutated);
+        for bytes in all_frames() {
+            for pos in 0..bytes.len() {
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= 0x55;
+                // Must not panic; decoding may fail or (rarely) produce a
+                // different-but-valid message. If it decodes, the bytecode
+                // inside already passed validation.
+                let _ = decode_message(&mutated);
+            }
         }
     }
 

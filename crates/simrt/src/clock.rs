@@ -101,6 +101,19 @@ impl Clock {
     pub fn secs(secs: f64) -> Nanos {
         (secs * NANOS_PER_SEC as f64) as Nanos
     }
+
+    /// Sleeps for `base` plus a deterministic jitter in `[0, spread]`
+    /// derived from `seed` (and nothing else — not the current time, not
+    /// prior draws), so simulated retry/report schedules desynchronize
+    /// across tasks while every run stays bit-reproducible. Callers vary
+    /// `seed` per sleep (e.g. `seed = task_id ^ attempt`).
+    pub fn sleep_jittered(&self, base: Nanos, spread: Nanos, seed: u64) -> Sleep {
+        let jitter = match spread {
+            0 => 0,
+            s => crate::util::mix64(seed) % (s + 1),
+        };
+        self.sleep(base.saturating_add(jitter))
+    }
 }
 
 /// The future returned by [`Clock::sleep`].

@@ -54,7 +54,7 @@ pub use clock::{Clock, Nanos, NANOS_PER_SEC};
 pub use executor::{JoinHandle, SimRt};
 pub use metrics::{Counter, Gauge};
 pub use resource::FifoResource;
-pub use util::{join2, join_all};
+pub use util::{join2, join_all, mix64};
 
 /// Diagnostics: total task polls across all runtimes in this process.
 pub fn diag_polls() -> u64 {

@@ -1,4 +1,20 @@
-//! Future combinators for the single-threaded runtime.
+//! Future combinators and deterministic scheduling helpers for the
+//! single-threaded runtime.
+
+/// SplitMix64 finalizer: a stateless pseudo-random function over `u64`.
+///
+/// This is the canonical decision hash for deterministic fault schedules
+/// (`pivot-chaos`) and jittered timers: unlike a stateful RNG, the output
+/// for a given input never depends on how many other decisions were drawn
+/// before it, so schedules stay byte-identical no matter how concurrent
+/// activity interleaves.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 use std::future::Future;
 use std::pin::Pin;

@@ -50,6 +50,7 @@
 //! ```
 
 pub use pivot_baggage as baggage;
+pub use pivot_chaos as chaos;
 pub use pivot_core as core;
 pub use pivot_hadoop as hadoop;
 pub use pivot_itc as itc;
