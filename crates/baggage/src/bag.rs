@@ -31,6 +31,24 @@ impl Live {
     }
 }
 
+/// Pack-side cost counters for one baggage handle.
+///
+/// The runtime overload governor charges each query for the baggage work
+/// its advice performs; the meter is the cheap, always-consistent tally it
+/// reads deltas from around each advice program. It is *local state of
+/// this handle* — it is not serialized, does not travel on the wire, and
+/// never participates in baggage equality.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct PackMeter {
+    /// Tuples passed to `pack` on this handle.
+    pub tuples: u64,
+    /// Values (tuple fields) passed to `pack` on this handle.
+    pub values: u64,
+    /// Tuples truncated by the `All`-mode hard cap
+    /// ([`crate::entry::ALL_TUPLE_CAP`]), on pack or on join-merge.
+    pub truncated: u64,
+}
+
 /// A per-request container for packed tuples (paper Table 4).
 ///
 /// See the [crate documentation](crate) for the full model. `Baggage` is
@@ -43,6 +61,9 @@ pub struct Baggage {
     live: Option<Live>,
     /// Cached serialized form; invalidated by mutation.
     bytes: Option<Arc<[u8]>>,
+    /// Pack-cost counters (local to this handle; excluded from equality
+    /// and from the wire form).
+    meter: PackMeter,
 }
 
 impl Default for Baggage {
@@ -66,6 +87,7 @@ impl Baggage {
         Baggage {
             live: Some(Live::new()),
             bytes: None,
+            meter: PackMeter::default(),
         }
     }
 
@@ -81,6 +103,7 @@ impl Baggage {
         Baggage {
             live: None,
             bytes: Some(Arc::from(bytes)),
+            meter: PackMeter::default(),
         }
     }
 
@@ -101,6 +124,7 @@ impl Baggage {
         Ok(Baggage {
             live: Some(live),
             bytes: Some(Arc::from(bytes)),
+            meter: PackMeter::default(),
         })
     }
 
@@ -170,8 +194,15 @@ impl Baggage {
             _ => 0,
         };
         for t in tuples {
-            live.active.pack(query, mode, t, already_first);
+            self.meter.tuples += 1;
+            self.meter.values += t.len() as u64;
+            self.meter.truncated += live.active.pack(query, mode, t, already_first) as u64;
         }
+    }
+
+    /// Returns this handle's pack-cost counters (see [`PackMeter`]).
+    pub fn meter(&self) -> PackMeter {
+        self.meter
     }
 
     /// Retrieves all tuples packed for `query`, combined across every
@@ -267,6 +298,7 @@ impl Baggage {
                 inactive: other_inactive,
             }),
             bytes: None,
+            meter: PackMeter::default(),
         }
     }
 
@@ -279,9 +311,15 @@ impl Baggage {
         self.ensure_live();
         self.touch();
         let other_live = other.ensure_live().clone();
+        // Fold the joining branch's pack costs into this handle so the
+        // request's total is preserved across joins, and count any tuples
+        // the All-cap truncates while the actives merge.
+        self.meter.tuples += other.meter.tuples;
+        self.meter.values += other.meter.values;
+        self.meter.truncated += other.meter.truncated;
         let live = self.live.as_mut().expect("ensured");
         live.active.stamp = live.active.stamp.join(&other_live.active.stamp);
-        live.active.merge_entries(&other_live.active);
+        self.meter.truncated += live.active.merge_entries(&other_live.active) as u64;
         for inst in other_live.inactive {
             if !live.inactive.contains(&inst) {
                 live.inactive.push(inst);
@@ -465,5 +503,43 @@ mod tests {
     fn unpack_missing_query_is_empty() {
         let mut bag = Baggage::new();
         assert!(bag.unpack(QueryId(99)).is_empty());
+    }
+
+    #[test]
+    fn meter_counts_packs_and_survives_join() {
+        let mut main = Baggage::new();
+        main.pack(Q, &PackMode::All, [t(1), t(2)]);
+        assert_eq!(
+            main.meter(),
+            PackMeter {
+                tuples: 2,
+                values: 2,
+                truncated: 0
+            }
+        );
+        let mut side = main.split();
+        side.pack(
+            Q,
+            &PackMode::All,
+            [Tuple::from_iter([Value::I64(3), Value::I64(4)])],
+        );
+        assert_eq!(side.meter().tuples, 1);
+        assert_eq!(side.meter().values, 2);
+        main.join(side);
+        assert_eq!(main.meter().tuples, 3);
+        assert_eq!(main.meter().values, 4);
+    }
+
+    #[test]
+    fn meter_counts_all_cap_truncation() {
+        use crate::entry::ALL_TUPLE_CAP;
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, (0..ALL_TUPLE_CAP as i64 + 5).map(t));
+        assert_eq!(bag.meter().truncated, 5);
+        assert_eq!(bag.tuple_count(Q), ALL_TUPLE_CAP);
+        // The meter is handle-local: it never reaches the wire.
+        let bytes = bag.to_bytes();
+        let hop = Baggage::from_bytes(&bytes);
+        assert_eq!(hop.meter(), PackMeter::default());
     }
 }

@@ -4,6 +4,18 @@ use pivot_itc::{DecodeError, Decoder, Encoder};
 use pivot_model::codec;
 use pivot_model::{AggFunc, AggState, GroupKey, Tuple, Value};
 
+/// Hard runtime cap on tuples retained by one [`PackMode::All`] entry.
+///
+/// The static verifier warns (PT006) when a query packs `All`, but the
+/// warning alone does not keep a hot tracepoint from growing a request's
+/// baggage without limit. This cap is the runtime backstop: packing past
+/// it drops the *oldest* retained tuple (deterministic drop-oldest, the
+/// same policy `Recent(n)` uses), and the drop is reported to the caller
+/// so the governor can account it as truncation. Bounded modes
+/// (`First(n)` / `Recent(n)` / `GroupAgg`) are never truncated below
+/// their declared size — their bound is part of the query's semantics.
+pub const ALL_TUPLE_CAP: usize = 256;
+
 /// How tuples are retained when packed (paper §3, `Pack` special cases).
 #[derive(Clone, PartialEq, Debug)]
 pub enum PackMode {
@@ -137,17 +149,29 @@ impl Entry {
         }
     }
 
-    /// Packs one tuple, honouring the retention mode.
+    /// Packs one tuple, honouring the retention mode. Returns the number
+    /// of tuples *truncated* by the [`ALL_TUPLE_CAP`] backstop (0 or 1);
+    /// bounded-mode refusals (`First` past `n`, `Recent` rotation) are the
+    /// mode's declared semantics and are not counted.
     ///
     /// `already_first` tells `First(n)` packing how many tuples for this
     /// query are already visible in causally-preceding instances, so that
     /// `FIRST` means "first in the causal past", not "first per instance".
-    pub fn pack(&mut self, tuple: Tuple, already_first: usize) {
+    pub fn pack(&mut self, tuple: Tuple, already_first: usize) -> usize {
         match self {
             Entry::Tuples {
                 mode: PackMode::All,
                 tuples,
-            } => tuples.push(tuple),
+            } => {
+                tuples.push(tuple);
+                let dropped = tuples.len().saturating_sub(ALL_TUPLE_CAP);
+                tuples.drain(..dropped);
+                debug_assert!(
+                    tuples.len() <= ALL_TUPLE_CAP,
+                    "PackMode::All entry exceeded ALL_TUPLE_CAP"
+                );
+                return dropped;
+            }
             Entry::Tuples {
                 mode: PackMode::First(n),
                 tuples,
@@ -186,11 +210,13 @@ impl Entry {
                 }
             }
         }
+        0
     }
 
     /// Merges another entry for the same query (used when two branches
-    /// rejoin and their active instances combine).
-    pub fn merge(&mut self, other: &Entry) {
+    /// rejoin and their active instances combine). Returns the number of
+    /// tuples truncated by the [`ALL_TUPLE_CAP`] backstop.
+    pub fn merge(&mut self, other: &Entry) -> usize {
         match (self, other) {
             (
                 Entry::Tuples { mode, tuples },
@@ -208,6 +234,11 @@ impl Entry {
                             let excess = tuples.len() - n;
                             tuples.drain(..excess);
                         }
+                    }
+                    PackMode::All => {
+                        let dropped = tuples.len().saturating_sub(ALL_TUPLE_CAP);
+                        tuples.drain(..dropped);
+                        return dropped;
                     }
                     _ => {}
                 }
@@ -249,6 +280,7 @@ impl Entry {
             // keep our side.
             _ => {}
         }
+        0
     }
 
     /// Materializes this entry's contents as tuples for `Unpack`.
@@ -338,6 +370,13 @@ impl Entry {
                 for _ in 0..n {
                     tuples.push(codec::decode_tuple(dec)?);
                 }
+                // Trust boundary: a peer (or corruption) may claim an
+                // over-cap `All` entry; clamp it on the way in so the cap
+                // is an invariant, not a local courtesy.
+                if mode == PackMode::All {
+                    let excess = tuples.len().saturating_sub(ALL_TUPLE_CAP);
+                    tuples.drain(..excess);
+                }
                 Ok(Entry::Tuples { mode, tuples })
             }
         }
@@ -377,12 +416,61 @@ mod tests {
     }
 
     #[test]
-    fn all_keeps_everything() {
+    fn all_keeps_everything_under_the_cap() {
         let mut e = Entry::new(&PackMode::All);
         for i in 0..4 {
-            e.pack(t(i), 0);
+            assert_eq!(e.pack(t(i), 0), 0);
         }
         assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn all_cap_drops_oldest_and_reports_it() {
+        let mut e = Entry::new(&PackMode::All);
+        let mut dropped = 0;
+        for i in 0..(ALL_TUPLE_CAP as i64 + 10) {
+            dropped += e.pack(t(i), 0);
+        }
+        assert_eq!(e.len(), ALL_TUPLE_CAP);
+        assert_eq!(dropped, 10);
+        // Drop-oldest: the survivors are the most recent CAP tuples.
+        assert_eq!(e.tuples().first(), Some(&t(10)));
+        assert_eq!(e.tuples().last(), Some(&t(ALL_TUPLE_CAP as i64 + 9)));
+    }
+
+    #[test]
+    fn all_cap_holds_across_merge_and_decode() {
+        let mut a = Entry::new(&PackMode::All);
+        let mut b = Entry::new(&PackMode::All);
+        for i in 0..ALL_TUPLE_CAP as i64 {
+            a.pack(t(i), 0);
+            b.pack(t(i + 1000), 0);
+        }
+        let dropped = a.merge(&b);
+        assert_eq!(a.len(), ALL_TUPLE_CAP);
+        assert_eq!(dropped, ALL_TUPLE_CAP);
+
+        let mut enc = Encoder::new();
+        a.encode(&mut enc);
+        let bytes = enc.finish();
+        let back = Entry::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert!(back.len() <= ALL_TUPLE_CAP);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bounded_modes_are_never_truncated_below_n() {
+        // First(n)/Recent(n) past the cap would be a semantics change;
+        // verify a bound larger than ALL_TUPLE_CAP is honoured in full.
+        let n = ALL_TUPLE_CAP + 64;
+        let mut first = Entry::new(&PackMode::First(n));
+        let mut recent = Entry::new(&PackMode::Recent(n));
+        for i in 0..(n as i64 + 50) {
+            assert_eq!(first.pack(t(i), 0), 0);
+            assert_eq!(recent.pack(t(i), 0), 0);
+        }
+        assert_eq!(first.len(), n);
+        assert_eq!(recent.len(), n);
     }
 
     #[test]

@@ -36,18 +36,19 @@ impl Instance {
         self.entries.values().all(Entry::is_empty)
     }
 
-    /// Packs one tuple for `query` under `mode`.
+    /// Packs one tuple for `query` under `mode`. Returns the number of
+    /// tuples truncated by the `All`-mode hard cap.
     pub fn pack(
         &mut self,
         query: QueryId,
         mode: &PackMode,
         tuple: pivot_model::Tuple,
         already_first: usize,
-    ) {
+    ) -> usize {
         self.entries
             .entry(query)
             .or_insert_with(|| Entry::new(mode))
-            .pack(tuple, already_first);
+            .pack(tuple, already_first)
     }
 
     /// Returns the number of tuples visible for `query` in this instance.
@@ -56,14 +57,17 @@ impl Instance {
     }
 
     /// Merges the entries of `other` into `self` (rejoining branches).
-    pub fn merge_entries(&mut self, other: &Instance) {
+    /// Returns the number of tuples truncated by the `All`-mode hard cap.
+    pub fn merge_entries(&mut self, other: &Instance) -> usize {
+        let mut truncated = 0;
         for (q, entry) in &other.entries {
             match self.entries.get_mut(q) {
-                Some(mine) => mine.merge(entry),
+                Some(mine) => truncated += mine.merge(entry),
                 None => {
                     self.entries.insert(*q, entry.clone());
                 }
             }
         }
+        truncated
     }
 }

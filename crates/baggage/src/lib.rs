@@ -62,8 +62,8 @@ mod entry;
 mod instance;
 mod wire;
 
-pub use bag::Baggage;
-pub use entry::{Entry, PackMode};
+pub use bag::{Baggage, PackMeter};
+pub use entry::{Entry, PackMode, ALL_TUPLE_CAP};
 pub use instance::Instance;
 
 /// Identifies an installed query across the whole system.

@@ -24,6 +24,7 @@ const STREAM_PARTITION: u64 = 0x5041_5254_0000_0002;
 const STREAM_LIMP: u64 = 0x4c49_4d50_0000_0003;
 const STREAM_CRASH: u64 = 0x4352_4153_4800_0004;
 const STREAM_COMMAND: u64 = 0x434f_4d4d_4144_0005;
+const STREAM_STORM: u64 = 0x5354_4f52_4d00_0006;
 
 /// Per-fault-class injection rates and magnitudes.
 ///
@@ -58,6 +59,19 @@ pub struct FaultConfig {
     pub cmd_delay_per_mille: u32,
     /// Delay applied to delayed command frames.
     pub cmd_delay_ns: u64,
+    /// Per-mille chance a request step is a *tracepoint storm*: the
+    /// workload invokes its tracepoints `storm_burst`× (scaled 1–4x by
+    /// the roll) instead of once, flooding the governor's tuple and ops
+    /// budgets. The overload fault family (zero in [`FaultConfig::off`]
+    /// and [`FaultConfig::for_seed`]; see
+    /// [`FaultConfig::overload_for_seed`]).
+    pub storm_per_mille: u32,
+    /// Base invocation multiplier of a storm step.
+    pub storm_burst: u32,
+    /// Per-mille chance a request step is a *group-key explosion*: the
+    /// workload emits under a unique-per-invocation group key, flooding
+    /// grouped buffers past the row cap.
+    pub explode_per_mille: u32,
 }
 
 impl FaultConfig {
@@ -77,6 +91,9 @@ impl FaultConfig {
             cmd_dup_per_mille: 0,
             cmd_delay_per_mille: 0,
             cmd_delay_ns: 0,
+            storm_per_mille: 0,
+            storm_burst: 0,
+            explode_per_mille: 0,
         }
     }
 
@@ -99,6 +116,33 @@ impl FaultConfig {
             cmd_dup_per_mille: 50,
             cmd_delay_per_mille: 30,
             cmd_delay_ns: 5_000_000,
+            // The overload family stays off in the general mix so the
+            // long-standing differential-subset property (chaotic rows ⊆
+            // fault-free rows) keeps holding; overload runs opt in via
+            // `overload_for_seed`.
+            storm_per_mille: 0,
+            storm_burst: 0,
+            explode_per_mille: 0,
+        }
+    }
+
+    /// Derives an *overload* fault mix from `seed`: tracepoint storms and
+    /// group-key explosions layered on a mild transport mix, so governor
+    /// runs still see drops/dups/crashes but the dominant pressure is
+    /// workload volume, not frame loss.
+    pub fn overload_for_seed(seed: u64) -> FaultConfig {
+        let r = |i: u64| mix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        FaultConfig {
+            drop_per_mille: (r(8) % 60) as u32,
+            dup_per_mille: (r(9) % 40) as u32,
+            delay_per_mille: 0,
+            partition_per_mille: 0,
+            limp_per_mille: 0,
+            crash_per_mille: if r(10) % 3 == 0 { 40 } else { 0 },
+            storm_per_mille: 150 + (r(11) % 250) as u32,
+            storm_burst: 32 + (r(12) % 96) as u32,
+            explode_per_mille: 100 + (r(13) % 200) as u32,
+            ..FaultConfig::for_seed(seed)
         }
     }
 }
@@ -211,6 +255,25 @@ impl FaultPlan {
         ((self.roll(STREAM_CRASH, source, step, 0) % 1000) as u32) < self.cfg.crash_per_mille
     }
 
+    /// Invocation multiplier for request step `step` issued by `source`:
+    /// `1` on an ordinary step, `>1` on a tracepoint-storm step (the base
+    /// burst scaled 1–4x by the roll). Pure function of the keys, like
+    /// every other verdict.
+    pub fn storm_burst(&self, source: u64, step: u64) -> u32 {
+        let r = self.roll(STREAM_STORM, source, step, 0);
+        if ((r % 1000) as u32) < self.cfg.storm_per_mille {
+            self.cfg.storm_burst.max(1) * (1 + ((r >> 32) % 4) as u32)
+        } else {
+            1
+        }
+    }
+
+    /// Whether request step `step` from `source` is a group-key explosion
+    /// (the workload emits under unique-per-invocation group keys).
+    pub fn explodes(&self, source: u64, step: u64) -> bool {
+        ((self.roll(STREAM_STORM, source, step, 1) % 1000) as u32) < self.cfg.explode_per_mille
+    }
+
     /// The fate of the `index`-th broadcast command frame. Commands are
     /// never dropped — a permanently lost install is indistinguishable
     /// from "not installed", which the epoch re-sync path covers instead —
@@ -256,6 +319,8 @@ impl FaultPlan {
             }
             for step in 0..events {
                 out.push(u8::from(self.should_crash(s, step)));
+                out.extend_from_slice(&self.storm_burst(s, step).to_le_bytes());
+                out.push(u8::from(self.explodes(s, step)));
             }
         }
         for idx in 0..events {
@@ -279,6 +344,38 @@ mod tests {
         }
         assert!(!plan.limping(7));
         assert!(plan.partitioned(7, 12345).is_none());
+        for step in 0..1000 {
+            assert_eq!(plan.storm_burst(7, step), 1);
+            assert!(!plan.explodes(7, step));
+        }
+    }
+
+    #[test]
+    fn overload_mix_storms_and_explodes_at_configured_rates() {
+        let cfg = FaultConfig::overload_for_seed(3);
+        assert!(cfg.storm_per_mille > 0 && cfg.storm_burst > 0 && cfg.explode_per_mille > 0);
+        let plan = FaultPlan::new(3, cfg);
+        let storms = (0..10_000u64)
+            .filter(|&s| plan.storm_burst(5, s) > 1)
+            .count() as u32;
+        // Expected ~ storm_per_mille per mille, generous slack.
+        let expect = cfg.storm_per_mille * 10;
+        assert!(
+            (expect / 2..=expect * 2).contains(&storms),
+            "storms = {storms}, expected ≈ {expect}"
+        );
+        assert!((0..10_000u64).any(|s| plan.explodes(5, s)));
+        // Burst magnitudes stay within the 1–4x scaling of the base.
+        for s in 0..10_000u64 {
+            let b = plan.storm_burst(5, s);
+            assert!(b == 1 || (b >= cfg.storm_burst && b <= cfg.storm_burst * 4));
+        }
+        // The general per-seed mix keeps the overload family off.
+        for seed in 0..32 {
+            let general = FaultConfig::for_seed(seed);
+            assert_eq!(general.storm_per_mille, 0);
+            assert_eq!(general.explode_per_mille, 0);
+        }
     }
 
     #[test]

@@ -17,11 +17,23 @@
 //! must balance exactly: each emitted tuple was either delivered to the
 //! frontend, dropped on the report path (and tallied by the injector), or
 //! died unflushed in a crash (and tallied by the harness).
+//!
+//! [`run_kv_overload`] extends the scenario with the overload fault
+//! family — tracepoint storms and group-key explosions from
+//! [`FaultConfig::overload_for_seed`] — under tight explicit
+//! [`QueryBudget`]s and small row caps, and its [`OverloadOutcome`]
+//! extends the identity with the governor's ledger:
+//!
+//! ```text
+//! emitted == delivered + chaos.tuples_dropped + crash_lost + governor_shed
+//! ```
 
 use std::sync::Arc;
 
-use pivot_baggage::Baggage;
-use pivot_core::{Agent, Bus, Frontend, LocalBus, LossStats, ProcessInfo, ResultRow};
+use pivot_baggage::{Baggage, QueryId};
+use pivot_core::{
+    Agent, Bus, Frontend, LocalBus, LossStats, ProcessInfo, QueryBudget, ResultRow, Throttled,
+};
 use pivot_model::Value;
 
 use crate::bus::{source_key, ChaosBus, ChaosStats};
@@ -185,6 +197,265 @@ pub fn run_kv(seed: u64, cfg: FaultConfig, requests: u64) -> RunOutcome {
     }
 }
 
+/// Streaming companion query for the overload harness: an unaggregated
+/// all-packs join, so tracepoint storms exercise the `PackMode::All` hard
+/// cap on the baggage side and the streaming row cap on the buffer side.
+pub const KV_STREAM_QUERY: &str = "From exec In KvShard.execute \
+     Join req In KvClient.issueRequest On req -> exec \
+     Select req.key, exec.bytes";
+
+/// Row cap installed on the overload harness's agents — small enough
+/// that group-key explosions and storm floods hit it within one flush
+/// interval.
+pub const OVERLOAD_ROW_CAP: usize = 64;
+
+/// Everything observable about one overload-harness run. Derives
+/// `PartialEq` so determinism tests can compare two replays of the same
+/// `(seed, config, requests)` structurally, trip sequence included.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OverloadOutcome {
+    /// Final grouped-query result rows (sorted by key).
+    pub grouped_rows: Vec<ResultRow>,
+    /// Per-query loss accounting: `(grouped, streaming)`.
+    pub loss: (LossStats, LossStats),
+    /// Throttle notifications that reached the frontend: `(grouped,
+    /// streaming)`. Ground-truth trips are in [`OverloadOutcome::trips`];
+    /// these are only the ones whose report frames survived the chaos.
+    pub throttles: (Vec<Throttled>, Vec<Throttled>),
+    /// The injector's tallies.
+    pub chaos: ChaosStats,
+    /// Ground-truth tuples emitted, summed over both queries and every
+    /// agent incarnation.
+    pub emitted: u64,
+    /// Tuples that died unflushed when an agent crashed.
+    pub crash_lost: u64,
+    /// Tuples the governor shed at the row-capped buffers, ground truth
+    /// summed over agents, queries, and incarnations.
+    pub governor_shed: u64,
+    /// Packed tuples dropped by the `PackMode::All` hard cap.
+    pub truncated: u64,
+    /// Circuit-breaker trips, ground truth summed over agents, queries,
+    /// and incarnations.
+    pub trips: u64,
+    /// Agent crash/restart cycles the schedule triggered.
+    pub crashes: u64,
+    /// Largest per-query row buffer observed on the shard at any step —
+    /// bounded-buffering means this never exceeds [`OVERLOAD_ROW_CAP`].
+    pub max_buffered: usize,
+}
+
+impl OverloadOutcome {
+    /// The extended loss identity: every emitted tuple was either
+    /// delivered to the frontend, dropped in transit (injector tally),
+    /// lost unflushed in a crash, or shed by the governor's row caps.
+    pub fn balanced(&self) -> bool {
+        self.emitted
+            == self.loss.0.tuples_delivered
+                + self.loss.1.tuples_delivered
+                + self.chaos.tuples_dropped
+                + self.crash_lost
+                + self.governor_shed
+    }
+}
+
+/// Runs `requests` steps of the overload workload — tracepoint storms,
+/// group-key explosions, tight explicit budgets, small row caps — under
+/// the fault schedule `(seed, cfg)` and returns the converged outcome.
+/// Pair with [`FaultConfig::overload_for_seed`] for a schedule that
+/// actually storms; with [`FaultConfig::off`] the run is a plain (if
+/// tightly budgeted) KV workload.
+pub fn run_kv_overload(seed: u64, cfg: FaultConfig, requests: u64) -> OverloadOutcome {
+    let plan = FaultPlan::new(seed, cfg);
+    let mut fe = Frontend::new();
+    fe.define("KvClient.issueRequest", ["client", "op", "key"]);
+    fe.define("KvShard.execute", ["shard", "op", "bytes"]);
+    let grouped = fe
+        .install(KV_QUERY)
+        .expect("overload grouped query compiles");
+    let stream = fe
+        .install(KV_STREAM_QUERY)
+        .expect("overload stream query compiles");
+    // Tight explicit budgets, windowed at a quarter of the flush
+    // interval so trip → backoff → re-arm cycles complete within a run:
+    // the grouped query trips on tuple floods (group-key explosions),
+    // the streaming one on storm bursts. Ops/bytes rails are set high —
+    // they are exercised by unit tests; here tuples are the story.
+    fe.set_budget(
+        &grouped,
+        QueryBudget {
+            tuples_per_window: 24,
+            ops_per_window: 1_000_000,
+            bytes_per_window: 1_000_000,
+            window_ns: 4 * STEP_NS,
+            backoff_base_windows: 1,
+            max_backoff_doublings: 3,
+        },
+    );
+    fe.set_budget(
+        &stream,
+        QueryBudget {
+            tuples_per_window: 400,
+            ops_per_window: 4_000_000,
+            bytes_per_window: 4_000_000,
+            window_ns: 4 * STEP_NS,
+            backoff_base_windows: 1,
+            max_backoff_doublings: 3,
+        },
+    );
+    let queries: [QueryId; 2] = [grouped.id, stream.id];
+
+    let client = Arc::new(Agent::new(ProcessInfo {
+        host: "kv-client".into(),
+        procid: 1,
+        procname: "KvClient".into(),
+    }));
+    client.set_row_cap(OVERLOAD_ROW_CAP);
+    let mut shard = Arc::new(Agent::new(shard_info()));
+    shard.set_row_cap(OVERLOAD_ROW_CAP);
+    let (_, shard_src) = kv_sources();
+
+    let mut bus = LocalBus::new();
+    bus.register(Arc::clone(&client));
+    bus.register(Arc::clone(&shard));
+    let mut chaos = ChaosBus::new(bus, plan);
+    for cmd in fe.drain_commands() {
+        Bus::broadcast(&chaos, &cmd);
+    }
+
+    let mut emitted = 0u64;
+    let mut crash_lost = 0u64;
+    let mut governor_shed = 0u64;
+    let mut truncated = 0u64;
+    let mut trips = 0u64;
+    let mut crashes = 0u64;
+    let mut max_buffered = 0usize;
+
+    for i in 0..requests {
+        let now = (i + 1) * STEP_NS;
+        let burst = chaos.plan().storm_burst(shard_src, i);
+        if chaos.plan().explodes(shard_src, i) {
+            // Group-key explosion: a flood of one-shot requests with
+            // distinct keys. The floor keeps every explosion wider than
+            // [`OVERLOAD_ROW_CAP`], so each one both trips the grouped
+            // budget and forces the grouped buffer to refuse new groups.
+            let width = u64::from(burst.max(80));
+            for j in 0..width {
+                let key = format!("xk-{i:05}-{j:03}");
+                let mut bag = Baggage::new();
+                client.invoke(
+                    "KvClient.issueRequest",
+                    &mut bag,
+                    now,
+                    &[
+                        ("client", Value::str("client-0")),
+                        ("op", Value::str("put")),
+                        ("key", Value::str(&key)),
+                    ],
+                );
+                let bytes = bag.to_bytes();
+                let mut remote = Baggage::from_bytes(&bytes);
+                shard.invoke(
+                    "KvShard.execute",
+                    &mut remote,
+                    now,
+                    &[
+                        ("shard", Value::U64(j % 4)),
+                        ("op", Value::str("put")),
+                        ("bytes", Value::I64((j % 97) as i64 + 1)),
+                    ],
+                );
+            }
+        } else {
+            // Ordinary request — or a tracepoint storm when `burst > 1`:
+            // the client tracepoint fires `burst` times on one request,
+            // every firing packing into the same baggage, so the
+            // `PackMode::All` hard cap engages past its limit.
+            let key = format!("req-{i:05}");
+            let mut bag = Baggage::new();
+            for _ in 0..burst {
+                client.invoke(
+                    "KvClient.issueRequest",
+                    &mut bag,
+                    now,
+                    &[
+                        ("client", Value::str("client-0")),
+                        ("op", Value::str("put")),
+                        ("key", Value::str(&key)),
+                    ],
+                );
+            }
+            let bytes = bag.to_bytes();
+            let mut remote = Baggage::from_bytes(&bytes);
+            shard.invoke(
+                "KvShard.execute",
+                &mut remote,
+                now,
+                &[
+                    ("shard", Value::U64(i % 4)),
+                    ("op", Value::str("put")),
+                    ("bytes", Value::I64((i % 97) as i64 + 1)),
+                ],
+            );
+        }
+        for q in queries {
+            max_buffered = max_buffered.max(shard.buffered_rows(q));
+        }
+
+        if (i + 1) % FLUSH_EVERY == 0 {
+            let step = (i + 1) / FLUSH_EVERY;
+            if chaos.plan().should_crash(shard_src, step) {
+                // The dying incarnation's governor tallies are its last
+                // word — fold them into the ground truth before the
+                // restart resets every counter.
+                crashes += 1;
+                for q in queries {
+                    emitted += shard.emitted_for(q);
+                    governor_shed += shard.shed_for(q);
+                    truncated += shard.truncated_for(q);
+                    trips += u64::from(shard.trips_for(q));
+                }
+                for report in shard.flush(now) {
+                    crash_lost += report.tuples;
+                }
+                chaos.inner_mut().unregister(&shard);
+                // Restart: the replacement re-syncs the query set *and*
+                // the budget set, mirroring the live epoch re-sync.
+                let fresh = Arc::new(Agent::new(shard_info()));
+                fresh.set_row_cap(OVERLOAD_ROW_CAP);
+                fresh.sync(&fe.installed());
+                fresh.sync_budgets(&fe.budgets());
+                chaos.inner_mut().register(Arc::clone(&fresh));
+                shard = fresh;
+            }
+            chaos.pump_into(now, &mut fe);
+        }
+    }
+
+    chaos.settle_into((requests + 2) * STEP_NS, &mut fe);
+    for q in queries {
+        emitted += shard.emitted_for(q) + client.emitted_for(q);
+        governor_shed += shard.shed_for(q) + client.shed_for(q);
+        truncated += shard.truncated_for(q) + client.truncated_for(q);
+        trips += u64::from(shard.trips_for(q)) + u64::from(client.trips_for(q));
+    }
+
+    let gres = fe.results(&grouped);
+    let sres = fe.results(&stream);
+    OverloadOutcome {
+        grouped_rows: gres.rows(),
+        loss: (gres.loss(), sres.loss()),
+        throttles: (gres.throttles(), sres.throttles()),
+        chaos: chaos.stats(),
+        emitted,
+        crash_lost,
+        governor_shed,
+        truncated,
+        trips,
+        crashes,
+        max_buffered,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +476,32 @@ mod tests {
             assert_eq!(row.values[1], Value::U64(1));
             assert_eq!(row.values[2], Value::I64((i as i64 % 97) + 1));
         }
+    }
+
+    #[test]
+    fn overload_off_run_is_exact_and_bounded() {
+        let out = run_kv_overload(0, FaultConfig::off(), 128);
+        assert!(out.balanced(), "identity violated: {out:?}");
+        // No storms, no explosions, no crashes: one request per step
+        // never reaches a budget rail or a row cap, so the governor is
+        // pure observation and the run is exact.
+        assert_eq!(out.crashes, 0);
+        assert_eq!(out.crash_lost, 0);
+        assert_eq!(out.chaos.tuples_dropped, 0);
+        assert_eq!(out.trips, 0);
+        assert_eq!(out.truncated, 0);
+        assert_eq!(out.governor_shed, 0);
+        // One grouped + one streaming tuple per request.
+        assert_eq!(out.emitted, 256);
+        assert_eq!(out.grouped_rows.len(), 128);
+        // Buffers drain every flush, so at most one interval's rows are
+        // ever resident — far below the cap without a storm.
+        assert_eq!(out.max_buffered, FLUSH_EVERY as usize);
+        assert_eq!(out.loss.0.tuples_shed, 0);
+        assert_eq!(out.loss.0.tuples_delivered, 128);
+        assert_eq!(out.loss.1.tuples_shed, 0);
+        assert_eq!(out.loss.1.tuples_delivered, 128);
+        assert!(out.throttles.0.is_empty() && out.throttles.1.is_empty());
     }
 
     #[test]

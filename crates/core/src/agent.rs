@@ -19,6 +19,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
@@ -27,7 +28,17 @@ use pivot_model::{intern, AggState, GroupKey, Tuple, Value};
 use pivot_query::{AdviceByteCode, CompiledCode, EmitSink, OutputSpec, Vm};
 
 use crate::bus::{Command, Report, ReportRows};
+use crate::governor::{
+    QueryBudget, ThrottleReason, ThrottleStats, Throttled, NOMINAL_BYTES_PER_VALUE,
+};
 use crate::tracepoint::{Registry, DEFAULT_EXPORTS};
+
+/// Default per-query cap on rows buffered between flushes (and therefore
+/// on outage-time buffering while a live agent is reconnecting). Past the
+/// cap the buffer sheds deterministically — oldest row first for
+/// streaming queries, newest group refused for grouped queries — and the
+/// shed count rides the loss envelope as `shed_cum`.
+pub const DEFAULT_ROW_CAP: usize = 65_536;
 
 /// Identity of the process an agent runs in.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -76,6 +87,15 @@ struct Buffer {
     tuples_since_flush: u64,
     /// Tuples emitted for this query over the agent's lifetime.
     emitted_cum: u64,
+    /// Tuples shed by the row cap over the agent's lifetime (emitted but
+    /// never delivered; see [`DEFAULT_ROW_CAP`]).
+    shed_cum: u64,
+    /// `truncated_cum` value last shipped in a report, so a truncation
+    /// with no accompanying rows still forces a report out.
+    truncated_sent: u64,
+    /// Set when loss counters changed since the last report; forces a
+    /// (possibly row-less) report so the envelope reaches the frontend.
+    dirty: bool,
 }
 
 impl Buffer {
@@ -91,8 +111,115 @@ impl Buffer {
             seq: 0,
             tuples_since_flush: 0,
             emitted_cum: 0,
+            shed_cum: 0,
+            truncated_sent: 0,
+            dirty: false,
         }
     }
+}
+
+/// Hasher for the `QueryId`-keyed governor map: one multiply-xorshift
+/// mix instead of SipHash. The map is probed once per woven program on
+/// every governed invocation, the keys are process-local small integers,
+/// and no untrusted input reaches it, so HashDoS resistance buys nothing
+/// here and the default hasher's ~20ns per probe is pure hot-path tax.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; `QueryId` hashes through `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type IdHashMap<V> = HashMap<QueryId, V, std::hash::BuildHasherDefault<IdHasher>>;
+
+/// Per-query governor state: the budget, the current window's charges,
+/// the breaker, and the retained advice programs for re-arm.
+#[derive(Default)]
+struct GovernorState {
+    budget: QueryBudget,
+    /// The query's advice, retained so a tripped breaker can re-weave it.
+    programs: Vec<Arc<AdviceByteCode>>,
+    /// The query's output spec, so a throttle can be reported even when
+    /// the query never emitted here.
+    spec: Option<Arc<OutputSpec>>,
+    /// Start of the current accounting window.
+    window_start: u64,
+    /// Charges accumulated in the current window.
+    tuples: u64,
+    ops: u64,
+    bytes: u64,
+    /// `Some(deadline)` while the breaker is open (advice unwoven).
+    open_until: Option<u64>,
+    /// Lifetime trip count (drives the capped exponential backoff).
+    trips: u32,
+    /// A trip awaiting its ride on the next flush.
+    pending: Option<Throttled>,
+    /// Lifetime tuples truncated by the baggage `All`-cap, attributed to
+    /// this query's advice.
+    truncated_cum: u64,
+}
+
+/// Charges one advice program's work to its query and trips the breaker
+/// when a budget dimension is exhausted. Returns `true` on trip (the
+/// caller unweaves outside the VM loop).
+fn charge_governor(
+    g: &mut GovernorState,
+    query: QueryId,
+    now: u64,
+    tuples: u64,
+    ops: u64,
+    bytes: u64,
+    truncated: u64,
+) -> bool {
+    g.truncated_cum += truncated;
+    if g.budget.is_unlimited() || g.open_until.is_some() {
+        return false;
+    }
+    if now.saturating_sub(g.window_start) >= g.budget.window_ns {
+        g.window_start = now;
+        g.tuples = 0;
+        g.ops = 0;
+        g.bytes = 0;
+    }
+    g.tuples += tuples;
+    g.ops += ops;
+    g.bytes += bytes;
+    let reason = if g.tuples > g.budget.tuples_per_window {
+        ThrottleReason::Tuples
+    } else if g.ops > g.budget.ops_per_window {
+        ThrottleReason::Ops
+    } else if g.bytes > g.budget.bytes_per_window {
+        ThrottleReason::Bytes
+    } else {
+        return false;
+    };
+    g.trips += 1;
+    g.open_until = Some(now.saturating_add(g.budget.backoff_ns(g.trips)));
+    g.pending = Some(Throttled {
+        query,
+        reason,
+        stats: ThrottleStats {
+            tuples: g.tuples,
+            ops: g.ops,
+            bytes: g.bytes,
+            trips: g.trips,
+        },
+    });
+    true
 }
 
 thread_local! {
@@ -109,6 +236,8 @@ thread_local! {
 struct AgentSink<'a> {
     buffers: &'a Mutex<HashMap<QueryId, Buffer>>,
     guard: Option<MutexGuard<'a, HashMap<QueryId, Buffer>>>,
+    /// Per-query bound on buffered rows (see [`DEFAULT_ROW_CAP`]).
+    row_cap: usize,
 }
 
 impl<'a> AgentSink<'a> {
@@ -121,11 +250,23 @@ impl<'a> AgentSink<'a> {
 
 impl EmitSink for AgentSink<'_> {
     fn streaming_row(&mut self, query: QueryId, spec: &Arc<OutputSpec>, row: Tuple) {
+        let row_cap = self.row_cap;
         let buf = self.buf(query, spec);
         if let Rows::Streaming(rows) = &mut buf.rows {
-            buf.tuples_since_flush += 1;
             buf.emitted_cum += 1;
+            buf.tuples_since_flush += 1;
             rows.push(row);
+            if rows.len() > row_cap {
+                // Shed oldest first: under overload (or a long outage on a
+                // live agent) the freshest rows are the useful ones. The
+                // shed tuple leaves the in-flight delta and joins the
+                // cumulative shed count, keeping
+                // `emitted_cum == delivered + in-flight + shed_cum` exact.
+                rows.remove(0);
+                buf.tuples_since_flush -= 1;
+                buf.shed_cum += 1;
+                buf.dirty = true;
+            }
         }
     }
 
@@ -136,10 +277,19 @@ impl EmitSink for AgentSink<'_> {
         key: GroupKey,
         args: &[Value],
     ) {
+        let row_cap = self.row_cap;
         let buf = self.buf(query, spec);
         if let Rows::Grouped(groups) = &mut buf.rows {
-            buf.tuples_since_flush += 1;
             buf.emitted_cum += 1;
+            // Grouped buffers shed by refusing *new* groups past the cap
+            // (a group-key explosion); updates to existing groups fold
+            // into fixed-size aggregation state and are never shed.
+            if groups.len() >= row_cap && !groups.contains_key(&key) {
+                buf.shed_cum += 1;
+                buf.dirty = true;
+                return;
+            }
+            buf.tuples_since_flush += 1;
             let states = groups
                 .entry(key)
                 .or_insert_with(|| buf.spec.aggs.iter().map(|(f, _)| f.init()).collect());
@@ -166,6 +316,14 @@ pub struct Agent {
     incarnation: u64,
     registry: Registry,
     buffers: Mutex<HashMap<QueryId, Buffer>>,
+    /// Overload-governor state, keyed by query. Lock order: `governors`
+    /// before `buffers` (invoke charges, then the sink buffers lazily).
+    governors: Mutex<IdHashMap<GovernorState>>,
+    /// `true` iff any governor entry has a finite budget; lets ungoverned
+    /// invocations skip the governors lock entirely.
+    governed: AtomicBool,
+    /// Per-query bound on buffered rows between flushes.
+    row_cap: AtomicUsize,
     stats: Mutex<AgentStats>,
     enabled: std::sync::atomic::AtomicBool,
 }
@@ -180,6 +338,9 @@ impl Agent {
             incarnation: NEXT_INCARNATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             registry: Registry::new(),
             buffers: Mutex::new(HashMap::new()),
+            governors: Mutex::new(IdHashMap::default()),
+            governed: AtomicBool::new(false),
+            row_cap: AtomicUsize::new(DEFAULT_ROW_CAP),
             stats: Mutex::new(AgentStats::default()),
             enabled: std::sync::atomic::AtomicBool::new(true),
         }
@@ -214,11 +375,17 @@ impl Agent {
         *self.stats.lock()
     }
 
-    /// Applies a frontend command (weave / unweave).
+    /// Applies a frontend command (weave / unweave / budget).
     pub fn apply(&self, cmd: &Command) {
         match cmd {
             Command::Install(code) => self.install(code),
-            Command::Uninstall(id) => self.registry.unweave(*id),
+            Command::Uninstall(id) => {
+                self.registry.unweave(*id);
+                let mut governors = self.governors.lock();
+                governors.remove(id);
+                self.recompute_governed(&governors);
+            }
+            Command::SetBudget(id, budget) => self.set_budget(*id, *budget),
         }
     }
 
@@ -229,8 +396,20 @@ impl Agent {
     /// Idempotent: a query that is already woven is left untouched, so
     /// re-shipped bytecode (a duplicated install frame, or an epoch
     /// re-sync after reconnect) can never weave the same advice twice and
-    /// double-count emissions.
+    /// double-count emissions. A query whose breaker is currently open is
+    /// likewise left unwoven — a duplicated install or an epoch re-sync
+    /// must not undo a trip before its backoff elapses.
     pub fn install(&self, code: &CompiledCode) {
+        {
+            let mut governors = self.governors.lock();
+            if let Some(g) = governors.get_mut(&code.id) {
+                g.programs = code.programs.clone();
+                g.spec = Some(Arc::clone(&code.output));
+                if g.open_until.is_some() {
+                    return;
+                }
+            }
+        }
         if self.registry.has_query(code.id) {
             return;
         }
@@ -243,6 +422,102 @@ impl Agent {
         for program in &code.programs {
             self.registry.weave(code.id, Arc::clone(program));
         }
+    }
+
+    /// Sets (or replaces) the overload budget for `query`. The governor
+    /// captures the query's currently woven programs so a later trip can
+    /// re-weave exactly what it unwove.
+    pub fn set_budget(&self, query: QueryId, budget: QueryBudget) {
+        let mut governors = self.governors.lock();
+        let g = governors.entry(query).or_default();
+        g.budget = budget;
+        if g.programs.is_empty() {
+            g.programs = self.registry.programs_for(query);
+        }
+        if g.spec.is_none() {
+            // Lock order: governors before buffers.
+            g.spec = self.buffers.lock().get(&query).map(|b| Arc::clone(&b.spec));
+        }
+        self.recompute_governed(&governors);
+    }
+
+    /// Replaces the whole budget set (the epoch re-sync path, alongside
+    /// [`Agent::sync`]). Queries absent from `budgets` lose their governor
+    /// entry; an open breaker for a still-budgeted query stays open.
+    pub fn sync_budgets(&self, budgets: &[(QueryId, QueryBudget)]) {
+        let mut governors = self.governors.lock();
+        governors.retain(|q, _| budgets.iter().any(|(bq, _)| bq == q));
+        for (query, budget) in budgets {
+            let g = governors.entry(*query).or_default();
+            g.budget = *budget;
+            if g.programs.is_empty() {
+                g.programs = self.registry.programs_for(*query);
+            }
+            if g.spec.is_none() {
+                g.spec = self.buffers.lock().get(query).map(|b| Arc::clone(&b.spec));
+            }
+        }
+        self.recompute_governed(&governors);
+    }
+
+    fn recompute_governed(&self, governors: &IdHashMap<GovernorState>) {
+        let any = governors.values().any(|g| !g.budget.is_unlimited());
+        self.governed.store(any, Ordering::Relaxed);
+    }
+
+    /// Returns the budget currently set for `query`, if any.
+    pub fn budget_for(&self, query: QueryId) -> Option<QueryBudget> {
+        self.governors.lock().get(&query).map(|g| g.budget)
+    }
+
+    /// Returns `true` while `query`'s circuit breaker is open (advice
+    /// unwoven, awaiting its backoff deadline).
+    pub fn is_tripped(&self, query: QueryId) -> bool {
+        self.governors
+            .lock()
+            .get(&query)
+            .is_some_and(|g| g.open_until.is_some())
+    }
+
+    /// Lifetime breaker trips for `query` on this agent.
+    pub fn trips_for(&self, query: QueryId) -> u32 {
+        self.governors.lock().get(&query).map_or(0, |g| g.trips)
+    }
+
+    /// Cumulative tuples shed from `query`'s bounded buffer (emitted but
+    /// never delivered).
+    pub fn shed_for(&self, query: QueryId) -> u64 {
+        self.buffers.lock().get(&query).map_or(0, |b| b.shed_cum)
+    }
+
+    /// Cumulative tuples truncated by the baggage `All`-cap while running
+    /// `query`'s advice on this agent.
+    pub fn truncated_for(&self, query: QueryId) -> u64 {
+        self.governors
+            .lock()
+            .get(&query)
+            .map_or(0, |g| g.truncated_cum)
+    }
+
+    /// Rows currently buffered for `query` (bounded by the row cap).
+    pub fn buffered_rows(&self, query: QueryId) -> usize {
+        self.buffers
+            .lock()
+            .get(&query)
+            .map_or(0, |b| match &b.rows {
+                Rows::Streaming(rows) => rows.len(),
+                Rows::Grouped(groups) => groups.len(),
+            })
+    }
+
+    /// Overrides the per-query buffered-row cap (minimum 1).
+    pub fn set_row_cap(&self, cap: usize) {
+        self.row_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// The per-query buffered-row cap currently in force.
+    pub fn row_cap(&self) -> usize {
+        self.row_cap.load(Ordering::Relaxed)
     }
 
     /// Reconciles the registry with the frontend's full installed-query
@@ -259,6 +534,11 @@ impl Agent {
             .filter(|q| !keep.contains(q))
         {
             self.registry.unweave(stale);
+        }
+        {
+            let mut governors = self.governors.lock();
+            governors.retain(|q, _| keep.contains(q));
+            self.recompute_governed(&governors);
         }
         for code in installed {
             self.install(code);
@@ -304,18 +584,65 @@ impl Agent {
         let mut sink = AgentSink {
             buffers: &self.buffers,
             guard: None,
+            row_cap: self.row_cap.load(Ordering::Relaxed),
         };
         let mut packed = 0u64;
         let mut emitted = 0u64;
-        VM.with(|vm| {
-            let mut vm = vm.borrow_mut();
-            for woven in list.iter() {
-                let s = vm.run(&woven.code, &full, baggage, &mut sink);
-                packed += s.packed as u64;
-                emitted += s.emitted as u64;
-            }
-        });
+        // `tripped` stays empty (no allocation) until a breaker actually
+        // fires, which only the governed branch can do.
+        let mut tripped: Vec<QueryId> = Vec::new();
+        if self.governed.load(Ordering::Relaxed) {
+            // Governed: charge each program's work to its query. The
+            // governors lock is held across the VM loop (lock order:
+            // governors → buffers; the sink takes buffers lazily inside).
+            let mut governors = self.governors.lock();
+            VM.with(|vm| {
+                let mut vm = vm.borrow_mut();
+                for woven in list.iter() {
+                    // Programs with no governor entry skip the meter
+                    // bookkeeping entirely; they run exactly as in the
+                    // ungoverned branch below.
+                    let Some(g) = governors.get_mut(&woven.query) else {
+                        let s = vm.run(&woven.code, &full, baggage, &mut sink);
+                        packed += s.packed as u64;
+                        emitted += s.emitted as u64;
+                        continue;
+                    };
+                    let ops0 = vm.ops();
+                    let m0 = baggage.meter();
+                    let s = vm.run(&woven.code, &full, baggage, &mut sink);
+                    packed += s.packed as u64;
+                    emitted += s.emitted as u64;
+                    let m1 = baggage.meter();
+                    let work = (s.emitted + s.packed) as u64;
+                    let bytes = (m1.values - m0.values).saturating_mul(NOMINAL_BYTES_PER_VALUE);
+                    if charge_governor(
+                        g,
+                        woven.query,
+                        now,
+                        work,
+                        vm.ops() - ops0,
+                        bytes,
+                        m1.truncated - m0.truncated,
+                    ) {
+                        tripped.push(woven.query);
+                    }
+                }
+            });
+        } else {
+            VM.with(|vm| {
+                let mut vm = vm.borrow_mut();
+                for woven in list.iter() {
+                    let s = vm.run(&woven.code, &full, baggage, &mut sink);
+                    packed += s.packed as u64;
+                    emitted += s.emitted as u64;
+                }
+            });
+        }
         drop(sink);
+        for query in tripped {
+            self.registry.unweave(query);
+        }
         let mut st = self.stats.lock();
         st.advised_invocations += 1;
         st.tuples_packed += packed;
@@ -334,6 +661,7 @@ impl Agent {
         let mut sink = AgentSink {
             buffers: &self.buffers,
             guard: None,
+            row_cap: self.row_cap.load(Ordering::Relaxed),
         };
         VM.with(|vm| vm.borrow_mut().run(code, exports, baggage, &mut sink))
     }
@@ -341,30 +669,86 @@ impl Agent {
     /// Publishes and clears the local partial results (paper Figure 2, Æ).
     ///
     /// The embedding system calls this once per reporting interval; the
-    /// returned reports are addressed to the frontend.
+    /// returned reports are addressed to the frontend. The flush also runs
+    /// the governor's slow work: breakers whose backoff has elapsed re-arm
+    /// (their retained advice is re-woven), and pending [`Throttled`]
+    /// frames plus updated truncation counts ride out on the reports —
+    /// forcing a row-less report when necessary so the frontend always
+    /// hears about a trip or a truncation.
     pub fn flush(&self, now: u64) -> Vec<Report> {
+        // Governor pre-pass, then buffers: the two locks are never held
+        // together here (re-arming re-weaves through the registry).
+        let mut throttles: Vec<Throttled> = Vec::new();
+        let mut truncations: Vec<(QueryId, u64)> = Vec::new();
+        let mut pending_specs: Vec<(QueryId, Arc<OutputSpec>)> = Vec::new();
+        {
+            let mut governors = self.governors.lock();
+            for (query, g) in governors.iter_mut() {
+                if let Some(until) = g.open_until {
+                    if now >= until {
+                        // Re-arm: fresh window, advice re-woven. `trips`
+                        // is kept so a re-trip backs off longer.
+                        g.open_until = None;
+                        g.window_start = now;
+                        g.tuples = 0;
+                        g.ops = 0;
+                        g.bytes = 0;
+                        for program in &g.programs {
+                            self.registry.weave(*query, Arc::clone(program));
+                        }
+                    }
+                }
+                if let Some(t) = g.pending.take() {
+                    if let Some(spec) = &g.spec {
+                        pending_specs.push((*query, Arc::clone(spec)));
+                    }
+                    throttles.push(t);
+                }
+                if g.truncated_cum > 0 {
+                    truncations.push((*query, g.truncated_cum));
+                }
+            }
+        }
         let mut buffers = self.buffers.lock();
+        // A throttled query that never emitted here still needs a buffer
+        // to carry the trip's envelope out.
+        for (query, spec) in pending_specs {
+            buffers.entry(query).or_insert_with(|| Buffer::new(&spec));
+        }
         let mut out = Vec::new();
         for (query, buf) in buffers.iter_mut() {
+            let throttled = throttles
+                .iter()
+                .position(|t| t.query == *query)
+                .map(|i| throttles.swap_remove(i));
+            let truncated_cum = truncations
+                .iter()
+                .find(|(q, _)| q == query)
+                .map_or(buf.truncated_sent, |(_, n)| *n);
+            let has_rows = !matches!(
+                &buf.rows,
+                Rows::Streaming(rows) if rows.is_empty()
+            ) && !matches!(
+                &buf.rows,
+                Rows::Grouped(groups) if groups.is_empty()
+            );
+            // Skip only when there is truly nothing to say: no rows, no
+            // new shed/truncation counts, no trip to report.
+            if !has_rows && !buf.dirty && truncated_cum == buf.truncated_sent && throttled.is_none()
+            {
+                continue;
+            }
             let rows = match &mut buf.rows {
-                Rows::Streaming(rows) => {
-                    if rows.is_empty() {
-                        continue;
-                    }
-                    ReportRows::Raw(std::mem::take(rows))
-                }
-                Rows::Grouped(groups) => {
-                    if groups.is_empty() {
-                        continue;
-                    }
-                    ReportRows::Grouped(groups.drain().collect())
-                }
+                Rows::Streaming(rows) => ReportRows::Raw(std::mem::take(rows)),
+                Rows::Grouped(groups) => ReportRows::Grouped(groups.drain().collect()),
             };
             // Sequence numbers are only consumed by reports that actually
             // exist, so a receiver-side gap always means a lost report,
             // never an idle interval.
             let seq = buf.seq;
             buf.seq += 1;
+            buf.dirty = false;
+            buf.truncated_sent = truncated_cum;
             out.push(Report {
                 query: *query,
                 host: self.info.host.clone(),
@@ -375,6 +759,9 @@ impl Agent {
                 seq,
                 tuples: std::mem::take(&mut buf.tuples_since_flush),
                 emitted_cum: buf.emitted_cum,
+                shed_cum: buf.shed_cum,
+                truncated_cum,
+                throttled,
                 rows,
             });
         }

@@ -72,6 +72,8 @@ pub enum Command {
     Install(Arc<CompiledCode>),
     /// Unweave every program owned by this query.
     Uninstall(QueryId),
+    /// Set (or replace) the overload-governor budget for a query.
+    SetBudget(QueryId, crate::governor::QueryBudget),
 }
 
 /// Partial results of one query from one process over one interval.
@@ -104,6 +106,16 @@ pub struct Report {
     /// Cumulative tuples emitted for this query by this agent incarnation,
     /// including the ones in this report.
     pub emitted_cum: u64,
+    /// Cumulative tuples this incarnation's governor shed from bounded
+    /// buffers (emitted but intentionally never delivered; extends the
+    /// loss identity with a `governor_shed` term).
+    pub shed_cum: u64,
+    /// Cumulative tuples truncated by the baggage `All`-cap for this query
+    /// on this incarnation (never emitted; informational, so the frontend
+    /// can distinguish governor truncation from transport drops).
+    pub truncated_cum: u64,
+    /// A circuit-breaker trip that occurred since the previous flush.
+    pub throttled: Option<crate::governor::Throttled>,
     /// The partial rows.
     pub rows: ReportRows,
 }

@@ -13,6 +13,7 @@ use pivot_query::{
 };
 
 use crate::bus::{Command, Report, ReportRows};
+use crate::governor::{QueryBudget, Throttled};
 use crate::tracepoint::TracepointDef;
 
 /// A handle to an installed query.
@@ -40,9 +41,11 @@ pub struct ResultRow {
 /// duplicates are suppressed before merging (so aggregates never double
 /// count), gaps in the per-agent sequence space are surfaced as
 /// `reports_missed`, and the tuple counters balance as
-/// `tuples_delivered + tuples_dropped == tuples_emitted` (where
-/// `tuples_emitted` is the frontend's latest view of each agent's
-/// cumulative emission counter).
+/// `tuples_delivered + tuples_shed + tuples_dropped == tuples_emitted`
+/// (where `tuples_emitted` is the frontend's latest view of each agent's
+/// cumulative emission counter, and `tuples_shed` is what the agents'
+/// overload governor intentionally discarded from bounded buffers —
+/// distinguishable from `tuples_dropped`, the transport's losses).
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct LossStats {
     /// Reports merged into the results.
@@ -56,7 +59,14 @@ pub struct LossStats {
     /// Tuples the agents report having emitted (max cumulative counter per
     /// agent incarnation, summed).
     pub tuples_emitted: u64,
-    /// Tuples lost on the report path (`tuples_emitted - tuples_delivered`).
+    /// Tuples the agents' governor shed from bounded buffers (emitted but
+    /// intentionally never delivered — accounted, not lost).
+    pub tuples_shed: u64,
+    /// Tuples the agents' baggage `All`-cap truncated before emission
+    /// (informational: these never count toward `tuples_emitted`).
+    pub tuples_truncated: u64,
+    /// Tuples lost on the report path
+    /// (`tuples_emitted - tuples_delivered - tuples_shed`).
     pub tuples_dropped: u64,
 }
 
@@ -80,6 +90,8 @@ struct SourceTrack {
     duplicates: u64,
     delivered_tuples: u64,
     emitted_cum: u64,
+    shed_cum: u64,
+    truncated_cum: u64,
 }
 
 impl SourceTrack {
@@ -122,6 +134,8 @@ pub struct QueryResults {
     raw: Vec<(u64, Tuple)>,
     /// Per-agent-incarnation sequence tracking and loss accounting.
     sources: HashMap<SourceKey, SourceTrack>,
+    /// Circuit-breaker trips reported by agents, in arrival order.
+    throttles: Vec<Throttled>,
 }
 
 impl QueryResults {
@@ -132,6 +146,7 @@ impl QueryResults {
             intervals: BTreeMap::new(),
             raw: Vec::new(),
             sources: HashMap::new(),
+            throttles: Vec::new(),
         }
     }
 
@@ -147,6 +162,11 @@ impl QueryResults {
         }
         track.delivered_tuples += report.tuples;
         track.emitted_cum = track.emitted_cum.max(report.emitted_cum);
+        track.shed_cum = track.shed_cum.max(report.shed_cum);
+        track.truncated_cum = track.truncated_cum.max(report.truncated_cum);
+        if let Some(t) = report.throttled {
+            self.throttles.push(t);
+        }
         match report.rows {
             ReportRows::Raw(rows) => {
                 for r in rows {
@@ -174,9 +194,22 @@ impl QueryResults {
             loss.reports_missed += track.missed();
             loss.tuples_delivered += track.delivered_tuples;
             loss.tuples_emitted += track.emitted_cum;
+            loss.tuples_shed += track.shed_cum;
+            loss.tuples_truncated += track.truncated_cum;
         }
-        loss.tuples_dropped = loss.tuples_emitted.saturating_sub(loss.tuples_delivered);
+        loss.tuples_dropped = loss
+            .tuples_emitted
+            .saturating_sub(loss.tuples_delivered)
+            .saturating_sub(loss.tuples_shed);
         loss
+    }
+
+    /// Circuit-breaker trips reported by agents for this query, sorted
+    /// (by query, reason, stats) for deterministic inspection.
+    pub fn throttles(&self) -> Vec<Throttled> {
+        let mut out = self.throttles.clone();
+        out.sort_unstable();
+        out
     }
 
     /// Returns the merged-over-all-time rows in `Select` order, sorted by
@@ -301,6 +334,11 @@ struct Installed {
     ast: Query,
     compiled: Arc<CompiledQuery>,
     code: Arc<CompiledCode>,
+    /// Budget derived from the static verifier's baggage bound
+    /// (unlimited when the bound is infinite or analysis was skipped).
+    derived_budget: QueryBudget,
+    /// The budget currently in force on the agents, if any was pushed.
+    budget: Option<QueryBudget>,
 }
 
 /// The query frontend (paper Figure 2's "Pivot Tracing frontend").
@@ -318,6 +356,9 @@ pub struct Frontend {
     epoch: u64,
     optimize: bool,
     skip_verify: bool,
+    /// When set, every install also pushes the statically-derived
+    /// [`QueryBudget`] to the agents (off by default).
+    enforce_budgets: bool,
 }
 
 impl Frontend {
@@ -383,12 +424,19 @@ impl Frontend {
         // into a live system). The compiler catches hard structural
         // defects above; the verifier additionally rejects type-incoherent
         // expressions and dataflow defects, with spans.
-        if !self.skip_verify {
-            let analysis = Analyzer::new(&*self).analyze(text, name);
-            if analysis.has_errors() {
-                return Err(InstallError::Rejected(analysis.diagnostics));
-            }
+        let analysis = Analyzer::new(&*self).analyze(text, name);
+        if !self.skip_verify && analysis.has_errors() {
+            return Err(InstallError::Rejected(analysis.diagnostics));
         }
+        // Derive a default overload budget from the static baggage bound
+        // of the plan variant this frontend actually executes.
+        let static_bound = if self.optimize {
+            analysis.optimized_cost.as_ref()
+        } else {
+            analysis.unoptimized_cost.as_ref()
+        }
+        .and_then(|c| c.total_bytes.as_finite());
+        let derived_budget = QueryBudget::from_static_bound(static_bound);
         let ast = pivot_query::parse(text).expect("compile re-parses successfully");
         self.next_id += 1;
         let compiled = Arc::new(compiled);
@@ -406,13 +454,58 @@ impl Frontend {
             .insert(id, QueryResults::new(Arc::clone(&compiled.output)));
         self.epoch += 1;
         self.commands.push(Command::Install(Arc::clone(&code)));
+        let budget = if self.enforce_budgets && !derived_budget.is_unlimited() {
+            self.commands.push(Command::SetBudget(id, derived_budget));
+            Some(derived_budget)
+        } else {
+            None
+        };
         self.queries.push(Installed {
             handle: handle.clone(),
             ast,
             compiled,
             code,
+            derived_budget,
+            budget,
         });
         Ok(handle)
+    }
+
+    /// Enables pushing statically-derived [`QueryBudget`]s to the agents
+    /// on every install (off by default: budgets are opt-in, so the
+    /// governor is invisible until asked for).
+    pub fn set_enforce_budgets(&mut self, on: bool) {
+        self.enforce_budgets = on;
+    }
+
+    /// Explicitly sets (or replaces) the overload budget for an installed
+    /// query, queueing a [`Command::SetBudget`] broadcast. Does not bump
+    /// the epoch — the epoch tracks the weave set, and budgets re-ship
+    /// alongside it on re-sync via [`Frontend::budgets`].
+    pub fn set_budget(&mut self, handle: &QueryHandle, budget: QueryBudget) {
+        if let Some(q) = self.queries.iter_mut().find(|q| q.handle == *handle) {
+            q.budget = Some(budget);
+            self.commands.push(Command::SetBudget(handle.id, budget));
+        }
+    }
+
+    /// The budget derived from the query's static baggage bound
+    /// (unlimited when the bound is infinite).
+    pub fn derived_budget(&self, handle: &QueryHandle) -> Option<QueryBudget> {
+        self.queries
+            .iter()
+            .find(|q| q.handle == *handle)
+            .map(|q| q.derived_budget)
+    }
+
+    /// Every installed query's budget currently in force, for transports
+    /// that re-ship budgets when an agent re-syncs after a crash or
+    /// partition (the budget analogue of [`Frontend::installed`]).
+    pub fn budgets(&self) -> Vec<(QueryId, QueryBudget)> {
+        self.queries
+            .iter()
+            .filter_map(|q| q.budget.map(|b| (q.handle.id, b)))
+            .collect()
     }
 
     /// Uninstalls a query, queueing an unweave command. Accumulated results

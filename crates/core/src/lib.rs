@@ -33,10 +33,12 @@ pub mod agent;
 pub mod bus;
 pub mod frontend;
 pub mod global;
+pub mod governor;
 pub mod interp;
 pub mod tracepoint;
 
 pub use agent::{Agent, ProcessInfo};
 pub use bus::{Bus, Command, LocalBus, Report, ReportRows};
 pub use frontend::{Frontend, LossStats, QueryHandle, QueryResults, ResultRow};
+pub use governor::{QueryBudget, ThrottleReason, ThrottleStats, Throttled};
 pub use tracepoint::{Registry, TracepointDef, DEFAULT_EXPORTS};

@@ -165,6 +165,23 @@ impl Registry {
             .any(|entry| entry.list.iter().any(|w| w.query == query))
     }
 
+    /// Returns the distinct advice programs woven for `query` (weave-time
+    /// cost, never on the invoke hot path). The overload governor captures
+    /// these when a budget is set so a tripped breaker can re-weave the
+    /// exact programs it unwove.
+    pub fn programs_for(&self, query: QueryId) -> Vec<Arc<AdviceByteCode>> {
+        let map = self.map.read();
+        let mut out: Vec<Arc<AdviceByteCode>> = Vec::new();
+        for entry in map.values() {
+            for w in entry.list.iter().filter(|w| w.query == query) {
+                if !out.iter().any(|p| Arc::ptr_eq(p, &w.code)) {
+                    out.push(Arc::clone(&w.code));
+                }
+            }
+        }
+        out
+    }
+
     /// Returns the distinct query ids with woven advice, in sorted order
     /// (used by epoch re-sync to reconcile against the frontend's set).
     pub fn woven_queries(&self) -> Vec<QueryId> {

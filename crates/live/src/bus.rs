@@ -41,7 +41,8 @@ use parking_lot::Mutex;
 use pivot_baggage::QueryId;
 use pivot_core::frontend::InstallError;
 use pivot_core::{
-    Agent, Bus, Command, Frontend, ProcessInfo, QueryHandle, QueryResults, Report, TracepointDef,
+    Agent, Bus, Command, Frontend, ProcessInfo, QueryBudget, QueryHandle, QueryResults, Report,
+    TracepointDef,
 };
 use pivot_query::CompiledCode;
 
@@ -64,6 +65,9 @@ struct BusInner {
     /// rejoin) late — mirrors the simulated cluster weaving installed
     /// queries into new processes.
     installed: Mutex<Vec<Arc<CompiledCode>>>,
+    /// Overload budgets currently in force, re-shipped on every `Sync` so
+    /// a rejoining agent recovers its governor configuration too.
+    budgets: Mutex<Vec<(QueryId, QueryBudget)>>,
     /// Install epoch: bumped on every install/uninstall broadcast and
     /// stamped on each `Sync` frame, so agents know which snapshot of the
     /// query set they have converged to.
@@ -97,6 +101,7 @@ impl TcpBusServer {
             peers: Mutex::new(Vec::new()),
             reports: Mutex::new(Vec::new()),
             installed: Mutex::new(Vec::new()),
+            budgets: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
             peers_closed: AtomicU64::new(0),
             peers_lost: AtomicU64::new(0),
@@ -208,7 +213,17 @@ impl Bus for TcpBusServer {
     fn broadcast(&self, cmd: &Command) {
         match cmd {
             Command::Install(q) => self.inner.installed.lock().push(Arc::clone(q)),
-            Command::Uninstall(id) => self.inner.installed.lock().retain(|q| q.id != *id),
+            Command::Uninstall(id) => {
+                self.inner.installed.lock().retain(|q| q.id != *id);
+                self.inner.budgets.lock().retain(|(q, _)| q != id);
+            }
+            Command::SetBudget(id, budget) => {
+                let mut budgets = self.inner.budgets.lock();
+                match budgets.iter_mut().find(|(q, _)| q == id) {
+                    Some(entry) => entry.1 = *budget,
+                    None => budgets.push((*id, *budget)),
+                }
+            }
         }
         self.inner.epoch.fetch_add(1, Ordering::SeqCst);
         let payload = encode_message(&Message::Command(cmd.clone()));
@@ -270,9 +285,11 @@ fn peer_reader(
                 // to the exact installed set at the current epoch.
                 let sync = {
                     let queries = inner.installed.lock().clone();
+                    let budgets = inner.budgets.lock().clone();
                     Message::Sync {
                         epoch: inner.epoch.load(Ordering::SeqCst),
                         queries,
+                        budgets,
                     }
                 };
                 if write_frame(&mut *writer.lock(), &encode_message(&sync)).is_err() {
@@ -583,8 +600,13 @@ fn read_session(read: &mut TcpStream, shared: &LiveShared) -> SessionEnd {
     while let Ok(payload) = read_frame(read) {
         match decode_message(&payload) {
             Ok(Message::Command(cmd)) => shared.agent.apply(&cmd),
-            Ok(Message::Sync { epoch, queries }) => {
+            Ok(Message::Sync {
+                epoch,
+                queries,
+                budgets,
+            }) => {
                 shared.agent.sync(&queries);
+                shared.agent.sync_budgets(&budgets);
                 shared.epoch.store(epoch, Ordering::SeqCst);
             }
             Ok(Message::Goodbye) => return SessionEnd::Orderly,
@@ -753,6 +775,19 @@ impl LiveFrontend {
     pub fn uninstall(&mut self, handle: &QueryHandle) {
         self.frontend.uninstall(handle);
         self.broadcast_pending();
+    }
+
+    /// Pushes an overload budget for `handle` to every connected agent
+    /// (and to agents that re-sync later, via the `Sync` budget list).
+    pub fn set_budget(&mut self, handle: &QueryHandle, budget: QueryBudget) {
+        self.frontend.set_budget(handle, budget);
+        self.broadcast_pending();
+    }
+
+    /// Enables install-time pushing of statically-derived budgets (see
+    /// [`Frontend::set_enforce_budgets`]).
+    pub fn set_enforce_budgets(&mut self, on: bool) {
+        self.frontend.set_enforce_budgets(on);
     }
 
     fn broadcast_pending(&mut self) {

@@ -28,7 +28,9 @@
 use std::sync::Arc;
 
 use pivot_baggage::{PackMode, QueryId};
-use pivot_core::{Command, ProcessInfo, Report, ReportRows};
+use pivot_core::{
+    Command, ProcessInfo, QueryBudget, Report, ReportRows, ThrottleReason, ThrottleStats, Throttled,
+};
 use pivot_itc::{DecodeError, Decoder, Encoder};
 use pivot_model::{codec, AggFunc, AggState, BinOp, Expr, GroupKey, Sym, Tuple, UnOp};
 use pivot_query::advice::ColumnRef;
@@ -38,8 +40,10 @@ use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
 /// Wire-protocol version. Bumped to 2 when `Install` switched from
 /// advice-op trees to lowered bytecode; to 3 when `Report` grew the
 /// loss-accounting envelope (procid, incarnation, seq, tuple counters)
-/// and the `Sync`/`Goodbye` messages were added for crash recovery.
-pub const PROTO_VERSION: u8 = 3;
+/// and the `Sync`/`Goodbye` messages were added for crash recovery; to 4
+/// when the overload governor added `SetBudget`, budget lists on `Sync`,
+/// and the shed/truncation/throttle fields of the `Report` envelope.
+pub const PROTO_VERSION: u8 = 4;
 
 /// Maximum expression nesting the decoder accepts. Honest queries stay in
 /// single digits; the cap keeps a hostile peer from overflowing the stack.
@@ -63,6 +67,9 @@ pub enum Message {
         epoch: u64,
         /// Every currently installed query's lowered bytecode.
         queries: Vec<Arc<CompiledCode>>,
+        /// The overload budgets currently in force, so a re-syncing agent
+        /// recovers its governor configuration along with its weave set.
+        budgets: Vec<(QueryId, QueryBudget)>,
     },
     /// Orderly shutdown: the sender is closing this connection on purpose.
     /// A socket that closes *without* a preceding `Goodbye` is a lost
@@ -93,15 +100,29 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             enc.put_u8(3);
             encode_report(report, &mut enc);
         }
-        Message::Sync { epoch, queries } => {
+        Message::Sync {
+            epoch,
+            queries,
+            budgets,
+        } => {
             enc.put_u8(4);
             enc.put_varint(*epoch);
             enc.put_varint(queries.len() as u64);
             for code in queries {
                 encode_code(code, &mut enc);
             }
+            enc.put_varint(budgets.len() as u64);
+            for (id, budget) in budgets {
+                enc.put_varint(id.0);
+                encode_budget(budget, &mut enc);
+            }
         }
         Message::Goodbye => enc.put_u8(5),
+        Message::Command(Command::SetBudget(id, budget)) => {
+            enc.put_u8(6);
+            enc.put_varint(id.0);
+            encode_budget(budget, &mut enc);
+        }
     }
     enc.finish()
 }
@@ -132,9 +153,23 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
                 // standalone Install: a hostile Sync is no more powerful.
                 queries.push(Arc::new(decode_code(&mut dec)?));
             }
-            Message::Sync { epoch, queries }
+            let n = dec.take_varint()? as usize;
+            let mut budgets = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let id = QueryId(dec.take_varint()?);
+                budgets.push((id, decode_budget(&mut dec)?));
+            }
+            Message::Sync {
+                epoch,
+                queries,
+                budgets,
+            }
         }
         5 => Message::Goodbye,
+        6 => {
+            let id = QueryId(dec.take_varint()?);
+            Message::Command(Command::SetBudget(id, decode_budget(&mut dec)?))
+        }
         t => return Err(DecodeError::BadTag("message", t)),
     };
     if !dec.is_empty() {
@@ -625,6 +660,26 @@ fn decode_opt_filter(dec: &mut Decoder<'_>) -> Result<Option<TemporalFilter>, De
     })
 }
 
+fn encode_budget(b: &QueryBudget, enc: &mut Encoder) {
+    enc.put_varint(b.tuples_per_window);
+    enc.put_varint(b.ops_per_window);
+    enc.put_varint(b.bytes_per_window);
+    enc.put_varint(b.window_ns);
+    enc.put_varint(u64::from(b.backoff_base_windows));
+    enc.put_varint(u64::from(b.max_backoff_doublings));
+}
+
+fn decode_budget(dec: &mut Decoder<'_>) -> Result<QueryBudget, DecodeError> {
+    Ok(QueryBudget {
+        tuples_per_window: dec.take_varint()?,
+        ops_per_window: dec.take_varint()?,
+        bytes_per_window: dec.take_varint()?,
+        window_ns: dec.take_varint()?,
+        backoff_base_windows: take_u32(dec)?,
+        max_backoff_doublings: take_u32(dec)?,
+    })
+}
+
 fn encode_report(r: &Report, enc: &mut Encoder) {
     enc.put_varint(r.query.0);
     enc.put_str(&r.host);
@@ -635,6 +690,20 @@ fn encode_report(r: &Report, enc: &mut Encoder) {
     enc.put_varint(r.seq);
     enc.put_varint(r.tuples);
     enc.put_varint(r.emitted_cum);
+    enc.put_varint(r.shed_cum);
+    enc.put_varint(r.truncated_cum);
+    match &r.throttled {
+        None => enc.put_u8(0),
+        Some(t) => {
+            enc.put_u8(1);
+            enc.put_varint(t.query.0);
+            enc.put_u8(t.reason.tag());
+            enc.put_varint(t.stats.tuples);
+            enc.put_varint(t.stats.ops);
+            enc.put_varint(t.stats.bytes);
+            enc.put_varint(u64::from(t.stats.trips));
+        }
+    }
     match &r.rows {
         ReportRows::Raw(rows) => {
             enc.put_u8(0);
@@ -667,6 +736,28 @@ fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
     let seq = dec.take_varint()?;
     let tuples = dec.take_varint()?;
     let emitted_cum = dec.take_varint()?;
+    let shed_cum = dec.take_varint()?;
+    let truncated_cum = dec.take_varint()?;
+    let throttled = match dec.take_u8()? {
+        0 => None,
+        1 => {
+            let t_query = QueryId(dec.take_varint()?);
+            let tag = dec.take_u8()?;
+            let reason =
+                ThrottleReason::from_tag(tag).ok_or(DecodeError::BadTag("throttle reason", tag))?;
+            Some(Throttled {
+                query: t_query,
+                reason,
+                stats: ThrottleStats {
+                    tuples: dec.take_varint()?,
+                    ops: dec.take_varint()?,
+                    bytes: dec.take_varint()?,
+                    trips: take_u32(dec)?,
+                },
+            })
+        }
+        t => return Err(DecodeError::BadTag("throttle flag", t)),
+    };
     let rows = match dec.take_u8()? {
         0 => {
             let n = dec.take_varint()? as usize;
@@ -702,6 +793,9 @@ fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
         seq,
         tuples,
         emitted_cum,
+        shed_cum,
+        truncated_cum,
+        throttled,
         rows,
     })
 }
@@ -916,6 +1010,18 @@ mod tests {
             seq: 17,
             tuples: 2,
             emitted_cum: 2_000_001,
+            shed_cum: 40,
+            truncated_cum: 7,
+            throttled: Some(Throttled {
+                query: QueryId(5),
+                reason: ThrottleReason::Bytes,
+                stats: ThrottleStats {
+                    tuples: 100,
+                    ops: 6_400,
+                    bytes: 1_200,
+                    trips: 3,
+                },
+            }),
             rows: ReportRows::Raw(vec![
                 Tuple::from_iter([Value::str("x"), Value::I64(-4)]),
                 Tuple::empty(),
@@ -931,6 +1037,9 @@ mod tests {
             seq: 0,
             tuples: 1,
             emitted_cum: 1,
+            shed_cum: 0,
+            truncated_cum: 0,
+            throttled: None,
             rows: ReportRows::Grouped(vec![(
                 GroupKey(Tuple::from_iter([Value::str("client-1")])),
                 vec![AggFunc::Sum.init(), AggFunc::Count.init()],
@@ -949,24 +1058,66 @@ mod tests {
             assert_eq!(back.seq, report.seq);
             assert_eq!(back.tuples, report.tuples);
             assert_eq!(back.emitted_cum, report.emitted_cum);
+            assert_eq!(back.shed_cum, report.shed_cum);
+            assert_eq!(back.truncated_cum, report.truncated_cum);
+            assert_eq!(back.throttled, report.throttled);
             assert_eq!(back.rows.len(), report.rows.len());
         }
     }
 
     #[test]
+    fn set_budget_round_trips() {
+        let budget = QueryBudget {
+            tuples_per_window: 10_240,
+            ops_per_window: 655_360,
+            bytes_per_window: 122_880,
+            window_ns: 1_000_000_000,
+            backoff_base_windows: 2,
+            max_backoff_doublings: 5,
+        };
+        let bytes = encode_message(&Message::Command(Command::SetBudget(QueryId(3), budget)));
+        let Message::Command(Command::SetBudget(id, back)) =
+            decode_message(&bytes).expect("decodes")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(id, QueryId(3));
+        assert_eq!(back, budget);
+        // Unlimited budgets survive the varint codec (u64::MAX rates).
+        let bytes = encode_message(&Message::Command(Command::SetBudget(
+            QueryId(4),
+            QueryBudget::unlimited(),
+        )));
+        let Message::Command(Command::SetBudget(_, back)) =
+            decode_message(&bytes).expect("decodes")
+        else {
+            panic!("wrong kind");
+        };
+        assert!(back.is_unlimited());
+    }
+
+    #[test]
     fn sync_and_goodbye_round_trip() {
         let code = q2_code();
+        let budget = QueryBudget::from_static_bound(Some(96));
         let msg = Message::Sync {
             epoch: 42,
             queries: vec![Arc::clone(&code), code],
+            budgets: vec![(QueryId(1), budget)],
         };
         let bytes = encode_message(&msg);
-        let Message::Sync { epoch, queries } = decode_message(&bytes).expect("decodes") else {
+        let Message::Sync {
+            epoch,
+            queries,
+            budgets,
+        } = decode_message(&bytes).expect("decodes")
+        else {
             panic!("wrong kind");
         };
         assert_eq!(epoch, 42);
         assert_eq!(queries.len(), 2);
         assert_eq!(*queries[0], *queries[1]);
+        assert_eq!(budgets, vec![(QueryId(1), budget)]);
 
         let bytes = encode_message(&Message::Goodbye);
         assert!(matches!(decode_message(&bytes), Ok(Message::Goodbye)));
@@ -1005,6 +1156,7 @@ mod tests {
                     output: Arc::new(OutputSpec::default()),
                 }),
             ],
+            budgets: vec![],
         };
         let bytes = encode_message(&msg);
         assert!(matches!(
@@ -1036,6 +1188,18 @@ mod tests {
                 seq: 3,
                 tuples: 5,
                 emitted_cum: 11,
+                shed_cum: 1,
+                truncated_cum: 2,
+                throttled: Some(Throttled {
+                    query: QueryId(5),
+                    reason: ThrottleReason::Tuples,
+                    stats: ThrottleStats {
+                        tuples: 9,
+                        ops: 81,
+                        bytes: 108,
+                        trips: 1,
+                    },
+                }),
                 rows: ReportRows::Grouped(vec![(
                     GroupKey(Tuple::from_iter([Value::str("k")])),
                     vec![AggFunc::Count.init()],
@@ -1044,8 +1208,13 @@ mod tests {
             encode_message(&Message::Sync {
                 epoch: 7,
                 queries: vec![code],
+                budgets: vec![(QueryId(1), QueryBudget::from_static_bound(Some(60)))],
             }),
             encode_message(&Message::Goodbye),
+            encode_message(&Message::Command(Command::SetBudget(
+                QueryId(2),
+                QueryBudget::from_static_bound(Some(48)),
+            ))),
         ]
     }
 

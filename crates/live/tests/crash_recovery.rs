@@ -188,6 +188,112 @@ fn severed_connection_reconnects_and_resyncs() {
     assert_eq!(fe.bus().peers_lost(), 1, "shutdown never counts as lost");
 }
 
+const Q_RAW: &str = "From exec In KvShard.execute Select exec.shard, exec.bytes";
+
+/// Fires `n` shard executions on this thread (no client half needed for
+/// the single-tracepoint streaming query).
+fn drive_shard(server: &LiveAgent, n: u64) {
+    for i in 0..n {
+        let scope = pivot_live::attach(Baggage::new());
+        tracepoint(
+            server.agent(),
+            "KvShard.execute",
+            &[
+                ("shard", Value::I64((i % 4) as i64)),
+                ("op", Value::str("put")),
+                ("bytes", Value::I64((i % 7) as i64)),
+                ("hit", Value::Bool(true)),
+            ],
+        );
+        drop(scope);
+    }
+}
+
+#[test]
+fn long_partition_keeps_outage_buffering_bounded() {
+    const CAP: usize = 32;
+    let mut fe = LiveFrontend::start().expect("frontend starts");
+    define_kv_tracepoints(fe.frontend_mut());
+    let qr = fe.install_named("QRAW", Q_RAW).expect("QRAW installs");
+
+    // A long first backoff guarantees a window in which the agent is
+    // partitioned (flushes skipped, tuples accumulating locally).
+    let policy = ReconnectPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(400),
+        max_delay: Duration::from_millis(400),
+        jitter_seed: 7,
+    };
+    let server = LiveAgent::connect_with(
+        fe.addr(),
+        info("kvserver", 1),
+        Duration::from_millis(5),
+        policy,
+    )
+    .expect("server connects");
+    server.agent().set_row_cap(CAP);
+    assert!(server.wait_for_epoch(fe.bus().epoch(), Duration::from_secs(10)));
+
+    // Phase 1: a small workload delivered normally.
+    drive_shard(&server, 10);
+    server.flush_now();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fe.results(&qr).raw_rows().len() < 10 {
+        assert!(Instant::now() < deadline, "phase-1 rows arrive");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Partition: cut the connections and wait until the agent notices
+    // (from then on the report loop skips flushes entirely).
+    fe.bus().sever();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.status() != ConnStatus::Reconnecting {
+        assert!(
+            Instant::now() < deadline,
+            "agent notices the partition (status {:?})",
+            server.status()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // A long-outage workload, far past the row cap: the outage buffer
+    // must stay bounded, shedding oldest rows instead of growing.
+    drive_shard(&server, 500);
+    assert_eq!(server.agent().emitted_for(qr.id), 510);
+    assert_eq!(server.agent().buffered_rows(qr.id), CAP);
+    assert_eq!(server.agent().shed_for(qr.id), 500 - CAP as u64);
+
+    // Recovery: the backoff elapses, the agent reconnects on its own,
+    // and the next flush delivers the surviving rows *and* the shed
+    // count, so the frontend's loss envelope owns up to the outage.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.status() != ConnStatus::Connected {
+        assert!(Instant::now() < deadline, "agent reconnects after backoff");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.flush_now();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let res = fe.results(&qr);
+        if res.raw_rows().len() == 10 + CAP && res.loss().tuples_shed == 500 - CAP as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shed accounting converges (rows {}, shed {})",
+            res.raw_rows().len(),
+            res.loss().tuples_shed
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let loss = fe.results(&qr).loss();
+    assert_eq!(loss.tuples_delivered, 10 + CAP as u64);
+    // Nothing was silently dropped: emitted == delivered + shed.
+    assert_eq!(loss.tuples_dropped, 0);
+
+    server.shutdown();
+}
+
 #[test]
 fn reconnect_disabled_surfaces_lost_status() {
     let fe = LiveFrontend::start().expect("frontend starts");

@@ -761,6 +761,7 @@ pub struct Vm {
     joined: Vec<Tuple>,
     projected: Vec<Tuple>,
     args: Vec<Value>,
+    ops: u64,
 }
 
 /// Expression evaluation failed; the affected tuple is dropped (advice
@@ -771,6 +772,18 @@ impl Vm {
     /// Creates a VM with empty scratch buffers.
     pub fn new() -> Vm {
         Vm::default()
+    }
+
+    /// Cumulative count of retired instructions over this VM's lifetime.
+    ///
+    /// Callers meter per-program work by taking the difference around a
+    /// [`Vm::run`] call. This is deliberately *not* part of [`VmStats`]:
+    /// stats are compared between the VM and the tree-walk interpreter in
+    /// differential tests, and the two engines retire different
+    /// instruction counts for the same semantics (the VM fuses trailing
+    /// filters).
+    pub fn ops(&self) -> u64 {
+        self.ops
     }
 
     /// Executes `code` for one tracepoint invocation.
@@ -792,6 +805,7 @@ impl Vm {
         self.tuples.push(Tuple::empty());
 
         for inst in &code.insts {
+            self.ops += 1;
             match inst {
                 Inst::Observe { names } => {
                     let observed: Tuple = code.names[names.0 as usize..names.1 as usize]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use pivot_analyze::Analyzer;
 use pivot_core::bus::LocalBus;
-use pivot_core::{Agent, Frontend, ProcessInfo, QueryHandle};
+use pivot_core::{Agent, Frontend, ProcessInfo, QueryBudget, QueryHandle};
 use pivot_hadoop::tracepoints;
 use pivot_model::Value;
 use pivot_workloads::experiments::fig1::{Q1, Q2};
@@ -167,6 +167,41 @@ fn run_side(optimize: bool) -> (Frontend, Vec<QueryHandle>) {
     (fe, handles)
 }
 
+/// Like [`run_side`] with optimization on, but with the overload
+/// governor fully engaged: statically-derived budgets are pushed at
+/// install (`set_enforce_budgets`), then generous finite budgets force
+/// every agent onto the charging path — which must never trip, shed, or
+/// perturb a single row on this workload.
+fn run_side_enforced() -> (Frontend, Vec<QueryHandle>) {
+    let mut fe = make_frontend(true);
+    fe.set_enforce_budgets(true);
+    let bus = make_bus();
+    let handles: Vec<QueryHandle> = QUERIES
+        .iter()
+        .map(|(name, text)| {
+            fe.install_named(name, text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        })
+        .collect();
+    let generous = QueryBudget {
+        tuples_per_window: 1 << 40,
+        ops_per_window: 1 << 50,
+        bytes_per_window: 1 << 50,
+        window_ns: 1_000_000_000,
+        backoff_base_windows: 1,
+        max_backoff_doublings: 0,
+    };
+    for h in &handles {
+        fe.set_budget(h, generous);
+    }
+    for cmd in fe.drain_commands() {
+        bus.broadcast(&cmd);
+    }
+    replay(&bus);
+    bus.pump(1_000_000_000, &mut fe);
+    (fe, handles)
+}
+
 #[test]
 fn optimized_and_unoptimized_agree_on_experiment_queries() {
     let (opt_fe, opt_handles) = run_side(true);
@@ -182,6 +217,38 @@ fn optimized_and_unoptimized_agree_on_experiment_queries() {
             "{name}: streaming rows differ"
         );
         assert!(!opt.is_empty(), "{name}: trace produced no results");
+    }
+}
+
+#[test]
+fn enforced_generous_budgets_change_no_results() {
+    let (base_fe, base_handles) = run_side(true);
+    let (gov_fe, gov_handles) = run_side_enforced();
+
+    for ((name, _), (hb, hg)) in QUERIES.iter().zip(base_handles.iter().zip(&gov_handles)) {
+        let base = base_fe.results(hb);
+        let gov = gov_fe.results(hg);
+        assert_eq!(
+            base.rows(),
+            gov.rows(),
+            "{name}: grouped rows differ under the governor"
+        );
+        assert_eq!(
+            base.raw_rows(),
+            gov.raw_rows(),
+            "{name}: streaming rows differ under the governor"
+        );
+        assert!(
+            gov.throttles().is_empty(),
+            "{name}: a generous budget tripped the breaker"
+        );
+        let loss = gov.loss();
+        assert_eq!(loss.tuples_shed, 0, "{name}: governor shed tuples");
+        assert_eq!(
+            base.loss().tuples_delivered,
+            loss.tuples_delivered,
+            "{name}: delivered-tuple counts diverge"
+        );
     }
 }
 

@@ -182,4 +182,17 @@ fn report_bound(name: &str, analysis: &pivot_analyze::Analysis) {
     if let Some(unopt) = &analysis.unoptimized_cost {
         println!("  (unoptimized plan: {} bytes)", unopt.total_bytes);
     }
+    // A finite bound seeds the runtime overload governor: show the
+    // default budget a frontend with `set_enforce_budgets(true)` would
+    // push for this query, so operators can size overrides against it.
+    if let Some(bytes) = cost.total_bytes.as_finite() {
+        let b = pivot_core::QueryBudget::from_static_bound(Some(bytes));
+        println!(
+            "  default budget: {} tuples, {} vm-ops, {} bytes per {} ms window",
+            b.tuples_per_window,
+            b.ops_per_window,
+            b.bytes_per_window,
+            b.window_ns / 1_000_000
+        );
+    }
 }
