@@ -22,12 +22,12 @@
 //!
 //! [`AdviceByteCode::validate`]: pivot_query::AdviceByteCode::validate
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use pivot_baggage::{PackMode, QueryId};
 use pivot_query::advice::ColumnRef;
-use pivot_query::bytecode::Inst;
-use pivot_query::CompiledCode;
+use pivot_query::bytecode::{EInst, Inst};
+use pivot_query::{AdviceOp, CompiledCode, CompiledQuery};
 
 use crate::diag::{Code, Diagnostic};
 
@@ -177,6 +177,109 @@ pub(crate) fn check(code: &CompiledCode, notes: &[String], diags: &mut Vec<Diagn
                     slot.0
                 ),
             ));
+        }
+    }
+}
+
+/// PT009 — dead output columns.
+///
+/// A slot can be live (some later stage unpacks it — so PT004 stays
+/// quiet) while individual *columns* of its packed tuples are never
+/// read: no filter predicate, group key, aggregate argument, or onward
+/// pack projection ever loads them. The bytes still ride the baggage of
+/// every request. The optimizer's projection pushdown prunes this for
+/// plain tracepoint joins, but an inlined sub-query packs its full
+/// `Select` output, so joining a multi-column query and consuming only
+/// some of its columns leaks the rest into every pack.
+///
+/// Consumption is judged on the lowered bytecode ("verify what you
+/// execute"): an unpacked column is the joined-tuple position
+/// `base + i`, where `base` is the schema width ahead of the `Unpack`,
+/// and it is consumed iff some `Load` in the same program reads that
+/// position. Loads lowered for ops *before* the unpack cannot reach the
+/// region (the schema was shorter there), so scanning the whole
+/// program's expression pool is safe. Column names come from the advice
+/// trees in `compiled`, which lowering maps one-to-one to
+/// `code.programs`.
+pub(crate) fn check_dead_columns(
+    compiled: &CompiledQuery,
+    code: &CompiledCode,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // (slot, weave site, packed column names) in advice (causal) order,
+    // from the advice trees — each stage packs its own slot exactly once.
+    let mut packs: Vec<(QueryId, &str, &[String])> = Vec::new();
+    for prog in &compiled.advice {
+        let at = prog
+            .tracepoints
+            .first()
+            .map(String::as_str)
+            .unwrap_or("<no tracepoint>");
+        for op in &prog.ops {
+            if let AdviceOp::Pack { slot, names, .. } = op {
+                packs.push((*slot, at, names));
+            }
+        }
+    }
+
+    // Slot → set of column positions some consumer loads.
+    let mut consumed: HashMap<QueryId, HashSet<usize>> = HashMap::new();
+    let mut unpacked: HashSet<QueryId> = HashSet::new();
+    for prog in &code.programs {
+        // Joined-tuple regions this program's unpacks occupy.
+        let mut regions: Vec<(QueryId, usize, usize)> = Vec::new();
+        let mut width_so_far = 0usize;
+        for inst in &prog.insts {
+            match inst {
+                Inst::Observe { names: (s, e) } => width_so_far += (e - s) as usize,
+                Inst::Unpack { slot, width, .. } => {
+                    let w = usize::from(*width);
+                    regions.push((*slot, width_so_far, w));
+                    unpacked.insert(*slot);
+                    width_so_far += w;
+                }
+                _ => {}
+            }
+        }
+        if regions.is_empty() {
+            continue;
+        }
+        for einst in &prog.einsts {
+            if let EInst::Load { col, .. } = einst {
+                let col = usize::from(*col);
+                for (slot, base, w) in &regions {
+                    if col >= *base && col < base + w {
+                        consumed.entry(*slot).or_default().insert(col - base);
+                    }
+                }
+            }
+        }
+    }
+
+    for (slot, at, names) in packs {
+        if !unpacked.contains(&slot) {
+            continue; // the whole slot is dead — that's PT004, above
+        }
+        let live = consumed.get(&slot);
+        for (i, name) in names.iter().enumerate() {
+            if live.is_some_and(|s| s.contains(&i)) {
+                continue;
+            }
+            diags.push(
+                Diagnostic::warning(
+                    Code::DeadColumn,
+                    format!(
+                        "the pack at `{at}` carries column `{name}` but no \
+                         later filter, group-by, aggregate, or pack ever \
+                         reads it; the column rides the baggage of every \
+                         request for nothing",
+                    ),
+                )
+                .suggest(format!(
+                    "drop `{name}` from the stage's Select, or consume it \
+                     in a downstream Where / GroupBy / Select",
+                )),
+            );
         }
     }
 }

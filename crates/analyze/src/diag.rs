@@ -40,6 +40,10 @@ pub enum Code {
     /// program that fails structural validation). The verifier checks the
     /// executable artifact, not the source ("verify what you execute").
     LoweringError,
+    /// `PT009` — a dead output column: a packed column some later stage
+    /// unpacks but no filter, group-by, aggregate, pack, or emit ever
+    /// reads. The bytes ride the baggage of every request for nothing.
+    DeadColumn,
 }
 
 impl Code {
@@ -55,6 +59,7 @@ impl Code {
             Code::UnboundedPack => "PT006",
             Code::CompileError => "PT007",
             Code::LoweringError => "PT008",
+            Code::DeadColumn => "PT009",
         }
     }
 }

@@ -16,7 +16,9 @@
 //! 3. **Dataflow well-formedness** (`PT003`/`PT004`) — every `Unpack`
 //!    reads a slot a causally earlier `Pack` wrote with the same width,
 //!    the `Emit` layout is consistent with its `OutputSpec`, and dead
-//!    advice (unconsumed packs, programs that do nothing) is flagged.
+//!    advice (unconsumed packs, programs that do nothing) is flagged —
+//!    as are dead output *columns* (`PT009`): packed columns a later
+//!    stage unpacks but nothing ever reads.
 //! 4. **Baggage-cost bounding** (`PT006`, [`cost`]) — a static upper
 //!    bound on the bytes a query adds to one request's baggage, with
 //!    warnings for `PackMode::All` boundaries no Table 3 rewrite shrank.
@@ -150,6 +152,7 @@ impl<'r> Analyzer<'r> {
         // execute — so lowering defects (PT008) surface here too.
         let (code, lowering_notes) = CompiledCode::lower(&compiled);
         dataflow::check(&code, &lowering_notes, &mut diags);
+        dataflow::check_dead_columns(&compiled, &code, &mut diags);
 
         let optimized = plan_query(&ast, self.resolver, Options::default()).ok();
         let unoptimized = plan_query(&ast, self.resolver, Options::unoptimized()).ok();

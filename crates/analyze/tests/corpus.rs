@@ -137,6 +137,36 @@ fn unbounded_pack_is_pt006_warning_not_error() {
 }
 
 #[test]
+fn dead_output_column_is_pt009_warning_not_error() {
+    // `latency2` emits two columns; the outer query consumes only
+    // `queueNanos`, so the inlined pack carries `gcNanos` for nothing.
+    let text = include_str!("corpus/dead_column.pt");
+    let a = run(text, "dead_column");
+    assert!(!a.has_errors(), "{a:?}");
+    let d = a
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::DeadColumn)
+        .unwrap_or_else(|| panic!("no PT009: {a:?}"));
+    assert_eq!(d.severity, Severity::Warning, "{d:?}");
+    assert!(d.message.contains("gcNanos"), "{d:?}");
+    assert!(
+        d.suggestion
+            .as_deref()
+            .unwrap_or_default()
+            .contains("Select"),
+        "{d:?}"
+    );
+    // The column the outer query does read is not flagged.
+    assert!(
+        !a.diagnostics
+            .iter()
+            .any(|d| d.code == Code::DeadColumn && d.message.contains("queueNanos")),
+        "{a:?}"
+    );
+}
+
+#[test]
 fn type_incoherence_is_pt002() {
     let text = include_str!("corpus/type_error.pt");
     expect_error(text, "type_error", Code::TypeError);

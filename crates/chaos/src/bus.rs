@@ -6,11 +6,19 @@
 //! can be duplicated or held, never dropped. Everything the injector does
 //! is tallied in [`ChaosStats`], whose `tuples_dropped` is the ground
 //! truth the frontend's per-query loss accounting is checked against.
+//!
+//! The delivery *mechanics* — pending frames, release deadlines, the
+//! tallies themselves — live in [`pivot_core::SchedBus`]; this module
+//! only contributes the policy: [`PlanScheduler`] turns the seeded fault
+//! PRF into a [`pivot_core::Scheduler`].
 
-use parking_lot::Mutex;
-use pivot_core::{Bus, Command, Frontend, Report};
+use pivot_core::{Bus, Command, Frontend, Report, SchedBus, Scheduler, Verdict};
 
-use crate::plan::{FaultPlan, Verdict};
+use crate::plan::FaultPlan;
+
+/// What the injector did, cumulatively (the chaos-facing name for the
+/// shared [`pivot_core::DeliveryStats`] tallies).
+pub use pivot_core::DeliveryStats as ChaosStats;
 
 /// Stable identity of a reporting process for fault-schedule keying:
 /// a hash of `(host, procid)`. Deliberately excludes the agent
@@ -24,48 +32,27 @@ pub fn source_key(host: &str, procid: u64) -> u64 {
     h ^ pivot_simrt::mix64(procid)
 }
 
-/// What the injector did, cumulatively.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
-pub struct ChaosStats {
-    /// Report frames that crossed the bus.
-    pub reports_seen: u64,
-    /// Report frames discarded.
-    pub reports_dropped: u64,
-    /// Report frames delivered twice.
-    pub reports_duplicated: u64,
-    /// Report frames held for later delivery.
-    pub reports_delayed: u64,
-    /// Tuples carried by dropped report frames (the injector-side ground
-    /// truth for the frontend's `tuples_dropped`).
-    pub tuples_dropped: u64,
-    /// Command frames that crossed the bus.
-    pub commands_seen: u64,
-    /// Command frames delivered twice.
-    pub commands_duplicated: u64,
-    /// Command frames held for later delivery.
-    pub commands_delayed: u64,
+/// The fault PRF as a delivery policy: every verdict comes from the
+/// stateless [`FaultPlan`], keyed by frame identity.
+pub struct PlanScheduler {
+    plan: FaultPlan,
 }
 
-struct PendingReport {
-    release: u64,
-    report: Report,
-}
+impl Scheduler for PlanScheduler {
+    fn command_verdict(&self, index: u64, _cmd: &Command) -> Verdict {
+        match self.plan.command_verdict(index) {
+            // Commands are never dropped — a permanently lost install is
+            // indistinguishable from "not installed", which the epoch
+            // re-sync path covers instead.
+            Verdict::Drop => Verdict::Deliver,
+            v => v,
+        }
+    }
 
-struct PendingCommand {
-    delay: u64,
-    /// Set on the first drain after the broadcast (the bus has no clock of
-    /// its own; commands age relative to the next observed `now`).
-    release: Option<u64>,
-    cmd: Command,
-}
-
-#[derive(Default)]
-struct Shared {
-    pending_reports: Vec<PendingReport>,
-    pending_cmds: Vec<PendingCommand>,
-    stats: ChaosStats,
-    cmd_index: u64,
-    disabled: bool,
+    fn report_verdict(&self, r: &Report, now: u64) -> Verdict {
+        self.plan
+            .report_verdict(source_key(&r.host, r.procid), r.query.0, r.seq, now)
+    }
 }
 
 /// A [`Bus`] wrapper that injects the faults a [`FaultPlan`] schedules.
@@ -74,64 +61,53 @@ struct Shared {
 /// cluster's `Rc<Cluster>`, or a live `Arc<TcpBusServer>` — because it
 /// only touches the `Bus` trait surface.
 pub struct ChaosBus<B> {
-    inner: B,
-    plan: FaultPlan,
-    shared: Mutex<Shared>,
+    bus: SchedBus<B, PlanScheduler>,
 }
 
 impl<B> ChaosBus<B> {
     /// Wraps `inner`, scheduling faults from `plan`.
     pub fn new(inner: B, plan: FaultPlan) -> ChaosBus<B> {
         ChaosBus {
-            inner,
-            plan,
-            shared: Mutex::new(Shared::default()),
+            bus: SchedBus::new(inner, PlanScheduler { plan }),
         }
     }
 
     /// The wrapped bus.
     pub fn inner(&self) -> &B {
-        &self.inner
+        self.bus.inner()
     }
 
     /// The wrapped bus, mutably (e.g. to register/unregister agents on a
     /// `LocalBus` when the harness crashes and restarts them).
     pub fn inner_mut(&mut self) -> &mut B {
-        &mut self.inner
+        self.bus.inner_mut()
     }
 
     /// The fault schedule.
     pub fn plan(&self) -> &FaultPlan {
-        &self.plan
+        &self.bus.scheduler().plan
     }
 
     /// A snapshot of the injection tallies.
     pub fn stats(&self) -> ChaosStats {
-        self.shared.lock().stats
+        self.bus.stats()
     }
 
     /// Turns injection on or off. While disabled the bus is a transparent
     /// pass-through (pending frames still release on drain).
     pub fn set_enabled(&self, enabled: bool) {
-        self.shared.lock().disabled = !enabled;
+        self.bus.set_enabled(enabled);
     }
 
     /// Marks every held frame due immediately, so the next drain delivers
     /// it regardless of the clock.
     pub fn release_pending(&self) {
-        let mut sh = self.shared.lock();
-        for p in &mut sh.pending_reports {
-            p.release = 0;
-        }
-        for p in &mut sh.pending_cmds {
-            p.release = Some(0);
-        }
+        self.bus.release_pending();
     }
 
     /// Frames currently held for later delivery (reports, commands).
     pub fn pending(&self) -> (usize, usize) {
-        let sh = self.shared.lock();
-        (sh.pending_reports.len(), sh.pending_cmds.len())
+        self.bus.pending()
     }
 }
 
@@ -140,102 +116,17 @@ impl<B: Bus> ChaosBus<B> {
     /// and pump the final reports into `frontend`. After this, everything
     /// the plan did not *drop* has been delivered.
     pub fn settle_into(&self, now: u64, frontend: &mut Frontend) {
-        self.set_enabled(false);
-        self.release_pending();
-        self.pump_into(now, frontend);
+        self.bus.settle_into(now, frontend);
     }
 }
 
 impl<B: Bus> Bus for ChaosBus<B> {
     fn broadcast(&self, cmd: &Command) {
-        let mut sh = self.shared.lock();
-        if sh.disabled {
-            drop(sh);
-            self.inner.broadcast(cmd);
-            return;
-        }
-        sh.stats.commands_seen += 1;
-        let idx = sh.cmd_index;
-        sh.cmd_index += 1;
-        match self.plan.command_verdict(idx) {
-            Verdict::Deliver | Verdict::Drop => {
-                drop(sh);
-                self.inner.broadcast(cmd);
-            }
-            Verdict::Duplicate => {
-                sh.stats.commands_duplicated += 1;
-                drop(sh);
-                self.inner.broadcast(cmd);
-                self.inner.broadcast(cmd);
-            }
-            Verdict::Delay(d) => {
-                sh.stats.commands_delayed += 1;
-                sh.pending_cmds.push(PendingCommand {
-                    delay: d,
-                    release: None,
-                    cmd: cmd.clone(),
-                });
-            }
-        }
+        self.bus.broadcast(cmd);
     }
 
     fn drain_reports(&self, now: u64) -> Vec<Report> {
-        let mut sh = self.shared.lock();
-        // Release due commands before draining, so a late install weaves
-        // before this round's flush rather than after it.
-        let mut due_cmds = Vec::new();
-        sh.pending_cmds.retain_mut(|p| {
-            let rel = *p.release.get_or_insert_with(|| now.saturating_add(p.delay));
-            if rel <= now {
-                due_cmds.push(p.cmd.clone());
-                false
-            } else {
-                true
-            }
-        });
-        for cmd in &due_cmds {
-            self.inner.broadcast(cmd);
-        }
-
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < sh.pending_reports.len() {
-            if sh.pending_reports[i].release <= now {
-                out.push(sh.pending_reports.swap_remove(i).report);
-            } else {
-                i += 1;
-            }
-        }
-
-        let fresh = self.inner.drain_reports(now);
-        if sh.disabled {
-            out.extend(fresh);
-            return out;
-        }
-        for r in fresh {
-            sh.stats.reports_seen += 1;
-            let src = source_key(&r.host, r.procid);
-            match self.plan.report_verdict(src, r.query.0, r.seq, now) {
-                Verdict::Deliver => out.push(r),
-                Verdict::Drop => {
-                    sh.stats.reports_dropped += 1;
-                    sh.stats.tuples_dropped += r.tuples;
-                }
-                Verdict::Duplicate => {
-                    sh.stats.reports_duplicated += 1;
-                    out.push(r.clone());
-                    out.push(r);
-                }
-                Verdict::Delay(d) => {
-                    sh.stats.reports_delayed += 1;
-                    sh.pending_reports.push(PendingReport {
-                        release: now.saturating_add(d),
-                        report: r,
-                    });
-                }
-            }
-        }
-        out
+        self.bus.drain_reports(now)
     }
 }
 

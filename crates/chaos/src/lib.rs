@@ -26,5 +26,5 @@ mod bus;
 mod plan;
 pub mod sim;
 
-pub use bus::{source_key, ChaosBus, ChaosStats};
+pub use bus::{source_key, ChaosBus, ChaosStats, PlanScheduler};
 pub use plan::{FaultConfig, FaultPlan, Verdict};

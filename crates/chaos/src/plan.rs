@@ -147,18 +147,10 @@ impl FaultConfig {
     }
 }
 
-/// The fate of one frame.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Verdict {
-    /// Deliver normally.
-    Deliver,
-    /// Silently discard.
-    Drop,
-    /// Deliver two copies.
-    Duplicate,
-    /// Hold for this many nanoseconds, then deliver.
-    Delay(u64),
-}
+/// The fate of one frame. The enum itself lives in `pivot_core::bus`
+/// (delivery mechanics are shared with every scheduled transport); this
+/// crate's plans are one way of *producing* verdicts.
+pub use pivot_core::Verdict;
 
 /// A seeded, stateless fault schedule (see the module docs for the
 /// determinism contract).

@@ -405,7 +405,7 @@ impl Agent {
             if let Some(g) = governors.get_mut(&code.id) {
                 g.programs = code.programs.clone();
                 g.spec = Some(Arc::clone(&code.output));
-                if g.open_until.is_some() {
+                if g.open_until.is_some() && !crate::mutation::sync_unthrottle() {
                     return;
                 }
             }
@@ -518,6 +518,87 @@ impl Agent {
     /// The per-query buffered-row cap currently in force.
     pub fn row_cap(&self) -> usize {
         self.row_cap.load(Ordering::Relaxed)
+    }
+
+    /// A canonical digest of this agent's protocol-visible state, for the
+    /// interleaving explorer's state cache: weave registry, aggregation
+    /// buffers, and governor state.
+    ///
+    /// Deliberately excludes the incarnation number (drawn from a
+    /// process-global counter, so not stable across re-executions of the
+    /// same schedule) and the observational [`AgentStats`] counters
+    /// (which never influence future behaviour).
+    pub fn state_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256);
+        let mut woven = self.registry.woven_queries();
+        woven.sort_unstable_by_key(|q| q.0);
+        for q in woven {
+            let _ = write!(s, "w{}:{};", q.0, self.registry.programs_for(q).len());
+        }
+        {
+            // Lock order: governors before buffers.
+            let governors = self.governors.lock();
+            let mut ids: Vec<QueryId> = governors.keys().copied().collect();
+            ids.sort_unstable_by_key(|q| q.0);
+            for q in ids {
+                let g = &governors[&q];
+                let _ = write!(
+                    s,
+                    "g{}:{:?}|{}|{}|{}|{}|{:?}|{}|{:?}|{}|{};",
+                    q.0,
+                    g.budget,
+                    g.window_start,
+                    g.tuples,
+                    g.ops,
+                    g.bytes,
+                    g.open_until,
+                    g.trips,
+                    g.pending,
+                    g.truncated_cum,
+                    g.programs.len(),
+                );
+            }
+            let buffers = self.buffers.lock();
+            let mut ids: Vec<QueryId> = buffers.keys().copied().collect();
+            ids.sort_unstable_by_key(|q| q.0);
+            for q in ids {
+                let b = &buffers[&q];
+                let _ = write!(
+                    s,
+                    "b{}:{}|{}|{}|{}|{}|{};",
+                    q.0,
+                    b.seq,
+                    b.tuples_since_flush,
+                    b.emitted_cum,
+                    b.shed_cum,
+                    b.truncated_sent,
+                    b.dirty,
+                );
+                match &b.rows {
+                    Rows::Streaming(rows) => {
+                        for t in rows {
+                            let _ = write!(s, "r{t:?};");
+                        }
+                    }
+                    Rows::Grouped(groups) => {
+                        let mut lines: Vec<String> =
+                            groups.iter().map(|(k, a)| format!("{k:?}={a:?}")).collect();
+                        lines.sort_unstable();
+                        for l in lines {
+                            let _ = write!(s, "r{l};");
+                        }
+                    }
+                }
+            }
+        }
+        let _ = write!(
+            s,
+            "c{}|e{}",
+            self.row_cap.load(Ordering::Relaxed),
+            self.enabled.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        crate::fnv64(s.as_bytes())
     }
 
     /// Reconciles the registry with the frontend's full installed-query

@@ -4,7 +4,16 @@
 //! crate defines the messages; delivery is owned by the embedding system —
 //! the simulated cluster delivers them over its simulated network, while
 //! [`LocalBus`] delivers instantly for tests, examples, and benches.
+//!
+//! Delivery *policy* is factored out of delivery *mechanics*: a
+//! [`Scheduler`] decides the fate ([`Verdict`]) of every frame crossing a
+//! [`SchedBus`], which owns the one shared implementation of holding,
+//! releasing, duplicating, and dropping frames. Plain FIFO delivery
+//! ([`FifoScheduler`]), the chaos injector's seeded fault PRF, and the
+//! interleaving explorer's exhaustive schedule enumeration are all just
+//! `Scheduler` implementations over the same mechanics.
 
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 use pivot_baggage::QueryId;
@@ -189,12 +198,390 @@ impl LocalBus {
 
 impl Bus for LocalBus {
     fn broadcast(&self, cmd: &Command) {
-        for a in &self.agents {
-            a.apply(cmd);
+        broadcast_to_agents(&self.agents, cmd);
+    }
+
+    fn drain_reports(&self, now: u64) -> Vec<Report> {
+        flush_agents(&self.agents, now)
+    }
+}
+
+/// Applies `cmd` to every agent — the one broadcast loop shared by
+/// [`LocalBus`] and the simulated cluster's bus.
+pub fn broadcast_to_agents(agents: &[Arc<crate::Agent>], cmd: &Command) {
+    for a in agents {
+        a.apply(cmd);
+    }
+}
+
+/// Flushes every agent at `now` and collects the reports — the one
+/// drain loop shared by [`LocalBus`] and the simulated cluster's bus.
+pub fn flush_agents(agents: &[Arc<crate::Agent>], now: u64) -> Vec<Report> {
+    agents.iter().flat_map(|a| a.flush(now)).collect()
+}
+
+/// The fate of one frame crossing a [`SchedBus`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard (tallied in [`DeliveryStats`]).
+    Drop,
+    /// Deliver two copies.
+    Duplicate,
+    /// Hold for this many nanoseconds, then deliver.
+    Delay(u64),
+}
+
+/// Delivery policy for a [`SchedBus`]: decides the [`Verdict`] of every
+/// command and report frame crossing the bus.
+///
+/// Implementations are consulted under the bus's internal lock and must
+/// be pure functions of their own state plus the frame identity — the
+/// chaos injector's seeded PRF and the interleaving explorer's
+/// hold-everything policy both satisfy this trivially.
+pub trait Scheduler {
+    /// The fate of the `index`-th broadcast command frame (`index` counts
+    /// admissions on this bus, starting at 0).
+    fn command_verdict(&self, index: u64, cmd: &Command) -> Verdict;
+
+    /// The fate of one report frame admitted at `now`.
+    fn report_verdict(&self, report: &Report, now: u64) -> Verdict;
+}
+
+/// The trivial policy: deliver everything immediately, in admission
+/// order. `SchedBus<B, FifoScheduler>` behaves exactly like `B` while
+/// still tallying [`DeliveryStats`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn command_verdict(&self, _index: u64, _cmd: &Command) -> Verdict {
+        Verdict::Deliver
+    }
+    fn report_verdict(&self, _report: &Report, _now: u64) -> Verdict {
+        Verdict::Deliver
+    }
+}
+
+/// What a [`SchedBus`] did to the frames that crossed it, cumulatively.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct DeliveryStats {
+    /// Report frames that crossed the bus.
+    pub reports_seen: u64,
+    /// Report frames discarded.
+    pub reports_dropped: u64,
+    /// Report frames delivered twice.
+    pub reports_duplicated: u64,
+    /// Report frames held for later delivery.
+    pub reports_delayed: u64,
+    /// Tuples carried by dropped report frames (the bus-side ground
+    /// truth for the frontend's `tuples_dropped`).
+    pub tuples_dropped: u64,
+    /// Command frames that crossed the bus.
+    pub commands_seen: u64,
+    /// Command frames discarded.
+    pub commands_dropped: u64,
+    /// Command frames delivered twice.
+    pub commands_duplicated: u64,
+    /// Command frames held for later delivery.
+    pub commands_delayed: u64,
+}
+
+/// A frame currently held by a [`SchedBus`], exposed to
+/// [`SchedBus::release_where`] predicates.
+pub enum HeldFrame<'a> {
+    /// A held command, identified by its admission index on this bus.
+    Command {
+        /// The admission index [`Scheduler::command_verdict`] saw.
+        index: u64,
+        /// The command itself.
+        cmd: &'a Command,
+    },
+    /// A held report.
+    Report(&'a Report),
+}
+
+struct PendingReport {
+    release: u64,
+    report: Report,
+}
+
+struct PendingCommand {
+    index: u64,
+    delay: u64,
+    /// Set on the first drain after the broadcast (the bus has no clock of
+    /// its own; commands age relative to the next observed `now`).
+    release: Option<u64>,
+    cmd: Command,
+}
+
+#[derive(Default)]
+struct SchedShared {
+    pending_reports: Vec<PendingReport>,
+    pending_cmds: Vec<PendingCommand>,
+    stats: DeliveryStats,
+    cmd_index: u64,
+    disabled: bool,
+    severed: bool,
+}
+
+/// Bus middleware routing every frame through a [`Scheduler`].
+///
+/// Owns the delivery mechanics every scheduled transport shares: pending
+/// frames with release deadlines, duplicate and drop tallies, an on/off
+/// switch, and a severed-link state modelling a dead connection. Works
+/// over any transport — [`LocalBus`], the simulated cluster's
+/// `Rc<Cluster>`, or a live `Arc<TcpBusServer>` — because it only touches
+/// the [`Bus`] trait surface.
+pub struct SchedBus<B, S> {
+    inner: B,
+    sched: S,
+    shared: Mutex<SchedShared>,
+}
+
+impl<B, S> SchedBus<B, S> {
+    /// Wraps `inner`, routing every frame through `sched`.
+    pub fn new(inner: B, sched: S) -> SchedBus<B, S> {
+        SchedBus {
+            inner,
+            sched,
+            shared: Mutex::new(SchedShared::default()),
+        }
+    }
+
+    /// The wrapped bus.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The wrapped bus, mutably (e.g. to register/unregister agents on a
+    /// [`LocalBus`] when a harness crashes and restarts them).
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// The delivery policy.
+    pub fn scheduler(&self) -> &S {
+        &self.sched
+    }
+
+    /// A snapshot of the delivery tallies.
+    pub fn stats(&self) -> DeliveryStats {
+        self.shared.lock().stats
+    }
+
+    /// Turns scheduling on or off. While disabled the bus is a transparent
+    /// pass-through (pending frames still release on drain).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.shared.lock().disabled = !enabled;
+    }
+
+    /// Marks every held frame due immediately, so the next drain delivers
+    /// it regardless of the clock.
+    pub fn release_pending(&self) {
+        self.release_where(|_| true);
+    }
+
+    /// Marks the held frames matching `pred` due immediately; returns how
+    /// many matched. The interleaving explorer uses this to deliver one
+    /// chosen frame per transition.
+    pub fn release_where(&self, mut pred: impl FnMut(&HeldFrame) -> bool) -> usize {
+        let mut sh = self.shared.lock();
+        let mut n = 0;
+        for p in &mut sh.pending_reports {
+            if pred(&HeldFrame::Report(&p.report)) {
+                p.release = 0;
+                n += 1;
+            }
+        }
+        for p in &mut sh.pending_cmds {
+            if pred(&HeldFrame::Command {
+                index: p.index,
+                cmd: &p.cmd,
+            }) {
+                p.release = Some(0);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Frames currently held for later delivery (reports, commands).
+    pub fn pending(&self) -> (usize, usize) {
+        let sh = self.shared.lock();
+        (sh.pending_reports.len(), sh.pending_cmds.len())
+    }
+
+    /// Severs the link: the connection between this bus and its frontend
+    /// is down. Frames admitted while severed are held regardless of
+    /// their verdict (outage buffering — they deliver after
+    /// [`SchedBus::restore`]), and nothing releases on drain.
+    pub fn sever(&self) {
+        self.shared.lock().severed = true;
+    }
+
+    /// Restores a severed link; held frames release again per their
+    /// deadlines.
+    pub fn restore(&self) {
+        self.shared.lock().severed = false;
+    }
+
+    /// Whether the link is currently severed.
+    pub fn is_severed(&self) -> bool {
+        self.shared.lock().severed
+    }
+}
+
+impl<B, S: Scheduler> SchedBus<B, S> {
+    /// Admits one externally produced report through the scheduler, as if
+    /// the inner bus had drained it at `now`. Returns any immediately
+    /// deliverable copies. Harnesses that flush agents themselves (the
+    /// interleaving explorer) use this instead of routing flushes through
+    /// [`Bus::drain_reports`].
+    pub fn offer_report(&self, report: Report, now: u64) -> Vec<Report> {
+        let mut out = Vec::new();
+        let mut sh = self.shared.lock();
+        if sh.disabled {
+            out.push(report);
+            return out;
+        }
+        self.admit_report(&mut sh, report, now, &mut out);
+        out
+    }
+
+    fn admit_report(&self, sh: &mut SchedShared, r: Report, now: u64, out: &mut Vec<Report>) {
+        sh.stats.reports_seen += 1;
+        if sh.severed && crate::mutation::silent_reader_exit() {
+            // Seeded mutation (PR 4's silent reader-exit bug): the link is
+            // down and the frame vanishes with no loss tally anywhere —
+            // exactly the unaccounted loss the explorer's identity check
+            // must catch. Compiled out without the `mutations` feature.
+            return;
+        }
+        let mut verdict = self.sched.report_verdict(&r, now);
+        if sh.severed {
+            // A dead link cannot deliver now: deliveries and duplicates
+            // become holds that release after restore.
+            verdict = match verdict {
+                Verdict::Deliver | Verdict::Duplicate => Verdict::Delay(0),
+                v => v,
+            };
+        }
+        match verdict {
+            Verdict::Deliver => out.push(r),
+            Verdict::Drop => {
+                sh.stats.reports_dropped += 1;
+                sh.stats.tuples_dropped += r.tuples;
+            }
+            Verdict::Duplicate => {
+                sh.stats.reports_duplicated += 1;
+                out.push(r.clone());
+                out.push(r);
+            }
+            Verdict::Delay(d) => {
+                sh.stats.reports_delayed += 1;
+                sh.pending_reports.push(PendingReport {
+                    release: now.saturating_add(d),
+                    report: r,
+                });
+            }
+        }
+    }
+}
+
+impl<B: Bus, S: Scheduler> SchedBus<B, S> {
+    /// End-of-run convergence: stop scheduling, release every held frame,
+    /// and pump the final reports into `frontend`. After this, everything
+    /// the policy did not *drop* has been delivered.
+    pub fn settle_into(&self, now: u64, frontend: &mut crate::Frontend) {
+        self.set_enabled(false);
+        self.restore();
+        self.release_pending();
+        self.pump_into(now, frontend);
+    }
+}
+
+impl<B: Bus, S: Scheduler> Bus for SchedBus<B, S> {
+    fn broadcast(&self, cmd: &Command) {
+        let mut sh = self.shared.lock();
+        if sh.disabled {
+            drop(sh);
+            self.inner.broadcast(cmd);
+            return;
+        }
+        sh.stats.commands_seen += 1;
+        let idx = sh.cmd_index;
+        sh.cmd_index += 1;
+        let mut verdict = self.sched.command_verdict(idx, cmd);
+        if sh.severed {
+            verdict = match verdict {
+                Verdict::Deliver | Verdict::Duplicate => Verdict::Delay(0),
+                v => v,
+            };
+        }
+        match verdict {
+            Verdict::Deliver => {
+                drop(sh);
+                self.inner.broadcast(cmd);
+            }
+            Verdict::Drop => sh.stats.commands_dropped += 1,
+            Verdict::Duplicate => {
+                sh.stats.commands_duplicated += 1;
+                drop(sh);
+                self.inner.broadcast(cmd);
+                self.inner.broadcast(cmd);
+            }
+            Verdict::Delay(d) => {
+                sh.stats.commands_delayed += 1;
+                sh.pending_cmds.push(PendingCommand {
+                    index: idx,
+                    delay: d,
+                    release: None,
+                    cmd: cmd.clone(),
+                });
+            }
         }
     }
 
     fn drain_reports(&self, now: u64) -> Vec<Report> {
-        self.agents.iter().flat_map(|a| a.flush(now)).collect()
+        let mut sh = self.shared.lock();
+        let mut out = Vec::new();
+        if !sh.severed {
+            // Release due commands before draining, so a late install
+            // weaves before this round's flush rather than after it.
+            let mut due_cmds = Vec::new();
+            sh.pending_cmds.retain_mut(|p| {
+                let rel = *p.release.get_or_insert_with(|| now.saturating_add(p.delay));
+                if rel <= now {
+                    due_cmds.push(p.cmd.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for cmd in &due_cmds {
+                self.inner.broadcast(cmd);
+            }
+
+            let mut i = 0;
+            while i < sh.pending_reports.len() {
+                if sh.pending_reports[i].release <= now {
+                    out.push(sh.pending_reports.swap_remove(i).report);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let fresh = self.inner.drain_reports(now);
+        if sh.disabled {
+            out.extend(fresh);
+            return out;
+        }
+        for r in fresh {
+            self.admit_report(&mut sh, r, now, &mut out);
+        }
+        out
     }
 }

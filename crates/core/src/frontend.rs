@@ -561,6 +561,72 @@ impl Frontend {
             .find(|q| q.handle == *handle)
             .map(|q| Arc::clone(&q.code))
     }
+
+    /// A canonical digest of the frontend's protocol-visible state, for
+    /// the interleaving explorer's state cache: epoch, installed set,
+    /// budgets, pending commands, and — per query — merged results,
+    /// per-source sequence tracking, and throttle arrivals.
+    ///
+    /// `remap_incarnation` maps raw agent incarnation numbers (drawn from
+    /// a process-global counter, so not stable across re-executions of
+    /// the same schedule) to caller-stable identifiers such as
+    /// `(slot, generation)` codes.
+    pub fn state_digest(&self, remap_incarnation: &mut dyn FnMut(u64) -> u64) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let _ = write!(s, "e{}|c{};", self.epoch, self.commands.len());
+        for q in &self.queries {
+            let _ = write!(s, "q{}:{}|{:?};", q.handle.id.0, q.handle.name, q.budget);
+        }
+        let mut ids: Vec<QueryId> = self.results.keys().copied().collect();
+        ids.sort_unstable_by_key(|q| q.0);
+        for id in ids {
+            let res = &self.results[&id];
+            let _ = write!(s, "R{}:", id.0);
+            let mut groups: Vec<String> = res
+                .cumulative
+                .iter()
+                .map(|(k, a)| format!("{k:?}={a:?}"))
+                .collect();
+            groups.sort_unstable();
+            for g in groups {
+                let _ = write!(s, "g{g};");
+            }
+            for (t, row) in &res.raw {
+                let _ = write!(s, "w{t}:{row:?};");
+            }
+            for (t, groups) in res.intervals.iter() {
+                let mut lines: Vec<String> =
+                    groups.iter().map(|(k, a)| format!("{k:?}={a:?}")).collect();
+                lines.sort_unstable();
+                let _ = write!(s, "i{t}:{lines:?};");
+            }
+            let mut tracks: Vec<String> = res
+                .sources
+                .iter()
+                .map(|((host, procid, inc), t)| {
+                    format!(
+                        "{host}/{procid}/{}:{}|{:?}|{}|{}|{}|{}|{}|{}",
+                        remap_incarnation(*inc),
+                        t.next_contig,
+                        t.pending,
+                        t.accepted,
+                        t.duplicates,
+                        t.delivered_tuples,
+                        t.emitted_cum,
+                        t.shed_cum,
+                        t.truncated_cum,
+                    )
+                })
+                .collect();
+            tracks.sort_unstable();
+            for t in tracks {
+                let _ = write!(s, "s{t};");
+            }
+            let _ = write!(s, "t{:?};", res.throttles());
+        }
+        crate::fnv64(s.as_bytes())
+    }
 }
 
 impl Resolver for Frontend {

@@ -35,10 +35,24 @@ pub mod frontend;
 pub mod global;
 pub mod governor;
 pub mod interp;
+pub mod mutation;
 pub mod tracepoint;
 
 pub use agent::{Agent, ProcessInfo};
-pub use bus::{Bus, Command, LocalBus, Report, ReportRows};
+pub use bus::{
+    Bus, Command, DeliveryStats, FifoScheduler, HeldFrame, LocalBus, Report, ReportRows, SchedBus,
+    Scheduler, Verdict,
+};
 pub use frontend::{Frontend, LossStats, QueryHandle, QueryResults, ResultRow};
 pub use governor::{QueryBudget, ThrottleReason, ThrottleStats, Throttled};
 pub use tracepoint::{Registry, TracepointDef, DEFAULT_EXPORTS};
+
+/// FNV-1a over `bytes`; shared by the agent/frontend state-digest
+/// helpers the interleaving explorer keys its state cache on.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,193 @@
+//! Direct unit tests for the reconnect duplicate-suppression edge.
+//!
+//! A reconnecting transport re-sends frames it cannot prove were
+//! delivered, and a *restarted* agent reuses its predecessor's stable
+//! identity (host, procid) with a fresh `seq` space. The frontend keys
+//! sequence tracking on `(host, procid, incarnation)` so the two cases
+//! stay distinguishable:
+//!
+//! - the same incarnation re-delivering a frame mid-window is a
+//!   duplicate and must not double-count any aggregate;
+//! - a fresh incarnation's `seq 0` is *not* a duplicate of the old
+//!   incarnation's `seq 0`, and the dead incarnation's unrecovered
+//!   tuples stay visible as `tuples_dropped` (crash loss) instead of
+//!   being masked by the successor's fresh counters.
+//!
+//! The chaos suite covers these paths under random seeds; these tests
+//! pin the exact semantics deterministically.
+
+use std::sync::Arc;
+
+use pivot_baggage::Baggage;
+use pivot_core::{Agent, Frontend, ProcessInfo, QueryHandle, Report};
+use pivot_model::Value;
+
+const QUERY: &str = "From e In Exec GroupBy e.k Select e.k, SUM(e.v)";
+const MS: u64 = 1_000_000;
+
+fn frontend_with_query() -> (Frontend, QueryHandle) {
+    let mut fe = Frontend::new();
+    fe.define("Exec", ["k", "v"]);
+    let handle = fe.install_named("Q", QUERY).expect("query installs");
+    (fe, handle)
+}
+
+/// A fresh agent with the fixed identity `worker-7@host-0`, woven with
+/// everything the frontend has installed (the epoch re-sync a
+/// reconnecting agent receives). Calling this twice models a restart:
+/// same host/procid, new incarnation.
+fn fresh_agent(fe: &Frontend) -> Arc<Agent> {
+    let agent = Arc::new(Agent::new(ProcessInfo {
+        host: "host-0".into(),
+        procid: 7,
+        procname: "worker".into(),
+    }));
+    agent.sync(&fe.installed());
+    agent
+}
+
+fn invoke(agent: &Agent, now: u64, key: &str) {
+    let mut bag = Baggage::new();
+    agent.invoke(
+        "Exec",
+        &mut bag,
+        now,
+        &[("k", Value::str(key)), ("v", Value::I64(1))],
+    );
+}
+
+fn flush_one(agent: &Agent, now: u64) -> Report {
+    let mut reports = agent.flush(now);
+    assert_eq!(reports.len(), 1, "one woven query, one report");
+    reports.remove(0)
+}
+
+/// Sum over every output row (all rows are `k, SUM(v)`).
+fn total(fe: &Frontend, handle: &QueryHandle) -> i64 {
+    fe.results(handle)
+        .rows()
+        .iter()
+        .map(|r| match r.values[1] {
+            Value::I64(n) => n,
+            ref v => panic!("SUM column is not an integer: {v:?}"),
+        })
+        .sum()
+}
+
+/// A reconnecting link re-sends unacked frames; the same incarnation's
+/// frame arriving again mid-window is suppressed, never merged twice.
+#[test]
+fn redelivered_frame_from_same_incarnation_does_not_double_count() {
+    let (mut fe, handle) = frontend_with_query();
+    let agent = fresh_agent(&fe);
+
+    for _ in 0..3 {
+        invoke(&agent, MS, "a");
+    }
+    let first = flush_one(&agent, MS);
+    fe.accept(first.clone());
+    // The reconnect replay: the exact same frame again.
+    fe.accept(first.clone());
+
+    // Later in the same window the agent keeps emitting and flushes
+    // again; the stale frame is replayed once more in between.
+    for _ in 0..2 {
+        invoke(&agent, 2 * MS, "a");
+    }
+    let second = flush_one(&agent, 2 * MS);
+    fe.accept(second);
+    fe.accept(first);
+
+    assert_eq!(total(&fe, &handle), 5, "each tuple counted exactly once");
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.reports_accepted, 2);
+    assert_eq!(loss.reports_duplicate, 2);
+    assert_eq!(loss.reports_missed, 0);
+    assert_eq!(loss.tuples_delivered, 5);
+    assert_eq!(loss.tuples_emitted, 5);
+    assert_eq!(loss.tuples_dropped, 0);
+}
+
+/// A restarted agent restarts its `seq` space at 0. Keyed on
+/// incarnation, the successor's `seq 0` must be accepted, not
+/// suppressed as a replay of the predecessor's `seq 0`.
+#[test]
+fn fresh_incarnation_seq_zero_is_not_a_duplicate() {
+    let (mut fe, handle) = frontend_with_query();
+
+    let old = fresh_agent(&fe);
+    for _ in 0..3 {
+        invoke(&old, MS, "a");
+    }
+    let old_first = flush_one(&old, MS);
+    assert_eq!(old_first.seq, 0);
+    fe.accept(old_first);
+
+    // Restart: same host/procid, fresh incarnation, fresh seq space.
+    let new = fresh_agent(&fe);
+    assert_ne!(new.incarnation(), old.incarnation());
+    for _ in 0..2 {
+        invoke(&new, 2 * MS, "a");
+    }
+    let new_first = flush_one(&new, 2 * MS);
+    assert_eq!(new_first.seq, 0, "fresh incarnation restarts at seq 0");
+    fe.accept(new_first);
+
+    assert_eq!(total(&fe, &handle), 5, "both incarnations contribute");
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.reports_accepted, 2);
+    assert_eq!(loss.reports_duplicate, 0);
+    assert_eq!(loss.tuples_delivered, 5);
+    assert_eq!(loss.tuples_dropped, 0);
+}
+
+/// Tuples a dead incarnation emitted but never got delivered must stay
+/// on the books as `tuples_dropped` (the crash loss) after a successor
+/// incarnation comes up — the successor's fresh counters must extend
+/// the totals, not overwrite the dead incarnation's deficit.
+#[test]
+fn crashed_incarnation_loss_stays_visible_past_the_restart() {
+    let (mut fe, handle) = frontend_with_query();
+
+    let old = fresh_agent(&fe);
+    for _ in 0..3 {
+        invoke(&old, MS, "a");
+    }
+    // seq 0 dies in transit with the link.
+    let lost = flush_one(&old, MS);
+    assert_eq!((lost.seq, lost.tuples), (0, 3));
+    drop(lost);
+    // seq 1 lands; its cumulative counter proves seq 0 existed.
+    for _ in 0..2 {
+        invoke(&old, 2 * MS, "a");
+    }
+    let survivor = flush_one(&old, 2 * MS);
+    assert_eq!((survivor.seq, survivor.emitted_cum), (1, 5));
+    fe.accept(survivor);
+
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.reports_missed, 1, "the gap before seq 1 is visible");
+    assert_eq!(loss.tuples_dropped, 3, "the lost frame's tuples");
+
+    // The agent crashes; a successor takes over its identity and
+    // delivers normally.
+    let new = fresh_agent(&fe);
+    for _ in 0..4 {
+        invoke(&new, 3 * MS, "b");
+    }
+    fe.accept(flush_one(&new, 3 * MS));
+
+    assert_eq!(total(&fe, &handle), 6, "2 surviving + 4 successor tuples");
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.reports_accepted, 2);
+    assert_eq!(loss.reports_duplicate, 0);
+    assert_eq!(loss.reports_missed, 1, "the old gap does not heal");
+    assert_eq!(loss.tuples_emitted, 9, "5 old + 4 new, summed not maxed");
+    assert_eq!(loss.tuples_delivered, 6);
+    assert_eq!(
+        loss.tuples_dropped, 3,
+        "the crash loss survives the restart instead of being masked \
+         by the successor's smaller cumulative counters"
+    );
+    assert!(fe.results(&handle).loss().is_degraded());
+}

@@ -1,0 +1,215 @@
+//! `pivot-explore`: exhaustive protocol interleaving explorer.
+//!
+//! ```text
+//! pivot-explore [--agents N] [--budget M] [--mutation NAME]
+//!               [--emit-schedule PATH] [--require-complete]
+//!               [--expect-violation]
+//! pivot-explore --replay PATH [--expect-violation]
+//! ```
+//!
+//! Exit codes: 0 — the expected outcome (clean by default, a violation
+//! under `--expect-violation`); 1 — the opposite outcome; 2 — usage or
+//! I/O error, or the budget ran out under `--require-complete`.
+
+use std::process::ExitCode;
+
+use pivot_core::mutation::{self, Mutation};
+use pivot_explore::{harness, Explorer, Scenario, Schedule, Violation};
+
+struct Args {
+    agents: usize,
+    budget: usize,
+    mutation: Option<Mutation>,
+    replay: Option<String>,
+    emit_schedule: Option<String>,
+    require_complete: bool,
+    expect_violation: bool,
+}
+
+fn usage() -> String {
+    let muts: Vec<&str> = Mutation::all().iter().map(|m| m.name()).collect();
+    format!(
+        "usage: pivot-explore [--agents N] [--budget M] [--mutation NAME]\n\
+         \x20                    [--emit-schedule PATH] [--require-complete] [--expect-violation]\n\
+         \x20      pivot-explore --replay PATH [--expect-violation]\n\
+         \n\
+         mutations: {} (need the `mutations` build feature; supported here: {})",
+        muts.join(", "),
+        mutation::supported(),
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        agents: 2,
+        budget: 200_000,
+        mutation: None,
+        replay: None,
+        emit_schedule: None,
+        require_complete: false,
+        expect_violation: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} expects a value\n\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--agents" => {
+                args.agents = value("--agents")?
+                    .parse()
+                    .map_err(|e| format!("--agents: {e}"))?
+            }
+            "--budget" => {
+                args.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--mutation" => {
+                let name = value("--mutation")?;
+                args.mutation = Some(
+                    Mutation::parse(&name).ok_or_else(|| format!("unknown mutation `{name}`"))?,
+                );
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--emit-schedule" => args.emit_schedule = Some(value("--emit-schedule")?),
+            "--require-complete" => args.require_complete = true,
+            "--expect-violation" => args.expect_violation = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn enable_mutation(m: Mutation) -> Result<(), String> {
+    if !mutation::set(m, true) {
+        return Err(format!(
+            "mutation `{}` requires building with `--features mutations`",
+            m.name()
+        ));
+    }
+    eprintln!("mutation enabled: {}", m.name());
+    Ok(())
+}
+
+fn print_violation(v: &Violation) {
+    println!("VIOLATION: {} — {}", v.invariant, v.detail);
+    println!("schedule ({} transitions):", v.schedule.len());
+    for t in &v.schedule {
+        println!("  {t}");
+    }
+}
+
+fn verdict(found_violation: bool, expect_violation: bool) -> ExitCode {
+    if found_violation == expect_violation {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_replay(args: &Args, path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let sched = Schedule::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    match (&sched.mutation, args.mutation) {
+        // The schedule records the mutation it was found under; replay
+        // re-arms it so the counterexample actually reproduces.
+        (Some(name), None) => {
+            let m = Mutation::parse(name)
+                .ok_or_else(|| format!("`{path}`: unknown mutation `{name}`"))?;
+            enable_mutation(m)?;
+        }
+        (_, Some(m)) => enable_mutation(m)?,
+        (None, None) => {}
+    }
+    println!(
+        "replaying {} transitions over {} agents",
+        sched.steps.len(),
+        sched.agents
+    );
+    match harness::replay(&sched)? {
+        Some(v) => {
+            print_violation(&v);
+            if let Some(expected) = &sched.invariant {
+                if *expected != v.invariant.name() {
+                    return Err(format!(
+                        "schedule claims invariant `{expected}` but replay violated `{}`",
+                        v.invariant
+                    ));
+                }
+            }
+            Ok(verdict(true, args.expect_violation))
+        }
+        None => {
+            println!("schedule ran clean");
+            Ok(verdict(false, args.expect_violation))
+        }
+    }
+}
+
+fn run_explore(args: &Args) -> Result<ExitCode, String> {
+    if let Some(m) = args.mutation {
+        enable_mutation(m)?;
+    }
+    let scenario = Scenario::new(args.agents);
+    println!(
+        "exploring {} agents, budget {} executions",
+        scenario.agents, args.budget
+    );
+    let outcome = Explorer::new(scenario, args.budget).explore();
+    println!(
+        "{} executions, {} distinct states, {} complete schedules, {}",
+        outcome.executions,
+        outcome.distinct_states,
+        outcome.complete_schedules,
+        if outcome.complete {
+            "exhaustive"
+        } else {
+            "budget exhausted"
+        },
+    );
+    match &outcome.violation {
+        Some(v) => {
+            print_violation(v);
+            if let Some(path) = &args.emit_schedule {
+                let sched = v.to_schedule(&scenario, args.mutation.map(|m| m.name()));
+                std::fs::write(path, sched.render())
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("schedule written to {path}");
+            }
+            Ok(verdict(true, args.expect_violation))
+        }
+        None => {
+            if !outcome.complete && args.require_complete {
+                return Err(format!(
+                    "exploration incomplete after {} executions (--require-complete)",
+                    outcome.executions
+                ));
+            }
+            Ok(verdict(false, args.expect_violation))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.replay.clone() {
+        Some(path) => run_replay(&args, &path),
+        None => run_explore(&args),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pivot-explore: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

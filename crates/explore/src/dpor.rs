@@ -1,0 +1,214 @@
+//! Depth-first schedule enumeration with sleep-set dynamic partial-order
+//! reduction and state-digest caching.
+//!
+//! The explorer is *stateless*: visiting a schedule node means
+//! re-executing the whole configuration from its initial state along the
+//! node's transition prefix (cheap — a prefix is a few dozen
+//! transitions). Two reductions keep the tree tractable:
+//!
+//! - **sleep sets**: after exploring transition `t` from a state, `t`
+//!   goes to sleep; sibling branches only wake it when they execute a
+//!   transition *dependent* on `t`. Commuting interleavings of
+//!   independent deliveries are enumerated once, not `n!` times.
+//! - **state-digest caching**: a `(state digest, sleep set)` pair that
+//!   has already been expanded is not expanded again. Caching keyed on
+//!   the pair (not the digest alone) keeps the classic
+//!   sleep-sets-plus-state-matching unsoundness at bay: a state revisited
+//!   with a *smaller* sleep set is re-explored.
+//!
+//! The independence relation is conservative — when in doubt, two
+//! transitions are dependent and both orders are explored. Wrongly
+//! declaring independence would silently prune real interleavings;
+//! wrongly declaring dependence only costs executions.
+
+use std::collections::HashSet;
+
+use crate::harness::{Execution, Violation};
+use crate::scenario::{step_fe_write, step_touches, Scenario};
+use crate::schedule::TransKey;
+
+/// Whether two transitions may fail to commute. See the module docs of
+/// [`crate::harness`] for why deliveries on distinct links commute: each
+/// delivery touches exactly one agent (commands, syncs) or only the
+/// frontend's per-source merge state (reports, whose merges are
+/// commutative for grouped queries), and the clock never advances on
+/// deliveries.
+pub fn dependent(a: TransKey, b: TransKey) -> bool {
+    use TransKey::{Cmd, Rep, Step, Sync};
+    match (a, b) {
+        // The script is a chain.
+        (Step(_), Step(_)) => true,
+        // A step conflicts with deliveries touching the agents/links in
+        // its footprint (it invokes them, flushes into their bus, or
+        // severs/restores/replaces them).
+        (Step(k), Cmd { link, .. }) | (Cmd { link, .. }, Step(k)) => step_touches(k, link),
+        (Step(k), Sync { agent, .. }) | (Sync { agent, .. }, Step(k)) => step_touches(k, agent),
+        (Step(k), Rep { link, .. }) | (Rep { link, .. }, Step(k)) => {
+            step_fe_write(k) || step_touches(k, link)
+        }
+        // Same-agent deliveries are ordered; cross-agent ones commute.
+        (Cmd { link: a, .. }, Cmd { link: b, .. }) => a == b,
+        (Cmd { link: a, .. }, Sync { agent: b, .. })
+        | (Sync { agent: b, .. }, Cmd { link: a, .. }) => a == b,
+        (Sync { agent: a, .. }, Sync { agent: b, .. }) => a == b,
+        // Command/sync deliveries mutate an agent; report deliveries
+        // mutate the frontend. Disjoint state.
+        (Cmd { .. }, Rep { .. }) | (Rep { .. }, Cmd { .. }) => false,
+        (Sync { .. }, Rep { .. }) | (Rep { .. }, Sync { .. }) => false,
+        // Same-source reports are conservatively ordered (sequence
+        // tracking); cross-source reports merge commutatively.
+        (Rep { link: a, .. }, Rep { link: b, .. }) => a == b,
+    }
+}
+
+/// What an exploration produced.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// Executions performed (= schedule-tree nodes visited).
+    pub executions: usize,
+    /// Distinct `(state digest, sleep set)` pairs expanded.
+    pub distinct_states: usize,
+    /// Maximal (terminal) schedules that ran to completion cleanly.
+    pub complete_schedules: usize,
+    /// `true` when the tree was exhausted within the execution budget
+    /// (or a violation stopped the search early — the counterexample is
+    /// the answer, completeness is moot).
+    pub complete: bool,
+    /// The first invariant violation found, with its schedule.
+    pub violation: Option<Violation>,
+}
+
+/// The DFS explorer over one scenario.
+pub struct Explorer {
+    scenario: Scenario,
+    budget: usize,
+    executions: usize,
+    complete_schedules: usize,
+    exhausted: bool,
+    cache: HashSet<(u64, Vec<TransKey>)>,
+}
+
+impl Explorer {
+    /// Creates an explorer over `scenario` bounded by `budget`
+    /// executions.
+    pub fn new(scenario: Scenario, budget: usize) -> Explorer {
+        Explorer {
+            scenario,
+            budget,
+            executions: 0,
+            complete_schedules: 0,
+            exhausted: false,
+            cache: HashSet::new(),
+        }
+    }
+
+    /// Runs the exploration to completion, violation, or budget
+    /// exhaustion.
+    pub fn explore(mut self) -> ExploreOutcome {
+        let mut prefix = Vec::new();
+        let violation = self.dfs(&mut prefix, &[]);
+        ExploreOutcome {
+            executions: self.executions,
+            distinct_states: self.cache.len(),
+            complete_schedules: self.complete_schedules,
+            complete: violation.is_some() || !self.exhausted,
+            violation,
+        }
+    }
+
+    fn dfs(&mut self, prefix: &mut Vec<TransKey>, sleep: &[TransKey]) -> Option<Violation> {
+        if self.executions >= self.budget {
+            self.exhausted = true;
+            return None;
+        }
+        self.executions += 1;
+        let (exec, violation) = Execution::run_prefix(&self.scenario, prefix)
+            .expect("deterministic re-execution diverged from its own prefix");
+        if violation.is_some() {
+            return violation;
+        }
+        let enabled = exec.enabled();
+        if enabled.is_empty() {
+            if let Some((invariant, detail)) = exec.terminal_check() {
+                return Some(Violation {
+                    invariant,
+                    detail,
+                    schedule: prefix.clone(),
+                });
+            }
+            self.complete_schedules += 1;
+            return None;
+        }
+        let mut sleep_key = sleep.to_vec();
+        sleep_key.sort_unstable();
+        if !self.cache.insert((exec.digest(), sleep_key)) {
+            return None;
+        }
+        drop(exec);
+        // Sleep-set DFS: explored transitions go to sleep for the
+        // remaining siblings; a child only inherits the sleepers
+        // independent of the transition it takes.
+        let mut sleep_here = sleep.to_vec();
+        for &t in &enabled {
+            if sleep_here.contains(&t) {
+                continue;
+            }
+            let child_sleep: Vec<TransKey> = sleep_here
+                .iter()
+                .copied()
+                .filter(|&s| !dependent(s, t))
+                .collect();
+            prefix.push(t);
+            let found = self.dfs(prefix, &child_sleep);
+            prefix.pop();
+            if found.is_some() {
+                return found;
+            }
+            sleep_here.push(t);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependence_is_symmetric_and_conservative() {
+        let cmd0 = TransKey::Cmd { link: 0, idx: 0 };
+        let cmd1 = TransKey::Cmd { link: 1, idx: 0 };
+        let rep0 = TransKey::Rep {
+            link: 0,
+            gen: 0,
+            query: 1,
+            seq: 0,
+        };
+        let rep1 = TransKey::Rep {
+            link: 1,
+            gen: 0,
+            query: 1,
+            seq: 0,
+        };
+        let sync1 = TransKey::Sync { agent: 1, n: 0 };
+        let all = [cmd0, cmd1, rep0, rep1, sync1, TransKey::Step(3)];
+        for a in all {
+            for b in all {
+                assert_eq!(dependent(a, b), dependent(b, a), "{a} vs {b}");
+            }
+            // Everything conflicts with itself.
+            assert!(dependent(a, a), "{a} vs itself");
+        }
+        // Cross-link deliveries commute; same-link ones do not.
+        assert!(!dependent(cmd0, cmd1));
+        assert!(!dependent(rep0, rep1));
+        assert!(!dependent(cmd0, rep0));
+        assert!(dependent(cmd1, sync1));
+        // The storm step (3) only touches the severed agent's link.
+        assert!(dependent(TransKey::Step(3), cmd1));
+        assert!(!dependent(TransKey::Step(3), cmd0));
+        // Install (step 0) conflicts with everything.
+        assert!(dependent(TransKey::Step(0), rep0));
+        assert!(dependent(TransKey::Step(0), cmd1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Exhaustive protocol interleaving explorer for the Pivot Tracing
+//! runtime (`pivot-explore`).
+//!
+//! The chaos suite (pivot-chaos) samples fault schedules from a seeded
+//! PRF; this crate *enumerates* them. A small-scope configuration of the
+//! real protocol code — one [`pivot_core::Frontend`], two to four
+//! [`pivot_core::Agent`]s, each behind its own
+//! [`pivot_core::SchedBus`] — runs under a scheduler that holds every
+//! frame, so the explorer alone decides which frame is delivered next.
+//! Every maximal interleaving of command deliveries, report deliveries,
+//! epoch re-syncs, and workload steps is executed, subject to sleep-set
+//! dynamic partial-order reduction and state-digest caching, and each is
+//! checked against the protocol invariants the previous PRs established:
+//!
+//! - **loss identity** — every emitted tuple is delivered, governor-shed,
+//!   transport-dropped, or crash-lost; nothing vanishes unaccounted;
+//! - **sync cannot unthrottle** — an epoch re-sync never re-weaves a
+//!   query whose circuit breaker is open;
+//! - **breaker monotonicity** — per-incarnation trip counts never
+//!   decrease;
+//! - **epoch monotonicity** — the frontend's install epoch never
+//!   regresses;
+//! - **no double count** — duplicate-suppression keeps the frontend's
+//!   delivered-tuple view at or below the agents' emission counters.
+//!
+//! A violation yields a [`Violation`] carrying the exact transition
+//! sequence that produced it, serializable as a [`Schedule`] file that
+//! `pivot-explore --replay` re-executes deterministically — a
+//! counterexample is a regression test, not a log line.
+//!
+//! The model is *stateless* (TraceForge-style): each schedule node
+//! re-executes the whole configuration from its initial state, so
+//! transition identity ([`TransKey`]) is content-derived — per-link
+//! admission indices for commands, `(link, generation, query, seq)` for
+//! reports — and stable across re-executions. See DESIGN.md §5g.
+
+pub mod dpor;
+pub mod harness;
+pub mod scenario;
+pub mod schedule;
+
+pub use dpor::{ExploreOutcome, Explorer};
+pub use harness::{Execution, Invariant, Violation};
+pub use scenario::Scenario;
+pub use schedule::{Schedule, TransKey};
+
+/// FNV-1a over `bytes`: the digest primitive for explorer state hashing
+/// (mirrors the agent/frontend digests in pivot-core).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

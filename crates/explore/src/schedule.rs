@@ -1,0 +1,250 @@
+//! Transition identity and replayable schedule files.
+//!
+//! The explorer is stateless: every schedule node re-executes the
+//! configuration from its initial state, so a transition cannot be named
+//! by a pointer or a queue position — it needs an identity derived from
+//! frame *content* that comes out identical on every re-execution.
+//! [`TransKey`] is that identity. Its derived ordering doubles as the
+//! DFS exploration order: deliveries before syncs before workload steps,
+//! so the first explored path is the eager FIFO-like one and shallow
+//! bugs surface within a handful of executions.
+//!
+//! A [`Schedule`] is a counterexample serialized as a line-oriented text
+//! file — stable under `git diff`, human-auditable, and replayable with
+//! `pivot-explore --replay <file>`.
+
+use std::fmt;
+
+/// Content-derived identity of one explorer transition, stable across
+/// re-executions of the same schedule prefix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TransKey {
+    /// Deliver the command admitted `idx`-th on `link`'s bus.
+    Cmd {
+        /// Target agent slot.
+        link: usize,
+        /// Admission index on that bus (see
+        /// [`pivot_core::Scheduler::command_verdict`]).
+        idx: u64,
+    },
+    /// Deliver one held report, identified by its producing agent
+    /// generation (incarnation numbers are process-global and unstable;
+    /// the harness remaps them to per-slot generations) and its
+    /// per-(agent, query) flush sequence number.
+    Rep {
+        /// Source agent slot.
+        link: usize,
+        /// Source agent generation within that slot (0 = original,
+        /// bumped on each crash/replacement).
+        gen: u64,
+        /// Query id.
+        query: u64,
+        /// Flush sequence number.
+        seq: u64,
+    },
+    /// Deliver the `n`-th enqueued epoch re-sync to `agent`.
+    Sync {
+        /// Target agent slot.
+        agent: usize,
+        /// Global re-sync counter value at enqueue time.
+        n: u64,
+    },
+    /// Execute scripted workload step `k` (steps form a chain; step `k`
+    /// enables step `k + 1`).
+    Step(usize),
+}
+
+impl fmt::Display for TransKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransKey::Cmd { link, idx } => write!(f, "cmd {link} {idx}"),
+            TransKey::Rep {
+                link,
+                gen,
+                query,
+                seq,
+            } => write!(f, "rep {link} {gen} {query} {seq}"),
+            TransKey::Sync { agent, n } => write!(f, "sync {agent} {n}"),
+            TransKey::Step(k) => write!(f, "step {k}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TransKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TransKey, String> {
+        let mut it = s.split_whitespace();
+        let kind = it.next().ok_or("empty transition")?;
+        let mut num = |what: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("`{s}`: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("`{s}`: bad {what}: {e}"))
+        };
+        let key = match kind {
+            "cmd" => TransKey::Cmd {
+                link: num("link")? as usize,
+                idx: num("index")?,
+            },
+            "rep" => TransKey::Rep {
+                link: num("link")? as usize,
+                gen: num("generation")?,
+                query: num("query")?,
+                seq: num("seq")?,
+            },
+            "sync" => TransKey::Sync {
+                agent: num("agent")? as usize,
+                n: num("counter")?,
+            },
+            "step" => TransKey::Step(num("step index")? as usize),
+            other => return Err(format!("unknown transition kind `{other}`")),
+        };
+        if let Some(extra) = it.next() {
+            return Err(format!("`{s}`: trailing token `{extra}`"));
+        }
+        Ok(key)
+    }
+}
+
+/// A serialized (counterexample) schedule: the scenario shape, the
+/// mutation it was found under (if any), the invariant it violates (if
+/// any), and the exact transition sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schedule {
+    /// Number of agents in the configuration.
+    pub agents: usize,
+    /// Mutation name the schedule was found under (`None` for clean
+    /// runs; see [`pivot_core::mutation::Mutation`]).
+    pub mutation: Option<String>,
+    /// Name of the violated invariant, informational.
+    pub invariant: Option<String>,
+    /// The transition sequence.
+    pub steps: Vec<TransKey>,
+}
+
+impl Schedule {
+    /// Renders the schedule as its file format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# pivot-explore schedule v1\n");
+        let _ = writeln!(out, "agents {}", self.agents);
+        if let Some(m) = &self.mutation {
+            let _ = writeln!(out, "mutation {m}");
+        }
+        if let Some(i) = &self.invariant {
+            let _ = writeln!(out, "invariant {i}");
+        }
+        for t in &self.steps {
+            let _ = writeln!(out, "{t}");
+        }
+        out
+    }
+
+    /// Parses the file format produced by [`Schedule::render`].
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut agents = None;
+        let mut mutation = None;
+        let mut invariant = None;
+        let mut steps = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+            if let Some(rest) = line.strip_prefix("agents ") {
+                agents = Some(
+                    rest.trim()
+                        .parse::<usize>()
+                        .map_err(|e| err(format!("bad agent count: {e}")))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("mutation ") {
+                mutation = Some(rest.trim().to_owned());
+            } else if let Some(rest) = line.strip_prefix("invariant ") {
+                invariant = Some(rest.trim().to_owned());
+            } else {
+                steps.push(line.parse::<TransKey>().map_err(err)?);
+            }
+        }
+        Ok(Schedule {
+            agents: agents.ok_or("missing `agents` header")?,
+            mutation,
+            invariant,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transkey_display_parse_roundtrip() {
+        let keys = [
+            TransKey::Cmd { link: 2, idx: 7 },
+            TransKey::Rep {
+                link: 1,
+                gen: 3,
+                query: 1,
+                seq: 9,
+            },
+            TransKey::Sync { agent: 0, n: 4 },
+            TransKey::Step(5),
+        ];
+        for k in keys {
+            let s = k.to_string();
+            assert_eq!(s.parse::<TransKey>().unwrap(), k, "via `{s}`");
+        }
+        assert!("cmd 1".parse::<TransKey>().is_err());
+        assert!("bogus 1 2".parse::<TransKey>().is_err());
+        assert!("step 1 2".parse::<TransKey>().is_err());
+    }
+
+    #[test]
+    fn transkey_order_puts_deliveries_before_steps() {
+        let mut v = [
+            TransKey::Step(0),
+            TransKey::Sync { agent: 0, n: 0 },
+            TransKey::Rep {
+                link: 0,
+                gen: 0,
+                query: 1,
+                seq: 0,
+            },
+            TransKey::Cmd { link: 0, idx: 0 },
+        ];
+        v.sort_unstable();
+        assert!(matches!(v[0], TransKey::Cmd { .. }));
+        assert!(matches!(v[1], TransKey::Rep { .. }));
+        assert!(matches!(v[2], TransKey::Sync { .. }));
+        assert!(matches!(v[3], TransKey::Step(_)));
+    }
+
+    #[test]
+    fn schedule_render_parse_roundtrip() {
+        let sched = Schedule {
+            agents: 3,
+            mutation: Some("sync-unthrottle".into()),
+            invariant: Some("woven-while-tripped".into()),
+            steps: vec![
+                TransKey::Step(0),
+                TransKey::Cmd { link: 0, idx: 0 },
+                TransKey::Rep {
+                    link: 1,
+                    gen: 0,
+                    query: 1,
+                    seq: 2,
+                },
+            ],
+        };
+        let text = sched.render();
+        assert_eq!(Schedule::parse(&text).unwrap(), sched);
+        // Comments and blank lines are tolerated.
+        let commented = format!("\n# hello\n{text}\n");
+        assert_eq!(Schedule::parse(&commented).unwrap(), sched);
+        assert!(Schedule::parse("step 0\n").is_err(), "agents is required");
+    }
+}

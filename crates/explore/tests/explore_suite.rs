@@ -1,0 +1,121 @@
+//! Explorer correctness on the unmutated protocol: the 2-agent scenario
+//! is exhaustively explorable, every interleaving satisfies every
+//! invariant, executions are deterministic, and schedules survive a
+//! serialize/parse/replay round trip.
+
+use pivot_explore::harness::replay;
+use pivot_explore::{Execution, Explorer, Invariant, Scenario, Schedule, TransKey};
+
+/// The whole point of the small-scope scenario: two agents are cheap
+/// enough to enumerate *every* interleaving in CI, and the real protocol
+/// code holds every invariant on all of them.
+#[test]
+fn two_agent_scenario_is_exhaustively_clean() {
+    let outcome = Explorer::new(Scenario::new(2), 200_000).explore();
+    assert!(
+        outcome.complete,
+        "2-agent exploration must exhaust within budget ({} executions)",
+        outcome.executions
+    );
+    assert!(
+        outcome.violation.is_none(),
+        "unexpected violation: {:?}",
+        outcome.violation
+    );
+    assert!(
+        outcome.complete_schedules > 1,
+        "DPOR must still leave genuinely different maximal schedules"
+    );
+    assert!(
+        outcome.executions > outcome.complete_schedules,
+        "interior nodes outnumber terminals"
+    );
+}
+
+/// Re-executing the same prefix must reproduce the same state digest and
+/// the same enabled set — the bedrock of stateless model checking.
+#[test]
+fn re_execution_is_deterministic() {
+    let scenario = Scenario::new(3);
+    // An eager FIFO prefix: always take the first enabled transition.
+    let mut prefix = Vec::new();
+    let mut exec = Execution::new(&scenario);
+    while let Some(&t) = exec.enabled().first() {
+        prefix.push(t);
+        assert_eq!(exec.apply(t).unwrap(), None, "clean run violated at {t}");
+    }
+    assert!(exec.is_terminal());
+    assert_eq!(exec.terminal_check(), None);
+
+    let (again, violation) = Execution::run_prefix(&scenario, &prefix).unwrap();
+    assert!(violation.is_none());
+    assert_eq!(exec.digest(), again.digest());
+    assert!(again.is_terminal());
+}
+
+/// A recorded schedule — serialized to its file format and parsed back —
+/// replays cleanly and to the same terminal state.
+#[test]
+fn fifo_schedule_roundtrips_through_file_format() {
+    let scenario = Scenario::new(2);
+    let mut exec = Execution::new(&scenario);
+    let mut steps = Vec::new();
+    while let Some(&t) = exec.enabled().first() {
+        steps.push(t);
+        exec.apply(t).unwrap();
+    }
+    let sched = Schedule {
+        agents: scenario.agents,
+        mutation: None,
+        invariant: None,
+        steps,
+    };
+    let reparsed = Schedule::parse(&sched.render()).unwrap();
+    assert_eq!(reparsed, sched);
+    assert_eq!(
+        replay(&reparsed).unwrap(),
+        None,
+        "clean schedule replays clean"
+    );
+}
+
+/// A schedule that claims a transition before it is enabled must be
+/// rejected as diverged, not silently reordered.
+#[test]
+fn diverged_schedule_is_rejected() {
+    let sched = Schedule {
+        agents: 2,
+        mutation: None,
+        invariant: None,
+        // Report delivery before anything was ever flushed.
+        steps: vec![TransKey::Rep {
+            link: 0,
+            gen: 0,
+            query: 1,
+            seq: 0,
+        }],
+    };
+    let err = replay(&sched).unwrap_err();
+    assert!(err.contains("not enabled"), "got: {err}");
+}
+
+/// Invariant names are stable — schedule files and CI logs refer to
+/// them.
+#[test]
+fn invariant_names_round_trip() {
+    for inv in Invariant::all() {
+        assert_eq!(Invariant::parse(inv.name()), Some(inv), "{inv}");
+    }
+    assert_eq!(Invariant::parse("no-such-invariant"), None);
+}
+
+/// Without the `mutations` feature the seeded bugs cannot be armed —
+/// the production build path is provably mutation-free.
+#[test]
+fn mutations_require_the_feature() {
+    use pivot_core::mutation::{self, Mutation};
+    if !mutation::supported() {
+        assert!(!mutation::set(Mutation::SilentReaderExit, true));
+        assert!(!mutation::set(Mutation::SyncUnthrottle, true));
+    }
+}

@@ -1,0 +1,133 @@
+//! Mutation teeth: prove the explorer actually finds bugs by re-seeding
+//! two known-fixed ones (see `pivot_core::mutation`) and asserting each
+//! is rediscovered within a bounded schedule count, with a replayable
+//! counterexample that survives the schedule file format.
+//!
+//! Runs only with `--features mutations`; mutation toggles are
+//! process-global, so every test serializes on one lock and resets the
+//! toggles around its body.
+#![cfg(feature = "mutations")]
+
+use std::sync::Mutex;
+
+use pivot_core::mutation::{self, Mutation};
+use pivot_explore::harness::replay;
+use pivot_explore::{Explorer, Invariant, Scenario, Schedule, Violation};
+
+static MUTATION_LOCK: Mutex<()> = Mutex::new(());
+
+/// The bound proving detection is cheap: both seeded bugs surface on the
+/// explorer's *first* maximal schedule (the eager FIFO-like path), so a
+/// couple dozen executions — one per prefix node — must suffice.
+const DETECTION_BUDGET: usize = 64;
+
+fn with_mutation<T>(m: Mutation, f: impl FnOnce() -> T) -> T {
+    let _guard = MUTATION_LOCK.lock().unwrap();
+    mutation::reset();
+    assert!(mutation::set(m, true), "mutations feature must be active");
+    let out = f();
+    mutation::reset();
+    out
+}
+
+/// Explore under `m`, assert the expected invariant breaks within the
+/// detection budget, and hand back the counterexample.
+fn detect(m: Mutation, expect: Invariant) -> Violation {
+    let outcome = Explorer::new(Scenario::new(2), DETECTION_BUDGET).explore();
+    let violation = outcome.violation.unwrap_or_else(|| {
+        panic!(
+            "mutation {} escaped {} executions",
+            m.name(),
+            outcome.executions
+        )
+    });
+    assert_eq!(violation.invariant, expect, "detail: {}", violation.detail);
+    assert!(
+        outcome.executions <= DETECTION_BUDGET,
+        "took {} executions",
+        outcome.executions
+    );
+    violation
+}
+
+/// Replay the counterexample — directly, and again after a round trip
+/// through the schedule file format — and require the same invariant to
+/// break both times.
+fn assert_reproduces(m: Mutation, violation: &Violation) {
+    let sched = violation.to_schedule(&Scenario::new(2), Some(m.name()));
+    let replayed = replay(&sched)
+        .expect("counterexample replays without divergence")
+        .expect("counterexample reproduces a violation");
+    assert_eq!(replayed.invariant, violation.invariant);
+    assert_eq!(replayed.schedule, violation.schedule);
+
+    let reparsed = Schedule::parse(&sched.render()).unwrap();
+    assert_eq!(reparsed, sched, "file format round trip");
+    let again = replay(&reparsed).unwrap().unwrap();
+    assert_eq!(again.invariant, violation.invariant);
+}
+
+/// PR 4's bug, re-seeded: a severed link's reader swallows report frames
+/// with no tally anywhere. No single counter looks wrong — only the
+/// end-to-end loss identity over ground-truth agent counters exposes the
+/// unaccounted tuples.
+#[test]
+fn explorer_rediscovers_silent_reader_exit() {
+    with_mutation(Mutation::SilentReaderExit, || {
+        let violation = detect(Mutation::SilentReaderExit, Invariant::LossIdentity);
+        assert!(
+            violation.detail.contains("unaccounted"),
+            "detail: {}",
+            violation.detail
+        );
+        assert_reproduces(Mutation::SilentReaderExit, &violation);
+    });
+}
+
+/// PR 5's bug, re-seeded: `Agent::install` ignores an open breaker, so
+/// the epoch re-sync after the link heals re-weaves a query that is
+/// mid-backoff.
+#[test]
+fn explorer_rediscovers_sync_unthrottle() {
+    with_mutation(Mutation::SyncUnthrottle, || {
+        let violation = detect(Mutation::SyncUnthrottle, Invariant::WovenWhileTripped);
+        assert_reproduces(Mutation::SyncUnthrottle, &violation);
+    });
+}
+
+/// The committed counterexample fixtures — produced by
+/// `pivot-explore --mutation <m> --emit-schedule` — keep reproducing
+/// their violations: a found bug stays a regression test.
+#[test]
+fn committed_fixtures_still_reproduce() {
+    for (fixture, expect) in [
+        (
+            include_str!("fixtures/silent-reader-exit.sched"),
+            Invariant::LossIdentity,
+        ),
+        (
+            include_str!("fixtures/sync-unthrottle.sched"),
+            Invariant::WovenWhileTripped,
+        ),
+    ] {
+        let sched = Schedule::parse(fixture).unwrap();
+        let m = Mutation::parse(sched.mutation.as_deref().unwrap()).unwrap();
+        assert_eq!(sched.invariant.as_deref(), Some(expect.name()));
+        let violation = with_mutation(m, || {
+            replay(&sched)
+                .expect("fixture must not diverge — regenerate it if the scenario changed")
+                .expect("fixture must reproduce its violation")
+        });
+        assert_eq!(violation.invariant, expect, "fixture {}", m.name());
+    }
+}
+
+/// With every mutation off, the same configuration is clean — the teeth
+/// only bite the seeded bugs, not the fixed protocol.
+#[test]
+fn unmutated_protocol_passes_the_same_search() {
+    let _guard = MUTATION_LOCK.lock().unwrap();
+    mutation::reset();
+    let outcome = Explorer::new(Scenario::new(2), 4096).explore();
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+}

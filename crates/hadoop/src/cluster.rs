@@ -286,15 +286,14 @@ impl Cluster {
 /// live TCP bus.
 impl Bus for Cluster {
     fn broadcast(&self, cmd: &Command) {
+        // Clone out of the RefCell first: advice may re-enter the cluster.
         let agents = self.agents.borrow().clone();
-        for a in &agents {
-            a.apply(cmd);
-        }
+        pivot_core::bus::broadcast_to_agents(&agents, cmd);
     }
 
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         let agents = self.agents.borrow().clone();
-        agents.iter().flat_map(|a| a.flush(now)).collect()
+        pivot_core::bus::flush_agents(&agents, now)
     }
 }
 
