@@ -25,6 +25,7 @@ const STREAM_LIMP: u64 = 0x4c49_4d50_0000_0003;
 const STREAM_CRASH: u64 = 0x4352_4153_4800_0004;
 const STREAM_COMMAND: u64 = 0x434f_4d4d_4144_0005;
 const STREAM_STORM: u64 = 0x5354_4f52_4d00_0006;
+const STREAM_LINK: u64 = 0x4c49_4e4b_0000_0007;
 
 /// Per-fault-class injection rates and magnitudes.
 ///
@@ -181,6 +182,19 @@ impl FaultPlan {
     /// The fault mix.
     pub fn config(&self) -> &FaultConfig {
         &self.cfg
+    }
+
+    /// Derives an independent plan for link `link`: the same fault mix,
+    /// but decision streams re-seeded per link, so every edge of a relay
+    /// tree (agent→leaf, leaf→root, root→frontend) draws its own
+    /// schedule from one root seed. Pure like everything else here:
+    /// deriving the same link twice yields behaviourally identical
+    /// plans, and one integer still reproduces the whole tree's faults.
+    pub fn derive(&self, link: u64) -> FaultPlan {
+        FaultPlan {
+            seed: mix64(mix64(self.seed ^ STREAM_LINK) ^ link),
+            cfg: self.cfg,
+        }
     }
 
     /// One PRF draw, domain-separated by `stream` and keyed by `(a, b, c)`.
@@ -379,6 +393,21 @@ mod tests {
             plan.report_verdict(9, 9, 9, 9); // unrelated draws in between
             assert_eq!(plan.report_verdict(1, 2, 3, 4_000), a);
         }
+    }
+
+    #[test]
+    fn derived_link_plans_are_pure_and_independent() {
+        let root = FaultPlan::from_seed(11);
+        // Same link → byte-identical schedule; sibling links → distinct.
+        let a = root.derive(0).fingerprint(&[1, 2], &[1], 64);
+        let a2 = root.derive(0).fingerprint(&[1, 2], &[1], 64);
+        let b = root.derive(1).fingerprint(&[1, 2], &[1], 64);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        // A derived plan keeps the parent's fault mix.
+        assert_eq!(root.derive(3).config(), root.config());
+        // And none of them equals the parent's own stream.
+        assert_ne!(a, root.fingerprint(&[1, 2], &[1], 64));
     }
 
     #[test]

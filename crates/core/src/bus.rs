@@ -69,6 +69,18 @@ impl<B: Bus + ?Sized> Bus for Arc<B> {
     }
 }
 
+// Boxed buses make heterogeneous topologies expressible — e.g. the relay
+// tier's fan-in over subtrees that mix plain, scheduled, and chaos-wrapped
+// links under one `Vec<Box<dyn Bus>>`.
+impl<B: Bus + ?Sized> Bus for Box<B> {
+    fn broadcast(&self, cmd: &Command) {
+        (**self).broadcast(cmd);
+    }
+    fn drain_reports(&self, now: u64) -> Vec<Report> {
+        (**self).drain_reports(now)
+    }
+}
+
 /// A frontend → agents control message.
 ///
 /// `Install` carries the *lowered* bytecode ([`CompiledCode`]), not the
@@ -92,7 +104,7 @@ pub enum Command {
 /// `seq` (a per-agent, per-query flush counter) exposes duplicated and
 /// missing reports, and `tuples` / `emitted_cum` let the frontend balance
 /// `tuples_dropped + delivered == emitted` even when whole reports vanish.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Report {
     /// The query.
     pub query: QueryId,
@@ -130,7 +142,7 @@ pub struct Report {
 }
 
 /// Rows inside a report.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum ReportRows {
     /// Raw rows of a streaming (non-aggregating) query.
     Raw(Vec<Tuple>),

@@ -261,19 +261,10 @@ impl QueryResults {
     }
 }
 
-fn merge_into(
-    map: &mut HashMap<GroupKey, Vec<AggState>>,
-    spec: &OutputSpec,
-    key: GroupKey,
-    states: &[AggState],
-) {
-    let mine = map
-        .entry(key)
-        .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
-    for (m, s) in mine.iter_mut().zip(states) {
-        m.merge(s);
-    }
-}
+// The shared grouped-aggregate fold (`pivot_query::merge_grouped`): the
+// same merge the relay tier applies in flight, so a report folded once at
+// a relay and once here lands on identical totals.
+use pivot_query::merge_grouped as merge_into;
 
 fn layout(spec: &OutputSpec, key: &GroupKey, states: &[AggState]) -> Vec<Value> {
     spec.columns

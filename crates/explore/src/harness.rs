@@ -450,6 +450,23 @@ impl Execution {
                     self.flush_and_offer(slot, now);
                 }
             }
+            // The governor's control frames join the alphabet: the
+            // frontend replaces the budget mid-flight, and the resulting
+            // `SetBudget` frame races whatever round-3 reports are still
+            // held on the severed agent's link — the agent whose breaker
+            // tripped during the storm and is still open. Whatever order
+            // the explorer picks, replacing a budget must never re-arm
+            // that breaker or unbalance the loss books. (One link and no
+            // extra round: the racing partners are step 7's frames, and
+            // keeping the step frame-light keeps 2 agents exhaustively
+            // explorable in CI.)
+            8 => {
+                let handle = self.handle.clone().ok_or("no installed query")?;
+                self.fe.set_budget(&handle, scenario::relaxed_budget());
+                for cmd in self.fe.drain_commands() {
+                    self.links[SEVERED_SLOT].bus.broadcast(&cmd);
+                }
+            }
             _ => return Err(format!("no such step {k}")),
         }
         self.next_step = k + 1;

@@ -35,7 +35,7 @@ pub const QUERY: &str = "From e In Exec GroupBy e.k Select e.k, SUM(e.v)";
 pub const ROW_CAP: usize = 8;
 
 /// Number of scripted workload steps (transitions `Step(0..STEPS)`).
-pub const STEPS: usize = 8;
+pub const STEPS: usize = 9;
 
 /// The index of the agent whose link is severed during the storm.
 pub const SEVERED_SLOT: usize = 1;
@@ -82,16 +82,30 @@ pub fn storm_budget() -> QueryBudget {
     }
 }
 
+/// The step-8 replacement budget the frontend broadcasts mid-run: looser
+/// than [`storm_budget`] but still finite, so the `SetBudget` frame races
+/// the final round's reports without re-arming the severed agent's
+/// still-open breaker (replacing a budget must never unthrottle).
+pub fn relaxed_budget() -> QueryBudget {
+    QueryBudget {
+        tuples_per_window: 64,
+        window_ns: 1_000_000_000,
+        backoff_base_windows: 64,
+        max_backoff_doublings: 0,
+        ..QueryBudget::unlimited()
+    }
+}
+
 /// Whether workload step `k` touches agent/link `slot` — the
 /// conservative footprint driving `Step × delivery` (in)dependence.
 pub fn step_touches(k: usize, slot: usize) -> bool {
     match k {
-        // Install + budget broadcast, and the three invoke/flush rounds,
+        // Install + budget broadcast and the three invoke/flush rounds
         // touch every agent and admit frames on every link.
         0 | 1 | 4 | 7 => true,
-        // Sever, storm, and restore+re-sync only involve the severed
-        // agent's link.
-        2 | 3 | 6 => slot == SEVERED_SLOT,
+        // Sever, storm, restore+re-sync, and the rebudget finale only
+        // involve the severed agent's link.
+        2 | 3 | 6 | 8 => slot == SEVERED_SLOT,
         // The crash replaces only the crashed agent.
         5 => slot == CRASHED_SLOT,
         _ => false,
@@ -116,6 +130,7 @@ pub fn step_name(k: usize) -> &'static str {
         5 => "crash-agent",
         6 => "restore-link-and-resync",
         7 => "round3-invoke-and-flush",
+        8 => "rebudget-racing-final-round",
         _ => "past-end",
     }
 }

@@ -52,8 +52,11 @@ use crate::proto::{decode_message, encode_message, Message};
 /// One connected agent, from the server's point of view.
 struct Peer {
     writer: Arc<Mutex<TcpStream>>,
-    /// Set once the peer's `Hello` arrives.
+    /// Set once the peer's `Hello` (or `HelloRelay`) arrives.
     info: Arc<Mutex<Option<ProcessInfo>>>,
+    /// Set if registration came via `HelloRelay`: the peer is a fan-in
+    /// relay speaking for a subtree, not a leaf agent.
+    relay: Arc<AtomicBool>,
 }
 
 struct BusInner {
@@ -122,14 +125,39 @@ impl TcpBusServer {
         self.inner.addr
     }
 
-    /// Number of agents that have completed registration.
+    /// Number of leaf agents that have completed registration (relay
+    /// peers are counted by [`TcpBusServer::relay_count`] instead).
     pub fn agent_count(&self) -> usize {
         self.inner
             .peers
             .lock()
             .iter()
-            .filter(|p| p.info.lock().is_some())
+            .filter(|p| p.info.lock().is_some() && !p.relay.load(Ordering::SeqCst))
             .count()
+    }
+
+    /// Number of fan-in relays that have completed registration (via
+    /// `HelloRelay`).
+    pub fn relay_count(&self) -> usize {
+        self.inner
+            .peers
+            .lock()
+            .iter()
+            .filter(|p| p.info.lock().is_some() && p.relay.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Blocks until at least `n` relays have registered or `timeout`
+    /// elapses; returns whether the target was reached.
+    pub fn wait_for_relays(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.relay_count() < n {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
     }
 
     /// Identities of the registered agents.
@@ -169,6 +197,28 @@ impl TcpBusServer {
     /// killed agents, severed links.
     pub fn peers_lost(&self) -> u64 {
         self.inner.peers_lost.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the cached installed-query set and budgets wholesale and
+    /// pushes one `Sync` frame to every connected peer, bumping the local
+    /// epoch. This is how a relay's *downstream* server proxies an
+    /// upstream `Sync` (connect or reconnect): whatever installs the relay
+    /// missed while partitioned reach its whole subtree in one frame.
+    /// Epochs are per-tier counters — the downstream epoch advances by
+    /// one per visible change, it does not copy the upstream number.
+    pub fn resync(&self, queries: Vec<Arc<CompiledCode>>, budgets: Vec<(QueryId, QueryBudget)>) {
+        *self.inner.installed.lock() = queries.clone();
+        *self.inner.budgets.lock() = budgets.clone();
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let payload = encode_message(&Message::Sync {
+            epoch,
+            queries,
+            budgets,
+        });
+        self.inner
+            .peers
+            .lock()
+            .retain(|peer| write_frame(&mut *peer.writer.lock(), &payload).is_ok());
     }
 
     /// Abruptly severs every live connection *without* a `Goodbye`, while
@@ -255,12 +305,14 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<BusInner>) {
         let peer = Peer {
             writer: Arc::new(Mutex::new(write_half)),
             info: Arc::new(Mutex::new(None)),
+            relay: Arc::new(AtomicBool::new(false)),
         };
         let writer = Arc::clone(&peer.writer);
         let info = Arc::clone(&peer.info);
+        let relay = Arc::clone(&peer.relay);
         let reader_inner = Arc::clone(inner);
         inner.peers.lock().push(peer);
-        std::thread::spawn(move || peer_reader(stream, &writer, &info, &reader_inner));
+        std::thread::spawn(move || peer_reader(stream, &writer, &info, &relay, &reader_inner));
     }
 }
 
@@ -274,12 +326,18 @@ fn peer_reader(
     mut stream: TcpStream,
     writer: &Arc<Mutex<TcpStream>>,
     info: &Arc<Mutex<Option<ProcessInfo>>>,
+    relay: &Arc<AtomicBool>,
     inner: &Arc<BusInner>,
 ) {
     let mut orderly = false;
     while let Ok(payload) = read_frame(&mut stream) {
         match decode_message(&payload) {
-            Ok(Message::Hello(process)) => {
+            Ok(msg @ (Message::Hello(_) | Message::HelloRelay(_))) => {
+                let is_relay = matches!(msg, Message::HelloRelay(_));
+                let (Message::Hello(process) | Message::HelloRelay(process)) = msg else {
+                    unreachable!();
+                };
+                relay.store(is_relay, Ordering::SeqCst);
                 *info.lock() = Some(process);
                 // One Sync frame converges the newcomer (or the rejoiner)
                 // to the exact installed set at the current epoch.
@@ -383,8 +441,10 @@ impl ReconnectPolicy {
     }
 
     /// Delay before attempt `attempt` (0-based): `min(base · 2^attempt,
-    /// max)` plus a deterministic jitter in `[0, base]`.
-    fn backoff(&self, attempt: u32) -> Duration {
+    /// max)` plus a deterministic jitter in `[0, base]`. Public so the
+    /// relay tier's upstream client retries on the same schedule as a
+    /// leaf agent.
+    pub fn backoff(&self, attempt: u32) -> Duration {
         let exp = self
             .base_delay
             .saturating_mul(1u32 << attempt.min(16))
@@ -482,8 +542,9 @@ impl LiveAgent {
 
         let reporter_shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || {
-            while !reporter_shared.stop.load(Ordering::SeqCst) {
-                std::thread::sleep(report_interval);
+            // Interruptible sleep: shutdown() must not wait out a long
+            // reporting interval.
+            while !sleep_unless_stopped(report_interval, &reporter_shared.stop) {
                 flush_if_connected(&reporter_shared);
             }
             // Final flush so short-lived processes still report.
@@ -610,9 +671,12 @@ fn read_session(read: &mut TcpStream, shared: &LiveShared) -> SessionEnd {
                 shared.epoch.store(epoch, Ordering::SeqCst);
             }
             Ok(Message::Goodbye) => return SessionEnd::Orderly,
-            // Hello/Report flow agent→server only; receiving one here is
-            // a protocol violation, treated like a corrupt frame.
-            Ok(Message::Hello(_) | Message::Report(_)) | Err(_) => return SessionEnd::Lost,
+            // Hello/HelloRelay/Report flow agent→server only; receiving
+            // one here is a protocol violation, treated like a corrupt
+            // frame.
+            Ok(Message::Hello(_) | Message::HelloRelay(_) | Message::Report(_)) | Err(_) => {
+                return SessionEnd::Lost
+            }
         }
     }
     SessionEnd::Lost

@@ -5,10 +5,54 @@
 //! rejected on both sides so a corrupt or malicious peer cannot make the
 //! receiver allocate unboundedly.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Upper bound on one frame's payload (16 MiB — far above any report).
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes a batch of length-prefixed frames with one vectored syscall
+/// per `write_vectored` round, then flushes once. The relay tier's flush
+/// path: a coalesced batch of re-originated reports goes out as a single
+/// gather-write instead of `2 × batch` small writes.
+///
+/// Partial writes are handled by advancing the slice list; the on-wire
+/// bytes are identical to calling [`write_frame`] per payload.
+pub fn write_frames(w: &mut impl Write, payloads: &[Vec<u8>]) -> io::Result<()> {
+    if payloads.is_empty() {
+        return Ok(());
+    }
+    let mut headers = Vec::with_capacity(payloads.len());
+    for p in payloads {
+        if p.len() > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds MAX_FRAME", p.len()),
+            ));
+        }
+        headers.push((p.len() as u32).to_be_bytes());
+    }
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(payloads.len() * 2);
+    for (h, p) in headers.iter().zip(payloads) {
+        slices.push(IoSlice::new(h));
+        slices.push(IoSlice::new(p));
+    }
+    let mut cursor: &mut [IoSlice<'_>] = &mut slices;
+    while !cursor.is_empty() {
+        let n = match w.write_vectored(cursor) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame batch",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        IoSlice::advance_slices(&mut cursor, n);
+    }
+    w.flush()
+}
 
 /// Writes one length-prefixed frame and flushes.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
@@ -55,6 +99,52 @@ mod tests {
         assert_eq!(read_frame(&mut r).expect("read empty"), b"");
         assert_eq!(read_frame(&mut r).expect("read payload"), b"hello");
         assert!(read_frame(&mut r).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn batched_writes_match_sequential_framing() {
+        let payloads: Vec<Vec<u8>> = vec![b"".to_vec(), b"hello".to_vec(), vec![0xAB; 70_000]];
+        let mut sequential = Vec::new();
+        for p in &payloads {
+            write_frame(&mut sequential, p).expect("write");
+        }
+        let mut batched = Vec::new();
+        write_frames(&mut batched, &payloads).expect("vectored write");
+        assert_eq!(sequential, batched);
+        // A reader sees the identical frame stream.
+        let mut r = &batched[..];
+        for p in &payloads {
+            assert_eq!(&read_frame(&mut r).expect("read"), p);
+        }
+        // Empty batch writes nothing.
+        let mut empty = Vec::new();
+        write_frames(&mut empty, &[]).expect("empty batch");
+        assert!(empty.is_empty());
+    }
+
+    /// A writer that accepts a few bytes per call, forcing the vectored
+    /// path through its partial-write advance loop.
+    struct Trickle(Vec<u8>);
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(3);
+            self.0.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn batched_writes_survive_partial_writes() {
+        let payloads: Vec<Vec<u8>> = vec![b"abc".to_vec(), b"defghij".to_vec()];
+        let mut trickle = Trickle(Vec::new());
+        write_frames(&mut trickle, &payloads).expect("partial-write loop");
+        let mut r = &trickle.0[..];
+        assert_eq!(read_frame(&mut r).expect("first"), b"abc");
+        assert_eq!(read_frame(&mut r).expect("second"), b"defghij");
     }
 
     #[test]

@@ -42,8 +42,10 @@ use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
 /// loss-accounting envelope (procid, incarnation, seq, tuple counters)
 /// and the `Sync`/`Goodbye` messages were added for crash recovery; to 4
 /// when the overload governor added `SetBudget`, budget lists on `Sync`,
-/// and the shed/truncation/throttle fields of the `Report` envelope.
-pub const PROTO_VERSION: u8 = 4;
+/// and the shed/truncation/throttle fields of the `Report` envelope; to 5
+/// when the relay tier added `HelloRelay` (a registration that marks the
+/// peer as a fan-in relay rather than a leaf agent).
+pub const PROTO_VERSION: u8 = 5;
 
 /// Maximum expression nesting the decoder accepts. Honest queries stay in
 /// single digits; the cap keeps a hostile peer from overflowing the stack.
@@ -75,6 +77,11 @@ pub enum Message {
     /// A socket that closes *without* a preceding `Goodbye` is a lost
     /// connection and must be surfaced as a fault, not a clean exit.
     Goodbye,
+    /// Relay → upstream: registration of a fan-in relay (`crates/relay`).
+    /// Handled like [`Message::Hello`] — the upstream answers with a
+    /// `Sync` — but the peer is counted as a relay, not a leaf agent, so
+    /// topology-aware servers can report tier shape.
+    HelloRelay(ProcessInfo),
 }
 
 /// Encodes one message to bytes (the payload of one frame).
@@ -123,6 +130,12 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             enc.put_varint(id.0);
             encode_budget(budget, &mut enc);
         }
+        Message::HelloRelay(info) => {
+            enc.put_u8(7);
+            enc.put_str(&info.host);
+            enc.put_varint(info.procid);
+            enc.put_str(&info.procname);
+        }
     }
     enc.finish()
 }
@@ -170,6 +183,11 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
             let id = QueryId(dec.take_varint()?);
             Message::Command(Command::SetBudget(id, decode_budget(&mut dec)?))
         }
+        7 => Message::HelloRelay(ProcessInfo {
+            host: dec.take_str()?.to_owned(),
+            procid: dec.take_varint()?,
+            procname: dec.take_str()?.to_owned(),
+        }),
         t => return Err(DecodeError::BadTag("message", t)),
     };
     if !dec.is_empty() {
@@ -984,6 +1002,11 @@ mod tests {
                 procid: 12,
                 procname: "kvnode".into(),
             }),
+            Message::HelloRelay(ProcessInfo {
+                host: "rack-7".into(),
+                procid: 1,
+                procname: "pivot-relay".into(),
+            }),
         ] {
             let bytes = encode_message(&msg);
             let back = decode_message(&bytes).expect("decodes");
@@ -993,9 +1016,29 @@ mod tests {
                     Message::Command(Command::Uninstall(b)),
                 ) => assert_eq!(a, b),
                 (Message::Hello(a), Message::Hello(b)) => assert_eq!(a, b),
+                (Message::HelloRelay(a), Message::HelloRelay(b)) => assert_eq!(a, b),
                 other => panic!("mismatched kinds: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn hello_and_hello_relay_are_distinct_frames() {
+        // A relay registration must never be mistaken for a leaf agent's:
+        // the tiers are counted separately and version skew between them
+        // is caught by the version byte, not the registration kind.
+        let info = ProcessInfo {
+            host: "rack-7".into(),
+            procid: 1,
+            procname: "pivot-relay".into(),
+        };
+        let agent = encode_message(&Message::Hello(info.clone()));
+        let relay = encode_message(&Message::HelloRelay(info));
+        assert_ne!(agent, relay);
+        assert!(matches!(
+            decode_message(&relay).expect("decodes"),
+            Message::HelloRelay(_)
+        ));
     }
 
     #[test]
@@ -1215,7 +1258,51 @@ mod tests {
                 QueryId(2),
                 QueryBudget::from_static_bound(Some(48)),
             ))),
+            encode_message(&Message::HelloRelay(ProcessInfo {
+                host: "rack-7".into(),
+                procid: 1,
+                procname: "pivot-relay".into(),
+            })),
+            // A relay-re-originated report: relay identity in the envelope,
+            // raw rows coalesced from several agents in the body.
+            encode_message(&Message::Report(Report {
+                query: QueryId(5),
+                host: "rack-7".into(),
+                procid: 1,
+                procname: "pivot-relay".into(),
+                incarnation: 3,
+                time: 10,
+                seq: 0,
+                tuples: 3,
+                emitted_cum: 3,
+                shed_cum: 0,
+                truncated_cum: 0,
+                throttled: None,
+                rows: ReportRows::Raw(vec![
+                    Tuple::from_iter([Value::str("a"), Value::I64(1)]),
+                    Tuple::from_iter([Value::str("b"), Value::I64(2)]),
+                    Tuple::from_iter([Value::str("c"), Value::I64(3)]),
+                ]),
+            })),
         ]
+    }
+
+    #[test]
+    fn every_frame_kind_rejects_version_skew() {
+        // A v4 peer (or a from-the-future v6 one) must be refused on every
+        // frame kind — including the relay frames new in v5 — so a mixed
+        // agent/relay/frontend deployment fails loudly instead of
+        // misparsing.
+        for bytes in all_frames() {
+            for skew in [PROTO_VERSION - 1, PROTO_VERSION + 1, 0, 0xFF] {
+                let mut mutated = bytes.clone();
+                mutated[0] = skew;
+                assert!(matches!(
+                    decode_message(&mutated),
+                    Err(DecodeError::BadTag("protocol version", _))
+                ));
+            }
+        }
     }
 
     #[test]

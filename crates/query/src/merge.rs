@@ -1,0 +1,37 @@
+//! The grouped-aggregate merge shared by every tier that combines
+//! partial results.
+//!
+//! Pivot Tracing pushes aggregation to the tracepoints (paper Table 3),
+//! so what travels upward is partially aggregated groups; any tier may
+//! fold two partials into one because every [`AggState`] merge is
+//! associative and commutative (pinned by property tests in
+//! `crates/model` and this crate). The frontend has always exploited
+//! that to merge agent reports; the relay tier (`crates/relay`) exploits
+//! it again to merge *in flight*, before reports ever reach the
+//! frontend. Both call this one helper so the two tiers cannot drift.
+
+use std::collections::HashMap;
+
+use pivot_model::{AggState, GroupKey};
+
+use crate::advice::OutputSpec;
+
+/// Folds one partial group (`key`, `states`) into `map`.
+///
+/// A previously unseen key starts from `spec`'s initial aggregate states
+/// (the identity of the merge), so merging a partial into an empty map
+/// reproduces the partial exactly — the property that makes relay
+/// windows transparent to the frontend's totals.
+pub fn merge_grouped(
+    map: &mut HashMap<GroupKey, Vec<AggState>>,
+    spec: &OutputSpec,
+    key: GroupKey,
+    states: &[AggState],
+) {
+    let mine = map
+        .entry(key)
+        .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.init()).collect());
+    for (m, s) in mine.iter_mut().zip(states) {
+        m.merge(s);
+    }
+}

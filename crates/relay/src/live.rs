@@ -1,0 +1,383 @@
+//! The live (TCP) relay: a standalone fan-in process between agents and
+//! the frontend.
+//!
+//! A [`RelayServer`] owns both halves of the tier:
+//!
+//! - **Downstream**, it is a full [`TcpBusServer`]: agents (or further
+//!   relays) connect to [`RelayServer::addr`] exactly as they would to
+//!   the frontend — same `Hello`/`HelloRelay` registration, same
+//!   epoch-tagged `Sync` answer, same reconnect discipline. The tree is
+//!   invisible to leaves.
+//! - **Upstream**, it holds one connection to its parent (another relay
+//!   or the frontend), registered with [`Message::HelloRelay`] so the
+//!   parent can tell tiers apart. Control-plane frames arriving from
+//!   upstream are applied to the relay's [`RelayCore`] and re-broadcast
+//!   downstream; `Sync` frames are proxied wholesale via
+//!   [`TcpBusServer::resync`], so epoch re-sync crosses the tier in one
+//!   frame per hop. If the upstream link dies without a `Goodbye` the
+//!   relay reconnects with the same capped-backoff policy a leaf agent
+//!   uses, re-registers, and the answering `Sync` heals both the relay
+//!   and (via `resync`) its whole subtree.
+//!
+//! A flusher thread drains downstream reports into the merge windows on
+//! every tick and, while connected, writes the re-originated batch
+//! upstream with one vectored write ([`write_frames`]) — the coalescing
+//! that turns `N` leaf frame streams into one per relay.
+//!
+//! [`RelayServer::crash`] is the chaos hook: it destroys the merge
+//! windows (returning the [`CrashResidue`] for the embedding's
+//! `crash_lost` books), severs every downstream connection without a
+//! `Goodbye`, and drops the upstream link the same way, so both sides
+//! observe a real crash and run their recovery paths against the same
+//! listener socket.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pivot_core::{Bus, ProcessInfo};
+use pivot_live::bus::{ConnStatus, ReconnectPolicy, TcpBusServer};
+use pivot_live::frame::{read_frame, write_frame, write_frames};
+use pivot_live::proto::{decode_message, encode_message, Message};
+
+use crate::{CrashResidue, RelayCore, RelayStats};
+
+/// State shared by the [`RelayServer`] handle and its service threads.
+struct UpShared {
+    core: Arc<RelayCore>,
+    down: Arc<TcpBusServer>,
+    upstream: SocketAddr,
+    /// The live upstream write half; replaced in place on reconnect.
+    writer: Mutex<TcpStream>,
+    status: Mutex<ConnStatus>,
+    /// Last upstream install epoch observed in a `Sync` frame.
+    epoch: AtomicU64,
+    /// Successful upstream reconnections.
+    reconnects: AtomicU64,
+    stop: AtomicBool,
+    policy: ReconnectPolicy,
+}
+
+impl UpShared {
+    fn set_status(&self, s: ConnStatus) {
+        *self.status.lock() = s;
+    }
+}
+
+/// A live fan-in relay process: downstream bus server + one upstream
+/// connection + an in-flight merge core. See the module docs.
+pub struct RelayServer {
+    shared: Arc<UpShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl RelayServer {
+    /// Starts a relay on an ephemeral loopback port, connected upstream
+    /// to `upstream`, with reconnection enabled (jitter seeded from the
+    /// relay's procid).
+    pub fn start(
+        upstream: SocketAddr,
+        info: ProcessInfo,
+        flush_interval: Duration,
+    ) -> io::Result<RelayServer> {
+        let seed = info.procid;
+        RelayServer::bind(
+            "127.0.0.1:0",
+            upstream,
+            info,
+            flush_interval,
+            ReconnectPolicy::new(seed),
+        )
+    }
+
+    /// Starts a relay listening on `listen` with an explicit
+    /// [`ReconnectPolicy`] for the upstream link.
+    pub fn bind(
+        listen: &str,
+        upstream: SocketAddr,
+        info: ProcessInfo,
+        flush_interval: Duration,
+        policy: ReconnectPolicy,
+    ) -> io::Result<RelayServer> {
+        let down = Arc::new(TcpBusServer::bind(listen)?);
+        let core = Arc::new(RelayCore::new(info));
+        let stream = TcpStream::connect(upstream)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let shared = Arc::new(UpShared {
+            core,
+            down,
+            upstream,
+            writer: Mutex::new(writer),
+            status: Mutex::new(ConnStatus::Connected),
+            epoch: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            policy,
+        });
+        write_frame(
+            &mut *shared.writer.lock(),
+            &encode_message(&Message::HelloRelay(shared.core.info().clone())),
+        )?;
+
+        let mut threads = Vec::new();
+        let reader_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            reader_loop(stream, &reader_shared);
+        }));
+        let flusher_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            // Interruptible sleep: shutdown() must not wait out a long
+            // flush interval.
+            while !sleep_unless_stopped(flush_interval, &flusher_shared.stop) {
+                flush_upstream(&flusher_shared);
+            }
+            // Final flush so an orderly shutdown forwards the open window.
+            flush_upstream(&flusher_shared);
+        }));
+
+        Ok(RelayServer {
+            shared,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The downstream address agents (or child relays) connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.down.addr()
+    }
+
+    /// The downstream bus server (agent/relay counts, epoch, chaos
+    /// hooks).
+    pub fn downstream(&self) -> &TcpBusServer {
+        &self.shared.down
+    }
+
+    /// The relay's accounting core.
+    pub fn core(&self) -> &RelayCore {
+        &self.shared.core
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RelayStats {
+        self.shared.core.stats()
+    }
+
+    /// Upstream connection status.
+    pub fn status(&self) -> ConnStatus {
+        *self.shared.status.lock()
+    }
+
+    /// Successful upstream reconnections so far.
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// The last upstream install epoch observed in a `Sync` frame.
+    pub fn upstream_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the upstream link is connected and its observed
+    /// epoch reaches `epoch`, or `timeout` elapses.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.status() == ConnStatus::Connected && self.upstream_epoch() >= epoch {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Absorbs pending downstream reports and flushes the merged windows
+    /// upstream immediately (when connected; otherwise the windows keep
+    /// accumulating and nothing is lost).
+    pub fn flush_now(&self) {
+        flush_upstream(&self.shared);
+    }
+
+    /// Absorbs pending downstream reports into the merge windows
+    /// *without* flushing upstream — the mid-window state a crash test
+    /// needs to stage deterministically (see [`RelayCore::buffered_tuples`]).
+    pub fn pull_now(&self) {
+        for r in self.shared.down.drain_reports(pivot_live::now_nanos()) {
+            self.shared.core.absorb(r);
+        }
+    }
+
+    /// Crashes the relay the way a dying process would, while keeping
+    /// the listener socket so the same address recovers: the open merge
+    /// windows are destroyed (returned as [`CrashResidue`] for the
+    /// embedding's `crash_lost` books), every downstream connection is
+    /// severed without a `Goodbye` (agents reconnect and re-`Sync`
+    /// against this listener), and the upstream link is torn down the
+    /// same way so the reader re-registers under the relay's fresh
+    /// incarnation and heals the subtree from the answering `Sync`.
+    pub fn crash(&self) -> CrashResidue {
+        let residue = self.shared.core.restart();
+        self.shared.down.sever();
+        let _ = self.shared.writer.lock().shutdown(Shutdown::Both);
+        residue
+    }
+
+    /// Flushes once more, announces `Goodbye` upstream, then shuts down
+    /// the downstream server (orderly: downstream peers get `Goodbye`s)
+    /// and joins the service threads.
+    pub fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if *self.shared.status.lock() == ConnStatus::Connected {
+            flush_upstream_inner(&self.shared);
+            let _ = write_frame(
+                &mut *self.shared.writer.lock(),
+                &encode_message(&Message::Goodbye),
+            );
+        }
+        self.shared.set_status(ConnStatus::Closed);
+        let _ = self.shared.writer.lock().shutdown(Shutdown::Both);
+        self.shared.down.shutdown();
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RelayServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Absorb + (if connected) flush. Absorption always happens so the
+/// windows keep merging during an upstream outage; flushing into a dead
+/// socket would consume seqs for frames nothing will deliver.
+fn flush_upstream(shared: &UpShared) {
+    if *shared.status.lock() != ConnStatus::Connected {
+        for r in shared.down.drain_reports(pivot_live::now_nanos()) {
+            shared.core.absorb(r);
+        }
+        return;
+    }
+    flush_upstream_inner(shared);
+}
+
+fn flush_upstream_inner(shared: &UpShared) {
+    let now = pivot_live::now_nanos();
+    for r in shared.down.drain_reports(now) {
+        shared.core.absorb(r);
+    }
+    let batch: Vec<Vec<u8>> = shared
+        .core
+        .flush(now)
+        .into_iter()
+        .map(|r| encode_message(&Message::Report(r)))
+        .collect();
+    if !batch.is_empty() {
+        let _ = write_frames(&mut *shared.writer.lock(), &batch);
+    }
+}
+
+/// The upstream reader: applies control-plane frames to the core and the
+/// downstream subtree, with reconnection on lost links.
+fn reader_loop(mut read: TcpStream, shared: &Arc<UpShared>) {
+    loop {
+        let orderly = read_upstream_session(&mut read, shared);
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if orderly {
+            shared.set_status(ConnStatus::Closed);
+            return;
+        }
+        shared.set_status(ConnStatus::Reconnecting);
+        match reconnect_upstream(shared) {
+            Some(new_read) => {
+                read = new_read;
+                shared.reconnects.fetch_add(1, Ordering::SeqCst);
+                shared.set_status(ConnStatus::Connected);
+            }
+            None => {
+                if !shared.stop.load(Ordering::SeqCst) {
+                    shared.set_status(ConnStatus::Lost);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Reads one upstream session; returns whether it ended orderly.
+fn read_upstream_session(read: &mut TcpStream, shared: &UpShared) -> bool {
+    while let Ok(payload) = read_frame(read) {
+        match decode_message(&payload) {
+            Ok(Message::Command(cmd)) => {
+                // Learn, then proxy: the downstream broadcast caches the
+                // command for late joiners and bumps the subtree's epoch.
+                shared.core.observe(&cmd);
+                shared.down.broadcast(&cmd);
+            }
+            Ok(Message::Sync {
+                epoch,
+                queries,
+                budgets,
+            }) => {
+                shared.core.sync(&queries);
+                shared.epoch.store(epoch, Ordering::SeqCst);
+                shared.down.resync(queries, budgets);
+            }
+            Ok(Message::Goodbye) => return true,
+            // Hello/HelloRelay/Report flow toward the frontend only.
+            Ok(Message::Hello(_) | Message::HelloRelay(_) | Message::Report(_)) | Err(_) => {
+                return false
+            }
+        }
+    }
+    false
+}
+
+/// Re-establishes the upstream connection per the policy, re-registering
+/// with a fresh `HelloRelay` (the parent answers with a `Sync` that
+/// heals the relay and, via `resync`, its whole subtree).
+fn reconnect_upstream(shared: &Arc<UpShared>) -> Option<TcpStream> {
+    for attempt in 0..shared.policy.max_attempts {
+        if sleep_unless_stopped(shared.policy.backoff(attempt), &shared.stop) {
+            return None;
+        }
+        let Ok(stream) = TcpStream::connect(shared.upstream) else {
+            continue;
+        };
+        if stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        *shared.writer.lock() = write_half;
+        let hello = encode_message(&Message::HelloRelay(shared.core.info().clone()));
+        if write_frame(&mut *shared.writer.lock(), &hello).is_ok() {
+            return Some(stream);
+        }
+    }
+    None
+}
+
+/// Sleeps `d` in small slices, returning `true` (and early) if `stop` is
+/// raised.
+fn sleep_unless_stopped(d: Duration, stop: &AtomicBool) -> bool {
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        if stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2).min(deadline - Instant::now()));
+    }
+    stop.load(Ordering::SeqCst)
+}

@@ -1,0 +1,360 @@
+//! Deterministic pins for the relay tier's semantics: in-flight partial
+//! merge, fan-in ratios, envelope re-origination, duplicate/stale
+//! refusal through a hop, crash residue, and throttle forwarding. The
+//! scale sweep exercises the same machinery at 1000+ agents under
+//! chaos; these tests pin each edge in isolation.
+
+use std::sync::Arc;
+
+use pivot_baggage::Baggage;
+use pivot_core::{Agent, Bus, Frontend, LocalBus, ProcessInfo, QueryHandle, Report};
+use pivot_model::Value;
+use pivot_relay::{FanIn, Relay, RelayCore};
+
+const QUERY: &str = "From e In Exec GroupBy e.k Select e.k, SUM(e.v)";
+const MS: u64 = 1_000_000;
+
+fn frontend_with_query() -> (Frontend, QueryHandle) {
+    let mut fe = Frontend::new();
+    fe.define("Exec", ["k", "v"]);
+    let handle = fe.install_named("Q", QUERY).expect("query installs");
+    (fe, handle)
+}
+
+fn fresh_agent(fe: &Frontend, slot: u64) -> Arc<Agent> {
+    let agent = Arc::new(Agent::new(ProcessInfo {
+        host: format!("host-{slot}"),
+        procid: slot,
+        procname: "worker".into(),
+    }));
+    agent.sync(&fe.installed());
+    agent
+}
+
+fn invoke(agent: &Agent, now: u64, key: &str, v: i64) {
+    let mut bag = Baggage::new();
+    agent.invoke(
+        "Exec",
+        &mut bag,
+        now,
+        &[("k", Value::str(key)), ("v", Value::I64(v))],
+    );
+}
+
+fn flush_one(agent: &Agent, now: u64) -> Report {
+    let mut reports = agent.flush(now);
+    assert_eq!(reports.len(), 1, "one woven query, one report");
+    reports.remove(0)
+}
+
+fn total(fe: &Frontend, handle: &QueryHandle) -> i64 {
+    fe.results(handle)
+        .rows()
+        .iter()
+        .map(|r| match r.values[1] {
+            Value::I64(n) => n,
+            ref v => panic!("SUM column is not an integer: {v:?}"),
+        })
+        .sum()
+}
+
+fn relay_info(slot: u64) -> ProcessInfo {
+    ProcessInfo {
+        host: format!("relay-{slot}"),
+        procid: slot,
+        procname: "pivot-relay".into(),
+    }
+}
+
+/// Three agents behind one relay: the frontend receives *one* merged
+/// report per flush instead of three, totals are exact, and the loss
+/// books stay balanced through the hop.
+#[test]
+fn relay_fans_in_and_merges() {
+    let (mut fe, handle) = frontend_with_query();
+    let mut bus = LocalBus::new();
+    for slot in 0..3 {
+        bus.register(fresh_agent(&fe, slot));
+    }
+    let relay = Relay::new(bus, relay_info(0));
+    for cmd in fe.drain_commands() {
+        relay.broadcast(&cmd);
+    }
+
+    for (i, agent) in relay.inner().agents().iter().enumerate() {
+        for _ in 0..=i {
+            invoke(agent, MS, "a", 1);
+        }
+    }
+    let reports = relay.drain_reports(2 * MS);
+    assert_eq!(
+        reports.len(),
+        1,
+        "three downstream streams fan in to one upstream report"
+    );
+    assert_eq!(reports[0].tuples, 6);
+    assert_eq!(reports[0].host, "relay-0", "envelope is re-originated");
+    for r in reports {
+        fe.accept(r);
+    }
+
+    assert_eq!(total(&fe, &handle), 6);
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.tuples_emitted, 6);
+    assert_eq!(loss.tuples_delivered, 6);
+    assert_eq!(loss.tuples_dropped, 0);
+    assert!(!loss.is_degraded());
+
+    let stats = relay.core().stats();
+    assert_eq!(stats.reports_in, 3);
+    assert_eq!(stats.reports_out, 1);
+    assert_eq!(stats.tuples_in, 6);
+    assert_eq!(stats.tuples_out, 6);
+}
+
+/// A two-hop tree (agents → leaf relays → root relay → frontend) keeps
+/// totals exact and the loss identity balanced; the root's merge folds
+/// the leaves' already-merged partials (associativity in anger).
+#[test]
+fn two_hop_tree_balances_exactly() {
+    let (mut fe, handle) = frontend_with_query();
+    let mut leaves = Vec::new();
+    for leaf in 0..2 {
+        let mut bus = LocalBus::new();
+        for slot in 0..4 {
+            bus.register(fresh_agent(&fe, leaf * 4 + slot));
+        }
+        leaves.push(Relay::new(bus, relay_info(leaf)));
+    }
+    let root = Relay::new(FanIn::new(leaves), relay_info(9));
+    for cmd in fe.drain_commands() {
+        root.broadcast(&cmd);
+    }
+
+    let mut expect = 0i64;
+    for (li, leaf) in root.inner().children().iter().enumerate() {
+        for (ai, agent) in leaf.inner().agents().iter().enumerate() {
+            let v = (li * 4 + ai + 1) as i64;
+            invoke(agent, MS, if ai % 2 == 0 { "even" } else { "odd" }, v);
+            expect += v;
+        }
+    }
+    let reports = root.drain_reports(2 * MS);
+    assert_eq!(reports.len(), 1, "eight agents, two hops, one frame");
+    for r in reports {
+        fe.accept(r);
+    }
+
+    assert_eq!(total(&fe, &handle), expect);
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.tuples_emitted, 8);
+    assert_eq!(loss.tuples_delivered, 8);
+    assert_eq!(loss.tuples_dropped, 0);
+}
+
+/// A reconnecting downstream link re-delivers a frame; the relay
+/// suppresses it exactly like the frontend would, so nothing
+/// double-counts through the hop.
+#[test]
+fn duplicate_through_hop_is_suppressed() {
+    let (mut fe, handle) = frontend_with_query();
+    let core = RelayCore::new(relay_info(0));
+    core.sync(&fe.installed());
+    let agent = fresh_agent(&fe, 0);
+
+    for _ in 0..3 {
+        invoke(&agent, MS, "a", 1);
+    }
+    let frame = flush_one(&agent, MS);
+    core.absorb(frame.clone());
+    core.absorb(frame.clone());
+    for r in core.flush(2 * MS) {
+        fe.accept(r);
+    }
+    core.absorb(frame);
+    for r in core.flush(3 * MS) {
+        fe.accept(r);
+    }
+
+    assert_eq!(total(&fe, &handle), 3, "replays merge exactly once");
+    let loss = fe.results(&handle).loss();
+    assert_eq!(loss.tuples_delivered, 3);
+    assert_eq!(loss.tuples_emitted, 3);
+    assert_eq!(loss.tuples_dropped, 0);
+    let stats = core.stats();
+    assert_eq!(stats.reports_in, 1);
+    assert_eq!(stats.reports_duplicate, 2);
+}
+
+/// An in-flight frame overtaken by a relay restart arrives with a seq
+/// before the new incarnation's baseline: it is refused and its tuples
+/// surface in `tuples_stale` (they left every ledger), keeping the
+/// global ground-truth identity balanced rather than silently leaking.
+#[test]
+fn stale_frame_after_relay_restart_surfaces_as_loss() {
+    let (mut fe, handle) = frontend_with_query();
+    let core = RelayCore::new(relay_info(0));
+    core.sync(&fe.installed());
+    let agent = fresh_agent(&fe, 0);
+
+    // seq 0 delivered through the relay normally.
+    invoke(&agent, MS, "a", 1);
+    core.absorb(flush_one(&agent, MS));
+    for r in core.flush(MS) {
+        fe.accept(r);
+    }
+
+    // seq 1 is in flight when the relay restarts...
+    invoke(&agent, 2 * MS, "a", 1);
+    invoke(&agent, 2 * MS, "a", 1);
+    let in_flight = flush_one(&agent, 2 * MS);
+    let residue = core.restart();
+    assert_eq!(residue.window_tuples, 0, "window was flushed");
+    core.sync(&fe.installed());
+
+    // ...seq 2 arrives first and sets the new incarnation's baseline.
+    invoke(&agent, 3 * MS, "a", 1);
+    core.absorb(flush_one(&agent, 3 * MS));
+    // The overtaken seq 1 (re-delivered twice) is stale, tallied once.
+    core.absorb(in_flight.clone());
+    core.absorb(in_flight);
+    for r in core.flush(4 * MS) {
+        fe.accept(r);
+    }
+
+    let loss = fe.results(&handle).loss();
+    let stats = core.stats();
+    assert_eq!(stats.reports_stale, 2);
+    assert_eq!(stats.tuples_stale, 2, "stale tuples tallied exactly once");
+    assert_eq!(total(&fe, &handle), 2, "seq 0 + seq 2 delivered");
+    assert_eq!(
+        loss.tuples_dropped, 0,
+        "each relay incarnation balances at the frontend"
+    );
+    // The harness-level ground truth: everything the agent emitted is
+    // either delivered or explicitly surfaced as stale loss.
+    assert_eq!(4, loss.tuples_delivered + stats.tuples_stale);
+}
+
+/// A relay crash destroys the open (absorbed but unflushed) window; the
+/// residue reports exactly those tuples so a harness can fold them into
+/// `crash_lost`, and the post-restart stream balances at the frontend.
+#[test]
+fn crash_residue_accounts_the_open_window() {
+    let (mut fe, handle) = frontend_with_query();
+    let core = RelayCore::new(relay_info(0));
+    core.sync(&fe.installed());
+    let agent = fresh_agent(&fe, 0);
+
+    for _ in 0..3 {
+        invoke(&agent, MS, "a", 1);
+    }
+    core.absorb(flush_one(&agent, MS));
+    assert_eq!(core.buffered_tuples(), 3);
+    let old_incarnation = core.incarnation();
+    let residue = core.restart();
+    assert_eq!(residue.window_tuples, 3, "the open window died");
+    assert_ne!(core.incarnation(), old_incarnation);
+    core.sync(&fe.installed());
+
+    for _ in 0..2 {
+        invoke(&agent, 2 * MS, "b", 1);
+    }
+    core.absorb(flush_one(&agent, 2 * MS));
+    for r in core.flush(3 * MS) {
+        assert_eq!(r.seq, 0, "fresh incarnation restarts the seq space");
+        fe.accept(r);
+    }
+
+    let loss = fe.results(&handle).loss();
+    assert_eq!(total(&fe, &handle), 2);
+    assert_eq!(loss.tuples_dropped, 0, "the new incarnation balances");
+    // Ground truth: 5 emitted = 2 delivered + 3 crash-lost residue.
+    assert_eq!(5, loss.tuples_delivered + residue.window_tuples);
+}
+
+/// Governor `Throttled` notices from below are forwarded one per
+/// upstream report (the envelope has one slot); extras ride out on
+/// row-less frames, each consuming an upstream seq.
+#[test]
+fn throttles_forward_one_per_upstream_report() {
+    let (fe, _handle) = frontend_with_query();
+    let core = RelayCore::new(relay_info(0));
+    core.sync(&fe.installed());
+
+    let mut frames = Vec::new();
+    for slot in 0..2 {
+        let agent = fresh_agent(&fe, slot);
+        invoke(&agent, MS, "a", 1);
+        let mut frame = flush_one(&agent, MS);
+        frame.throttled = Some(pivot_core::Throttled {
+            query: frame.query,
+            reason: pivot_core::ThrottleReason::Tuples,
+            stats: pivot_core::ThrottleStats {
+                tuples: 5,
+                ops: 25,
+                bytes: 60,
+                trips: 1 + slot as u32,
+            },
+        });
+        frames.push(frame);
+    }
+    for f in frames {
+        core.absorb(f);
+    }
+    let out = core.flush(2 * MS);
+    assert_eq!(out.len(), 2, "two throttles need two envelopes");
+    assert!(out.iter().all(|r| r.throttled.is_some()));
+    assert_eq!(out[0].tuples, 2, "head report carries the window");
+    assert_eq!(out[1].tuples, 0, "extra is row-less");
+    assert_eq!((out[0].seq, out[1].seq), (0, 1));
+}
+
+/// Grouped rows racing ahead of the Install on a link still merge
+/// correctly: the spec-less fallback folds identically because every
+/// aggregate's init state is the merge identity.
+#[test]
+fn specless_merge_matches_spec_merge() {
+    let (fe, _) = frontend_with_query();
+    let agent = fresh_agent(&fe, 0);
+    for (k, v) in [("a", 3), ("b", 4), ("a", 5)] {
+        invoke(&agent, MS, k, v);
+    }
+    let frame = flush_one(&agent, MS);
+
+    let with_spec = RelayCore::new(relay_info(0));
+    with_spec.sync(&fe.installed());
+    with_spec.absorb(frame.clone());
+    let without_spec = RelayCore::new(relay_info(1));
+    without_spec.absorb(frame);
+
+    let mut a = with_spec.flush(2 * MS);
+    let mut b = without_spec.flush(2 * MS);
+    let (a, b) = (a.remove(0), b.remove(0));
+    assert_eq!(a.rows, b.rows, "identical merged groups either way");
+    assert_eq!(a.tuples, b.tuples);
+}
+
+/// Streaming (raw-row) queries are coalesced, not merged: every row
+/// survives the hop, batched into one frame.
+#[test]
+fn streaming_rows_coalesce_without_merging() {
+    let mut fe = Frontend::new();
+    fe.define("Exec", ["k", "v"]);
+    let handle = fe
+        .install_named("QS", "From e In Exec Select e.k, e.v")
+        .expect("streaming query installs");
+    let core = RelayCore::new(relay_info(0));
+    core.sync(&fe.installed());
+
+    for slot in 0..3 {
+        let agent = fresh_agent(&fe, slot);
+        invoke(&agent, MS, "k", slot as i64);
+        core.absorb(flush_one(&agent, MS));
+    }
+    let out = core.flush(2 * MS);
+    assert_eq!(out.len(), 1, "three raw streams, one coalesced frame");
+    assert_eq!(out[0].tuples, 3);
+    fe.accept(out.into_iter().next().expect("one frame"));
+    assert_eq!(fe.results(&handle).len(), 3, "every raw row survives");
+}
