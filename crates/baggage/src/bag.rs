@@ -49,6 +49,51 @@ pub struct PackMeter {
     pub truncated: u64,
 }
 
+/// The result of [`Baggage::unpack_view`]: unpacked tuples, borrowed
+/// straight out of the baggage entry when no cross-instance combination
+/// was needed. Dereferences to `[Tuple]` either way.
+#[derive(Debug)]
+pub enum Unpacked<'a> {
+    /// A zero-copy view over the entry's stored tuples.
+    Borrowed(&'a [Tuple]),
+    /// Materialized tuples (grouped merge, multi-instance combination,
+    /// or an empty result).
+    Owned(Vec<Tuple>),
+}
+
+impl std::ops::Deref for Unpacked<'_> {
+    type Target = [Tuple];
+
+    fn deref(&self) -> &[Tuple] {
+        match self {
+            Unpacked::Borrowed(s) => s,
+            Unpacked::Owned(v) => v,
+        }
+    }
+}
+
+impl Unpacked<'_> {
+    /// Converts into an owned vector (cloning only the borrowed case).
+    pub fn into_owned(self) -> Vec<Tuple> {
+        match self {
+            Unpacked::Borrowed(s) => s.to_vec(),
+            Unpacked::Owned(v) => v,
+        }
+    }
+
+    /// Mutable access, converting a borrowed view into owned storage on
+    /// first use (for in-place temporal filtering).
+    pub fn to_mut(&mut self) -> &mut Vec<Tuple> {
+        if let Unpacked::Borrowed(s) = self {
+            *self = Unpacked::Owned(s.to_vec());
+        }
+        match self {
+            Unpacked::Owned(v) => v,
+            Unpacked::Borrowed(_) => unreachable!("just converted"),
+        }
+    }
+}
+
 /// A per-request container for packed tuples (paper Table 4).
 ///
 /// See the [crate documentation](crate) for the full model. `Baggage` is
@@ -211,6 +256,19 @@ impl Baggage {
     /// Grouped entries come back as `(key…, Value::Agg(state)…)` rows whose
     /// partial states downstream aggregation must combine.
     pub fn unpack(&mut self, query: QueryId) -> Vec<Tuple> {
+        self.unpack_view(query).into_owned()
+    }
+
+    /// Like [`Baggage::unpack`], but borrows the stored tuples when it
+    /// can instead of materializing a fresh `Vec`.
+    ///
+    /// The common hot-path shape — one non-grouped entry for the query
+    /// (no live branches, single pack site) — returns
+    /// [`Unpacked::Borrowed`], a zero-copy slice over the entry's own
+    /// storage. Multi-instance combination and grouped merges still
+    /// materialize ([`Unpacked::Owned`]); the result is identical to
+    /// `unpack` either way.
+    pub fn unpack_view(&mut self, query: QueryId) -> Unpacked<'_> {
         let live = self.ensure_live();
         // Instances in causal order: inactive (oldest first), then active.
         let found: Vec<&Entry> = live
@@ -221,9 +279,17 @@ impl Baggage {
             .filter(|e| !e.is_empty())
             .collect();
         let Some(first) = found.first() else {
-            return Vec::new();
+            return Unpacked::Owned(Vec::new());
         };
-        match first.mode() {
+        if found.len() == 1 {
+            // Packing bounds each entry to its mode's limit, so a lone
+            // entry needs no cross-instance truncation: its slice *is*
+            // the unpack result.
+            if let Some(slice) = found[0].tuple_slice() {
+                return Unpacked::Borrowed(slice);
+            }
+        }
+        Unpacked::Owned(match first.mode() {
             PackMode::GroupAgg { .. } => {
                 let mut merged = Entry::new(&first.mode());
                 for e in &found {
@@ -242,7 +308,7 @@ impl Baggage {
                 all[skip..].to_vec()
             }
             PackMode::All => found.iter().flat_map(|e| e.tuples()).collect(),
-        }
+        })
     }
 
     /// Returns how many tuples are currently retained for `query`.
@@ -528,6 +594,56 @@ mod tests {
         main.join(side);
         assert_eq!(main.meter().tuples, 3);
         assert_eq!(main.meter().values, 4);
+    }
+
+    #[test]
+    fn unpack_view_borrows_single_entry() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, [t(1), t(2)]);
+        let view = bag.unpack_view(Q);
+        assert!(matches!(view, Unpacked::Borrowed(_)));
+        assert_eq!(&*view, &[t(1), t(2)][..]);
+    }
+
+    #[test]
+    fn unpack_view_matches_unpack_across_branches() {
+        // Multi-instance and grouped cases fall back to owned, and every
+        // case agrees with `unpack` exactly.
+        let mut main = Baggage::new();
+        main.pack(Q, &PackMode::All, [t(0)]);
+        let mut side = main.split();
+        side.pack(Q, &PackMode::All, [t(2)]);
+        main.join(side);
+        let owned = main.unpack(Q);
+        let view = main.unpack_view(Q);
+        assert!(matches!(view, Unpacked::Owned(_)));
+        assert_eq!(&*view, &owned[..]);
+
+        let mode = PackMode::GroupAgg {
+            key_len: 1,
+            aggs: vec![AggFunc::Count],
+        };
+        let q2 = QueryId(2);
+        let mut bag = Baggage::new();
+        bag.pack(
+            q2,
+            &mode,
+            [Tuple::from_iter([Value::str("x"), Value::Null])],
+        );
+        assert!(matches!(bag.unpack_view(q2), Unpacked::Owned(_)));
+        let a = bag.unpack(q2);
+        assert_eq!(&*bag.unpack_view(q2), &a[..]);
+    }
+
+    #[test]
+    fn unpack_view_to_mut_converts_without_changing_contents() {
+        let mut bag = Baggage::new();
+        bag.pack(Q, &PackMode::All, [t(5), t(6)]);
+        let mut view = bag.unpack_view(Q);
+        view.to_mut().retain(|x| x.get(0).as_i64() == Some(6));
+        assert_eq!(&*view, &[t(6)][..]);
+        // The underlying baggage is untouched by view mutation.
+        assert_eq!(bag.unpack(Q), vec![t(5), t(6)]);
     }
 
     #[test]

@@ -308,6 +308,20 @@ impl Entry {
         }
     }
 
+    /// The retained tuples as a borrowed slice, when this entry stores
+    /// plain tuples (`All` / `First` / `Recent`). Grouped entries return
+    /// `None` — their unpack form is materialized, not stored.
+    ///
+    /// Because packing already enforces each bounded mode's limit per
+    /// entry, a *single* entry's slice is exactly its unpack result; this
+    /// is the zero-copy fast path behind [`crate::Baggage::unpack_view`].
+    pub fn tuple_slice(&self) -> Option<&[Tuple]> {
+        match self {
+            Entry::Tuples { tuples, .. } => Some(tuples),
+            Entry::Grouped { .. } => None,
+        }
+    }
+
     /// Returns the entry's pack mode.
     pub fn mode(&self) -> PackMode {
         match self {

@@ -62,7 +62,7 @@ mod entry;
 mod instance;
 mod wire;
 
-pub use bag::{Baggage, PackMeter};
+pub use bag::{Baggage, PackMeter, Unpacked};
 pub use entry::{Entry, PackMode, ALL_TUPLE_CAP};
 pub use instance::Instance;
 

@@ -102,6 +102,23 @@ pub fn kv_sources() -> (u64, u64) {
 /// and returns the converged outcome. Deterministic: no wall clock, no
 /// stateful RNG, no thread interleaving.
 pub fn run_kv(seed: u64, cfg: FaultConfig, requests: u64) -> RunOutcome {
+    run_kv_burst(seed, cfg, requests, 1, false)
+}
+
+/// Like [`run_kv`], but each request's shard-side work is a burst of
+/// `burst` execute events sharing that request's baggage — handed to the
+/// agent through [`Agent::invoke_batch`] when `batched` is true, or the
+/// equivalent per-event `invoke` loop when false. The loss identity and
+/// the converged outcome must be identical either way (pinned by
+/// `tests/batch_loss.rs`): batching changes how advice executes and
+/// flushes, never what is emitted, delivered, dropped, or lost.
+pub fn run_kv_burst(
+    seed: u64,
+    cfg: FaultConfig,
+    requests: u64,
+    burst: u64,
+    batched: bool,
+) -> RunOutcome {
     let plan = FaultPlan::new(seed, cfg);
     let mut fe = Frontend::new();
     fe.define("KvClient.issueRequest", ["client", "op", "key"]);
@@ -147,16 +164,25 @@ pub fn run_kv(seed: u64, cfg: FaultConfig, requests: u64) -> RunOutcome {
         // serialization, as it would on a real wire.
         let bytes = bag.to_bytes();
         let mut remote = Baggage::from_bytes(&bytes);
-        shard.invoke(
-            "KvShard.execute",
-            &mut remote,
-            now,
-            &[
-                ("shard", Value::U64(i % 4)),
-                ("op", Value::str("put")),
-                ("bytes", Value::I64((i % 97) as i64 + 1)),
-            ],
-        );
+        let events: Vec<[(&str, Value); 3]> = (0..burst)
+            .map(|j| {
+                let k = i * burst + j;
+                [
+                    ("shard", Value::U64(k % 4)),
+                    ("op", Value::str("put")),
+                    ("bytes", Value::I64((k % 97) as i64 + 1)),
+                ]
+            })
+            .collect();
+        if batched {
+            let ev: Vec<(u64, &[(&str, Value)])> =
+                events.iter().map(|e| (now, e.as_slice())).collect();
+            shard.invoke_batch("KvShard.execute", &mut remote, &ev);
+        } else {
+            for e in &events {
+                shard.invoke("KvShard.execute", &mut remote, now, e);
+            }
+        }
 
         if (i + 1) % FLUSH_EVERY == 0 {
             let step = (i + 1) / FLUSH_EVERY;

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 use pivot_baggage::{Baggage, QueryId};
-use pivot_model::{intern, AggState, GroupKey, Tuple, Value};
+use pivot_model::{colblock, intern, AggState, EncodedBlock, GroupKey, Tuple, Value};
 use pivot_query::{AdviceByteCode, CompiledCode, EmitSink, OutputSpec, Vm};
 
 use crate::bus::{Command, Report, ReportRows};
@@ -39,6 +39,14 @@ use crate::tracepoint::{Registry, DEFAULT_EXPORTS};
 /// streaming queries, newest group refused for grouped queries — and the
 /// shed count rides the loss envelope as `shed_cum`.
 pub const DEFAULT_ROW_CAP: usize = 65_536;
+
+/// Streaming flushes at or above this many buffered rows leave the agent
+/// already in the columnar block encoding
+/// ([`ReportRows::RawEncoded`]), so the wire layer ships compressed
+/// bytes and relays coalesce without decoding. Below the threshold the
+/// fixed block framing is not worth it and rows ship as plain
+/// [`ReportRows::Raw`].
+pub const ENCODE_MIN_ROWS: usize = 32;
 
 /// Identity of the process an agent runs in.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -295,6 +303,42 @@ impl EmitSink for AgentSink<'_> {
                 .or_insert_with(|| buf.spec.aggs.iter().map(|(f, _)| f.init()).collect());
             for (st, arg) in states.iter_mut().zip(args) {
                 st.update(arg);
+            }
+        }
+    }
+
+    fn folds_grouped(&self) -> bool {
+        true
+    }
+
+    fn grouped_fold(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        states: &[AggState],
+        rows: u64,
+    ) {
+        let row_cap = self.row_cap;
+        let buf = self.buf(query, spec);
+        if let Rows::Grouped(groups) = &mut buf.rows {
+            buf.emitted_cum += rows;
+            // Same shed rule as `grouped_row`, decided once for the whole
+            // folded group: either every row of a refused new group is
+            // shed or none is, which is exactly what per-row delivery
+            // would do (the VM delivers new groups in first-seen order,
+            // so the cap trips at the same group boundary).
+            if groups.len() >= row_cap && !groups.contains_key(&key) {
+                buf.shed_cum += rows;
+                buf.dirty = true;
+                return;
+            }
+            buf.tuples_since_flush += rows;
+            let into = groups
+                .entry(key)
+                .or_insert_with(|| buf.spec.aggs.iter().map(|(f, _)| f.init()).collect());
+            for (st, partial) in into.iter_mut().zip(states) {
+                st.merge(partial);
             }
         }
     }
@@ -730,6 +774,117 @@ impl Agent {
         st.tuples_emitted += emitted;
     }
 
+    /// Invokes `tracepoint` once per `(now, exports)` event in `events`,
+    /// all sharing `baggage` — semantically identical to calling
+    /// [`Agent::invoke`] for each event in order, but woven advice
+    /// executes through the VM's op-major batch path
+    /// ([`pivot_query::Vm::run_batch`]), paying interpreter dispatch and
+    /// baggage bookkeeping once per instruction instead of once per
+    /// event × instruction.
+    ///
+    /// Embedding systems use this where invocations naturally arrive in
+    /// bursts against one request context (e.g. a scan loop emitting one
+    /// event per record). Governed queries receive one summed charge per
+    /// batch, stamped at the last event's time, so a breaker can trip at
+    /// batch granularity rather than mid-batch.
+    pub fn invoke_batch(
+        &self,
+        tracepoint: &str,
+        baggage: &mut Baggage,
+        events: &[(u64, &[(&str, Value)])],
+    ) {
+        if events.is_empty() || !self.enabled.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        let Some((tp_value, list)) = self.registry.lookup(tracepoint) else {
+            if !self.registry.is_idle() {
+                self.stats.lock().idle_invocations += events.len() as u64;
+            }
+            return;
+        };
+        // Materialize every event's full export set back-to-back in one
+        // arena (sized exactly up front, so slices below never move) —
+        // the whole batch costs one allocation instead of one Vec per
+        // event; each program then runs over the whole batch.
+        let total: usize = events
+            .iter()
+            .map(|(_, exports)| exports.len() + DEFAULT_EXPORTS.len())
+            .sum();
+        let mut arena: Vec<(&str, Value)> = Vec::with_capacity(total);
+        let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(events.len());
+        for (now, exports) in events {
+            let start = arena.len();
+            arena.push(("host", self.host_value.clone()));
+            arena.push(("timestamp", Value::U64(*now)));
+            arena.push(("procid", Value::U64(self.info.procid)));
+            arena.push(("procname", self.procname_value.clone()));
+            arena.push(("tracepoint", tp_value.clone()));
+            arena.extend(exports.iter().cloned());
+            bounds.push((start, arena.len()));
+        }
+        let batch: Vec<&[(&str, Value)]> = bounds.iter().map(|&(s, e)| &arena[s..e]).collect();
+        let charge_now = events.last().expect("non-empty").0;
+
+        let mut sink = AgentSink {
+            buffers: &self.buffers,
+            guard: None,
+            row_cap: self.row_cap.load(Ordering::Relaxed),
+        };
+        let mut packed = 0u64;
+        let mut emitted = 0u64;
+        let mut tripped: Vec<QueryId> = Vec::new();
+        if self.governed.load(Ordering::Relaxed) {
+            let mut governors = self.governors.lock();
+            VM.with(|vm| {
+                let mut vm = vm.borrow_mut();
+                for woven in list.iter() {
+                    let Some(g) = governors.get_mut(&woven.query) else {
+                        let s = vm.run_batch(&woven.code, &batch, baggage, &mut sink);
+                        packed += s.packed as u64;
+                        emitted += s.emitted as u64;
+                        continue;
+                    };
+                    let ops0 = vm.ops();
+                    let m0 = baggage.meter();
+                    let s = vm.run_batch(&woven.code, &batch, baggage, &mut sink);
+                    packed += s.packed as u64;
+                    emitted += s.emitted as u64;
+                    let m1 = baggage.meter();
+                    let work = (s.emitted + s.packed) as u64;
+                    let bytes = (m1.values - m0.values).saturating_mul(NOMINAL_BYTES_PER_VALUE);
+                    if charge_governor(
+                        g,
+                        woven.query,
+                        charge_now,
+                        work,
+                        vm.ops() - ops0,
+                        bytes,
+                        m1.truncated - m0.truncated,
+                    ) {
+                        tripped.push(woven.query);
+                    }
+                }
+            });
+        } else {
+            VM.with(|vm| {
+                let mut vm = vm.borrow_mut();
+                for woven in list.iter() {
+                    let s = vm.run_batch(&woven.code, &batch, baggage, &mut sink);
+                    packed += s.packed as u64;
+                    emitted += s.emitted as u64;
+                }
+            });
+        }
+        drop(sink);
+        for query in tripped {
+            self.registry.unweave(query);
+        }
+        let mut st = self.stats.lock();
+        st.advised_invocations += events.len() as u64;
+        st.tuples_packed += packed;
+        st.tuples_emitted += emitted;
+    }
+
     /// Runs one bytecode program directly (exposed for benches and tests
     /// that bypass the registry). `exports` must already include the
     /// default exports.
@@ -745,6 +900,23 @@ impl Agent {
             row_cap: self.row_cap.load(Ordering::Relaxed),
         };
         VM.with(|vm| vm.borrow_mut().run(code, exports, baggage, &mut sink))
+    }
+
+    /// Batch twin of [`Agent::run_code`]: runs one bytecode program over
+    /// a whole batch of invocations through [`pivot_query::Vm::run_batch`].
+    /// Every element of `batch` must already include the default exports.
+    pub fn run_code_batch(
+        &self,
+        code: &AdviceByteCode,
+        batch: &[&[(&str, Value)]],
+        baggage: &mut Baggage,
+    ) -> pivot_query::VmStats {
+        let mut sink = AgentSink {
+            buffers: &self.buffers,
+            guard: None,
+            row_cap: self.row_cap.load(Ordering::Relaxed),
+        };
+        VM.with(|vm| vm.borrow_mut().run_batch(code, batch, baggage, &mut sink))
     }
 
     /// Publishes and clears the local partial results (paper Figure 2, Æ).
@@ -820,6 +992,17 @@ impl Agent {
                 continue;
             }
             let rows = match &mut buf.rows {
+                Rows::Streaming(rows) if rows.len() >= ENCODE_MIN_ROWS => {
+                    // Large streaming batches flush pre-encoded; clearing
+                    // (not taking) the buffer keeps its capacity for the
+                    // next interval, so steady state stops growing.
+                    let blocks = rows
+                        .chunks(colblock::MAX_BLOCK_ROWS)
+                        .map(EncodedBlock::encode)
+                        .collect();
+                    rows.clear();
+                    ReportRows::RawEncoded(blocks)
+                }
                 Rows::Streaming(rows) => ReportRows::Raw(std::mem::take(rows)),
                 Rows::Grouped(groups) => ReportRows::Grouped(groups.drain().collect()),
             };

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use pivot_baggage::QueryId;
-use pivot_model::{AggState, GroupKey, Tuple};
+use pivot_model::{AggState, EncodedBlock, GroupKey, Tuple};
 use pivot_query::CompiledCode;
 
 /// A transport between the frontend and the per-process agents (the
@@ -148,6 +148,16 @@ pub enum ReportRows {
     Raw(Vec<Tuple>),
     /// Partially aggregated groups.
     Grouped(Vec<(GroupKey, Vec<AggState>)>),
+    /// Raw rows of a streaming query, already in the columnar block
+    /// encoding ([`pivot_model::EncodedBlock`]).
+    ///
+    /// Agents flush large streaming batches in this form so the wire
+    /// layer ships (and relays re-originate) the compressed bytes
+    /// without re-encoding — or, on the relay path, without decoding at
+    /// all. Only the frontend materializes tuples. Each block's row
+    /// count is trusted for accounting (it is validated at wire decode);
+    /// the payload is validated when the frontend decodes it.
+    RawEncoded(Vec<EncodedBlock>),
 }
 
 impl ReportRows {
@@ -156,6 +166,7 @@ impl ReportRows {
         match self {
             ReportRows::Raw(r) => r.len(),
             ReportRows::Grouped(g) => g.len(),
+            ReportRows::RawEncoded(blocks) => blocks.iter().map(EncodedBlock::rows).sum(),
         }
     }
 

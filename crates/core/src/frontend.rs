@@ -173,6 +173,23 @@ impl QueryResults {
                     self.raw.push((report.time, r));
                 }
             }
+            ReportRows::RawEncoded(blocks) => {
+                // Columnar blocks from batched agent flushes (possibly
+                // relayed without ever being decoded in between) are
+                // materialized only here. A block that fails to decode is
+                // dropped whole: its rows were counted as delivered by
+                // the envelope above, so the loss identity is unaffected
+                // and corruption shows up as missing rows, not a panic.
+                let mut decoded: Vec<Tuple> = Vec::new();
+                for block in &blocks {
+                    if block.decode_into(&mut decoded).is_err() {
+                        decoded.clear();
+                    }
+                    for r in decoded.drain(..) {
+                        self.raw.push((report.time, r));
+                    }
+                }
+            }
             ReportRows::Grouped(rows) => {
                 let interval = self.intervals.entry(report.time).or_default();
                 for (key, states) in rows {

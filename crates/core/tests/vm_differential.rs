@@ -22,10 +22,11 @@ use std::sync::Arc;
 use pivot_baggage::{Baggage, PackMode, QueryId};
 use pivot_core::interp::{self, EmitRows};
 use pivot_core::Frontend;
+use pivot_model::AggState;
 use pivot_model::{AggFunc, BinOp, Expr, GroupKey, Schema, Tuple, UnOp, Value};
 use pivot_query::advice::{AdviceOp, AdviceProgram, ColumnRef, OutputSpec};
 use pivot_query::bytecode::lower_program;
-use pivot_query::{CollectSink, TemporalFilter, Vm};
+use pivot_query::{CollectSink, EmitSink, TemporalFilter, Vm};
 
 use proptest::prelude::*;
 
@@ -255,6 +256,178 @@ fn assert_engines_agree(
     Ok(())
 }
 
+/// An [`EmitSink`] that opts into batch-folded grouped delivery and lands
+/// either delivery style in final per-group accumulator states, so the
+/// scalar per-row path and the batched fold/factorized paths become
+/// directly comparable.
+#[derive(Default)]
+struct FoldSink {
+    raw: Vec<(QueryId, Tuple)>,
+    /// `(query, key, states, rows)` in first-seen group order.
+    groups: Vec<(QueryId, GroupKey, Vec<AggState>, u64)>,
+}
+
+impl FoldSink {
+    fn slot(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+    ) -> &mut (QueryId, GroupKey, Vec<AggState>, u64) {
+        if let Some(i) = self
+            .groups
+            .iter()
+            .position(|(q, k, _, _)| *q == query && *k == key)
+        {
+            return &mut self.groups[i];
+        }
+        let states = spec.aggs.iter().map(|(f, _)| f.init()).collect();
+        self.groups.push((query, key, states, 0));
+        self.groups.last_mut().expect("just pushed")
+    }
+
+    fn finished(&self) -> Vec<(QueryId, GroupKey, Vec<Value>, u64)> {
+        self.groups
+            .iter()
+            .map(|(q, k, states, rows)| {
+                (
+                    *q,
+                    k.clone(),
+                    states.iter().map(AggState::finish).collect(),
+                    *rows,
+                )
+            })
+            .collect()
+    }
+}
+
+impl EmitSink for FoldSink {
+    fn streaming_row(&mut self, query: QueryId, _spec: &Arc<OutputSpec>, row: Tuple) {
+        self.raw.push((query, row));
+    }
+    fn grouped_row(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        args: &[Value],
+    ) {
+        let (_, _, states, rows) = self.slot(query, spec, key);
+        *rows += 1;
+        for (st, arg) in states.iter_mut().zip(args) {
+            st.update(arg);
+        }
+    }
+    fn folds_grouped(&self) -> bool {
+        true
+    }
+    fn grouped_fold(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        partial: &[AggState],
+        rows: u64,
+    ) {
+        let (_, _, states, r) = self.slot(query, spec, key);
+        *r += rows;
+        for (st, p) in states.iter_mut().zip(partial) {
+            st.merge(p);
+        }
+    }
+}
+
+/// Batched-vs-scalar VM: [`Vm::run_batch`] must reproduce N sequential
+/// [`Vm::run`]s exactly — rows in order, stats, and baggage — for
+/// arbitrary programs (batchable or not), and, when driven through a
+/// folding sink, land identical final aggregation states in identical
+/// first-seen group order.
+fn assert_batch_agrees(
+    program: &AdviceProgram,
+    batch_exports: &[Vec<(&'static str, Value)>],
+    seed: &[Vec<Value>],
+) -> Result<(), TestCaseError> {
+    let lowered = lower_program(program);
+    let mut bag_seed = Baggage::new();
+    if !seed.is_empty() {
+        bag_seed.pack(
+            QueryId(100),
+            &PackMode::All,
+            seed.iter().map(|t| t.iter().cloned().collect::<Tuple>()),
+        );
+    }
+    let batch: Vec<&[(&str, Value)]> = batch_exports.iter().map(|e| e.as_slice()).collect();
+
+    // Per-row delivery: byte-identical rows in emit order.
+    let mut bag_scalar = bag_seed.clone();
+    let mut sink_scalar = CollectSink::default();
+    let mut scalar = (0usize, 0usize, 0usize);
+    for exports in &batch {
+        let s = Vm::new().run(&lowered.code, exports, &mut bag_scalar, &mut sink_scalar);
+        scalar = (
+            scalar.0 + s.packed,
+            scalar.1 + s.unpacked,
+            scalar.2 + s.emitted,
+        );
+    }
+    let mut bag_batch = bag_seed.clone();
+    let mut sink_batch = CollectSink::default();
+    let b = Vm::new().run_batch(&lowered.code, &batch, &mut bag_batch, &mut sink_batch);
+    prop_assert_eq!(
+        (b.packed, b.unpacked, b.emitted),
+        scalar,
+        "batch stats diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
+        &sink_batch.raw,
+        &sink_scalar.raw,
+        "batch streaming rows diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
+        &sink_batch.grouped,
+        &sink_scalar.grouped,
+        "batch grouped rows diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
+        bag_batch.to_bytes(),
+        bag_scalar.to_bytes(),
+        "batch baggage diverges for {:?}",
+        program
+    );
+
+    // Folding delivery: identical final accumulators per group.
+    let mut bag_scalar = bag_seed.clone();
+    let mut fold_scalar = FoldSink::default();
+    for exports in &batch {
+        Vm::new().run(&lowered.code, exports, &mut bag_scalar, &mut fold_scalar);
+    }
+    let mut bag_fold = bag_seed.clone();
+    let mut fold_batch = FoldSink::default();
+    Vm::new().run_batch(&lowered.code, &batch, &mut bag_fold, &mut fold_batch);
+    prop_assert_eq!(
+        fold_batch.finished(),
+        fold_scalar.finished(),
+        "folded groups diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
+        &fold_batch.raw,
+        &fold_scalar.raw,
+        "folding streaming rows diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
+        bag_fold.to_bytes(),
+        bag_scalar.to_bytes(),
+        "folding baggage diverges for {:?}",
+        program
+    );
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(1024))]
 
@@ -268,6 +441,19 @@ proptest! {
     ) {
         let program = AdviceProgram { tracepoints: vec!["T".to_owned()], ops };
         assert_engines_agree(&program, &exports, &seed)?;
+    }
+
+    /// ≥1000 random advice programs driven as a batch: the columnar batch
+    /// engine (including its factorized-join and partial-aggregation fast
+    /// paths) must reproduce sequential scalar execution exactly.
+    #[test]
+    fn random_programs_batch_matches_scalar(
+        ops in prop::collection::vec(op_strategy(), 1..6),
+        batch in prop::collection::vec(exports_strategy(), 1..5),
+        seed in seed_strategy(),
+    ) {
+        let program = AdviceProgram { tracepoints: vec!["T".to_owned()], ops };
+        assert_batch_agrees(&program, &batch, &seed)?;
     }
 }
 
@@ -323,10 +509,13 @@ fn check_query_engines(query: &str, events: &[(usize, i64)]) -> Result<(), TestC
 
     let mut bag_tree = Baggage::new();
     let mut bag_vm = Baggage::new();
+    let mut bag_batch = Baggage::new();
     let mut tree_raw: Vec<(QueryId, Tuple)> = Vec::new();
     let mut tree_grouped: Vec<(QueryId, GroupKey, Vec<Value>)> = Vec::new();
     let mut sink = CollectSink::default();
+    let mut sink_batch = CollectSink::default();
     let mut vm = Vm::new();
+    let mut vm_batch = Vm::new();
 
     for (i, &(tp, v)) in events.iter().enumerate() {
         let name = TRACEPOINTS[tp];
@@ -360,6 +549,14 @@ fn check_query_engines(query: &str, events: &[(usize, i64)]) -> Result<(), TestC
                 query,
                 i
             );
+            let bs = vm_batch.run_batch(lowered, &[&exports], &mut bag_batch, &mut sink_batch);
+            prop_assert_eq!(
+                (bs.packed, bs.unpacked, bs.emitted),
+                (vs.packed, vs.unpacked, vs.emitted),
+                "batch stats diverge on {} at event {}",
+                query,
+                i
+            );
         }
     }
     prop_assert_eq!(&tree_raw, &sink.raw, "streaming rows diverge on {}", query);
@@ -373,6 +570,24 @@ fn check_query_engines(query: &str, events: &[(usize, i64)]) -> Result<(), TestC
         bag_tree.to_bytes(),
         bag_vm.to_bytes(),
         "baggage diverges on {}",
+        query
+    );
+    prop_assert_eq!(
+        &sink_batch.raw,
+        &sink.raw,
+        "batch streaming rows diverge on {}",
+        query
+    );
+    prop_assert_eq!(
+        &sink_batch.grouped,
+        &sink.grouped,
+        "batch grouped rows diverge on {}",
+        query
+    );
+    prop_assert_eq!(
+        bag_batch.to_bytes(),
+        bag_vm.to_bytes(),
+        "batch baggage diverges on {}",
         query
     );
     Ok(())

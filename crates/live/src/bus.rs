@@ -33,7 +33,7 @@
 
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,7 +47,20 @@ use pivot_core::{
 use pivot_query::CompiledCode;
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{decode_message, encode_message, Message};
+use crate::proto::{
+    decode_message_versioned, encode_message, encode_message_v, Message, MIN_PROTO_VERSION,
+    PROTO_VERSION,
+};
+
+/// Stamps a pre-encoded frame with the version negotiated for one peer.
+///
+/// Valid only for message kinds whose payload is identical across every
+/// supported protocol version — commands, syncs and goodbyes, i.e.
+/// everything the server broadcasts. Reports carry versioned constructs
+/// and must go through [`encode_message_v`] instead.
+fn stamp_version(payload: &mut [u8], peer_version: u8) {
+    payload[0] = peer_version.clamp(MIN_PROTO_VERSION, PROTO_VERSION);
+}
 
 /// One connected agent, from the server's point of view.
 struct Peer {
@@ -57,6 +70,11 @@ struct Peer {
     /// Set if registration came via `HelloRelay`: the peer is a fan-in
     /// relay speaking for a subtree, not a leaf agent.
     relay: Arc<AtomicBool>,
+    /// Highest protocol version seen from this peer (max-latched from the
+    /// version byte of every frame it sends, starting at the floor).
+    /// Frames sent back to the peer are stamped with it so a down-level
+    /// agent never receives a frame it cannot decode.
+    version: Arc<AtomicU8>,
 }
 
 struct BusInner {
@@ -210,15 +228,15 @@ impl TcpBusServer {
         *self.inner.installed.lock() = queries.clone();
         *self.inner.budgets.lock() = budgets.clone();
         let epoch = self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        let payload = encode_message(&Message::Sync {
+        let mut payload = encode_message(&Message::Sync {
             epoch,
             queries,
             budgets,
         });
-        self.inner
-            .peers
-            .lock()
-            .retain(|peer| write_frame(&mut *peer.writer.lock(), &payload).is_ok());
+        self.inner.peers.lock().retain(|peer| {
+            stamp_version(&mut payload, peer.version.load(Ordering::SeqCst));
+            write_frame(&mut *peer.writer.lock(), &payload).is_ok()
+        });
     }
 
     /// Abruptly severs every live connection *without* a `Goodbye`, while
@@ -241,8 +259,9 @@ impl TcpBusServer {
         }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.inner.addr);
-        let bye = encode_message(&Message::Goodbye);
+        let mut bye = encode_message(&Message::Goodbye);
         for peer in self.inner.peers.lock().drain(..) {
+            stamp_version(&mut bye, peer.version.load(Ordering::SeqCst));
             let mut w = peer.writer.lock();
             let _ = write_frame(&mut *w, &bye);
             let _ = w.shutdown(Shutdown::Both);
@@ -276,13 +295,13 @@ impl Bus for TcpBusServer {
             }
         }
         self.inner.epoch.fetch_add(1, Ordering::SeqCst);
-        let payload = encode_message(&Message::Command(cmd.clone()));
+        let mut payload = encode_message(&Message::Command(cmd.clone()));
         // Drop peers whose connection is gone; the write error is the
         // only signal a crashed agent leaves behind.
-        self.inner
-            .peers
-            .lock()
-            .retain(|peer| write_frame(&mut *peer.writer.lock(), &payload).is_ok());
+        self.inner.peers.lock().retain(|peer| {
+            stamp_version(&mut payload, peer.version.load(Ordering::SeqCst));
+            write_frame(&mut *peer.writer.lock(), &payload).is_ok()
+        });
     }
 
     fn drain_reports(&self, _now: u64) -> Vec<Report> {
@@ -306,13 +325,17 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<BusInner>) {
             writer: Arc::new(Mutex::new(write_half)),
             info: Arc::new(Mutex::new(None)),
             relay: Arc::new(AtomicBool::new(false)),
+            version: Arc::new(AtomicU8::new(MIN_PROTO_VERSION)),
         };
         let writer = Arc::clone(&peer.writer);
         let info = Arc::clone(&peer.info);
         let relay = Arc::clone(&peer.relay);
+        let version = Arc::clone(&peer.version);
         let reader_inner = Arc::clone(inner);
         inner.peers.lock().push(peer);
-        std::thread::spawn(move || peer_reader(stream, &writer, &info, &relay, &reader_inner));
+        std::thread::spawn(move || {
+            peer_reader(stream, &writer, &info, &relay, &version, &reader_inner);
+        });
     }
 }
 
@@ -327,11 +350,18 @@ fn peer_reader(
     writer: &Arc<Mutex<TcpStream>>,
     info: &Arc<Mutex<Option<ProcessInfo>>>,
     relay: &Arc<AtomicBool>,
+    version: &Arc<AtomicU8>,
     inner: &Arc<BusInner>,
 ) {
     let mut orderly = false;
     while let Ok(payload) = read_frame(&mut stream) {
-        match decode_message(&payload) {
+        let msg = decode_message_versioned(&payload).map(|(v, msg)| {
+            // Every frame advertises the sender's version; max-latch it
+            // so replies (and later broadcasts) speak the peer's dialect.
+            version.fetch_max(v, Ordering::SeqCst);
+            msg
+        });
+        match msg {
             Ok(msg @ (Message::Hello(_) | Message::HelloRelay(_))) => {
                 let is_relay = matches!(msg, Message::HelloRelay(_));
                 let (Message::Hello(process) | Message::HelloRelay(process)) = msg else {
@@ -350,7 +380,8 @@ fn peer_reader(
                         budgets,
                     }
                 };
-                if write_frame(&mut *writer.lock(), &encode_message(&sync)).is_err() {
+                let sync = encode_message_v(&sync, version.load(Ordering::SeqCst));
+                if write_frame(&mut *writer.lock(), &sync).is_err() {
                     break;
                 }
             }
@@ -470,6 +501,11 @@ struct LiveShared {
     epoch: AtomicU64,
     /// Successful reconnections.
     reconnects: AtomicU64,
+    /// Highest protocol version seen from the server this connection
+    /// (max-latched from received frames, reset to the floor on
+    /// reconnect). Reports are encoded at this version, so encoded row
+    /// blocks are transcoded down for a v5 server.
+    peer_version: AtomicU8,
     stop: AtomicBool,
     policy: ReconnectPolicy,
 }
@@ -526,6 +562,7 @@ impl LiveAgent {
             status: Mutex::new(ConnStatus::Connected),
             epoch: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            peer_version: AtomicU8::new(MIN_PROTO_VERSION),
             stop: AtomicBool::new(false),
             policy,
         });
@@ -611,7 +648,7 @@ impl LiveAgent {
             return;
         }
         if *self.shared.status.lock() == ConnStatus::Connected {
-            flush_reports(&self.shared.agent, &self.shared.writer);
+            flush_reports(&self.shared);
             let _ = write_frame(
                 &mut *self.shared.writer.lock(),
                 &encode_message(&Message::Goodbye),
@@ -659,7 +696,13 @@ enum SessionEnd {
 /// re-syncs to the local agent along the way.
 fn read_session(read: &mut TcpStream, shared: &LiveShared) -> SessionEnd {
     while let Ok(payload) = read_frame(read) {
-        match decode_message(&payload) {
+        let msg = decode_message_versioned(&payload).map(|(v, msg)| {
+            // The server's frames advertise its version; once a v6 frame
+            // arrives, reports switch to the compact encoded-rows wire.
+            shared.peer_version.fetch_max(v, Ordering::SeqCst);
+            msg
+        });
+        match msg {
             Ok(Message::Command(cmd)) => shared.agent.apply(&cmd),
             Ok(Message::Sync {
                 epoch,
@@ -729,6 +772,11 @@ fn reconnect(shared: &Arc<LiveShared>) -> Option<TcpStream> {
             continue;
         };
         *shared.writer.lock() = write_half;
+        // Negotiation is per-connection: a restarted server may speak an
+        // older dialect than the previous incarnation.
+        shared
+            .peer_version
+            .store(MIN_PROTO_VERSION, Ordering::SeqCst);
         let hello = encode_message(&Message::Hello(shared.info.clone()));
         if write_frame(&mut *shared.writer.lock(), &hello).is_ok() {
             return Some(stream);
@@ -758,13 +806,18 @@ fn flush_if_connected(shared: &LiveShared) {
     if *shared.status.lock() != ConnStatus::Connected {
         return;
     }
-    flush_reports(&shared.agent, &shared.writer);
+    flush_reports(shared);
 }
 
-fn flush_reports(agent: &Agent, writer: &Mutex<TcpStream>) {
-    for report in agent.flush(crate::now_nanos()) {
-        let payload = encode_message(&Message::Report(report));
-        if write_frame(&mut *writer.lock(), &payload).is_err() {
+fn flush_reports(shared: &LiveShared) {
+    // Reports are the one message kind with versioned constructs, so they
+    // are encoded at the server's negotiated version: encoded row blocks
+    // go over the wire as-is to a v6 server and are transcoded to plain
+    // rows for a v5 one.
+    let peer_version = shared.peer_version.load(Ordering::SeqCst);
+    for report in shared.agent.flush(crate::now_nanos()) {
+        let payload = encode_message_v(&Message::Report(report), peer_version);
+        if write_frame(&mut *shared.writer.lock(), &payload).is_err() {
             break;
         }
     }

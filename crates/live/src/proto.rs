@@ -32,7 +32,9 @@ use pivot_core::{
     Command, ProcessInfo, QueryBudget, Report, ReportRows, ThrottleReason, ThrottleStats, Throttled,
 };
 use pivot_itc::{DecodeError, Decoder, Encoder};
-use pivot_model::{codec, AggFunc, AggState, BinOp, Expr, GroupKey, Sym, Tuple, UnOp};
+use pivot_model::{
+    codec, AggFunc, AggState, BinOp, EncodedBlock, Expr, GroupKey, Sym, Tuple, UnOp,
+};
 use pivot_query::advice::ColumnRef;
 use pivot_query::bytecode::{EInst, ExprProg, Inst, PoolRange};
 use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
@@ -44,8 +46,25 @@ use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
 /// when the overload governor added `SetBudget`, budget lists on `Sync`,
 /// and the shed/truncation/throttle fields of the `Report` envelope; to 5
 /// when the relay tier added `HelloRelay` (a registration that marks the
-/// peer as a fan-in relay rather than a leaf agent).
-pub const PROTO_VERSION: u8 = 5;
+/// peer as a fan-in relay rather than a leaf agent); to 6 when reports
+/// gained the columnar-block row encoding
+/// ([`pivot_core::ReportRows::RawEncoded`], rows tag 2).
+pub const PROTO_VERSION: u8 = 6;
+
+/// Oldest protocol version this build still speaks. Version 6 is a pure
+/// extension of 5 (one new rows tag inside `Report`), so v5 frames decode
+/// unchanged and a sender can down-encode any message to v5.
+///
+/// Negotiation: every frame's leading version byte doubles as an
+/// advertisement. A receiver starts each peer at `MIN_PROTO_VERSION` and
+/// max-latches the versions it sees from that peer; everything it sends
+/// back goes at `min(PROTO_VERSION, latched peer version)`. A v6 client's
+/// `Hello` (sent at v6) upgrades a v6 server immediately, while a v5
+/// client is answered — and spoken to forever — in v5, with
+/// [`ReportRows::RawEncoded`] transcoded down. Down-level *servers*
+/// require the usual upgrade order (servers before leaves): they reject
+/// an up-level registration loudly, exactly like any other skew.
+pub const MIN_PROTO_VERSION: u8 = 5;
 
 /// Maximum expression nesting the decoder accepts. Honest queries stay in
 /// single digits; the cap keeps a hostile peer from overflowing the stack.
@@ -84,10 +103,22 @@ pub enum Message {
     HelloRelay(ProcessInfo),
 }
 
-/// Encodes one message to bytes (the payload of one frame).
+/// Encodes one message to bytes (the payload of one frame) at the current
+/// protocol version.
 pub fn encode_message(msg: &Message) -> Vec<u8> {
+    encode_message_v(msg, PROTO_VERSION)
+}
+
+/// Encodes one message at `version` (clamped to the supported range).
+///
+/// Senders pass the peer's negotiated version so an up-level process can
+/// keep talking to a down-level one: the only versioned construct,
+/// [`ReportRows::RawEncoded`], is transcoded to plain raw rows when the
+/// frame must be v5.
+pub fn encode_message_v(msg: &Message, version: u8) -> Vec<u8> {
+    let version = version.clamp(MIN_PROTO_VERSION, PROTO_VERSION);
     let mut enc = Encoder::with_capacity(128);
-    enc.put_u8(PROTO_VERSION);
+    enc.put_u8(version);
     match msg {
         Message::Hello(info) => {
             enc.put_u8(0);
@@ -105,7 +136,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
         }
         Message::Report(report) => {
             enc.put_u8(3);
-            encode_report(report, &mut enc);
+            encode_report(report, &mut enc, version);
         }
         Message::Sync {
             epoch,
@@ -143,9 +174,15 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
 /// Decodes one message; trailing garbage, version mismatches, and bytecode
 /// that fails validation are all rejected.
 pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
+    decode_message_versioned(bytes).map(|(_, msg)| msg)
+}
+
+/// Like [`decode_message`], but also returns the frame's version byte so
+/// the receiver can max-latch its record of the peer's protocol level.
+pub fn decode_message_versioned(bytes: &[u8]) -> Result<(u8, Message), DecodeError> {
     let mut dec = Decoder::new(bytes);
     let version = dec.take_u8()?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(DecodeError::BadTag("protocol version", version));
     }
     let msg = match dec.take_u8()? {
@@ -156,7 +193,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
         }),
         1 => Message::Command(Command::Install(Arc::new(decode_code(&mut dec)?))),
         2 => Message::Command(Command::Uninstall(QueryId(dec.take_varint()?))),
-        3 => Message::Report(decode_report(&mut dec)?),
+        3 => Message::Report(decode_report(&mut dec, version)?),
         4 => {
             let epoch = dec.take_varint()?;
             let n = dec.take_varint()? as usize;
@@ -193,7 +230,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     if !dec.is_empty() {
         return Err(DecodeError::BadTag("message trailing bytes", 0));
     }
-    Ok(msg)
+    Ok((version, msg))
 }
 
 // ---------------------------------------------------------------------------
@@ -698,7 +735,7 @@ fn decode_budget(dec: &mut Decoder<'_>) -> Result<QueryBudget, DecodeError> {
     })
 }
 
-fn encode_report(r: &Report, enc: &mut Encoder) {
+fn encode_report(r: &Report, enc: &mut Encoder, version: u8) {
     enc.put_varint(r.query.0);
     enc.put_str(&r.host);
     enc.put_varint(r.procid);
@@ -741,10 +778,37 @@ fn encode_report(r: &Report, enc: &mut Encoder) {
                 }
             }
         }
+        ReportRows::RawEncoded(blocks) if version >= 6 => {
+            // The blocks' compressed bytes go on the wire as-is — this is
+            // the zero-copy path relays exercise on every re-origination.
+            enc.put_u8(2);
+            enc.put_varint(blocks.len() as u64);
+            for b in blocks {
+                b.write_wire(enc);
+            }
+        }
+        ReportRows::RawEncoded(blocks) => {
+            // Down-level peer: transcode to the v5 plain-rows form. A
+            // block that fails to decode came from a corrupt upstream and
+            // contributes no rows (its tuples stay accounted by the
+            // envelope, exactly as on the frontend's decode path).
+            let mut rows: Vec<Tuple> = Vec::new();
+            for b in blocks {
+                let before = rows.len();
+                if b.decode_into(&mut rows).is_err() {
+                    rows.truncate(before);
+                }
+            }
+            enc.put_u8(0);
+            enc.put_varint(rows.len() as u64);
+            for t in &rows {
+                codec::encode_tuple(t, enc);
+            }
+        }
     }
 }
 
-fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
+fn decode_report(dec: &mut Decoder<'_>, version: u8) -> Result<Report, DecodeError> {
     let query = QueryId(dec.take_varint()?);
     let host = dec.take_str()?.to_owned();
     let procid = dec.take_varint()?;
@@ -798,6 +862,20 @@ fn decode_report(dec: &mut Decoder<'_>) -> Result<Report, DecodeError> {
                 groups.push((key, states));
             }
             ReportRows::Grouped(groups)
+        }
+        // Columnar blocks are a v6 construct; a v5 frame carrying tag 2
+        // is malformed, not merely old.
+        2 if version >= 6 => {
+            let n = dec.take_varint()? as usize;
+            let mut blocks = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                // `read_wire` validates the row-count header (which the
+                // receiver trusts for loss accounting) but keeps the
+                // payload opaque — relays forward it without a per-value
+                // parse; the frontend validates when it decodes.
+                blocks.push(EncodedBlock::read_wire(dec)?);
+            }
+            ReportRows::RawEncoded(blocks)
         }
         t => return Err(DecodeError::BadTag("report rows", t)),
     };
@@ -1284,17 +1362,52 @@ mod tests {
                     Tuple::from_iter([Value::str("c"), Value::I64(3)]),
                 ]),
             })),
+            // A v6 batched flush: raw rows pre-encoded as columnar blocks.
+            encode_message(&Message::Report(encoded_rows_report())),
         ]
+    }
+
+    /// A streaming report whose rows are already in the v6 columnar block
+    /// encoding, shaped like a batched agent flush.
+    fn encoded_rows_report() -> Report {
+        let rows: Vec<Tuple> = (0..64)
+            .map(|i| Tuple::from_iter([Value::str("GET"), Value::U64(i), Value::U64(512)]))
+            .collect();
+        Report {
+            query: QueryId(5),
+            host: "host-B".into(),
+            procid: 12,
+            procname: "kvnode".into(),
+            incarnation: 1,
+            time: 20,
+            seq: 4,
+            tuples: 64,
+            emitted_cum: 64,
+            shed_cum: 0,
+            truncated_cum: 0,
+            throttled: None,
+            rows: ReportRows::RawEncoded(vec![EncodedBlock::encode(&rows)]),
+        }
     }
 
     #[test]
     fn every_frame_kind_rejects_version_skew() {
-        // A v4 peer (or a from-the-future v6 one) must be refused on every
-        // frame kind — including the relay frames new in v5 — so a mixed
-        // agent/relay/frontend deployment fails loudly instead of
-        // misparsing.
+        // The version gate accepts the negotiation window
+        // [MIN_PROTO_VERSION, PROTO_VERSION] and refuses everything else
+        // — a v4 peer or a from-the-future v7 one fails loudly on every
+        // frame kind instead of misparsing. In-window versions must never
+        // produce a *version* error (content-level checks, like the
+        // v6-only rows tag inside a v5 frame, still apply).
         for bytes in all_frames() {
-            for skew in [PROTO_VERSION - 1, PROTO_VERSION + 1, 0, 0xFF] {
+            for ok in [MIN_PROTO_VERSION, PROTO_VERSION] {
+                let mut mutated = bytes.clone();
+                mutated[0] = ok;
+                assert!(!matches!(
+                    decode_message(&mutated),
+                    Err(DecodeError::BadTag("protocol version", _))
+                ));
+            }
+            for skew in [MIN_PROTO_VERSION - 1, PROTO_VERSION + 1, 0, 0xFF] {
                 let mut mutated = bytes.clone();
                 mutated[0] = skew;
                 assert!(matches!(
@@ -1302,6 +1415,100 @@ mod tests {
                     Err(DecodeError::BadTag("protocol version", _))
                 ));
             }
+        }
+    }
+
+    #[test]
+    fn encoded_rows_round_trip_v6() {
+        let report = encoded_rows_report();
+        let bytes = encode_message(&Message::Report(report.clone()));
+        let (version, Message::Report(back)) = decode_message_versioned(&bytes).expect("decodes")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(version, 6);
+        assert_eq!(back.rows.len(), 64);
+        let (ReportRows::RawEncoded(sent), ReportRows::RawEncoded(got)) =
+            (&report.rows, &back.rows)
+        else {
+            panic!("expected encoded rows");
+        };
+        // The wire carries the block bytes untouched (the relay
+        // re-origination path forwards without re-encoding), and the
+        // frontend-side materialization recovers the original tuples.
+        assert_eq!(sent, got);
+        let rows = got[0].decode().expect("block decodes");
+        assert_eq!(rows.len(), 64);
+        assert_eq!(rows[63].get(1), &Value::U64(63));
+    }
+
+    #[test]
+    fn v5_peer_negotiation_transcodes_encoded_rows() {
+        // Sending the same report at v5 (a down-level peer) transcodes
+        // the blocks back to plain rows: nothing is lost, the old decoder
+        // sees a frame it fully understands.
+        let report = encoded_rows_report();
+        let bytes = encode_message_v(&Message::Report(report), MIN_PROTO_VERSION);
+        assert_eq!(bytes[0], MIN_PROTO_VERSION);
+        let (version, Message::Report(back)) = decode_message_versioned(&bytes).expect("decodes")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(version, MIN_PROTO_VERSION);
+        let ReportRows::Raw(rows) = &back.rows else {
+            panic!("expected transcoded raw rows");
+        };
+        assert_eq!(rows.len(), 64);
+        assert_eq!(rows[7].get(1), &Value::U64(7));
+
+        // Out-of-window requests clamp instead of producing frames no
+        // peer could speak.
+        let hello = Message::Hello(ProcessInfo {
+            host: "h".into(),
+            procid: 1,
+            procname: "p".into(),
+        });
+        assert_eq!(encode_message_v(&hello, 0)[0], MIN_PROTO_VERSION);
+        assert_eq!(encode_message_v(&hello, 0xFF)[0], PROTO_VERSION);
+    }
+
+    #[test]
+    fn v5_frame_with_block_tag_is_rejected() {
+        // Tag 2 rows exist only from v6 on; a frame claiming v5 while
+        // carrying them is malformed, not merely old.
+        let mut bytes = encode_message(&Message::Report(encoded_rows_report()));
+        assert_eq!(bytes[0], 6);
+        bytes[0] = 5;
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DecodeError::BadTag("report rows", 2))
+        ));
+    }
+
+    #[test]
+    fn corrupt_block_payload_fails_at_materialization_not_wire() {
+        // The wire decoder validates only the block header (row count);
+        // the payload stays opaque so relays can forward without parsing.
+        // Corruption inside the payload must therefore pass the wire and
+        // fail gracefully — error, never panic — when the frontend
+        // materializes. Sweep every payload byte with a bit flip.
+        let rows: Vec<Tuple> = (0..48)
+            .map(|i| Tuple::from_iter([Value::U64(i), Value::str("op")]))
+            .collect();
+        let block = EncodedBlock::encode(&rows);
+        let mut enc = Encoder::new();
+        block.write_wire(&mut enc);
+        let wire = enc.finish();
+        for pos in 0..wire.len() {
+            let mut mutated = wire.clone();
+            mutated[pos] ^= 0x40;
+            let mut dec = Decoder::new(&mutated);
+            let Ok(back) = EncodedBlock::read_wire(&mut dec) else {
+                continue; // header corruption caught at the wire
+            };
+            // Materialization either errors or yields some rows; a
+            // corrupt RLE run must never read past the payload.
+            let _ = back.decode();
         }
     }
 

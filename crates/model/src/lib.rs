@@ -16,12 +16,14 @@
 
 pub mod agg;
 pub mod codec;
+pub mod colblock;
 pub mod expr;
 pub mod intern;
 pub mod tuple;
 pub mod value;
 
 pub use agg::{AggFunc, AggState};
+pub use colblock::EncodedBlock;
 pub use expr::{BinOp, EvalError, Expr, UnOp};
 pub use intern::{intern, Sym};
 pub use tuple::{GroupKey, Row, Schema, Tuple};

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use pivot_baggage::{Baggage, PackMode, QueryId};
 use pivot_model::expr::{eval_binary, eval_unary};
-use pivot_model::{BinOp, Expr, GroupKey, Schema, Sym, Tuple, UnOp, Value};
+use pivot_model::{AggState, BinOp, Expr, GroupKey, Schema, Sym, Tuple, UnOp, Value};
 
 use crate::advice::{AdviceOp, AdviceProgram, CompiledQuery, OutputSpec};
 use crate::ast::TemporalFilter;
@@ -218,6 +218,57 @@ impl AdviceByteCode {
     pub fn emits(&self) -> bool {
         self.insts.iter().any(|i| matches!(i, Inst::Emit { .. }))
     }
+
+    /// Returns `true` when [`Vm::run_batch`] may execute this program
+    /// op-major over a whole batch of invocations sharing one baggage,
+    /// with results byte-identical to running [`Vm::run`] once per
+    /// invocation in order.
+    ///
+    /// Three structural conditions guarantee that:
+    ///
+    /// - **no slot is both packed and unpacked** anywhere in the program
+    ///   — otherwise invocation *i+1*'s unpack would observe invocation
+    ///   *i*'s packs in the scalar order but not in op-major order;
+    /// - **each slot is packed by at most one instruction** — two packs
+    ///   to one slot interleave per-invocation in scalar order but
+    ///   per-op in batch order, observable at retention caps;
+    /// - **at most one `Emit`** — with several, scalar order interleaves
+    ///   each invocation's emits across the sinks while op-major order
+    ///   groups them per op.
+    ///
+    /// Every program the query compiler produces satisfies all three
+    /// (one sink op, pack *or* unpack per slot per side of the join).
+    /// `run_batch` falls back to per-invocation execution otherwise, so
+    /// callers need not check.
+    pub fn batchable(&self) -> bool {
+        let mut packed: Vec<QueryId> = Vec::new();
+        let mut unpacked: Vec<QueryId> = Vec::new();
+        let mut emits = 0usize;
+        for inst in &self.insts {
+            match inst {
+                Inst::Unpack { slot, .. } => {
+                    if packed.contains(slot) {
+                        return false;
+                    }
+                    unpacked.push(*slot);
+                }
+                Inst::Pack { slot, .. } => {
+                    if packed.contains(slot) || unpacked.contains(slot) {
+                        return false;
+                    }
+                    packed.push(*slot);
+                }
+                Inst::Emit { .. } => {
+                    emits += 1;
+                    if emits > 1 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
 }
 
 /// Execution statistics for one advice run; field-for-field the same
@@ -250,6 +301,39 @@ pub trait EmitSink {
         key: GroupKey,
         args: &[Value],
     );
+    /// `true` when this sink accepts batch-folded grouped deliveries via
+    /// [`EmitSink::grouped_fold`] instead of one [`EmitSink::grouped_row`]
+    /// call per row.
+    ///
+    /// Opting in trades per-row delivery for the paper's `Combine`
+    /// semantics: [`Vm::run_batch`] pre-aggregates each batch into partial
+    /// [`AggState`]s and the sink merges one partial per distinct group.
+    /// The fold applies `update` row-by-row in emit order, so results are
+    /// identical for every aggregate whose combine is exact (`COUNT`,
+    /// integer `SUM`, `MIN`, `MAX`); float sums may differ from per-row
+    /// delivery in the last bit, exactly as relay-tier partial
+    /// aggregation already may.
+    fn folds_grouped(&self) -> bool {
+        false
+    }
+    /// A batch-folded grouped delivery: `rows` emitted rows of `key`
+    /// collapsed into one partial accumulator per `spec.aggs` entry.
+    ///
+    /// Called only when [`EmitSink::folds_grouped`] returns `true`, and at
+    /// most once per distinct key per fold window. Distinct keys arrive in
+    /// first-seen (emit) order, so a sink that caps its group count makes
+    /// the same keep/shed decision per group as it would under per-row
+    /// delivery.
+    fn grouped_fold(
+        &mut self,
+        query: QueryId,
+        spec: &Arc<OutputSpec>,
+        key: GroupKey,
+        states: &[AggState],
+        rows: u64,
+    ) {
+        let _ = (query, spec, key, states, rows);
+    }
 }
 
 /// An [`EmitSink`] that buffers rows, for tests and differential checks.
@@ -761,8 +845,23 @@ pub struct Vm {
     joined: Vec<Tuple>,
     projected: Vec<Tuple>,
     args: Vec<Value>,
+    /// Batched execution only: `src[i]` is the invocation index that row
+    /// `tuples[i]` belongs to. Kept in invocation-major (sorted) order.
+    src: Vec<u32>,
+    /// Batched execution only: scratch twin of `joined` for `src`.
+    joined_src: Vec<u32>,
+    /// Batched execution only: per-batch partial-aggregation scratch for
+    /// sinks that opt into [`EmitSink::grouped_fold`] — `(group key,
+    /// accumulators, rows folded)`, in first-seen order.
+    fold: Vec<(Tuple, Vec<AggState>, u64)>,
     ops: u64,
 }
+
+/// Cap on distinct groups held in the batch partial-aggregation scratch
+/// before it flushes to the sink mid-batch. Bounds the linear key scan
+/// under a group-key explosion; a key recurring across windows simply
+/// reaches the sink once per window and is merged there.
+const FOLD_WINDOW: usize = 64;
 
 /// Expression evaluation failed; the affected tuple is dropped (advice
 /// safety: errors never propagate to the carrying request).
@@ -922,6 +1021,556 @@ impl Vm {
         self.tuples.clear();
         stats
     }
+
+    /// Executes `code` once per invocation in `batch` against the same
+    /// baggage and sink, returning the summed stats.
+    ///
+    /// Equivalent to calling [`Vm::run`] for each element of `batch` in
+    /// order — byte-identical emitted rows, packed entries, stats, and
+    /// retired-op counts — but when [`AdviceByteCode::batchable`] holds,
+    /// execution is *op-major*: one dispatch per instruction drives a
+    /// working set holding every invocation's live tuples at once, so the
+    /// interpreter loop overhead (dispatch, unpack materialization,
+    /// baggage bookkeeping) is paid per instruction instead of per
+    /// invocation × instruction. Non-batchable programs transparently
+    /// fall back to the scalar loop.
+    ///
+    /// Rows are tagged with their invocation index and kept in
+    /// invocation-major order throughout, which is what makes
+    /// order-sensitive effects (pack arrival order at retention caps,
+    /// emit order, per-invocation early exit) match the scalar loop
+    /// exactly.
+    pub fn run_batch(
+        &mut self,
+        code: &AdviceByteCode,
+        batch: &[&[(&str, Value)]],
+        baggage: &mut Baggage,
+        sink: &mut impl EmitSink,
+    ) -> VmStats {
+        let mut stats = VmStats::default();
+        if batch.is_empty() {
+            return stats;
+        }
+        if !code.batchable() {
+            for exports in batch {
+                let s = self.run(code, exports, baggage, sink);
+                stats.unpacked += s.unpacked;
+                stats.packed += s.packed;
+                stats.emitted += s.emitted;
+            }
+            return stats;
+        }
+        if let Some(stats) = self.run_factorized(code, batch, baggage, sink) {
+            return stats;
+        }
+        self.regs.clear();
+        self.regs.resize(code.num_regs as usize, Value::Null);
+        self.tuples.clear();
+        self.src.clear();
+        for i in 0..batch.len() {
+            self.tuples.push(Tuple::empty());
+            self.src.push(i as u32);
+        }
+
+        for inst in &code.insts {
+            // `src` stays invocation-major, so the live-invocation count
+            // is the number of group boundaries. Each live invocation
+            // retires this instruction, matching the scalar loop's
+            // per-invocation `ops` metering (dead invocations broke out
+            // of their scalar run and stopped retiring).
+            let mut live = 0usize;
+            let mut prev = u32::MAX;
+            for &s in &self.src {
+                if s != prev {
+                    live += 1;
+                    prev = s;
+                }
+            }
+            self.ops += live as u64;
+            match inst {
+                Inst::Observe { names } => {
+                    let fields = &code.names[names.0 as usize..names.1 as usize];
+                    // Field positions are resolved once against the first
+                    // live invocation's export layout; an invocation whose
+                    // keys match it (one batch comes from one call site,
+                    // so effectively all of them) reads values by direct
+                    // index. A mismatched layout falls back to the scalar
+                    // name scan, preserving first-match semantics exactly.
+                    let first: &[(&str, Value)] = batch[self.src[0] as usize];
+                    let idxs: Vec<Option<usize>> = fields
+                        .iter()
+                        .map(|f| first.iter().position(|(n, _)| *n == f.as_str()))
+                        .collect();
+                    let mut r = 0usize;
+                    while r < self.tuples.len() {
+                        let inv = self.src[r];
+                        let mut end = r;
+                        while end < self.tuples.len() && self.src[end] == inv {
+                            end += 1;
+                        }
+                        // Built once per live invocation, shared by all of
+                        // its rows.
+                        let row = batch[inv as usize];
+                        let observed: Tuple = if same_keys(row, first) {
+                            idxs.iter()
+                                .map(|i| i.map_or(Value::Null, |i| row[i].1.clone()))
+                                .collect()
+                        } else {
+                            fields
+                                .iter()
+                                .map(|f| {
+                                    row.iter()
+                                        .find(|(name, _)| *name == f.as_str())
+                                        .map(|(_, v)| v.clone())
+                                        .unwrap_or(Value::Null)
+                                })
+                                .collect()
+                        };
+                        if end - r == 1 && self.tuples[r].is_empty() {
+                            self.tuples[r] = observed;
+                        } else {
+                            for t in &mut self.tuples[r..end] {
+                                *t = t.concat(&observed);
+                            }
+                        }
+                        r = end;
+                    }
+                }
+                Inst::Unpack { slot, temporal, .. } => {
+                    // One unpack serves every invocation: `batchable`
+                    // guarantees no Pack in this program touches `slot`,
+                    // so each invocation's scalar run would have seen the
+                    // same baggage contents here.
+                    let mut view = baggage.unpack_view(*slot);
+                    if let Some(f) = temporal {
+                        f.apply(view.to_mut());
+                    }
+                    let unpacked: &[Tuple] = &view;
+                    stats.unpacked += unpacked.len() * live;
+                    self.joined.clear();
+                    self.joined_src.clear();
+                    for (r, t) in self.tuples.iter().enumerate() {
+                        for u in unpacked {
+                            self.joined.push(t.concat(u));
+                            self.joined_src.push(self.src[r]);
+                        }
+                    }
+                    std::mem::swap(&mut self.tuples, &mut self.joined);
+                    std::mem::swap(&mut self.src, &mut self.joined_src);
+                }
+                Inst::Filter { pred } => {
+                    let prog = code.exprs[*pred as usize];
+                    self.joined.clear();
+                    self.joined_src.clear();
+                    for (r, t) in self.tuples.drain(..).enumerate() {
+                        if matches!(eval(code, prog, &t, &mut self.regs), Ok(Value::Bool(true))) {
+                            self.joined.push(t);
+                            self.joined_src.push(self.src[r]);
+                        }
+                    }
+                    std::mem::swap(&mut self.tuples, &mut self.joined);
+                    std::mem::swap(&mut self.src, &mut self.joined_src);
+                }
+                Inst::Pack {
+                    slot,
+                    mode,
+                    pre,
+                    exprs,
+                } => {
+                    self.projected.clear();
+                    let mut r = 0usize;
+                    while r < self.tuples.len() {
+                        let inv = self.src[r];
+                        let start = self.projected.len();
+                        let mut survivors = 0usize;
+                        while r < self.tuples.len() && self.src[r] == inv {
+                            let t = &self.tuples[r];
+                            if passes_pre(code, *pre, t, &mut self.regs) {
+                                survivors += 1;
+                                if let Ok(p) = project(code, *exprs, t, &mut self.regs) {
+                                    self.projected.push(p);
+                                }
+                            }
+                            r += 1;
+                        }
+                        if survivors > 0 {
+                            stats.packed += self.projected.len() - start;
+                        }
+                    }
+                    // One pack call covers every invocation's survivors:
+                    // `already_first` reads only inactive instances, which
+                    // N sequential packs would not have changed, and rows
+                    // arrive in the same invocation-major order. Skipping
+                    // the call when nothing projected matches the scalar
+                    // empty pack, which stores nothing.
+                    if !self.projected.is_empty() {
+                        baggage.pack(*slot, mode, self.projected.drain(..));
+                    }
+                }
+                Inst::Emit {
+                    query,
+                    spec,
+                    pre,
+                    keys,
+                    aggs,
+                } => {
+                    // Rows are invocation-major and `batchable` caps the
+                    // program at one Emit, so sink arrival order equals
+                    // the scalar loop's. Projection columns are
+                    // classified once per op: the single-instruction
+                    // field references and literals that dominate key and
+                    // aggregate projections bypass the register machine
+                    // in the row loop.
+                    let key_cols: Vec<FastCol> =
+                        (keys.0..keys.1).map(|xi| classify_col(code, xi)).collect();
+                    let agg_cols: Vec<FastCol> =
+                        (aggs.0..aggs.1).map(|xi| classify_col(code, xi)).collect();
+                    // Partial aggregation: when the sink opts in, grouped
+                    // rows fold into scratch accumulators here and each
+                    // distinct group reaches the sink once per window, in
+                    // first-seen order (so a capped sink makes the same
+                    // keep/shed decision per group as under per-row
+                    // delivery). A consecutive run of rows from one join
+                    // usually shares its group, hence the check-last-first
+                    // scan.
+                    let folding = !spec.streaming && sink.folds_grouped();
+                    for i in 0..self.tuples.len() {
+                        let t = &self.tuples[i];
+                        if !passes_pre(code, *pre, t, &mut self.regs) {
+                            continue;
+                        }
+                        stats.emitted += 1;
+                        if spec.streaming {
+                            if let Ok(row) = project_cols(code, &key_cols, t, &mut self.regs) {
+                                sink.streaming_row(*query, spec, row);
+                            }
+                        } else {
+                            let Ok(key) = project_cols(code, &key_cols, t, &mut self.regs) else {
+                                continue;
+                            };
+                            if !folding {
+                                self.args.clear();
+                                for col in &agg_cols {
+                                    self.args.push(
+                                        eval_col(code, col, t, &mut self.regs)
+                                            .unwrap_or(Value::Null),
+                                    );
+                                }
+                                sink.grouped_row(*query, spec, GroupKey(key), &self.args);
+                                continue;
+                            }
+                            let j = match self.fold.iter().rev().position(|(k, _, _)| *k == key) {
+                                Some(rj) => self.fold.len() - 1 - rj,
+                                None => {
+                                    if self.fold.len() >= FOLD_WINDOW {
+                                        for (k, states, rows) in self.fold.drain(..) {
+                                            sink.grouped_fold(
+                                                *query,
+                                                spec,
+                                                GroupKey(k),
+                                                &states,
+                                                rows,
+                                            );
+                                        }
+                                    }
+                                    let states: Vec<AggState> =
+                                        spec.aggs.iter().map(|(f, _)| f.init()).collect();
+                                    self.fold.push((key, states, 0));
+                                    self.fold.len() - 1
+                                }
+                            };
+                            let (_, states, rows) = &mut self.fold[j];
+                            *rows += 1;
+                            for (st, col) in states.iter_mut().zip(&agg_cols) {
+                                let v =
+                                    eval_col(code, col, t, &mut self.regs).unwrap_or(Value::Null);
+                                st.update(&v);
+                            }
+                        }
+                    }
+                    for (k, states, rows) in self.fold.drain(..) {
+                        sink.grouped_fold(*query, spec, GroupKey(k), &states, rows);
+                    }
+                }
+            }
+            if self.tuples.is_empty() {
+                // Every invocation's working set is empty; no later op can
+                // produce anything for any of them.
+                break;
+            }
+        }
+        self.tuples.clear();
+        self.src.clear();
+        stats
+    }
+
+    /// Factorized execution of the canonical join-aggregation shape —
+    /// `[Observe, Filter*, Unpack, Emit{grouped}]` where every group-key
+    /// column reads the unpacked side and every aggregate argument reads
+    /// the observed side (the paper's §2 query: `GroupBy cl.procName
+    /// Select cl.procName, SUM(incr.delta)`).
+    ///
+    /// The join's cross product is never materialized: all observed rows
+    /// fold into *one* partial accumulator set, which is then merged into
+    /// each unpacked tuple's group — `O(rows + unpacked)` instead of
+    /// `O(rows × unpacked)`. The decomposition is exact for every
+    /// aggregate: per group, the cross product contributes the same
+    /// observed rows once per matching unpacked tuple, which is exactly
+    /// `k` merges of the same partial (`COUNT`/`SUM` scale additively,
+    /// `MIN`/`MAX` are idempotent, `AVERAGE`'s ratio is unchanged).
+    ///
+    /// Group delivery is in unpacked-tuple order, which is the scalar
+    /// loop's first-seen group order, so capped sinks shed the same
+    /// groups. Returns `None` — leaving the generic batch loop to run —
+    /// when the program shape, the expression sides, or the sink
+    /// (which must accept [`EmitSink::grouped_fold`]) do not qualify.
+    fn run_factorized(
+        &mut self,
+        code: &AdviceByteCode,
+        batch: &[&[(&str, Value)]],
+        baggage: &mut Baggage,
+        sink: &mut impl EmitSink,
+    ) -> Option<VmStats> {
+        if !sink.folds_grouped() {
+            return None;
+        }
+        let insts = code.insts.as_slice();
+        let Some(Inst::Observe { names }) = insts.first() else {
+            return None;
+        };
+        let mut at = 1;
+        let mut filters: Vec<u32> = Vec::new();
+        while let Some(Inst::Filter { pred }) = insts.get(at) {
+            filters.push(*pred);
+            at += 1;
+        }
+        let Some(Inst::Unpack { slot, temporal, .. }) = insts.get(at) else {
+            return None;
+        };
+        let Some(Inst::Emit {
+            query,
+            spec,
+            pre,
+            keys,
+            aggs,
+        }) = insts.get(at + 1)
+        else {
+            return None;
+        };
+        if insts.len() != at + 2 || spec.streaming {
+            return None;
+        }
+        let w_obs = (names.1 - names.0) as u16;
+        // Filters sit between Observe and Unpack, so lowering resolved
+        // them against the observed schema alone; only the Emit's fused
+        // pre-predicates, keys, and aggregates need side analysis.
+        let pre_ok = (pre.0..pre.1)
+            .all(|xi| matches!(expr_side(code, xi, w_obs), Side::Observed | Side::Neither));
+        let key_ok = (keys.0..keys.1)
+            .all(|xi| matches!(expr_side(code, xi, w_obs), Side::Unpacked | Side::Neither));
+        let agg_ok = (aggs.0..aggs.1)
+            .all(|xi| matches!(expr_side(code, xi, w_obs), Side::Observed | Side::Neither));
+        if !(pre_ok && key_ok && agg_ok) {
+            return None;
+        }
+
+        let mut stats = VmStats::default();
+        self.regs.clear();
+        self.regs.resize(code.num_regs as usize, Value::Null);
+
+        let mut view = baggage.unpack_view(*slot);
+        if let Some(f) = temporal {
+            f.apply(view.to_mut());
+        }
+        let unpacked: &[Tuple] = &view;
+
+        // Observed-side pass: resolve field positions once, then fold
+        // every invocation that survives the filters and the
+        // (observed-pure) pre-predicates into one shared partial
+        // accumulator set. Aggregate expressions only load observed
+        // columns, so the observed tuple alone is a valid evaluation
+        // layout (its columns are the concat prefix). Filter metering
+        // mirrors the scalar loop: an invocation retires filters up to
+        // and including its first failing one, then nothing after.
+        let fields = &code.names[names.0 as usize..names.1 as usize];
+        let first: &[(&str, Value)] = batch[0];
+        let idxs: Vec<Option<usize>> = fields
+            .iter()
+            .map(|f| first.iter().position(|(n, _)| *n == f.as_str()))
+            .collect();
+        let agg_cols: Vec<FastCol> = (aggs.0..aggs.1).map(|xi| classify_col(code, xi)).collect();
+        let mut partial: Vec<AggState> = spec.aggs.iter().map(|(f, _)| f.init()).collect();
+        let mut filter_retired = 0u64;
+        let mut survivors = 0u64;
+        let mut contributors = 0u64;
+        for row in batch {
+            let observed: Tuple = if same_keys(row, first) {
+                idxs.iter()
+                    .map(|i| i.map_or(Value::Null, |i| row[i].1.clone()))
+                    .collect()
+            } else {
+                fields
+                    .iter()
+                    .map(|f| {
+                        row.iter()
+                            .find(|(name, _)| *name == f.as_str())
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or(Value::Null)
+                    })
+                    .collect()
+            };
+            let mut dead = false;
+            for pred in &filters {
+                filter_retired += 1;
+                let prog = code.exprs[*pred as usize];
+                if !matches!(
+                    eval(code, prog, &observed, &mut self.regs),
+                    Ok(Value::Bool(true))
+                ) {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                continue;
+            }
+            survivors += 1;
+            if unpacked.is_empty() || !passes_pre(code, *pre, &observed, &mut self.regs) {
+                continue;
+            }
+            contributors += 1;
+            for (st, col) in partial.iter_mut().zip(&agg_cols) {
+                let v = eval_col(code, col, &observed, &mut self.regs).unwrap_or(Value::Null);
+                st.update(&v);
+            }
+        }
+        // Every invocation retires Observe; filter survivors retire
+        // Unpack; with nothing unpacked the scalar loop's working set
+        // then empties and Emit is never reached.
+        self.ops += batch.len() as u64 + filter_retired + survivors;
+        stats.unpacked += unpacked.len() * survivors as usize;
+        if unpacked.is_empty() || survivors == 0 {
+            return Some(stats);
+        }
+        self.ops += survivors;
+        stats.emitted += contributors as usize * unpacked.len();
+        if contributors == 0 {
+            return Some(stats);
+        }
+
+        // Unpacked-side pass: key expressions only load unpacked columns,
+        // so a Null-padded prefix stands in for the observed half of the
+        // concat layout.
+        let key_cols: Vec<FastCol> = (keys.0..keys.1).map(|xi| classify_col(code, xi)).collect();
+        let pad: Tuple = std::iter::repeat_with(|| Value::Null)
+            .take(w_obs as usize)
+            .collect();
+        for u in unpacked {
+            let padded = pad.concat(u);
+            let Ok(key) = project_cols(code, &key_cols, &padded, &mut self.regs) else {
+                continue;
+            };
+            sink.grouped_fold(*query, spec, GroupKey(key), &partial, contributors);
+        }
+        Some(stats)
+    }
+}
+
+/// Which half of an `Observe ++ Unpack` concat layout an expression
+/// reads: observed columns (below `w_obs`), unpacked columns, neither
+/// (constants only), or both.
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    Neither,
+    Observed,
+    Unpacked,
+    Mixed,
+}
+
+fn expr_side(code: &AdviceByteCode, xi: u32, w_obs: u16) -> Side {
+    let prog = code.exprs[xi as usize];
+    let mut side = Side::Neither;
+    for inst in &code.einsts[prog.start as usize..(prog.start + prog.len) as usize] {
+        if let EInst::Load { col, .. } = inst {
+            let s = if *col < w_obs {
+                Side::Observed
+            } else {
+                Side::Unpacked
+            };
+            side = match side {
+                Side::Neither => s,
+                cur if cur == s => cur,
+                _ => return Side::Mixed,
+            };
+        }
+    }
+    side
+}
+
+/// `true` when two export slices carry the same key sequence (values may
+/// differ), so a field index resolved against one is valid for the other.
+fn same_keys(a: &[(&str, Value)], b: &[(&str, Value)]) -> bool {
+    // Export slices in one batch overwhelmingly come from one woven call
+    // site, so the key names are usually the *same* string data: a
+    // pointer+length probe per pair skips the content compare.
+    fn same_name(x: &str, y: &str) -> bool {
+        (x.as_ptr() == y.as_ptr() && x.len() == y.len()) || x == y
+    }
+    a.len() == b.len()
+        && (std::ptr::eq(a.as_ptr(), b.as_ptr())
+            || a.iter().zip(b).all(|((x, _), (y, _))| same_name(x, y)))
+}
+
+/// A per-op classification of one lowered expression for the batch row
+/// loop (see [`Vm::run_batch`]): the single-instruction field references
+/// and constants that dominate key and aggregate projections are executed
+/// by direct tuple/pool access, paying classification once per op instead
+/// of the register machine once per row.
+enum FastCol {
+    /// A lone `Load` whose destination is the result register.
+    Load(u16),
+    /// A lone `Const` whose destination is the result register.
+    Const(u16),
+    /// Anything else: run [`eval`].
+    General(ExprProg),
+}
+
+fn classify_col(code: &AdviceByteCode, xi: u32) -> FastCol {
+    let prog = code.exprs[xi as usize];
+    if prog.len == 1 {
+        match &code.einsts[prog.start as usize] {
+            EInst::Load { dst, col } if *dst == prog.result => return FastCol::Load(*col),
+            EInst::Const { dst, idx } if *dst == prog.result => return FastCol::Const(*idx),
+            _ => {}
+        }
+    }
+    FastCol::General(prog)
+}
+
+/// Evaluates one classified column against `t` — the batch-loop
+/// equivalent of [`eval`] on the expression it was classified from.
+fn eval_col(
+    code: &AdviceByteCode,
+    col: &FastCol,
+    t: &Tuple,
+    regs: &mut [Value],
+) -> Result<Value, EvalFailed> {
+    match col {
+        FastCol::Load(c) => Ok(t.get(*c as usize).clone()),
+        FastCol::Const(i) => Ok(code.consts[*i as usize].clone()),
+        FastCol::General(prog) => eval(code, *prog, t, regs),
+    }
+}
+
+/// [`project`] over classified columns; any evaluation error drops the
+/// whole row.
+fn project_cols(
+    code: &AdviceByteCode,
+    cols: &[FastCol],
+    t: &Tuple,
+    regs: &mut [Value],
+) -> Result<Tuple, EvalFailed> {
+    cols.iter().map(|c| eval_col(code, c, t, regs)).collect()
 }
 
 /// Evaluates every predicate in `pre` against `t`; a tuple passes only
@@ -985,7 +1634,13 @@ fn eval(
         }
         pc += 1;
     }
-    Ok(regs[prog.result as usize].clone())
+    // Take the result by move: registers are written before read within an
+    // expression (stack-disciplined allocation), so leaving Null behind is
+    // invisible to subsequent evaluations.
+    Ok(std::mem::replace(
+        &mut regs[prog.result as usize],
+        Value::Null,
+    ))
 }
 
 #[cfg(test)]
@@ -1174,5 +1829,461 @@ mod tests {
         let mut sink = CollectSink::default();
         let stats = vm.run(&lowered.code, &[("x", Value::I64(1))], &mut bag, &mut sink);
         assert_eq!(stats.packed, 0, "failing predicate drops every tuple");
+    }
+
+    /// Emit-side program: observe `delta`, filter, join against `slot`,
+    /// emit a grouped SUM keyed by the unpacked process name.
+    fn emit_side(slot: QueryId) -> AdviceProgram {
+        AdviceProgram {
+            tracepoints: vec!["DataNodeMetrics.incrBytesRead".into()],
+            ops: vec![
+                observe("incr", &["delta"]),
+                AdviceOp::Filter {
+                    pred: Expr::bin(BinOp::Lt, Expr::field("incr.delta"), Expr::lit(100)),
+                },
+                AdviceOp::Unpack {
+                    slot,
+                    schema: Schema::new(["cl.procName"]),
+                    post_filter: None,
+                },
+                AdviceOp::Emit {
+                    query: QueryId(1),
+                    spec: Arc::new(OutputSpec {
+                        key_exprs: vec![Expr::field("cl.procName")],
+                        key_names: vec!["cl.procName".into()],
+                        aggs: vec![(AggFunc::Sum, Expr::field("incr.delta"))],
+                        agg_names: vec!["SUM(incr.delta)".into()],
+                        columns: vec![
+                            crate::advice::ColumnRef::Key(0),
+                            crate::advice::ColumnRef::Agg(0),
+                        ],
+                        streaming: false,
+                        ..OutputSpec::default()
+                    }),
+                },
+            ],
+        }
+    }
+
+    /// Pack-side program with a retention-capped mode, to exercise the
+    /// single-combined-pack path against per-invocation packs.
+    fn pack_side(slot: QueryId, mode: PackMode) -> AdviceProgram {
+        AdviceProgram {
+            tracepoints: vec!["ClientProtocols".into()],
+            ops: vec![
+                observe("cl", &["procName"]),
+                AdviceOp::Pack {
+                    slot,
+                    mode,
+                    exprs: vec![Expr::field("cl.procName")],
+                    names: vec!["cl.procName".into()],
+                },
+            ],
+        }
+    }
+
+    /// Runs `code` over `batch` twice — once per-invocation with
+    /// [`Vm::run`], once with [`Vm::run_batch`] — against clones of `bag`
+    /// and asserts every observable matches: emitted rows, stats,
+    /// retired-op deltas, and the serialized baggage.
+    fn assert_batch_matches_scalar(
+        code: &AdviceByteCode,
+        batch: &[&[(&str, Value)]],
+        bag: &Baggage,
+    ) {
+        let mut bag_scalar = bag.clone();
+        let mut vm_scalar = Vm::new();
+        let mut sink_scalar = CollectSink::default();
+        let mut scalar = VmStats::default();
+        for exports in batch {
+            let s = vm_scalar.run(code, exports, &mut bag_scalar, &mut sink_scalar);
+            scalar.unpacked += s.unpacked;
+            scalar.packed += s.packed;
+            scalar.emitted += s.emitted;
+        }
+
+        let mut bag_batch = bag.clone();
+        let mut vm_batch = Vm::new();
+        let mut sink_batch = CollectSink::default();
+        let batched = vm_batch.run_batch(code, batch, &mut bag_batch, &mut sink_batch);
+
+        assert_eq!(
+            (batched.unpacked, batched.packed, batched.emitted),
+            (scalar.unpacked, scalar.packed, scalar.emitted),
+            "stats diverge"
+        );
+        assert_eq!(
+            vm_batch.ops(),
+            vm_scalar.ops(),
+            "retired-op metering diverges"
+        );
+        assert_eq!(sink_batch.raw, sink_scalar.raw, "streaming rows diverge");
+        assert_eq!(
+            sink_batch.grouped, sink_scalar.grouped,
+            "grouped rows diverge"
+        );
+        assert_eq!(
+            bag_batch.to_bytes(),
+            bag_scalar.to_bytes(),
+            "baggage bytes diverge"
+        );
+    }
+
+    /// An [`EmitSink`] that opts into batch-folded grouped delivery and
+    /// aggregates either delivery style into final per-group states, so
+    /// the scalar per-row path and the batch fold path land in one
+    /// comparable representation.
+    #[derive(Default)]
+    struct FoldSink {
+        raw: Vec<(QueryId, Tuple)>,
+        /// `(query, key, states, rows)` in first-seen group order.
+        groups: Vec<(QueryId, GroupKey, Vec<AggState>, u64)>,
+    }
+
+    impl FoldSink {
+        fn slot(
+            &mut self,
+            query: QueryId,
+            spec: &Arc<OutputSpec>,
+            key: GroupKey,
+        ) -> &mut (QueryId, GroupKey, Vec<AggState>, u64) {
+            if let Some(i) = self
+                .groups
+                .iter()
+                .position(|(q, k, _, _)| *q == query && *k == key)
+            {
+                return &mut self.groups[i];
+            }
+            let states = spec.aggs.iter().map(|(f, _)| f.init()).collect();
+            self.groups.push((query, key, states, 0));
+            self.groups.last_mut().expect("just pushed")
+        }
+
+        /// `(query, key, finalized values, rows)` per group, in
+        /// first-seen order.
+        fn finished(&self) -> Vec<(QueryId, GroupKey, Vec<Value>, u64)> {
+            self.groups
+                .iter()
+                .map(|(q, k, states, rows)| {
+                    (
+                        *q,
+                        k.clone(),
+                        states.iter().map(AggState::finish).collect(),
+                        *rows,
+                    )
+                })
+                .collect()
+        }
+    }
+
+    impl EmitSink for FoldSink {
+        fn streaming_row(&mut self, query: QueryId, _spec: &Arc<OutputSpec>, row: Tuple) {
+            self.raw.push((query, row));
+        }
+        fn grouped_row(
+            &mut self,
+            query: QueryId,
+            spec: &Arc<OutputSpec>,
+            key: GroupKey,
+            args: &[Value],
+        ) {
+            let (_, _, states, rows) = self.slot(query, spec, key);
+            *rows += 1;
+            for (st, arg) in states.iter_mut().zip(args) {
+                st.update(arg);
+            }
+        }
+        fn folds_grouped(&self) -> bool {
+            true
+        }
+        fn grouped_fold(
+            &mut self,
+            query: QueryId,
+            spec: &Arc<OutputSpec>,
+            key: GroupKey,
+            partial: &[AggState],
+            rows: u64,
+        ) {
+            let (_, _, states, r) = self.slot(query, spec, key);
+            *r += rows;
+            for (st, p) in states.iter_mut().zip(partial) {
+                st.merge(p);
+            }
+        }
+    }
+
+    /// Folding twin of [`assert_batch_matches_scalar`]: the batch run's
+    /// sink accepts [`EmitSink::grouped_fold`] (exercising the factorized
+    /// join path and the generic batch fold when the program qualifies),
+    /// and the final per-group accumulators — in first-seen group order —
+    /// plus row counts, stats, op metering, and baggage must all match
+    /// the scalar per-row run.
+    fn assert_batch_matches_scalar_folding(
+        code: &AdviceByteCode,
+        batch: &[&[(&str, Value)]],
+        bag: &Baggage,
+    ) {
+        let mut bag_scalar = bag.clone();
+        let mut vm_scalar = Vm::new();
+        let mut sink_scalar = FoldSink::default();
+        let mut scalar = VmStats::default();
+        for exports in batch {
+            let s = vm_scalar.run(code, exports, &mut bag_scalar, &mut sink_scalar);
+            scalar.unpacked += s.unpacked;
+            scalar.packed += s.packed;
+            scalar.emitted += s.emitted;
+        }
+
+        let mut bag_batch = bag.clone();
+        let mut vm_batch = Vm::new();
+        let mut sink_batch = FoldSink::default();
+        let batched = vm_batch.run_batch(code, batch, &mut bag_batch, &mut sink_batch);
+
+        assert_eq!(
+            (batched.unpacked, batched.packed, batched.emitted),
+            (scalar.unpacked, scalar.packed, scalar.emitted),
+            "stats diverge"
+        );
+        assert_eq!(
+            vm_batch.ops(),
+            vm_scalar.ops(),
+            "retired-op metering diverges"
+        );
+        assert_eq!(sink_batch.raw, sink_scalar.raw, "streaming rows diverge");
+        assert_eq!(
+            sink_batch.finished(),
+            sink_scalar.finished(),
+            "folded groups diverge"
+        );
+        assert_eq!(
+            bag_batch.to_bytes(),
+            bag_scalar.to_bytes(),
+            "baggage bytes diverge"
+        );
+    }
+
+    #[test]
+    fn factorized_join_matches_scalar() {
+        // The canonical shape with a fan-out join: three packed client
+        // tuples, two sharing a group key (so one group receives the
+        // shared partial twice), a filtered-out row, and a row with a
+        // missing export.
+        let slot = QueryId(300);
+        let emitter = lower_program(&emit_side(slot)).code;
+        let mut bag = Baggage::new();
+        bag.pack(
+            slot,
+            &PackMode::All,
+            [
+                Tuple::from_iter([Value::str("HGet")]),
+                Tuple::from_iter([Value::str("Scan")]),
+                Tuple::from_iter([Value::str("HGet")]),
+            ],
+        );
+        let batch: Vec<&[(&str, Value)]> = vec![
+            &[("delta", Value::I64(40))],
+            &[("delta", Value::I64(400))],
+            &[("delta", Value::I64(2))],
+            &[("other", Value::I64(1))],
+        ];
+        assert_batch_matches_scalar_folding(&emitter, &batch, &bag);
+    }
+
+    #[test]
+    fn factorized_join_empty_slot_and_dead_batch() {
+        let slot = QueryId(300);
+        let emitter = lower_program(&emit_side(slot)).code;
+        // Nothing packed: every invocation dies at the unpack.
+        let batch: Vec<&[(&str, Value)]> =
+            vec![&[("delta", Value::I64(1))], &[("delta", Value::I64(2))]];
+        assert_batch_matches_scalar_folding(&emitter, &batch, &Baggage::new());
+        // Everything filtered out before the join.
+        let mut bag = Baggage::new();
+        bag.pack(
+            slot,
+            &PackMode::All,
+            [Tuple::from_iter([Value::str("HGet")])],
+        );
+        let dead: Vec<&[(&str, Value)]> =
+            vec![&[("delta", Value::I64(400))], &[("delta", Value::I64(500))]];
+        assert_batch_matches_scalar_folding(&emitter, &dead, &bag);
+    }
+
+    #[test]
+    fn factorized_bails_on_observed_side_keys() {
+        // GroupBy over an *observed* column: the factorization condition
+        // fails and the generic batch fold must still match scalar.
+        let slot = QueryId(300);
+        let program = AdviceProgram {
+            tracepoints: vec!["DataNodeMetrics.incrBytesRead".into()],
+            ops: vec![
+                observe("incr", &["delta"]),
+                AdviceOp::Unpack {
+                    slot,
+                    schema: Schema::new(["cl.procName"]),
+                    post_filter: None,
+                },
+                AdviceOp::Emit {
+                    query: QueryId(1),
+                    spec: Arc::new(OutputSpec {
+                        key_exprs: vec![Expr::field("incr.delta")],
+                        key_names: vec!["incr.delta".into()],
+                        aggs: vec![(AggFunc::Count, Expr::lit(1))],
+                        agg_names: vec!["COUNT".into()],
+                        columns: vec![
+                            crate::advice::ColumnRef::Key(0),
+                            crate::advice::ColumnRef::Agg(0),
+                        ],
+                        streaming: false,
+                        ..OutputSpec::default()
+                    }),
+                },
+            ],
+        };
+        let code = lower_program(&program).code;
+        let mut bag = Baggage::new();
+        bag.pack(
+            slot,
+            &PackMode::All,
+            [
+                Tuple::from_iter([Value::str("HGet")]),
+                Tuple::from_iter([Value::str("Scan")]),
+            ],
+        );
+        let batch: Vec<&[(&str, Value)]> = vec![
+            &[("delta", Value::I64(7))],
+            &[("delta", Value::I64(7))],
+            &[("delta", Value::I64(9))],
+        ];
+        assert_batch_matches_scalar_folding(&code, &batch, &bag);
+    }
+
+    #[test]
+    fn batchable_gates_structural_hazards() {
+        let slot = QueryId(300);
+        assert!(lower_program(&emit_side(slot)).code.batchable());
+        assert!(lower_program(&pack_side(slot, PackMode::All))
+            .code
+            .batchable());
+
+        // Pack and Unpack on the same slot: invocation i+1's unpack must
+        // see invocation i's pack, which op-major order cannot honor.
+        let mut hazard = pack_side(slot, PackMode::All);
+        hazard.ops.push(AdviceOp::Unpack {
+            slot,
+            schema: Schema::new(["cl.procName"]),
+            post_filter: None,
+        });
+        assert!(!lower_program(&hazard).code.batchable());
+
+        // Two Emits: scalar order interleaves per invocation.
+        let mut two_emits = emit_side(slot);
+        let emit = two_emits.ops.last().cloned().expect("emit op");
+        two_emits.ops.push(emit);
+        assert!(!lower_program(&two_emits).code.batchable());
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs_on_join_emit() {
+        let slot = QueryId(300);
+        let packer = lower_program(&pack_side(slot, PackMode::First(1))).code;
+        let emitter = lower_program(&emit_side(slot)).code;
+        emitter.validate().expect("valid");
+
+        let mut bag = Baggage::new();
+        let mut vm = Vm::new();
+        let mut sink = CollectSink::default();
+        vm.run(
+            &packer,
+            &[("procName", Value::str("HGet"))],
+            &mut bag,
+            &mut sink,
+        );
+
+        // Mixed batch: rows 0/2 pass the `delta < 100` filter, row 1 is
+        // dropped (exercising per-invocation early exit), row 3 has a
+        // missing export.
+        let batch: Vec<&[(&str, Value)]> = vec![
+            &[("delta", Value::I64(40))],
+            &[("delta", Value::I64(400))],
+            &[("delta", Value::I64(2))],
+            &[("other", Value::I64(1))],
+        ];
+        assert_batch_matches_scalar(&emitter, &batch, &bag);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs_on_capped_pack() {
+        let slot = QueryId(300);
+        for mode in [
+            PackMode::All,
+            PackMode::First(2),
+            PackMode::Recent(2),
+            PackMode::GroupAgg {
+                key_len: 1,
+                aggs: vec![AggFunc::Count],
+            },
+        ] {
+            let packer = lower_program(&pack_side(slot, mode)).code;
+            let names = ["a", "b", "c", "d"];
+            let exports: Vec<[(&str, Value); 1]> = names
+                .iter()
+                .map(|n| [("procName", Value::str(n))])
+                .collect();
+            let batch: Vec<&[(&str, Value)]> = exports.iter().map(|e| e.as_slice()).collect();
+            assert_batch_matches_scalar(&packer, &batch, &Baggage::new());
+        }
+    }
+
+    #[test]
+    fn run_batch_falls_back_for_non_batchable_programs() {
+        // Pack-then-unpack on one slot: not batchable, so run_batch must
+        // take the scalar fallback — invocation i+1 sees invocation i's
+        // pack, which the equivalence harness verifies.
+        let slot = QueryId(300);
+        let mut program = pack_side(slot, PackMode::All);
+        program.ops.push(AdviceOp::Unpack {
+            slot,
+            schema: Schema::new(["packed.procName"]),
+            post_filter: None,
+        });
+        program.ops.push(AdviceOp::Emit {
+            query: QueryId(1),
+            spec: Arc::new(OutputSpec {
+                key_exprs: vec![Expr::field("packed.procName")],
+                key_names: vec!["packed.procName".into()],
+                columns: vec![crate::advice::ColumnRef::Key(0)],
+                streaming: true,
+                ..OutputSpec::default()
+            }),
+        });
+        let code = lower_program(&program).code;
+        assert!(!code.batchable());
+        let exports = [
+            [("procName", Value::str("a"))],
+            [("procName", Value::str("b"))],
+        ];
+        let batch: Vec<&[(&str, Value)]> = exports.iter().map(|e| e.as_slice()).collect();
+        assert_batch_matches_scalar(&code, &batch, &Baggage::new());
+    }
+
+    #[test]
+    fn run_batch_of_one_equals_run() {
+        let slot = QueryId(300);
+        let code = lower_program(&emit_side(slot)).code;
+        let mut bag = Baggage::new();
+        bag.pack(
+            slot,
+            &PackMode::All,
+            [Tuple::from_iter([Value::str("HGet")])],
+        );
+        let batch: Vec<&[(&str, Value)]> = vec![&[("delta", Value::I64(7))]];
+        assert_batch_matches_scalar(&code, &batch, &bag);
+        // And the empty batch is a no-op.
+        let mut vm = Vm::new();
+        let mut sink = CollectSink::default();
+        let stats = vm.run_batch(&code, &[], &mut bag.clone(), &mut sink);
+        assert_eq!((stats.unpacked, stats.packed, stats.emitted), (0, 0, 0));
+        assert_eq!(vm.ops(), 0);
     }
 }

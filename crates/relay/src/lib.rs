@@ -63,7 +63,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use pivot_baggage::QueryId;
 use pivot_core::{Bus, Command, ProcessInfo, Report, ReportRows, Throttled};
-use pivot_model::{AggState, GroupKey, Tuple};
+use pivot_model::{colblock, AggState, EncodedBlock, GroupKey, Tuple};
 use pivot_query::{merge_grouped, OutputSpec};
 
 /// Incarnation numbers for relays, distinct per restart within a
@@ -137,6 +137,11 @@ struct QueryWindow {
     groups: HashMap<GroupKey, Vec<AggState>>,
     /// Coalesced raw rows of streaming queries.
     raw: Vec<Tuple>,
+    /// Coalesced pre-encoded row blocks of streaming queries, forwarded
+    /// at the encoded-bytes level: the relay never decodes them, it just
+    /// re-originates the accumulated blocks upstream (row counts come
+    /// from the wire-validated block headers).
+    raw_blocks: Vec<EncodedBlock>,
     /// Tuples absorbed into the open window (the next report's `tuples`).
     window_tuples: u64,
     /// Circuit-breaker trips heard from below, forwarded one per
@@ -160,6 +165,7 @@ impl QueryWindow {
             spec: None,
             groups: HashMap::new(),
             raw: Vec::new(),
+            raw_blocks: Vec::new(),
             window_tuples: 0,
             pending_throttles: VecDeque::new(),
             seq: 0,
@@ -292,6 +298,7 @@ impl RelayCore {
         }
         match report.rows {
             ReportRows::Raw(rows) => window.raw.extend(rows),
+            ReportRows::RawEncoded(blocks) => window.raw_blocks.extend(blocks),
             ReportRows::Grouped(rows) => {
                 if let Some(spec) = &window.spec {
                     for (key, states) in rows {
@@ -336,17 +343,29 @@ impl RelayCore {
             if !window.dirty && window.pending_throttles.is_empty() {
                 continue;
             }
-            let streaming = window
-                .spec
-                .as_ref()
-                .map_or(window.groups.is_empty() && !window.raw.is_empty(), |s| {
-                    s.streaming
-                });
+            let streaming = window.spec.as_ref().map_or(
+                window.groups.is_empty()
+                    && !(window.raw.is_empty() && window.raw_blocks.is_empty()),
+                |s| s.streaming,
+            );
             let mut groups: Vec<(GroupKey, Vec<AggState>)> = window.groups.drain().collect();
             // Deterministic frame content regardless of hash order.
             groups.sort_unstable_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
             let rows = if streaming {
-                ReportRows::Raw(std::mem::take(&mut window.raw))
+                if window.raw_blocks.is_empty() {
+                    ReportRows::Raw(std::mem::take(&mut window.raw))
+                } else {
+                    // Encoded coalescing: re-originate the accumulated
+                    // blocks untouched; any plain rows that arrived in the
+                    // same window ride along as one extra block so the
+                    // upstream frame stays single-variant.
+                    let mut blocks = std::mem::take(&mut window.raw_blocks);
+                    for chunk in window.raw.chunks(colblock::MAX_BLOCK_ROWS) {
+                        blocks.push(EncodedBlock::encode(chunk));
+                    }
+                    window.raw.clear();
+                    ReportRows::RawEncoded(blocks)
+                }
             } else {
                 ReportRows::Grouped(groups)
             };

@@ -33,7 +33,7 @@
 
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,7 +41,9 @@ use parking_lot::Mutex;
 use pivot_core::{Bus, ProcessInfo};
 use pivot_live::bus::{ConnStatus, ReconnectPolicy, TcpBusServer};
 use pivot_live::frame::{read_frame, write_frame, write_frames};
-use pivot_live::proto::{decode_message, encode_message, Message};
+use pivot_live::proto::{
+    decode_message_versioned, encode_message, encode_message_v, Message, MIN_PROTO_VERSION,
+};
 
 use crate::{CrashResidue, RelayCore, RelayStats};
 
@@ -57,6 +59,12 @@ struct UpShared {
     epoch: AtomicU64,
     /// Successful upstream reconnections.
     reconnects: AtomicU64,
+    /// Highest protocol version seen from the parent this connection
+    /// (max-latched from received frames, reset to the floor on
+    /// reconnect). Re-originated reports are encoded at this version, so
+    /// encoded row blocks are forwarded as-is to a v6 parent and
+    /// transcoded to plain rows for a v5 one.
+    peer_version: AtomicU8,
     stop: AtomicBool,
     policy: ReconnectPolicy,
 }
@@ -115,6 +123,7 @@ impl RelayServer {
             status: Mutex::new(ConnStatus::Connected),
             epoch: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            peer_version: AtomicU8::new(MIN_PROTO_VERSION),
             stop: AtomicBool::new(false),
             policy,
         });
@@ -274,11 +283,14 @@ fn flush_upstream_inner(shared: &UpShared) {
     for r in shared.down.drain_reports(now) {
         shared.core.absorb(r);
     }
+    // Reports carry versioned constructs, so they are encoded at the
+    // parent's negotiated version (see `UpShared::peer_version`).
+    let peer_version = shared.peer_version.load(Ordering::SeqCst);
     let batch: Vec<Vec<u8>> = shared
         .core
         .flush(now)
         .into_iter()
-        .map(|r| encode_message(&Message::Report(r)))
+        .map(|r| encode_message_v(&Message::Report(r), peer_version))
         .collect();
     if !batch.is_empty() {
         let _ = write_frames(&mut *shared.writer.lock(), &batch);
@@ -317,7 +329,13 @@ fn reader_loop(mut read: TcpStream, shared: &Arc<UpShared>) {
 /// Reads one upstream session; returns whether it ended orderly.
 fn read_upstream_session(read: &mut TcpStream, shared: &UpShared) -> bool {
     while let Ok(payload) = read_frame(read) {
-        match decode_message(&payload) {
+        let msg = decode_message_versioned(&payload).map(|(v, msg)| {
+            // The parent's frames advertise its version; max-latch it so
+            // re-originated reports speak the parent's dialect.
+            shared.peer_version.fetch_max(v, Ordering::SeqCst);
+            msg
+        });
+        match msg {
             Ok(Message::Command(cmd)) => {
                 // Learn, then proxy: the downstream broadcast caches the
                 // command for late joiners and bumps the subtree's epoch.
@@ -361,6 +379,11 @@ fn reconnect_upstream(shared: &Arc<UpShared>) -> Option<TcpStream> {
             continue;
         };
         *shared.writer.lock() = write_half;
+        // Negotiation is per-connection: a restarted parent may speak an
+        // older dialect than the previous incarnation.
+        shared
+            .peer_version
+            .store(MIN_PROTO_VERSION, Ordering::SeqCst);
         let hello = encode_message(&Message::HelloRelay(shared.core.info().clone()));
         if write_frame(&mut *shared.writer.lock(), &hello).is_ok() {
             return Some(stream);

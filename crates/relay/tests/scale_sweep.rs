@@ -91,6 +91,20 @@ fn invoke(agent: &Agent, now: u64, key: &str, v: i64) {
     );
 }
 
+/// The same five events as one `invoke_batch` call — half the fleet runs
+/// batched so the sweep's loss identity covers batch flushing too.
+fn invoke_round_batched(agent: &Agent, now: u64, gkey: &str) {
+    let mut bag = Baggage::new();
+    let events: Vec<[(&str, Value); 2]> = (0..5)
+        .map(|j| {
+            let k = if j < 2 { gkey } else { "s" };
+            [("k", Value::str(k)), ("v", Value::I64(1))]
+        })
+        .collect();
+    let ev: Vec<(u64, &[(&str, Value)])> = events.iter().map(|e| (now, e.as_slice())).collect();
+    agent.invoke_batch("Exec", &mut bag, &ev);
+}
+
 /// One full pull through the tree into the frontend; returns how many
 /// frames the frontend actually received (the fan-in numerator).
 fn drain_into(root: &Tree, fe: &mut Frontend, t: u64) -> u64 {
@@ -182,14 +196,21 @@ fn run_sweep(seed: u64) -> SweepOutcome {
     let mut residue = 0u64;
     for round in 0..ROUNDS {
         for (i, agent) in agents.iter().enumerate() {
-            for _ in 0..2 {
-                invoke(agent, t, if i % 2 == 0 { "g0" } else { "g1" }, 1);
-            }
+            let gkey = if i % 2 == 0 { "g0" } else { "g1" };
             // Both queries watch the same tracepoint, so every invoke
             // feeds both; v stays 1 so the grouped SUM equals the
-            // delivered tuple count.
-            for _ in 0..3 {
-                invoke(agent, t, "s", 1);
+            // delivered tuple count. Odd agents run the identical five
+            // events per-call, even agents as one batched call — the
+            // identity must hold with both execution paths in the fleet.
+            if i % 2 == 0 {
+                invoke_round_batched(agent, t, gkey);
+            } else {
+                for _ in 0..2 {
+                    invoke(agent, t, gkey, 1);
+                }
+                for _ in 0..3 {
+                    invoke(agent, t, "s", 1);
+                }
             }
         }
         // Mid-window crashes at both tiers: the invokes above are pulled
