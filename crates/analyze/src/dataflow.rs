@@ -65,7 +65,7 @@ pub(crate) fn check(code: &CompiledCode, notes: &[String], diags: &mut Vec<Diagn
         }
         for inst in &prog.insts {
             match inst {
-                Inst::Observe { .. } | Inst::Filter { .. } => {}
+                Inst::Observe { .. } | Inst::Filter { .. } | Inst::Trigger { .. } => {}
                 Inst::Unpack { slot, width, .. } => match packed.get_mut(slot) {
                     None => diags.push(Diagnostic::error(
                         Code::DataflowError,

@@ -44,6 +44,14 @@ pub enum Code {
     /// unpacks but no filter, group-by, aggregate, pack, or emit ever
     /// reads. The bytes ride the baggage of every request for nothing.
     DeadColumn,
+    /// `PT010` — `Trigger` advice riding an unbounded tuple flow: the
+    /// query carries a hindsight trigger *and* a pack boundary that
+    /// retains every tuple (`PackMode::All` survived optimization). The
+    /// trigger then re-evaluates against an unboundedly growing join
+    /// input on every event of the request, and a single hot request can
+    /// fire retroactive flushes continuously — hindsight is designed for
+    /// rare, bounded moments, not a per-event firehose.
+    TriggerUnbounded,
 }
 
 impl Code {
@@ -60,6 +68,7 @@ impl Code {
             Code::CompileError => "PT007",
             Code::LoweringError => "PT008",
             Code::DeadColumn => "PT009",
+            Code::TriggerUnbounded => "PT010",
         }
     }
 }

@@ -21,7 +21,9 @@
 //!    stage unpacks but nothing ever reads.
 //! 4. **Baggage-cost bounding** (`PT006`, [`cost`]) — a static upper
 //!    bound on the bytes a query adds to one request's baggage, with
-//!    warnings for `PackMode::All` boundaries no Table 3 rewrite shrank.
+//!    warnings for `PackMode::All` boundaries no Table 3 rewrite shrank —
+//!    and `PT010` when such a boundary feeds a `Trigger` clause, turning
+//!    the hindsight flush into a per-event firehose.
 //! 5. **Reference-cycle detection** (`PT005`, over the
 //!    [`SourceKind::QueryRef`](pivot_query::SourceKind) graph) — guards
 //!    the compiler's recursive inlining against open-world resolvers.
@@ -178,6 +180,40 @@ impl<'r> Analyzer<'r> {
                          ...)` on `{alias}` — or aggregate in Select so \
                          the optimizer can push the aggregation into \
                          the baggage (Table 3)",
+                    )),
+                );
+            }
+        }
+
+        // Trigger advice on an unbounded tuple flow (PT010). The
+        // detection reuses the cost pass verbatim: a hindsight trigger is
+        // only proportionate when the flow feeding it is bounded, so any
+        // `PackMode::All` boundary that survived optimization turns a
+        // `Trigger` clause into a per-event firehose risk. Checked on the
+        // lowered bytecode — the artifact agents execute — so a trigger
+        // the compiler elided does not warn.
+        let has_trigger = code.programs.iter().any(|p| p.triggers());
+        if has_trigger {
+            if let Some(unbounded) = optimized_cost
+                .as_ref()
+                .and_then(|c| c.stages.iter().find(|s| s.unbounded_mode))
+            {
+                let alias = unbounded.alias.rsplit("::").next().unwrap_or("");
+                diags.push(
+                    Diagnostic::warning(
+                        Code::TriggerUnbounded,
+                        format!(
+                            "`Trigger` advice rides an unbounded tuple \
+                             flow: the pack at `{alias}` retains every \
+                             tuple, so one hot request can fire the \
+                             hindsight flush on every event",
+                        ),
+                    )
+                    .with_span(locate(text, "Trigger"))
+                    .suggest(format!(
+                        "bound the flow first — `First(n, ...)` / \
+                         `MostRecent(n, ...)` on `{alias}` — so the \
+                         trigger fires against a bounded window",
                     )),
                 );
             }

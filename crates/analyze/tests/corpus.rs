@@ -167,6 +167,51 @@ fn dead_output_column_is_pt009_warning_not_error() {
 }
 
 #[test]
+fn trigger_on_unbounded_flow_is_pt010_warning_not_error() {
+    let text = include_str!("corpus/trigger_unbounded.pt");
+    let a = run(text, "trigger_unbounded");
+    assert!(!a.has_errors(), "{a:?}");
+    let d = a
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::TriggerUnbounded)
+        .unwrap_or_else(|| panic!("no PT010: {a:?}"));
+    assert_eq!(d.severity, Severity::Warning, "{d:?}");
+    assert!(d.span.is_some(), "{d:?}");
+    assert!(d.message.contains("st"), "{d:?}");
+    assert!(
+        d.suggestion
+            .as_deref()
+            .unwrap_or_default()
+            .contains("First"),
+        "{d:?}"
+    );
+    // The unbounded pack itself still warns on its own account (PT006):
+    // PT010 is the trigger-specific escalation, not a replacement.
+    assert!(a.has_code(Code::UnboundedPack), "{a:?}");
+}
+
+#[test]
+fn trigger_on_bounded_flow_is_clean() {
+    // A `First(n)` join and a join-free trigger query: both carry
+    // `Trigger` advice over a bounded flow, and neither draws PT010 —
+    // the lint keys on the flow, not on the trigger's mere presence.
+    for text in [
+        "From dnop In DN.DataTransferProtocol
+         Join st In First(StressTest.DoNextOp) On st -> dnop
+         Trigger dnop.size > 1000000
+         Select st.host, dnop.host",
+        "From incr In DataNodeMetrics.incrBytesRead
+         Where incr.delta > 90
+         Trigger
+         Select incr.delta",
+    ] {
+        let a = run(text, "trigger_bounded");
+        assert!(a.diagnostics.is_empty(), "{a:?}");
+    }
+}
+
+#[test]
 fn type_incoherence_is_pt002() {
     let text = include_str!("corpus/type_error.pt");
     expect_error(text, "type_error", Code::TypeError);

@@ -271,24 +271,32 @@ impl Baggage {
     pub fn unpack_view(&mut self, query: QueryId) -> Unpacked<'_> {
         let live = self.ensure_live();
         // Instances in causal order: inactive (oldest first), then active.
-        let found: Vec<&Entry> = live
+        // The iterator is consumed lazily so the hot path — zero or one
+        // matching entry — never allocates; only the multi-instance slow
+        // path collects.
+        let mut it = live
             .inactive
             .iter()
             .chain(std::iter::once(&live.active))
             .filter_map(|i| i.entries.get(&query))
-            .filter(|e| !e.is_empty())
-            .collect();
-        let Some(first) = found.first() else {
+            .filter(|e| !e.is_empty());
+        let Some(first) = it.next() else {
             return Unpacked::Owned(Vec::new());
         };
-        if found.len() == 1 {
+        // An empty tail collects without allocating, so the lone-entry
+        // case stays heap-free end to end.
+        let rest: Vec<&Entry> = it.collect();
+        if rest.is_empty() {
             // Packing bounds each entry to its mode's limit, so a lone
             // entry needs no cross-instance truncation: its slice *is*
             // the unpack result.
-            if let Some(slice) = found[0].tuple_slice() {
+            if let Some(slice) = first.tuple_slice() {
                 return Unpacked::Borrowed(slice);
             }
         }
+        let mut found: Vec<&Entry> = Vec::with_capacity(1 + rest.len());
+        found.push(first);
+        found.extend(rest);
         Unpacked::Owned(match first.mode() {
             PackMode::GroupAgg { .. } => {
                 let mut merged = Entry::new(&first.mode());

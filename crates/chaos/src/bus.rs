@@ -12,7 +12,7 @@
 //! only contributes the policy: [`PlanScheduler`] turns the seeded fault
 //! PRF into a [`pivot_core::Scheduler`].
 
-use pivot_core::{Bus, Command, Frontend, Report, SchedBus, Scheduler, Verdict};
+use pivot_core::{Bus, Command, Frontend, Report, RetroReport, SchedBus, Scheduler, Verdict};
 
 use crate::plan::FaultPlan;
 
@@ -52,6 +52,11 @@ impl Scheduler for PlanScheduler {
     fn report_verdict(&self, r: &Report, now: u64) -> Verdict {
         self.plan
             .report_verdict(source_key(&r.host, r.procid), r.query.0, r.seq, now)
+    }
+
+    fn retro_verdict(&self, r: &RetroReport, now: u64) -> Verdict {
+        self.plan
+            .retro_verdict(source_key(&r.host, r.procid), r.seq, now)
     }
 }
 
@@ -127,6 +132,10 @@ impl<B: Bus> Bus for ChaosBus<B> {
 
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         self.bus.drain_reports(now)
+    }
+
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        self.bus.drain_retro(now)
     }
 }
 

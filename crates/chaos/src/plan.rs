@@ -26,6 +26,7 @@ const STREAM_CRASH: u64 = 0x4352_4153_4800_0004;
 const STREAM_COMMAND: u64 = 0x434f_4d4d_4144_0005;
 const STREAM_STORM: u64 = 0x5354_4f52_4d00_0006;
 const STREAM_LINK: u64 = 0x4c49_4e4b_0000_0007;
+const STREAM_RETRO: u64 = 0x5245_5452_4f00_0008;
 
 /// Per-fault-class injection rates and magnitudes.
 ///
@@ -210,6 +211,41 @@ impl FaultPlan {
     /// extra delay on every delivered frame.
     pub fn report_verdict(&self, source: u64, query: u64, seq: u64, now: u64) -> Verdict {
         let r = self.roll(STREAM_REPORT, source, query, seq);
+        let pick = (r % 1000) as u32;
+        let c = &self.cfg;
+        let mut verdict = if pick < c.drop_per_mille {
+            Verdict::Drop
+        } else if pick < c.drop_per_mille + c.dup_per_mille {
+            Verdict::Duplicate
+        } else if pick < c.drop_per_mille + c.dup_per_mille + c.delay_per_mille {
+            Verdict::Delay(c.delay_ns * (1 + (r >> 32) % 4))
+        } else {
+            Verdict::Deliver
+        };
+        if let Some(hold) = self.partitioned(source, now) {
+            verdict = match verdict {
+                Verdict::Drop => Verdict::Drop,
+                Verdict::Delay(d) => Verdict::Delay(d.max(hold)),
+                Verdict::Deliver | Verdict::Duplicate => Verdict::Delay(hold),
+            };
+        }
+        if self.limping(source) {
+            verdict = match verdict {
+                Verdict::Deliver => Verdict::Delay(c.limp_delay_ns),
+                Verdict::Delay(d) => Verdict::Delay(d + c.limp_delay_ns),
+                v => v,
+            };
+        }
+        verdict
+    }
+
+    /// The fate of retro-flush frame `(source, seq)` crossing the bus at
+    /// `now`. Draws from its own PRF stream (so adding retro traffic
+    /// never perturbs the report schedule) but composes with the same
+    /// partition and limplock state — a partitioned source's retro
+    /// frames are held with everything else.
+    pub fn retro_verdict(&self, source: u64, seq: u64, now: u64) -> Verdict {
+        let r = self.roll(STREAM_RETRO, source, seq, 0);
         let pick = (r % 1000) as u32;
         let c = &self.cfg;
         let mut verdict = if pick < c.drop_per_mille {

@@ -32,7 +32,8 @@ use std::sync::Arc;
 
 use pivot_baggage::{Baggage, QueryId};
 use pivot_core::{
-    Agent, Bus, Frontend, LocalBus, LossStats, ProcessInfo, QueryBudget, ResultRow, Throttled,
+    set_trace, Agent, Bus, Frontend, LocalBus, LossStats, ProcessInfo, QueryBudget, ResultRow,
+    RetroLossStats, Throttled, TriggerKind,
 };
 use pivot_model::Value;
 
@@ -482,6 +483,250 @@ pub fn run_kv_overload(seed: u64, cfg: FaultConfig, requests: u64) -> OverloadOu
     }
 }
 
+/// Hindsight companion query for the retro harness: large writes fire an
+/// explicit `Trigger` advice op, draining the triggering request's
+/// buffered raw events into a [`pivot_core::RetroReport`] routed to this
+/// query's results.
+pub const KV_TRIGGER_QUERY: &str = "From exec In KvShard.execute \
+     Where exec.bytes > 90 \
+     Trigger \
+     Select exec.shard, exec.bytes";
+
+/// Ring capacity installed on the retro harness's agents — small enough
+/// that steady recording wraps the ring within a couple of flush
+/// intervals, so `sampled_out` is exercised on every run.
+pub const RETRO_RING_CAP: usize = 32;
+
+/// Latency-outlier threshold for the retro harness (virtual ns). The
+/// scripted workload exports `latency_ns` above it on a fixed cadence,
+/// so every run also exercises the uncorrelated-orphan trigger path.
+pub const RETRO_LATENCY_THRESHOLD: u64 = 1_000_000;
+
+/// Everything observable about one retro-harness run. Derives `PartialEq`
+/// so determinism tests can compare two replays of the same
+/// `(seed, config, requests)` structurally, hindsight ledger included.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RetroOutcome {
+    /// Final grouped-query result rows (sorted by key).
+    pub rows: Vec<ResultRow>,
+    /// Per-query tuple loss accounting: `(grouped, trigger)`.
+    pub loss: (LossStats, LossStats),
+    /// The frontend's retro-flush loss accounting.
+    pub retro: RetroLossStats,
+    /// The injector's tallies (retro frames included).
+    pub chaos: ChaosStats,
+    /// Ground-truth tuples emitted, summed over both queries and every
+    /// agent incarnation.
+    pub emitted: u64,
+    /// Tuples that died unflushed when an agent crashed.
+    pub crash_lost: u64,
+    /// Agent crash/restart cycles the schedule triggered.
+    pub crashes: u64,
+    /// Ground-truth raw events recorded into retro rings, summed over
+    /// every agent incarnation.
+    pub retro_recorded: u64,
+    /// Ground-truth events overwritten (or sealed) in rings before any
+    /// trigger claimed them.
+    pub retro_sampled_out: u64,
+    /// Ground-truth events shed from bounded pending-report queues.
+    pub retro_shed: u64,
+    /// Ground-truth events (ring-resident or flushed-but-undrained) that
+    /// died with a crashing agent incarnation.
+    pub retro_crash_lost: u64,
+    /// Retro reports that reached the trigger query's results.
+    pub advice_reports: usize,
+    /// Retro reports from non-query triggers (latency outliers, fault
+    /// sites) that landed in the frontend's orphan pool.
+    pub orphan_reports: usize,
+    /// Largest ring occupancy observed on any agent at any step —
+    /// bounded recording means this never exceeds [`RETRO_RING_CAP`].
+    pub max_ring: usize,
+}
+
+impl RetroOutcome {
+    /// The ordinary tuple identity, summed over both installed queries.
+    pub fn balanced(&self) -> bool {
+        self.emitted
+            == self.loss.0.tuples_delivered
+                + self.loss.1.tuples_delivered
+                + self.chaos.tuples_dropped
+                + self.crash_lost
+    }
+
+    /// The extended hindsight identity: every raw event recorded into any
+    /// ring was either delivered to the frontend inside a retro report,
+    /// dropped in transit (injector tally), overwritten before a trigger
+    /// wanted it, shed from a bounded pending queue, or died with a
+    /// crashing incarnation. Exact — no slack term.
+    pub fn retro_balanced(&self) -> bool {
+        self.retro_recorded
+            == self.retro.events_delivered
+                + self.chaos.retro_events_dropped
+                + self.retro_sampled_out
+                + self.retro_shed
+                + self.retro_crash_lost
+    }
+}
+
+/// Runs `requests` KV operations with hindsight recording on — a
+/// `Trigger`-bearing query woven on the shard, a latency-outlier
+/// threshold armed, and a fault-site trigger fired at every scheduled
+/// crash — under the fault schedule `(seed, cfg)`, and returns the
+/// converged outcome. Deterministic, like [`run_kv`].
+///
+/// The crash choreography is deliberately adversarial to the retro path:
+/// the harness fires the fault trigger first and *then* kills the shard,
+/// so the flushed report dies in the pending queue and its events must
+/// come back out of `retro_crash_lost`, not vanish.
+pub fn run_kv_retro(seed: u64, cfg: FaultConfig, requests: u64) -> RetroOutcome {
+    let plan = FaultPlan::new(seed, cfg);
+    let mut fe = Frontend::new();
+    fe.define("KvClient.issueRequest", ["client", "op", "key"]);
+    fe.define("KvShard.execute", ["shard", "op", "bytes"]);
+    let grouped = fe.install(KV_QUERY).expect("retro harness query compiles");
+    let trigger = fe
+        .install(KV_TRIGGER_QUERY)
+        .expect("retro trigger query compiles");
+    let queries: [QueryId; 2] = [grouped.id, trigger.id];
+
+    let client = Arc::new(Agent::new(ProcessInfo {
+        host: "kv-client".into(),
+        procid: 1,
+        procname: "KvClient".into(),
+    }));
+    let mut shard = Arc::new(Agent::new(shard_info()));
+    let (_, shard_src) = kv_sources();
+
+    let mut bus = LocalBus::new();
+    bus.register(Arc::clone(&client));
+    bus.register(Arc::clone(&shard));
+    let mut chaos = ChaosBus::new(bus, plan);
+    for cmd in fe.drain_commands() {
+        Bus::broadcast(&chaos, &cmd);
+    }
+    // Installing KV_TRIGGER_QUERY switched retro on; tighten the rings so
+    // wraparound (`sampled_out`) happens within a run.
+    for a in [&client, &shard] {
+        a.set_retro_cap(RETRO_RING_CAP);
+        a.set_retro_latency_threshold(RETRO_LATENCY_THRESHOLD);
+    }
+
+    let mut emitted = 0u64;
+    let mut crash_lost = 0u64;
+    let mut crashes = 0u64;
+    let mut retro_recorded = 0u64;
+    let mut retro_sampled_out = 0u64;
+    let mut retro_shed = 0u64;
+    let mut retro_crash_lost = 0u64;
+    let mut max_ring = 0usize;
+
+    for i in 0..requests {
+        let now = (i + 1) * STEP_NS;
+        let key = format!("req-{i:05}");
+        let mut bag = Baggage::new();
+        // Request ingress: stamp the trace id the rings correlate on.
+        set_trace(&mut bag, i + 1);
+        client.invoke(
+            "KvClient.issueRequest",
+            &mut bag,
+            now,
+            &[
+                ("client", Value::str("client-0")),
+                ("op", Value::str("put")),
+                ("key", Value::str(&key)),
+            ],
+        );
+        let bytes = bag.to_bytes();
+        let mut remote = Baggage::from_bytes(&bytes);
+        // A fixed cadence of latency spikes drives the outlier trigger;
+        // bytes > 90 (seven residues mod 97) drives the advice trigger.
+        let latency = if i % 29 == 11 {
+            4 * RETRO_LATENCY_THRESHOLD
+        } else {
+            RETRO_LATENCY_THRESHOLD / 100
+        };
+        shard.invoke(
+            "KvShard.execute",
+            &mut remote,
+            now,
+            &[
+                ("shard", Value::U64(i % 4)),
+                ("op", Value::str("put")),
+                ("bytes", Value::I64((i % 97) as i64 + 1)),
+                ("latency_ns", Value::U64(latency)),
+            ],
+        );
+        max_ring = max_ring
+            .max(shard.retro_buffered())
+            .max(client.retro_buffered());
+
+        if (i + 1) % FLUSH_EVERY == 0 {
+            let step = (i + 1) / FLUSH_EVERY;
+            if chaos.plan().should_crash(shard_src, step) {
+                crashes += 1;
+                // The fault site asks for hindsight, then the process dies
+                // before the report drains: those events are crash loss.
+                shard.trigger_retro(TriggerKind::Fault, 0, now);
+                for q in queries {
+                    emitted += shard.emitted_for(q);
+                }
+                for report in shard.flush(now) {
+                    crash_lost += report.tuples;
+                }
+                let rc = shard.retro_counters();
+                retro_recorded += rc.recorded;
+                retro_sampled_out += rc.sampled_out;
+                retro_shed += rc.shed;
+                retro_crash_lost += shard.retro_unflushed();
+                chaos.inner_mut().unregister(&shard);
+                let fresh = Arc::new(Agent::new(shard_info()));
+                // The epoch re-sync re-arms retro (the trigger query is
+                // still installed); ring tuning is harness config and is
+                // re-applied the way a supervisor would.
+                fresh.sync(&fe.installed());
+                fresh.set_retro_cap(RETRO_RING_CAP);
+                fresh.set_retro_latency_threshold(RETRO_LATENCY_THRESHOLD);
+                chaos.inner_mut().register(Arc::clone(&fresh));
+                shard = fresh;
+            }
+            chaos.pump_into(now, &mut fe);
+        }
+    }
+
+    chaos.settle_into((requests + 2) * STEP_NS, &mut fe);
+    for q in queries {
+        emitted += shard.emitted_for(q) + client.emitted_for(q);
+    }
+    // Graceful end-of-life for the surviving incarnations: everything
+    // deliverable has drained through `settle_into`; sealing accounts the
+    // leftovers (unclaimed ring events become `sampled_out`).
+    for a in [&shard, &client] {
+        let rc = a.retro_seal();
+        retro_recorded += rc.recorded;
+        retro_sampled_out += rc.sampled_out;
+        retro_shed += rc.shed;
+    }
+
+    let gres = fe.results(&grouped);
+    let tres = fe.results(&trigger);
+    RetroOutcome {
+        rows: gres.rows(),
+        loss: (gres.loss(), tres.loss()),
+        retro: fe.retro_loss(),
+        chaos: chaos.stats(),
+        emitted,
+        crash_lost,
+        crashes,
+        retro_recorded,
+        retro_sampled_out,
+        retro_shed,
+        retro_crash_lost,
+        advice_reports: tres.retro().len(),
+        orphan_reports: fe.retro_orphans().len(),
+        max_ring,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +773,41 @@ mod tests {
         assert_eq!(out.loss.1.tuples_shed, 0);
         assert_eq!(out.loss.1.tuples_delivered, 128);
         assert!(out.throttles.0.is_empty() && out.throttles.1.is_empty());
+    }
+
+    #[test]
+    fn retro_fault_free_run_is_exact() {
+        let out = run_kv_retro(0, FaultConfig::off(), 256);
+        assert!(out.balanced(), "tuple identity violated: {out:?}");
+        assert!(out.retro_balanced(), "retro identity violated: {out:?}");
+        assert_eq!(out.crashes, 0);
+        assert_eq!(out.retro_crash_lost, 0);
+        assert_eq!(out.chaos.retro_events_dropped, 0);
+        // Two agents, one recorded raw event each per request.
+        assert_eq!(out.retro_recorded, 2 * 256);
+        // Both trigger families fired and their reports arrived: advice
+        // triggers route to the trigger query, latency outliers are
+        // query-unscoped and land in the orphan pool.
+        assert!(out.advice_reports > 0, "{out:?}");
+        assert!(out.orphan_reports > 0, "{out:?}");
+        assert!(out.retro.events_delivered > 0);
+        assert_eq!(out.retro.reports_duplicate, 0);
+        // Bounded recording: the ring never outgrew its cap, and the
+        // overwritten remainder is accounted as sampled_out, not lost.
+        assert!(out.max_ring <= RETRO_RING_CAP, "{out:?}");
+        assert!(out.retro_sampled_out > 0);
+        assert_eq!(
+            out.retro_recorded,
+            out.retro.events_delivered + out.retro_sampled_out + out.retro_shed
+        );
+    }
+
+    #[test]
+    fn retro_chaotic_run_balances() {
+        let out = run_kv_retro(7, FaultConfig::for_seed(7), 256);
+        assert!(out.balanced(), "tuple identity violated: {out:?}");
+        assert!(out.retro_balanced(), "retro identity violated: {out:?}");
+        assert!(out.max_ring <= RETRO_RING_CAP);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
@@ -31,6 +31,7 @@ use crate::bus::{Command, Report, ReportRows};
 use crate::governor::{
     QueryBudget, ThrottleReason, ThrottleStats, Throttled, NOMINAL_BYTES_PER_VALUE,
 };
+use crate::retro::{trace_of, RetroCounters, RetroIdent, RetroReport, RetroRing, TriggerKind};
 use crate::tracepoint::{Registry, DEFAULT_EXPORTS};
 
 /// Default per-query cap on rows buffered between flushes (and therefore
@@ -246,6 +247,10 @@ struct AgentSink<'a> {
     guard: Option<MutexGuard<'a, HashMap<QueryId, Buffer>>>,
     /// Per-query bound on buffered rows (see [`DEFAULT_ROW_CAP`]).
     row_cap: usize,
+    /// Queries whose `Trigger` advice fired during this VM pass. The
+    /// agent drains them after the VM loop (outside the buffer locks)
+    /// and fires the retro ring once per query.
+    triggers: Vec<QueryId>,
 }
 
 impl<'a> AgentSink<'a> {
@@ -311,6 +316,15 @@ impl EmitSink for AgentSink<'_> {
         true
     }
 
+    fn trigger(&mut self, query: QueryId) {
+        // At most one firing per query per invocation (the VM already
+        // fires at most once per program run; batch runs fire per
+        // invocation, deduped here at no extra cost for the common case).
+        if !self.triggers.contains(&query) {
+            self.triggers.push(query);
+        }
+    }
+
     fn grouped_fold(
         &mut self,
         query: QueryId,
@@ -370,16 +384,32 @@ pub struct Agent {
     row_cap: AtomicUsize,
     stats: Mutex<AgentStats>,
     enabled: std::sync::atomic::AtomicBool,
+    /// The hindsight ring (see [`crate::retro`]). Lock order: taken alone,
+    /// never while holding `governors` or `buffers`.
+    retro: Mutex<RetroRing>,
+    /// Gate on the whole retro path: when `false` (the default), invoke
+    /// pays exactly one relaxed load and records nothing.
+    retro_enabled: AtomicBool,
+    /// Latency-outlier trigger threshold in nanoseconds (0 = off): a woven
+    /// invocation exporting `latency_ns` above it fires a retro flush.
+    retro_latency_ns: AtomicU64,
 }
 
 impl Agent {
     /// Creates an agent for the given process identity.
     pub fn new(info: ProcessInfo) -> Agent {
+        let incarnation = NEXT_INCARNATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let retro = RetroRing::new(RetroIdent {
+            host: info.host.clone(),
+            procid: info.procid,
+            procname: info.procname.clone(),
+            incarnation,
+        });
         Agent {
             host_value: Value::Str(intern(&info.host)),
             procname_value: Value::Str(intern(&info.procname)),
             info,
-            incarnation: NEXT_INCARNATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            incarnation,
             registry: Registry::new(),
             buffers: Mutex::new(HashMap::new()),
             governors: Mutex::new(IdHashMap::default()),
@@ -387,6 +417,9 @@ impl Agent {
             row_cap: AtomicUsize::new(DEFAULT_ROW_CAP),
             stats: Mutex::new(AgentStats::default()),
             enabled: std::sync::atomic::AtomicBool::new(true),
+            retro: Mutex::new(retro),
+            retro_enabled: AtomicBool::new(false),
+            retro_latency_ns: AtomicU64::new(0),
         }
     }
 
@@ -444,6 +477,13 @@ impl Agent {
     /// likewise left unwoven — a duplicated install or an epoch re-sync
     /// must not undo a trip before its backoff elapses.
     pub fn install(&self, code: &CompiledCode) {
+        // A query carrying `Trigger` advice needs the hindsight ring
+        // recording *before* the trigger ever fires; installing one
+        // switches retro on (uninstall leaves it on — turning recording
+        // off is an explicit operator decision, see [`Agent::set_retro`]).
+        if code.programs.iter().any(|p| p.triggers()) {
+            self.retro_enabled.store(true, Ordering::Relaxed);
+        }
         {
             let mut governors = self.governors.lock();
             if let Some(g) = governors.get_mut(&code.id) {
@@ -564,6 +604,76 @@ impl Agent {
         self.row_cap.load(Ordering::Relaxed)
     }
 
+    /// Switches hindsight recording on or off (see [`crate::retro`]).
+    /// Off (the default) costs one relaxed load per invocation;
+    /// installing a query with `Trigger` advice switches it on
+    /// automatically.
+    pub fn set_retro(&self, enabled: bool) {
+        self.retro_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether hindsight recording is currently on.
+    pub fn retro_on(&self) -> bool {
+        self.retro_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the hindsight ring capacity, in events (minimum 1).
+    pub fn set_retro_cap(&self, cap: usize) {
+        self.retro.lock().set_cap(cap);
+    }
+
+    /// Sets the bound on flushed-but-undrained hindsight events.
+    pub fn set_retro_pending_cap(&self, cap: usize) {
+        self.retro.lock().set_pending_cap(cap);
+    }
+
+    /// Sets the latency-outlier trigger threshold (nanoseconds; 0 = off).
+    /// A woven invocation exporting `latency_ns` above the threshold
+    /// fires a retroactive flush of its request's buffered events.
+    pub fn set_retro_latency_threshold(&self, ns: u64) {
+        self.retro_latency_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Fires a hindsight trigger explicitly — the hook chaos harnesses
+    /// call at fault-injection sites ([`TriggerKind::Fault`]). `request`
+    /// correlates the flush to one trace id; 0 drains the whole ring.
+    /// Returns `false` when nothing was buffered (or retro is off).
+    pub fn trigger_retro(&self, kind: TriggerKind, request: u64, now: u64) -> bool {
+        if !self.retro_enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.retro.lock().trigger(kind, QueryId(0), request, now)
+    }
+
+    /// Takes the pending [`RetroReport`]s (the transport drain).
+    pub fn drain_retro(&self) -> Vec<RetroReport> {
+        self.retro.lock().drain()
+    }
+
+    /// A snapshot of the hindsight ring's cumulative event accounting.
+    pub fn retro_counters(&self) -> RetroCounters {
+        self.retro.lock().counters()
+    }
+
+    /// Hindsight events an abrupt crash would lose right now (ring +
+    /// pending); crash harnesses fold this into `crash_lost`.
+    pub fn retro_unflushed(&self) -> u64 {
+        self.retro.lock().unflushed()
+    }
+
+    /// Events currently in the ring (recorded, not yet flushed or
+    /// overwritten).
+    pub fn retro_buffered(&self) -> usize {
+        self.retro.lock().buffered()
+    }
+
+    /// Graceful end-of-life for the hindsight ring: leftover ring events
+    /// become `sampled_out`, undrained pending reports become `shed`.
+    /// Call [`Agent::drain_retro`] first to deliver what is deliverable.
+    pub fn retro_seal(&self) -> RetroCounters {
+        self.retro.lock().seal()
+    }
+
     /// A canonical digest of this agent's protocol-visible state, for the
     /// interleaving explorer's state cache: weave registry, aggregation
     /// buffers, and governor state.
@@ -642,6 +752,21 @@ impl Agent {
             self.row_cap.load(Ordering::Relaxed),
             self.enabled.load(std::sync::atomic::Ordering::Relaxed),
         );
+        {
+            let retro = self.retro.lock();
+            let c = retro.counters();
+            let _ = write!(
+                s,
+                "R{}|{}|{}|{}|{}|{}|{};",
+                self.retro_enabled.load(Ordering::Relaxed),
+                c.recorded,
+                c.flushed,
+                c.sampled_out,
+                c.shed,
+                retro.buffered(),
+                retro.unflushed(),
+            );
+        }
         crate::fnv64(s.as_bytes())
     }
 
@@ -691,6 +816,17 @@ impl Agent {
         if !self.enabled.load(std::sync::atomic::Ordering::Relaxed) {
             return;
         }
+        // Hindsight recording happens for *every* invocation — woven or
+        // not — so a later trigger can reconstruct the full event stream.
+        // When retro is off this is one relaxed load.
+        let retro_on = self.retro_enabled.load(Ordering::Relaxed);
+        let mut retro_request = 0u64;
+        if retro_on {
+            retro_request = trace_of(baggage).unwrap_or(0);
+            self.retro
+                .lock()
+                .record(tracepoint, now, retro_request, exports);
+        }
         let Some((tp_value, list)) = self.registry.lookup(tracepoint) else {
             if !self.registry.is_idle() {
                 self.stats.lock().idle_invocations += 1;
@@ -710,6 +846,7 @@ impl Agent {
             buffers: &self.buffers,
             guard: None,
             row_cap: self.row_cap.load(Ordering::Relaxed),
+            triggers: Vec::new(),
         };
         let mut packed = 0u64;
         let mut emitted = 0u64;
@@ -764,14 +901,60 @@ impl Agent {
                 }
             });
         }
+        let fired = std::mem::take(&mut sink.triggers);
         drop(sink);
-        for query in tripped {
-            self.registry.unweave(query);
+        for query in &tripped {
+            self.registry.unweave(*query);
+        }
+        if retro_on {
+            let outlier = self.retro_outlier(exports);
+            self.fire_retro(&fired, &tripped, outlier, retro_request, now);
         }
         let mut st = self.stats.lock();
         st.advised_invocations += 1;
         st.tuples_packed += packed;
         st.tuples_emitted += emitted;
+    }
+
+    /// Whether `exports` crosses the latency-outlier trigger threshold.
+    fn retro_outlier(&self, exports: &[(&str, Value)]) -> bool {
+        match self.retro_latency_ns.load(Ordering::Relaxed) {
+            0 => false,
+            thr => exports.iter().any(|(n, v)| {
+                *n == "latency_ns"
+                    && match v {
+                        Value::U64(x) => *x > thr,
+                        Value::I64(x) => u64::try_from(*x).is_ok_and(|x| x > thr),
+                        _ => false,
+                    }
+            }),
+        }
+    }
+
+    /// Fires the retro ring for every trigger source one woven invocation
+    /// produced: `Trigger` advice ops, breaker trips, and the
+    /// latency-outlier threshold. Runs outside the governor/buffer locks.
+    fn fire_retro(
+        &self,
+        fired: &[QueryId],
+        tripped: &[QueryId],
+        outlier: bool,
+        request: u64,
+        now: u64,
+    ) {
+        if fired.is_empty() && tripped.is_empty() && !outlier {
+            return;
+        }
+        let mut ring = self.retro.lock();
+        for query in fired {
+            ring.trigger(TriggerKind::Advice, *query, request, now);
+        }
+        for query in tripped {
+            ring.trigger(TriggerKind::Breaker, *query, request, now);
+        }
+        if outlier {
+            ring.trigger(TriggerKind::LatencyOutlier, QueryId(0), request, now);
+        }
     }
 
     /// Invokes `tracepoint` once per `(now, exports)` event in `events`,
@@ -795,6 +978,18 @@ impl Agent {
     ) {
         if events.is_empty() || !self.enabled.load(std::sync::atomic::Ordering::Relaxed) {
             return;
+        }
+        let retro_on = self.retro_enabled.load(Ordering::Relaxed);
+        let mut retro_request = 0u64;
+        let mut retro_outlier = false;
+        if retro_on {
+            retro_request = trace_of(baggage).unwrap_or(0);
+            let mut ring = self.retro.lock();
+            for (now, exports) in events {
+                ring.record(tracepoint, *now, retro_request, exports);
+            }
+            drop(ring);
+            retro_outlier = events.iter().any(|(_, e)| self.retro_outlier(e));
         }
         let Some((tp_value, list)) = self.registry.lookup(tracepoint) else {
             if !self.registry.is_idle() {
@@ -829,6 +1024,7 @@ impl Agent {
             buffers: &self.buffers,
             guard: None,
             row_cap: self.row_cap.load(Ordering::Relaxed),
+            triggers: Vec::new(),
         };
         let mut packed = 0u64;
         let mut emitted = 0u64;
@@ -875,9 +1071,13 @@ impl Agent {
                 }
             });
         }
+        let fired = std::mem::take(&mut sink.triggers);
         drop(sink);
-        for query in tripped {
-            self.registry.unweave(query);
+        for query in &tripped {
+            self.registry.unweave(*query);
+        }
+        if retro_on {
+            self.fire_retro(&fired, &tripped, retro_outlier, retro_request, charge_now);
         }
         let mut st = self.stats.lock();
         st.advised_invocations += events.len() as u64;
@@ -898,6 +1098,7 @@ impl Agent {
             buffers: &self.buffers,
             guard: None,
             row_cap: self.row_cap.load(Ordering::Relaxed),
+            triggers: Vec::new(),
         };
         VM.with(|vm| vm.borrow_mut().run(code, exports, baggage, &mut sink))
     }
@@ -915,6 +1116,7 @@ impl Agent {
             buffers: &self.buffers,
             guard: None,
             row_cap: self.row_cap.load(Ordering::Relaxed),
+            triggers: Vec::new(),
         };
         VM.with(|vm| vm.borrow_mut().run_batch(code, batch, baggage, &mut sink))
     }

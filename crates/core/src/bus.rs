@@ -20,6 +20,8 @@ use pivot_baggage::QueryId;
 use pivot_model::{AggState, EncodedBlock, GroupKey, Tuple};
 use pivot_query::CompiledCode;
 
+use crate::retro::RetroReport;
+
 /// A transport between the frontend and the per-process agents (the
 /// paper's Figure 2 pub/sub server).
 ///
@@ -40,10 +42,22 @@ pub trait Bus {
     /// (e.g. over TCP) ignore it.
     fn drain_reports(&self, now: u64) -> Vec<Report>;
 
-    /// Drains pending reports into `frontend`.
+    /// Collects the retroactive-flush reports currently addressed to the
+    /// frontend. Transports predating retroactive tracing carry none, so
+    /// the default is empty. `now` serves the same role as in
+    /// [`Bus::drain_reports`].
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Drains pending reports (and retro reports) into `frontend`.
     fn pump_into(&self, now: u64, frontend: &mut crate::Frontend) {
         for report in self.drain_reports(now) {
             frontend.accept(report);
+        }
+        for retro in self.drain_retro(now) {
+            frontend.accept_retro(retro);
         }
     }
 }
@@ -58,6 +72,9 @@ impl<B: Bus + ?Sized> Bus for std::rc::Rc<B> {
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         (**self).drain_reports(now)
     }
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        (**self).drain_retro(now)
+    }
 }
 
 impl<B: Bus + ?Sized> Bus for Arc<B> {
@@ -66,6 +83,9 @@ impl<B: Bus + ?Sized> Bus for Arc<B> {
     }
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         (**self).drain_reports(now)
+    }
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        (**self).drain_retro(now)
     }
 }
 
@@ -78,6 +98,9 @@ impl<B: Bus + ?Sized> Bus for Box<B> {
     }
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         (**self).drain_reports(now)
+    }
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        (**self).drain_retro(now)
     }
 }
 
@@ -227,6 +250,10 @@ impl Bus for LocalBus {
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         flush_agents(&self.agents, now)
     }
+
+    fn drain_retro(&self, _now: u64) -> Vec<RetroReport> {
+        self.agents.iter().flat_map(|a| a.drain_retro()).collect()
+    }
 }
 
 /// Applies `cmd` to every agent — the one broadcast loop shared by
@@ -270,6 +297,13 @@ pub trait Scheduler {
 
     /// The fate of one report frame admitted at `now`.
     fn report_verdict(&self, report: &Report, now: u64) -> Verdict;
+
+    /// The fate of one retroactive-flush report frame admitted at `now`.
+    /// Defaults to normal delivery so pre-retro schedulers need no change.
+    fn retro_verdict(&self, report: &RetroReport, now: u64) -> Verdict {
+        let _ = (report, now);
+        Verdict::Deliver
+    }
 }
 
 /// The trivial policy: deliver everything immediately, in admission
@@ -309,6 +343,17 @@ pub struct DeliveryStats {
     pub commands_duplicated: u64,
     /// Command frames held for later delivery.
     pub commands_delayed: u64,
+    /// Retro report frames that crossed the bus.
+    pub retro_seen: u64,
+    /// Retro report frames discarded.
+    pub retro_dropped: u64,
+    /// Retro report frames delivered twice.
+    pub retro_duplicated: u64,
+    /// Retro report frames held for later delivery.
+    pub retro_delayed: u64,
+    /// Buffered events carried by dropped retro frames (the bus-side
+    /// ground truth for the frontend's retro `dropped` term).
+    pub retro_events_dropped: u64,
 }
 
 /// A frame currently held by a [`SchedBus`], exposed to
@@ -323,11 +368,18 @@ pub enum HeldFrame<'a> {
     },
     /// A held report.
     Report(&'a Report),
+    /// A held retroactive-flush report.
+    Retro(&'a RetroReport),
 }
 
 struct PendingReport {
     release: u64,
     report: Report,
+}
+
+struct PendingRetro {
+    release: u64,
+    report: RetroReport,
 }
 
 struct PendingCommand {
@@ -342,6 +394,7 @@ struct PendingCommand {
 #[derive(Default)]
 struct SchedShared {
     pending_reports: Vec<PendingReport>,
+    pending_retro: Vec<PendingRetro>,
     pending_cmds: Vec<PendingCommand>,
     stats: DeliveryStats,
     cmd_index: u64,
@@ -418,6 +471,12 @@ impl<B, S> SchedBus<B, S> {
                 n += 1;
             }
         }
+        for p in &mut sh.pending_retro {
+            if pred(&HeldFrame::Retro(&p.report)) {
+                p.release = 0;
+                n += 1;
+            }
+        }
         for p in &mut sh.pending_cmds {
             if pred(&HeldFrame::Command {
                 index: p.index,
@@ -430,10 +489,14 @@ impl<B, S> SchedBus<B, S> {
         n
     }
 
-    /// Frames currently held for later delivery (reports, commands).
+    /// Frames currently held for later delivery (reports + retro reports,
+    /// commands).
     pub fn pending(&self) -> (usize, usize) {
         let sh = self.shared.lock();
-        (sh.pending_reports.len(), sh.pending_cmds.len())
+        (
+            sh.pending_reports.len() + sh.pending_retro.len(),
+            sh.pending_cmds.len(),
+        )
     }
 
     /// Severs the link: the connection between this bus and its frontend
@@ -471,6 +534,57 @@ impl<B, S: Scheduler> SchedBus<B, S> {
         }
         self.admit_report(&mut sh, report, now, &mut out);
         out
+    }
+
+    /// Admits one externally produced retro report through the scheduler
+    /// (the retro analogue of [`SchedBus::offer_report`]).
+    pub fn offer_retro(&self, report: RetroReport, now: u64) -> Vec<RetroReport> {
+        let mut out = Vec::new();
+        let mut sh = self.shared.lock();
+        if sh.disabled {
+            out.push(report);
+            return out;
+        }
+        self.admit_retro(&mut sh, report, now, &mut out);
+        out
+    }
+
+    fn admit_retro(
+        &self,
+        sh: &mut SchedShared,
+        r: RetroReport,
+        now: u64,
+        out: &mut Vec<RetroReport>,
+    ) {
+        sh.stats.retro_seen += 1;
+        let mut verdict = self.sched.retro_verdict(&r, now);
+        if sh.severed {
+            // Same outage buffering as ordinary reports: a dead link
+            // cannot deliver now, so deliveries become holds.
+            verdict = match verdict {
+                Verdict::Deliver | Verdict::Duplicate => Verdict::Delay(0),
+                v => v,
+            };
+        }
+        match verdict {
+            Verdict::Deliver => out.push(r),
+            Verdict::Drop => {
+                sh.stats.retro_dropped += 1;
+                sh.stats.retro_events_dropped += r.events.len() as u64;
+            }
+            Verdict::Duplicate => {
+                sh.stats.retro_duplicated += 1;
+                out.push(r.clone());
+                out.push(r);
+            }
+            Verdict::Delay(d) => {
+                sh.stats.retro_delayed += 1;
+                sh.pending_retro.push(PendingRetro {
+                    release: now.saturating_add(d),
+                    report: r,
+                });
+            }
+        }
     }
 
     fn admit_report(&self, sh: &mut SchedShared, r: Report, now: u64, out: &mut Vec<Report>) {
@@ -604,6 +718,30 @@ impl<B: Bus, S: Scheduler> Bus for SchedBus<B, S> {
         }
         for r in fresh {
             self.admit_report(&mut sh, r, now, &mut out);
+        }
+        out
+    }
+
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        let mut sh = self.shared.lock();
+        let mut out = Vec::new();
+        if !sh.severed {
+            let mut i = 0;
+            while i < sh.pending_retro.len() {
+                if sh.pending_retro[i].release <= now {
+                    out.push(sh.pending_retro.swap_remove(i).report);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let fresh = self.inner.drain_retro(now);
+        if sh.disabled {
+            out.extend(fresh);
+            return out;
+        }
+        for r in fresh {
+            self.admit_retro(&mut sh, r, now, &mut out);
         }
         out
     }

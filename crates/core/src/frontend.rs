@@ -14,6 +14,7 @@ use pivot_query::{
 
 use crate::bus::{Command, Report, ReportRows};
 use crate::governor::{QueryBudget, Throttled};
+use crate::retro::RetroReport;
 use crate::tracepoint::TracepointDef;
 
 /// A handle to an installed query.
@@ -121,6 +122,50 @@ impl SourceTrack {
 /// Identity of one reporting agent incarnation.
 type SourceKey = (String, u64, u64);
 
+/// Retro-flush loss accounting, aggregated over every reporting agent
+/// (see [`Frontend::retro_loss`]).
+///
+/// The retro identity mirrors the tuple identity: per agent ring,
+/// `recorded == delivered + sampled_out + shed + outstanding`, where
+/// `outstanding` covers events still buffered in a live ring, lost in a
+/// crash, or dropped by the transport — the embedding harness (e.g. the
+/// chaos simulator) distinguishes those three with its own ground truth.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct RetroLossStats {
+    /// Retro reports merged into the results.
+    pub reports_accepted: u64,
+    /// Retro reports suppressed as duplicates (same agent incarnation,
+    /// same ring sequence number).
+    pub reports_duplicate: u64,
+    /// Buffered events carried by accepted retro reports.
+    pub events_delivered: u64,
+    /// Events the agents report having recorded into their rings (max
+    /// cumulative counter per agent incarnation, summed).
+    pub events_recorded: u64,
+    /// Events overwritten in the ring before any trigger fired (max
+    /// cumulative counter per incarnation, summed).
+    pub events_sampled_out: u64,
+    /// Events shed from the bounded pending-report queue (max cumulative
+    /// counter per incarnation, summed).
+    pub events_shed: u64,
+    /// `recorded - delivered - sampled_out - shed`: events still in
+    /// flight, still ring-resident, crash-lost, or transport-dropped.
+    pub events_outstanding: u64,
+}
+
+/// Retro dedup + cumulative-counter tracking for one agent incarnation.
+/// Ring sequence numbers are per-agent (not per-query), so this lives on
+/// the frontend rather than inside one query's results.
+#[derive(Clone, Default, Debug)]
+struct RetroTrack {
+    seen: std::collections::BTreeSet<u64>,
+    duplicates: u64,
+    delivered_events: u64,
+    recorded_cum: u64,
+    sampled_out_cum: u64,
+    shed_cum: u64,
+}
+
 /// Accumulated results for one query.
 #[derive(Clone, Debug)]
 pub struct QueryResults {
@@ -136,6 +181,9 @@ pub struct QueryResults {
     sources: HashMap<SourceKey, SourceTrack>,
     /// Circuit-breaker trips reported by agents, in arrival order.
     throttles: Vec<Throttled>,
+    /// Retroactive-flush reports whose trigger named this query, in
+    /// arrival order (deduplicated at the frontend before routing).
+    retro: Vec<RetroReport>,
 }
 
 impl QueryResults {
@@ -147,6 +195,7 @@ impl QueryResults {
             raw: Vec::new(),
             sources: HashMap::new(),
             throttles: Vec::new(),
+            retro: Vec::new(),
         }
     }
 
@@ -267,6 +316,14 @@ impl QueryResults {
         &self.raw
     }
 
+    /// Retroactive-flush reports whose trigger named this query, in
+    /// arrival order: the full-fidelity event windows that preceded each
+    /// trigger firing (breaker trip, latency outlier, fault, or an
+    /// explicit `Trigger` advice op).
+    pub fn retro(&self) -> &[RetroReport] {
+        &self.retro
+    }
+
     /// Returns the total number of accumulated result rows.
     pub fn len(&self) -> usize {
         self.cumulative.len() + self.raw.len()
@@ -359,6 +416,12 @@ pub struct Frontend {
     tracepoints: HashMap<String, TracepointDef>,
     queries: Vec<Installed>,
     results: HashMap<QueryId, QueryResults>,
+    /// Per-agent-incarnation retro dedup and cumulative retro counters.
+    retro_sources: HashMap<SourceKey, RetroTrack>,
+    /// Accepted retro reports whose trigger query is not installed here —
+    /// breaker/latency/fault triggers fire with `QueryId(0)` when no
+    /// specific query is implicated, and uninstalls can race a flush.
+    retro_orphans: Vec<RetroReport>,
     commands: Vec<Command>,
     next_id: u64,
     epoch: u64,
@@ -543,6 +606,58 @@ impl Frontend {
         }
     }
 
+    /// Merges one retroactive-flush report: deduplicates on the agent's
+    /// ring sequence number (relays forward retro frames verbatim, so a
+    /// duplicated frame carries the same identity), latches the ring's
+    /// cumulative counters, and routes the report to the triggering
+    /// query's results (or the orphan pool when that query is unknown —
+    /// breaker/latency/fault triggers use `QueryId(0)`).
+    pub fn accept_retro(&mut self, report: RetroReport) {
+        let track = self
+            .retro_sources
+            .entry((report.host.clone(), report.procid, report.incarnation))
+            .or_default();
+        track.recorded_cum = track.recorded_cum.max(report.recorded_cum);
+        track.sampled_out_cum = track.sampled_out_cum.max(report.sampled_out_cum);
+        track.shed_cum = track.shed_cum.max(report.shed_cum);
+        if !track.seen.insert(report.seq) {
+            track.duplicates += 1;
+            return;
+        }
+        track.delivered_events += report.events.len() as u64;
+        match self.results.get_mut(&report.query) {
+            Some(res) => res.retro.push(report),
+            None => self.retro_orphans.push(report),
+        }
+    }
+
+    /// Accepted retro reports whose trigger query is not installed here.
+    pub fn retro_orphans(&self) -> &[RetroReport] {
+        &self.retro_orphans
+    }
+
+    /// Retro-flush loss accounting aggregated over every agent
+    /// incarnation that has reported: the frontend's side of the
+    /// extended identity `recorded == delivered + sampled_out + shed +
+    /// outstanding`.
+    pub fn retro_loss(&self) -> RetroLossStats {
+        let mut loss = RetroLossStats::default();
+        for track in self.retro_sources.values() {
+            loss.reports_accepted += track.seen.len() as u64;
+            loss.reports_duplicate += track.duplicates;
+            loss.events_delivered += track.delivered_events;
+            loss.events_recorded += track.recorded_cum;
+            loss.events_sampled_out += track.sampled_out_cum;
+            loss.events_shed += track.shed_cum;
+        }
+        loss.events_outstanding = loss
+            .events_recorded
+            .saturating_sub(loss.events_delivered)
+            .saturating_sub(loss.events_sampled_out)
+            .saturating_sub(loss.events_shed);
+        loss
+    }
+
     /// Returns the accumulated results for a query.
     pub fn results(&self, handle: &QueryHandle) -> &QueryResults {
         &self.results[&handle.id]
@@ -632,7 +747,48 @@ impl Frontend {
                 let _ = write!(s, "s{t};");
             }
             let _ = write!(s, "t{:?};", res.throttles());
+            let mut retro: Vec<String> = res
+                .retro
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}/{}/{}:{}:{:?}:{}:{}",
+                        r.host,
+                        r.procid,
+                        remap_incarnation(r.incarnation),
+                        r.seq,
+                        r.kind,
+                        r.request,
+                        r.events.len(),
+                    )
+                })
+                .collect();
+            retro.sort_unstable();
+            for r in retro {
+                let _ = write!(s, "x{r};");
+            }
         }
+        let mut retro_tracks: Vec<String> = self
+            .retro_sources
+            .iter()
+            .map(|((host, procid, inc), t)| {
+                format!(
+                    "{host}/{procid}/{}:{}|{}|{}|{}|{}|{}",
+                    remap_incarnation(*inc),
+                    t.seen.len(),
+                    t.duplicates,
+                    t.delivered_events,
+                    t.recorded_cum,
+                    t.sampled_out_cum,
+                    t.shed_cum,
+                )
+            })
+            .collect();
+        retro_tracks.sort_unstable();
+        for t in retro_tracks {
+            let _ = write!(s, "X{t};");
+        }
+        let _ = write!(s, "O{};", self.retro_orphans.len());
         crate::fnv64(s.as_bytes())
     }
 }

@@ -40,6 +40,8 @@ pub struct InterpStats {
     pub unpacked: usize,
     /// Tuples that reached an `Emit`.
     pub emitted: usize,
+    /// `Trigger` ops that fired (at most one per op per invocation).
+    pub triggered: usize,
 }
 
 /// Executes `program` for one tracepoint invocation.
@@ -114,6 +116,17 @@ pub fn run(
                     .collect();
                 stats.packed += projected.len();
                 baggage.pack(*slot, mode, projected);
+            }
+            AdviceOp::Trigger { pred, .. } => {
+                let fires = match pred {
+                    None => !tuples.is_empty(),
+                    Some(p) => tuples
+                        .iter()
+                        .any(|t| matches!(p.eval(&(&schema, t)), Ok(Value::Bool(true)))),
+                };
+                if fires {
+                    stats.triggered += 1;
+                }
             }
             AdviceOp::Emit { query, spec } => {
                 stats.emitted += tuples.len();

@@ -36,6 +36,7 @@ pub mod global;
 pub mod governor;
 pub mod interp;
 pub mod mutation;
+pub mod retro;
 pub mod tracepoint;
 
 pub use agent::{Agent, ProcessInfo};
@@ -43,8 +44,11 @@ pub use bus::{
     Bus, Command, DeliveryStats, FifoScheduler, HeldFrame, LocalBus, Report, ReportRows, SchedBus,
     Scheduler, Verdict,
 };
-pub use frontend::{Frontend, LossStats, QueryHandle, QueryResults, ResultRow};
+pub use frontend::{Frontend, LossStats, QueryHandle, QueryResults, ResultRow, RetroLossStats};
 pub use governor::{QueryBudget, ThrottleReason, ThrottleStats, Throttled};
+pub use retro::{
+    set_trace, trace_of, RetroCounters, RetroEvent, RetroReport, TriggerKind, TRACE_SLOT,
+};
 pub use tracepoint::{Registry, TracepointDef, DEFAULT_EXPORTS};
 
 /// FNV-1a over `bytes`; shared by the agent/frontend state-digest

@@ -1,0 +1,188 @@
+//! Agent-level retro ring edge cases: wraparound overwriting part of a
+//! request's history before its trigger fires, and a breaker trip whose
+//! hindsight flush races the breaker's own re-arm cycle. The `RetroRing`
+//! unit tests pin the ring in isolation; these drive it through the full
+//! `Agent::invoke` path (baggage-carried trace ids, governor charging,
+//! unweave-on-trip) where the orderings actually interleave.
+
+use std::sync::Arc;
+
+use pivot_baggage::Baggage;
+use pivot_core::{
+    set_trace, Agent, Frontend, LocalBus, ProcessInfo, QueryBudget, QueryHandle, TriggerKind,
+};
+use pivot_model::Value;
+
+fn agent() -> Agent {
+    Agent::new(ProcessInfo {
+        host: "retro-host".into(),
+        procid: 3,
+        procname: "RetroProc".into(),
+    })
+}
+
+/// Invokes `tracepoint` with the request's trace id stamped into fresh
+/// baggage, the way a request-scoped invocation arrives in production.
+fn invoke_as(agent: &Agent, tracepoint: &str, request: u64, now: u64, v: i64) {
+    let mut bag = Baggage::new();
+    set_trace(&mut bag, request);
+    agent.invoke(tracepoint, &mut bag, now, &[("v", Value::I64(v))]);
+}
+
+#[test]
+fn wraparound_mid_request_flushes_only_the_surviving_tail() {
+    let a = agent();
+    a.set_retro(true);
+    a.set_retro_cap(4);
+
+    // Two interleaved requests, nine invocations against a four-slot
+    // ring: by the time request 1's trigger fires, its early history has
+    // been overwritten by later traffic (its own and request 2's).
+    let schedule: &[(u64, u64)] = &[
+        (1, 0),
+        (2, 1),
+        (1, 2),
+        (2, 3),
+        (1, 4),
+        (1, 5),
+        (2, 6),
+        (1, 7),
+        (1, 8),
+    ];
+    for &(req, t) in schedule {
+        invoke_as(&a, "Retro.point", req, t, t as i64);
+    }
+    // Ring holds the last four: t=5 (req 1), t=6 (req 2), t=7, t=8.
+    assert_eq!(a.retro_buffered(), 4);
+
+    assert!(a.trigger_retro(TriggerKind::Fault, 1, 100));
+    let reports = a.drain_retro();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.request, 1);
+    assert_eq!(r.kind, TriggerKind::Fault);
+    // Only the surviving tail of request 1 — oldest first, nothing from
+    // request 2, nothing resurrected from overwritten slots.
+    let times: Vec<u64> = r.events.iter().map(|e| e.time).collect();
+    assert_eq!(times, vec![5, 7, 8]);
+    assert!(r.events.iter().all(|e| e.request == 1));
+
+    // The overwritten five are sampled_out; request 2's survivor is
+    // still in the ring; every recorded event is in exactly one bucket.
+    let c = a.retro_counters();
+    assert_eq!(c.recorded, 9);
+    assert_eq!(c.flushed, 3);
+    assert_eq!(c.sampled_out, 5);
+    assert_eq!(c.shed, 0);
+    assert_eq!(a.retro_buffered(), 1);
+    assert!(c.balanced_with(a.retro_buffered() as u64));
+
+    // A later trigger for request 2 claims its survivor.
+    assert!(a.trigger_retro(TriggerKind::Fault, 2, 101));
+    let reports = a.drain_retro();
+    assert_eq!(reports[0].events.len(), 1);
+    assert_eq!(reports[0].events[0].time, 6);
+    assert!(a.retro_counters().balanced_with(0));
+}
+
+/// One-second virtual windows (timestamps below are in window units),
+/// matching the governor property tests.
+const WINDOW_NS: u64 = 1_000;
+
+fn tight(tuples: u64) -> QueryBudget {
+    QueryBudget {
+        tuples_per_window: tuples,
+        ops_per_window: u64::MAX,
+        bytes_per_window: u64::MAX,
+        window_ns: WINDOW_NS,
+        backoff_base_windows: 2,
+        max_backoff_doublings: 2,
+    }
+}
+
+fn governed_setup() -> (Frontend, Arc<Agent>, LocalBus, QueryHandle) {
+    let mut fe = Frontend::new();
+    fe.define("Gov.point", ["v"]);
+    let handle = fe
+        .install("From e In Gov.point Select e.v")
+        .expect("query compiles");
+    let agent = Arc::new(agent());
+    let mut bus = LocalBus::new();
+    bus.register(Arc::clone(&agent));
+    fe.set_budget(&handle, tight(4));
+    for cmd in fe.drain_commands() {
+        bus.broadcast(&cmd);
+    }
+    (fe, agent, bus, handle)
+}
+
+#[test]
+fn breaker_trip_flush_races_rearm_without_losing_or_doubling_events() {
+    let (_fe, a, _bus, handle) = governed_setup();
+    a.set_retro(true);
+    a.set_retro_cap(64);
+
+    // Phase 1: request 11 trips the breaker on its fifth tuple. The trip
+    // itself is a retro trigger, correlated to the tripping request.
+    for t in 1..=5u64 {
+        invoke_as(&a, "Gov.point", 11, t, t as i64);
+    }
+    assert!(a.is_tripped(handle.id));
+    assert_eq!(a.trips_for(handle.id), 1);
+
+    // The race, first direction: a second trigger for the same request
+    // lands right behind the trip. The ring was already drained by the
+    // breaker's flush, so it must be suppressed — no empty report, no
+    // double-flush of the same events.
+    assert!(!a.trigger_retro(TriggerKind::Fault, 11, 5));
+
+    let reports = a.drain_retro();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].kind, TriggerKind::Breaker);
+    assert_eq!(reports[0].query, handle.id);
+    assert_eq!(reports[0].request, 11);
+    assert_eq!(reports[0].events.len(), 5);
+    assert_eq!(reports[0].seq, 0);
+
+    // Phase 2: while the breaker is open the advice is unwoven, but
+    // hindsight recording continues — these events belong to whatever
+    // trigger fires next, not to the void.
+    for t in 6..=8u64 {
+        invoke_as(&a, "Gov.point", 12, t, t as i64);
+    }
+    assert!(a.is_tripped(handle.id));
+    assert_eq!(a.retro_buffered(), 3);
+
+    // The race, second direction: the re-arm itself (backoff elapsed,
+    // advice re-woven) is not a trigger and must not flush anything.
+    let _ = a.flush(2_100);
+    assert!(!a.is_tripped(handle.id));
+    assert!(a.drain_retro().is_empty());
+    assert_eq!(a.retro_buffered(), 3);
+
+    // Phase 3: request 12 trips the re-armed breaker. Its flush claims
+    // both the open-window backlog and the new tuples.
+    for t in 2_101..=2_105u64 {
+        invoke_as(&a, "Gov.point", 12, t, t as i64);
+    }
+    assert!(a.is_tripped(handle.id));
+    assert_eq!(a.trips_for(handle.id), 2);
+
+    let reports = a.drain_retro();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].kind, TriggerKind::Breaker);
+    assert_eq!(reports[0].request, 12);
+    assert_eq!(reports[0].events.len(), 8);
+    assert_eq!(reports[0].seq, 1);
+    let times: Vec<u64> = reports[0].events.iter().map(|e| e.time).collect();
+    assert_eq!(times, vec![6, 7, 8, 2_101, 2_102, 2_103, 2_104, 2_105]);
+
+    // Thirteen invocations, thirteen flushed events, zero lost, zero
+    // doubled.
+    let c = a.retro_counters();
+    assert_eq!(c.recorded, 13);
+    assert_eq!(c.flushed, 13);
+    assert_eq!(c.sampled_out, 0);
+    assert_eq!(c.shed, 0);
+    assert!(c.balanced_with(0));
+}

@@ -154,6 +154,15 @@ fn op_strategy() -> impl Strategy<Value = AdviceOp> {
                     names,
                 }
             }),
+        // Trigger with an optional (possibly ill-typed) predicate: the
+        // fire-at-most-once-per-invocation rule must match between
+        // engines even when the predicate errors on some tuples.
+        prop_oneof![Just(None), expr_strategy().prop_map(Some)].prop_map(|pred| {
+            AdviceOp::Trigger {
+                query: QueryId(7),
+                pred,
+            }
+        }),
         (
             prop::collection::vec(expr_strategy(), 0..3),
             prop::collection::vec((agg_strategy(), expr_strategy()), 0..3)
@@ -233,6 +242,12 @@ fn assert_engines_agree(
         (tree_stats.packed, tree_stats.unpacked, tree_stats.emitted),
         (vm_stats.packed, vm_stats.unpacked, vm_stats.emitted),
         "stats diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
+        tree_stats.triggered,
+        sink.triggers.len(),
+        "trigger firings diverge for {:?}",
         program
     );
     prop_assert_eq!(
@@ -392,6 +407,12 @@ fn assert_batch_agrees(
         program
     );
     prop_assert_eq!(
+        &sink_batch.triggers,
+        &sink_scalar.triggers,
+        "batch trigger firings diverge for {:?}",
+        program
+    );
+    prop_assert_eq!(
         bag_batch.to_bytes(),
         bag_scalar.to_bytes(),
         "batch baggage diverges for {:?}",
@@ -472,6 +493,10 @@ fn query_strategy() -> impl Strategy<Value = String> {
     prop_oneof![
         tp().prop_map(|s| format!("From a In {s} Select a.x")),
         tp().prop_map(|s| format!("From a In {s} GroupBy a.x Select a.x, COUNT")),
+        // Hindsight trigger on a bounded (join-free) flow; both engines
+        // must agree on exactly which invocations fire.
+        (tp(), (0i64..4))
+            .prop_map(|(s, lit)| format!("From a In {s} Where a.x > {lit} Trigger Select a.x")),
         (tp(), tp(), temporal.clone(), agg.clone()).prop_map(|(s1, s2, t, g)| {
             let src = if t.is_empty() {
                 s1.to_owned()
@@ -517,6 +542,7 @@ fn check_query_engines(query: &str, events: &[(usize, i64)]) -> Result<(), TestC
     let mut vm = Vm::new();
     let mut vm_batch = Vm::new();
 
+    let mut tree_triggered = 0usize;
     for (i, &(tp, v)) in events.iter().enumerate() {
         let name = TRACEPOINTS[tp];
         // The same full export set the agent assembles.
@@ -533,6 +559,7 @@ fn check_query_engines(query: &str, events: &[(usize, i64)]) -> Result<(), TestC
                 continue;
             }
             let (emits, ts) = interp::run(prog, &exports, &mut bag_tree);
+            tree_triggered += ts.triggered;
             for e in &emits {
                 match interp::emit_rows(e) {
                     EmitRows::Raw(rows) => tree_raw.extend(rows.into_iter().map(|t| (e.query, t))),
@@ -588,6 +615,18 @@ fn check_query_engines(query: &str, events: &[(usize, i64)]) -> Result<(), TestC
         bag_batch.to_bytes(),
         bag_vm.to_bytes(),
         "batch baggage diverges on {}",
+        query
+    );
+    prop_assert_eq!(
+        tree_triggered,
+        sink.triggers.len(),
+        "trigger firings diverge on {}",
+        query
+    );
+    prop_assert_eq!(
+        &sink_batch.triggers,
+        &sink.triggers,
+        "batch trigger firings diverge on {}",
         query
     );
     Ok(())

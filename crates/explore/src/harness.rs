@@ -278,6 +278,9 @@ impl Execution {
                         seq: r.seq,
                     });
                 }
+                // The explorer's scenarios never enable retroactive
+                // tracing, so no retro frame can be held here.
+                HeldFrame::Retro(_) => {}
             }
             false // visit only; release nothing
         });
@@ -348,7 +351,7 @@ impl Execution {
                             && r.query.0 == query
                             && r.seq == seq
                     }
-                    HeldFrame::Command { .. } => false,
+                    HeldFrame::Command { .. } | HeldFrame::Retro(_) => false,
                 });
                 debug_assert_eq!(released, 1);
                 let reports = self.links[link].bus.drain_reports(self.now());

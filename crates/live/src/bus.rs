@@ -42,7 +42,7 @@ use pivot_baggage::QueryId;
 use pivot_core::frontend::InstallError;
 use pivot_core::{
     Agent, Bus, Command, Frontend, ProcessInfo, QueryBudget, QueryHandle, QueryResults, Report,
-    TracepointDef,
+    RetroReport, TracepointDef,
 };
 use pivot_query::CompiledCode;
 
@@ -82,6 +82,8 @@ struct BusInner {
     peers: Mutex<Vec<Peer>>,
     /// Reports received and not yet drained by the frontend.
     reports: Mutex<Vec<Report>>,
+    /// Retroactive-flush reports (proto v7) received and not yet drained.
+    retros: Mutex<Vec<RetroReport>>,
     /// Currently installed queries, synced to agents that join (or
     /// rejoin) late — mirrors the simulated cluster weaving installed
     /// queries into new processes.
@@ -121,6 +123,7 @@ impl TcpBusServer {
             addr: listener.local_addr()?,
             peers: Mutex::new(Vec::new()),
             reports: Mutex::new(Vec::new()),
+            retros: Mutex::new(Vec::new()),
             installed: Mutex::new(Vec::new()),
             budgets: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
@@ -307,6 +310,10 @@ impl Bus for TcpBusServer {
     fn drain_reports(&self, _now: u64) -> Vec<Report> {
         std::mem::take(&mut *self.inner.reports.lock())
     }
+
+    fn drain_retro(&self, _now: u64) -> Vec<RetroReport> {
+        std::mem::take(&mut *self.inner.retros.lock())
+    }
 }
 
 fn accept_loop(listener: &TcpListener, inner: &Arc<BusInner>) {
@@ -386,6 +393,7 @@ fn peer_reader(
                 }
             }
             Ok(Message::Report(report)) => inner.reports.lock().push(report),
+            Ok(Message::Retro(report)) => inner.retros.lock().push(report),
             Ok(Message::Goodbye) => {
                 orderly = true;
                 break;
@@ -618,6 +626,13 @@ impl LiveAgent {
         self.shared.reconnects.load(Ordering::SeqCst)
     }
 
+    /// The protocol version max-latched from the server's frames on the
+    /// *current* connection (reset to [`MIN_PROTO_VERSION`] on every
+    /// reconnect, since a restarted server may speak an older dialect).
+    pub fn negotiated_version(&self) -> u8 {
+        self.shared.peer_version.load(Ordering::SeqCst)
+    }
+
     /// Blocks until the status is [`ConnStatus::Connected`] and the
     /// observed epoch reaches `epoch`, or `timeout` elapses; returns
     /// whether the target was reached. The post-reconnect convergence
@@ -714,12 +729,13 @@ fn read_session(read: &mut TcpStream, shared: &LiveShared) -> SessionEnd {
                 shared.epoch.store(epoch, Ordering::SeqCst);
             }
             Ok(Message::Goodbye) => return SessionEnd::Orderly,
-            // Hello/HelloRelay/Report flow agent→server only; receiving
-            // one here is a protocol violation, treated like a corrupt
-            // frame.
-            Ok(Message::Hello(_) | Message::HelloRelay(_) | Message::Report(_)) | Err(_) => {
-                return SessionEnd::Lost
-            }
+            // Hello/HelloRelay/Report/Retro flow agent→server only;
+            // receiving one here is a protocol violation, treated like a
+            // corrupt frame.
+            Ok(
+                Message::Hello(_) | Message::HelloRelay(_) | Message::Report(_) | Message::Retro(_),
+            )
+            | Err(_) => return SessionEnd::Lost,
         }
     }
     SessionEnd::Lost
@@ -819,6 +835,18 @@ fn flush_reports(shared: &LiveShared) {
         let payload = encode_message_v(&Message::Report(report), peer_version);
         if write_frame(&mut *shared.writer.lock(), &payload).is_err() {
             break;
+        }
+    }
+    // Retro frames exist only at v7+ and are never down-encoded
+    // (fail-loud skew policy); for a down-level server they stay in the
+    // agent's bounded pending queue, which sheds its oldest under
+    // pressure — same outage discipline as a severed link.
+    if peer_version >= 7 {
+        for retro in shared.agent.drain_retro() {
+            let payload = encode_message_v(&Message::Retro(retro), peer_version);
+            if write_frame(&mut *shared.writer.lock(), &payload).is_err() {
+                break;
+            }
         }
     }
 }

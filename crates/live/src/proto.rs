@@ -29,7 +29,8 @@ use std::sync::Arc;
 
 use pivot_baggage::{PackMode, QueryId};
 use pivot_core::{
-    Command, ProcessInfo, QueryBudget, Report, ReportRows, ThrottleReason, ThrottleStats, Throttled,
+    Command, ProcessInfo, QueryBudget, Report, ReportRows, RetroEvent, RetroReport, ThrottleReason,
+    ThrottleStats, Throttled, TriggerKind,
 };
 use pivot_itc::{DecodeError, Decoder, Encoder};
 use pivot_model::{
@@ -48,12 +49,20 @@ use pivot_query::{AdviceByteCode, CompiledCode, OutputSpec, TemporalFilter};
 /// when the relay tier added `HelloRelay` (a registration that marks the
 /// peer as a fan-in relay rather than a leaf agent); to 6 when reports
 /// gained the columnar-block row encoding
-/// ([`pivot_core::ReportRows::RawEncoded`], rows tag 2).
-pub const PROTO_VERSION: u8 = 6;
+/// ([`pivot_core::ReportRows::RawEncoded`], rows tag 2); to 7 when
+/// retroactive tracing added the [`Message::Retro`] frame (tag 8) and the
+/// `Trigger` bytecode instruction (inst tag 5).
+pub const PROTO_VERSION: u8 = 7;
 
-/// Oldest protocol version this build still speaks. Version 6 is a pure
-/// extension of 5 (one new rows tag inside `Report`), so v5 frames decode
-/// unchanged and a sender can down-encode any message to v5.
+/// Oldest protocol version this build still speaks. Versions 6 and 7 are
+/// pure extensions of 5 (new tags; no existing construct changed shape),
+/// so v5 frames decode unchanged and a sender can down-encode any
+/// retro-free message to v5. The v7 constructs are deliberately *not*
+/// down-encoded: a `Trigger`-carrying install stamped v6-or-lower and a
+/// `Retro` frame below v7 are both rejected loudly at decode, so mixed
+/// versions fail fast instead of silently losing hindsight semantics
+/// (senders gate on the peer's latched version and simply hold retro
+/// traffic for down-level peers).
 ///
 /// Negotiation: every frame's leading version byte doubles as an
 /// advertisement. A receiver starts each peer at `MIN_PROTO_VERSION` and
@@ -101,6 +110,10 @@ pub enum Message {
     /// `Sync` — but the peer is counted as a relay, not a leaf agent, so
     /// topology-aware servers can report tier shape.
     HelloRelay(ProcessInfo),
+    /// Agent → frontend (possibly through relays, which forward it
+    /// opaquely): a retroactive hindsight flush (v7+ only; see
+    /// [`pivot_core::RetroReport`]).
+    Retro(RetroReport),
 }
 
 /// Encodes one message to bytes (the payload of one frame) at the current
@@ -128,7 +141,7 @@ pub fn encode_message_v(msg: &Message, version: u8) -> Vec<u8> {
         }
         Message::Command(Command::Install(code)) => {
             enc.put_u8(1);
-            encode_code(code, &mut enc);
+            encode_code(code, &mut enc, version);
         }
         Message::Command(Command::Uninstall(id)) => {
             enc.put_u8(2);
@@ -147,7 +160,7 @@ pub fn encode_message_v(msg: &Message, version: u8) -> Vec<u8> {
             enc.put_varint(*epoch);
             enc.put_varint(queries.len() as u64);
             for code in queries {
-                encode_code(code, &mut enc);
+                encode_code(code, &mut enc, version);
             }
             enc.put_varint(budgets.len() as u64);
             for (id, budget) in budgets {
@@ -166,6 +179,14 @@ pub fn encode_message_v(msg: &Message, version: u8) -> Vec<u8> {
             enc.put_str(&info.host);
             enc.put_varint(info.procid);
             enc.put_str(&info.procname);
+        }
+        Message::Retro(report) => {
+            // v7-only: the frame still carries the (clamped) version byte
+            // it was asked for, and a receiver below v7 rejects tag 8 —
+            // callers gate on the peer's latched version so this only
+            // happens under skew, where loud rejection is the contract.
+            enc.put_u8(8);
+            encode_retro(report, &mut enc);
         }
     }
     enc.finish()
@@ -191,7 +212,7 @@ pub fn decode_message_versioned(bytes: &[u8]) -> Result<(u8, Message), DecodeErr
             procid: dec.take_varint()?,
             procname: dec.take_str()?.to_owned(),
         }),
-        1 => Message::Command(Command::Install(Arc::new(decode_code(&mut dec)?))),
+        1 => Message::Command(Command::Install(Arc::new(decode_code(&mut dec, version)?))),
         2 => Message::Command(Command::Uninstall(QueryId(dec.take_varint()?))),
         3 => Message::Report(decode_report(&mut dec, version)?),
         4 => {
@@ -201,7 +222,7 @@ pub fn decode_message_versioned(bytes: &[u8]) -> Result<(u8, Message), DecodeErr
             for _ in 0..n {
                 // Each embedded program passes the same validation as a
                 // standalone Install: a hostile Sync is no more powerful.
-                queries.push(Arc::new(decode_code(&mut dec)?));
+                queries.push(Arc::new(decode_code(&mut dec, version)?));
             }
             let n = dec.take_varint()? as usize;
             let mut budgets = Vec::with_capacity(n.min(64));
@@ -225,6 +246,7 @@ pub fn decode_message_versioned(bytes: &[u8]) -> Result<(u8, Message), DecodeErr
             procid: dec.take_varint()?,
             procname: dec.take_str()?.to_owned(),
         }),
+        8 if version >= 7 => Message::Retro(decode_retro(&mut dec)?),
         t => return Err(DecodeError::BadTag("message", t)),
     };
     if !dec.is_empty() {
@@ -237,17 +259,17 @@ pub fn decode_message_versioned(bytes: &[u8]) -> Result<(u8, Message), DecodeErr
 // Compiled bytecode
 // ---------------------------------------------------------------------------
 
-fn encode_code(code: &CompiledCode, enc: &mut Encoder) {
+fn encode_code(code: &CompiledCode, enc: &mut Encoder, version: u8) {
     enc.put_varint(code.id.0);
     enc.put_str(&code.name);
     encode_output_spec(&code.output, enc);
     enc.put_varint(code.programs.len() as u64);
     for program in &code.programs {
-        encode_bytecode(program, enc);
+        encode_bytecode(program, enc, version);
     }
 }
 
-fn decode_code(dec: &mut Decoder<'_>) -> Result<CompiledCode, DecodeError> {
+fn decode_code(dec: &mut Decoder<'_>, version: u8) -> Result<CompiledCode, DecodeError> {
     let id = QueryId(dec.take_varint()?);
     let name = dec.take_str()?.to_owned();
     let output = Arc::new(decode_output_spec(dec)?);
@@ -255,7 +277,7 @@ fn decode_code(dec: &mut Decoder<'_>) -> Result<CompiledCode, DecodeError> {
     let n = dec.take_varint()? as usize;
     let mut programs = Vec::with_capacity(n.min(64));
     for _ in 0..n {
-        let code = decode_bytecode(dec, &output)?;
+        let code = decode_bytecode(dec, &output, version)?;
         // Reject anything the VM could not execute safely. Validation at
         // the trust boundary is what lets the VM index registers, pools,
         // and skips unchecked on the hot path.
@@ -275,7 +297,7 @@ fn decode_code(dec: &mut Decoder<'_>) -> Result<CompiledCode, DecodeError> {
 /// The wire format assumes the canonical [`CompiledCode::lower`] shape in
 /// which every `Emit`'s spec *is* the query's output spec, so the spec is
 /// encoded once at the top level and rehydrated (Arc-shared) on decode.
-fn encode_bytecode(code: &AdviceByteCode, enc: &mut Encoder) {
+fn encode_bytecode(code: &AdviceByteCode, enc: &mut Encoder, version: u8) {
     encode_strs(&code.tracepoints, enc);
     enc.put_varint(u64::from(code.num_regs));
     enc.put_varint(code.consts.len() as u64);
@@ -298,13 +320,14 @@ fn encode_bytecode(code: &AdviceByteCode, enc: &mut Encoder) {
     }
     enc.put_varint(code.insts.len() as u64);
     for inst in &code.insts {
-        encode_inst(inst, enc);
+        encode_inst(inst, enc, version);
     }
 }
 
 fn decode_bytecode(
     dec: &mut Decoder<'_>,
     output: &Arc<OutputSpec>,
+    version: u8,
 ) -> Result<AdviceByteCode, DecodeError> {
     let tracepoints = decode_strs(dec)?;
     let num_regs = take_u16(dec)?;
@@ -335,7 +358,7 @@ fn decode_bytecode(
     let n = dec.take_varint()? as usize;
     let mut insts = Vec::with_capacity(n.min(64));
     for _ in 0..n {
-        insts.push(decode_inst(dec, output)?);
+        insts.push(decode_inst(dec, output, version)?);
     }
     Ok(AdviceByteCode {
         tracepoints,
@@ -427,7 +450,7 @@ fn decode_einst(dec: &mut Decoder<'_>) -> Result<EInst, DecodeError> {
     })
 }
 
-fn encode_inst(inst: &Inst, enc: &mut Encoder) {
+fn encode_inst(inst: &Inst, enc: &mut Encoder, _version: u8) {
     match inst {
         Inst::Observe { names } => {
             enc.put_u8(0);
@@ -472,10 +495,30 @@ fn encode_inst(inst: &Inst, enc: &mut Encoder) {
             encode_range(*keys, enc);
             encode_range(*aggs, enc);
         }
+        Inst::Trigger { query, pred } => {
+            // A v7 construct. It is encoded regardless of the frame's
+            // stamped version — the *decoder* rejects it below v7 — so a
+            // Trigger-carrying install can never silently lose its
+            // trigger semantics on a down-level link; it fails loudly
+            // instead and the operator upgrades the stragglers.
+            enc.put_u8(5);
+            enc.put_varint(query.0);
+            match pred {
+                None => enc.put_u8(0),
+                Some(p) => {
+                    enc.put_u8(1);
+                    enc.put_varint(u64::from(*p));
+                }
+            }
+        }
     }
 }
 
-fn decode_inst(dec: &mut Decoder<'_>, output: &Arc<OutputSpec>) -> Result<Inst, DecodeError> {
+fn decode_inst(
+    dec: &mut Decoder<'_>,
+    output: &Arc<OutputSpec>,
+    version: u8,
+) -> Result<Inst, DecodeError> {
     Ok(match dec.take_u8()? {
         0 => Inst::Observe {
             names: decode_range(dec)?,
@@ -501,7 +544,122 @@ fn decode_inst(dec: &mut Decoder<'_>, output: &Arc<OutputSpec>) -> Result<Inst, 
             keys: decode_range(dec)?,
             aggs: decode_range(dec)?,
         },
+        5 if version >= 7 => Inst::Trigger {
+            query: QueryId(dec.take_varint()?),
+            pred: match dec.take_u8()? {
+                0 => None,
+                1 => Some(take_u32(dec)?),
+                t => return Err(DecodeError::BadTag("trigger pred flag", t)),
+            },
+        },
         t => return Err(DecodeError::BadTag("bytecode inst", t)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Retro reports (v7+)
+// ---------------------------------------------------------------------------
+
+fn trigger_kind_tag(k: TriggerKind) -> u8 {
+    match k {
+        TriggerKind::Advice => 0,
+        TriggerKind::Breaker => 1,
+        TriggerKind::LatencyOutlier => 2,
+        TriggerKind::Fault => 3,
+    }
+}
+
+fn decode_trigger_kind(t: u8) -> Result<TriggerKind, DecodeError> {
+    Ok(match t {
+        0 => TriggerKind::Advice,
+        1 => TriggerKind::Breaker,
+        2 => TriggerKind::LatencyOutlier,
+        3 => TriggerKind::Fault,
+        t => return Err(DecodeError::BadTag("trigger kind", t)),
+    })
+}
+
+fn encode_retro(r: &RetroReport, enc: &mut Encoder) {
+    enc.put_str(&r.host);
+    enc.put_varint(r.procid);
+    enc.put_str(&r.procname);
+    enc.put_varint(r.incarnation);
+    enc.put_varint(r.time);
+    enc.put_varint(r.seq);
+    enc.put_varint(r.query.0);
+    enc.put_u8(trigger_kind_tag(r.kind));
+    enc.put_varint(r.request);
+    enc.put_varint(r.recorded_cum);
+    enc.put_varint(r.sampled_out_cum);
+    enc.put_varint(r.shed_cum);
+    enc.put_varint(r.events.len() as u64);
+    for ev in &r.events {
+        codec::encode_value(&ev.tracepoint, enc);
+        enc.put_varint(ev.time);
+        enc.put_varint(ev.request);
+        enc.put_varint(ev.names.len() as u64);
+        for n in ev.names.iter() {
+            enc.put_str(n.as_str());
+        }
+        // Invariant upheld at recording: names and values are
+        // position-matched, so one length serves both.
+        debug_assert_eq!(ev.names.len(), ev.values.len());
+        for v in &ev.values {
+            codec::encode_value(v, enc);
+        }
+    }
+}
+
+fn decode_retro(dec: &mut Decoder<'_>) -> Result<RetroReport, DecodeError> {
+    let host = dec.take_str()?.to_owned();
+    let procid = dec.take_varint()?;
+    let procname = dec.take_str()?.to_owned();
+    let incarnation = dec.take_varint()?;
+    let time = dec.take_varint()?;
+    let seq = dec.take_varint()?;
+    let query = QueryId(dec.take_varint()?);
+    let kind = decode_trigger_kind(dec.take_u8()?)?;
+    let request = dec.take_varint()?;
+    let recorded_cum = dec.take_varint()?;
+    let sampled_out_cum = dec.take_varint()?;
+    let shed_cum = dec.take_varint()?;
+    let n = dec.take_varint()? as usize;
+    let mut events = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tracepoint = codec::decode_value(dec)?;
+        let time = dec.take_varint()?;
+        let request = dec.take_varint()?;
+        let w = dec.take_varint()? as usize;
+        let mut names = Vec::with_capacity(w.min(64));
+        for _ in 0..w {
+            names.push(Sym::from(dec.take_str()?));
+        }
+        let mut values = Vec::with_capacity(w.min(64));
+        for _ in 0..w {
+            values.push(codec::decode_value(dec)?);
+        }
+        events.push(RetroEvent {
+            tracepoint,
+            time,
+            request,
+            names: Arc::new(names),
+            values,
+        });
+    }
+    Ok(RetroReport {
+        host,
+        procid,
+        procname,
+        incarnation,
+        time,
+        seq,
+        query,
+        kind,
+        request,
+        events,
+        recorded_cum,
+        sampled_out_cum,
+        shed_cum,
     })
 }
 
@@ -1364,7 +1522,54 @@ mod tests {
             })),
             // A v6 batched flush: raw rows pre-encoded as columnar blocks.
             encode_message(&Message::Report(encoded_rows_report())),
+            // v7 constructs: a hindsight flush and a Trigger-carrying
+            // install, so the truncation and skew sweeps cover them.
+            encode_message(&Message::Retro(retro_frame())),
+            encode_message(&Message::Command(Command::Install(trigger_code()))),
         ]
+    }
+
+    /// A compiled query whose advice carries a `Trigger` op (v7-only
+    /// bytecode inst tag 5).
+    fn trigger_code() -> Arc<CompiledCode> {
+        let mut fe = Frontend::new();
+        fe.define("DataNodeMetrics.incrBytesRead", ["delta"]);
+        let handle = fe
+            .install(
+                "From incr In DataNodeMetrics.incrBytesRead \
+                 Where incr.delta > 90 Trigger Select incr.delta",
+            )
+            .expect("trigger query installs");
+        fe.code(&handle).expect("bytecode available")
+    }
+
+    /// A hindsight flush shaped like a real agent's: two ring events
+    /// sharing one interned name layout, plus the retro loss envelope.
+    fn retro_frame() -> pivot_core::RetroReport {
+        let names = Arc::new(vec![Sym::from("op"), Sym::from("bytes")]);
+        pivot_core::RetroReport {
+            host: "host-A".into(),
+            procid: 31,
+            procname: "kvnode".into(),
+            incarnation: 2,
+            time: 99,
+            seq: 4,
+            query: QueryId(5),
+            kind: pivot_core::TriggerKind::Advice,
+            request: 17,
+            events: (0..2)
+                .map(|i| RetroEvent {
+                    tracepoint: Value::str("KvShard.execute"),
+                    time: 90 + i,
+                    request: 17,
+                    names: Arc::clone(&names),
+                    values: vec![Value::str("put"), Value::U64(512 + i)],
+                })
+                .collect(),
+            recorded_cum: 40,
+            sampled_out_cum: 6,
+            shed_cum: 1,
+        }
     }
 
     /// A streaming report whose rows are already in the v6 columnar block
@@ -1426,7 +1631,7 @@ mod tests {
         else {
             panic!("wrong kind");
         };
-        assert_eq!(version, 6);
+        assert_eq!(version, PROTO_VERSION);
         assert_eq!(back.rows.len(), 64);
         let (ReportRows::RawEncoded(sent), ReportRows::RawEncoded(got)) =
             (&report.rows, &back.rows)
@@ -1477,11 +1682,58 @@ mod tests {
         // Tag 2 rows exist only from v6 on; a frame claiming v5 while
         // carrying them is malformed, not merely old.
         let mut bytes = encode_message(&Message::Report(encoded_rows_report()));
-        assert_eq!(bytes[0], 6);
+        assert_eq!(bytes[0], PROTO_VERSION);
         bytes[0] = 5;
         assert!(matches!(
             decode_message(&bytes),
             Err(DecodeError::BadTag("report rows", 2))
+        ));
+    }
+
+    #[test]
+    fn retro_report_round_trips() {
+        let report = retro_frame();
+        let bytes = encode_message(&Message::Retro(report.clone()));
+        let (version, Message::Retro(back)) = decode_message_versioned(&bytes).expect("decodes")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(version, PROTO_VERSION);
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v6_frame_with_retro_tag_is_rejected() {
+        // The Retro frame exists only from v7 on. Senders gate on the
+        // peer's latched version, so a v6-stamped retro frame only occurs
+        // under skew — where the contract is loud rejection, never a
+        // silent drop or misparse.
+        let mut bytes = encode_message(&Message::Retro(retro_frame()));
+        assert_eq!(bytes[0], PROTO_VERSION);
+        bytes[0] = 6;
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DecodeError::BadTag("message", 8))
+        ));
+    }
+
+    #[test]
+    fn v6_frame_with_trigger_inst_is_rejected() {
+        // A Trigger-carrying install is encoded at face value whatever
+        // the stamped version (never silently stripped); a peer that
+        // decodes it while claiming v6 must reject the inst tag, so
+        // trigger semantics cannot silently vanish on a down-level link.
+        let code = trigger_code();
+        assert!(
+            code.programs.iter().any(|p| p.triggers()),
+            "the fixture query lowers to a Trigger op"
+        );
+        let mut bytes = encode_message(&Message::Command(Command::Install(code)));
+        assert_eq!(bytes[0], PROTO_VERSION);
+        bytes[0] = 6;
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DecodeError::BadTag("bytecode inst", 5))
         ));
     }
 

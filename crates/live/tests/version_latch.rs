@@ -1,0 +1,115 @@
+//! Direct unit test for the wire-version max-latch lifecycle: the latch
+//! rises monotonically *within* one connection (a v7 frame upgrades a
+//! session that opened at the floor) but MUST reset to the negotiation
+//! floor on reconnect — a restarted server may speak an older dialect
+//! than its previous incarnation, and a stuck latch would make the agent
+//! send v7-only frames (encoded row blocks, retro flushes) at a peer
+//! that rejects them.
+//!
+//! The server side is a raw [`TcpListener`] so the test controls the
+//! exact version byte of every frame — the companion skew tests
+//! (`proto::tests::v6_frame_with_retro_tag_is_rejected` and friends) pin
+//! what happens when the gate is bypassed.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use pivot_core::ProcessInfo;
+use pivot_live::bus::{LiveAgent, ReconnectPolicy};
+use pivot_live::frame::{read_frame, write_frame};
+use pivot_live::proto::{
+    decode_message_versioned, encode_message_v, Message, MIN_PROTO_VERSION, PROTO_VERSION,
+};
+
+/// Accepts one connection and consumes its `Hello`.
+fn accept_hello(listener: &TcpListener) -> TcpStream {
+    let (mut conn, _) = listener.accept().expect("agent connects");
+    let payload = read_frame(&mut conn).expect("hello frame");
+    let (_, Message::Hello(_)) = decode_message_versioned(&payload).expect("hello decodes") else {
+        panic!("first frame is not Hello");
+    };
+    conn
+}
+
+/// Sends an empty `Sync` stamped with exactly `version`.
+fn send_sync_at(conn: &mut TcpStream, version: u8) {
+    let sync = Message::Sync {
+        epoch: 1,
+        queries: Vec::new(),
+        budgets: Vec::new(),
+    };
+    let payload = encode_message_v(&sync, version);
+    assert_eq!(payload[0], version, "the test controls the stamp");
+    write_frame(conn, &payload).expect("sync frame writes");
+}
+
+/// Polls until `f()` holds or the deadline passes.
+fn wait_until(mut f: impl FnMut() -> bool) -> bool {
+    for _ in 0..400 {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn version_latch_resets_on_reconnect() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("listener binds");
+    let addr = listener.local_addr().expect("addr");
+
+    let agent = LiveAgent::connect_with(
+        addr,
+        ProcessInfo {
+            host: "latch-host".into(),
+            procid: 1,
+            procname: "latch-test".into(),
+        },
+        Duration::from_secs(3600), // reporter stays out of the way
+        ReconnectPolicy {
+            max_attempts: 50,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter_seed: 7,
+        },
+    )
+    .expect("agent connects");
+
+    // Session 1: negotiation starts at the floor and max-latches upward
+    // when a v7-stamped frame arrives.
+    let mut conn = accept_hello(&listener);
+    assert_eq!(agent.negotiated_version(), MIN_PROTO_VERSION);
+    send_sync_at(&mut conn, PROTO_VERSION);
+    assert!(
+        wait_until(|| agent.negotiated_version() == PROTO_VERSION),
+        "latch rises to the peer's advertised version"
+    );
+
+    // The connection dies without a Goodbye: the agent reconnects.
+    drop(conn);
+    let mut conn = accept_hello(&listener);
+    assert!(
+        wait_until(|| agent.reconnects() == 1),
+        "agent re-established the session"
+    );
+
+    // The latch restarted at the floor — the old session's v7 knowledge
+    // must not leak into the new one...
+    assert_eq!(
+        agent.negotiated_version(),
+        MIN_PROTO_VERSION,
+        "reconnect resets the max-latch to the negotiation floor"
+    );
+
+    // ...and the restarted server advertising only v6 latches to 6, not
+    // back up to the dead session's 7.
+    send_sync_at(&mut conn, 6);
+    assert!(
+        wait_until(|| agent.negotiated_version() == 6),
+        "latch follows the *new* session's advertised version"
+    );
+    assert_eq!(agent.negotiated_version(), 6);
+
+    agent.abort();
+}

@@ -123,6 +123,17 @@ pub enum AdviceOp {
         /// Packed column names (consumed by the matching `Unpack` schema).
         names: Vec<String>,
     },
+    /// Fire a retroactive-flush trigger when any live tuple satisfies
+    /// `pred` (or unconditionally when `pred` is `None`). Placed between
+    /// the stage's filters and its `Emit`, so a trigger fires exactly when
+    /// the query would emit for a request that also matches the trigger
+    /// predicate. Fires at most once per tracepoint invocation.
+    Trigger {
+        /// The query requesting the retroactive flush.
+        query: QueryId,
+        /// Optional predicate over the emit-stage schema.
+        pred: Option<Expr>,
+    },
     /// Evaluate the output spec on each tuple and hand the result to the
     /// process-local aggregator.
     Emit {

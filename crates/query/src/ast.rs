@@ -92,6 +92,12 @@ pub struct Query {
     pub group_by: Vec<String>,
     /// `Select` items.
     pub select: Vec<SelectItem>,
+    /// Optional `Trigger` clause: requests whose emitted tuples satisfy
+    /// this predicate (or any emitted tuple, when the predicate is
+    /// omitted) cause a retroactive full-fidelity flush of the agent's
+    /// recent-event ring buffer. `Some(Lit(Bool(true)))` is the bare
+    /// `Trigger` form.
+    pub trigger: Option<Expr>,
 }
 
 impl Query {

@@ -170,6 +170,16 @@ pub enum Inst {
         /// Projection expressions, one per packed column.
         exprs: PoolRange,
     },
+    /// Fire a retroactive-flush trigger through [`EmitSink::trigger`] when
+    /// any live tuple satisfies `pred` (or unconditionally when `pred` is
+    /// `None`). At most one firing per invocation; evaluation failures
+    /// count as not-satisfied (advice safety).
+    Trigger {
+        /// The query requesting the flush.
+        query: QueryId,
+        /// Optional predicate: an index into [`AdviceByteCode::exprs`].
+        pred: Option<u32>,
+    },
     /// Evaluate the output spec on each surviving tuple and hand rows to
     /// the [`EmitSink`].
     Emit {
@@ -217,6 +227,12 @@ impl AdviceByteCode {
     /// Returns `true` if this program emits results.
     pub fn emits(&self) -> bool {
         self.insts.iter().any(|i| matches!(i, Inst::Emit { .. }))
+    }
+
+    /// Returns `true` if this program contains a retro `Trigger` op —
+    /// installing it should switch the agent's hindsight ring on.
+    pub fn triggers(&self) -> bool {
+        self.insts.iter().any(|i| matches!(i, Inst::Trigger { .. }))
     }
 
     /// Returns `true` when [`Vm::run_batch`] may execute this program
@@ -334,6 +350,13 @@ pub trait EmitSink {
     ) {
         let _ = (query, spec, key, states, rows);
     }
+    /// A [`Inst::Trigger`] fired for `query` during this invocation: the
+    /// embedding agent should retroactively flush its recent-event ring
+    /// for the current request. Default: ignore (sinks that don't do
+    /// retroactive tracing need no changes).
+    fn trigger(&mut self, query: QueryId) {
+        let _ = query;
+    }
 }
 
 /// An [`EmitSink`] that buffers rows, for tests and differential checks.
@@ -343,6 +366,8 @@ pub struct CollectSink {
     pub raw: Vec<(QueryId, Tuple)>,
     /// Grouped rows, in emit order.
     pub grouped: Vec<(QueryId, GroupKey, Vec<Value>)>,
+    /// Trigger firings, in firing order (one entry per firing invocation).
+    pub triggers: Vec<QueryId>,
 }
 
 impl EmitSink for CollectSink {
@@ -357,6 +382,9 @@ impl EmitSink for CollectSink {
         args: &[Value],
     ) {
         self.grouped.push((query, key, args.to_vec()));
+    }
+    fn trigger(&mut self, query: QueryId) {
+        self.triggers.push(query);
     }
 }
 
@@ -590,6 +618,15 @@ pub fn lower_program(program: &AdviceProgram) -> Lowered {
                     exprs,
                 });
             }
+            AdviceOp::Trigger { query, pred } => {
+                let pred = pred
+                    .as_ref()
+                    .map(|p| cx.lower_expr(p, &schema, "a Trigger predicate"));
+                insts.push(Inst::Trigger {
+                    query: *query,
+                    pred,
+                });
+            }
             AdviceOp::Emit { query, spec } => {
                 let pre = fused_predicates(&mut cx, program, fused_from, i, &schema);
                 let keys = cx.lower_expr_list(&spec.key_exprs, &schema, "a Select key");
@@ -773,6 +810,13 @@ impl AdviceByteCode {
                 Inst::Filter { pred } => {
                     if *pred as usize >= self.exprs.len() {
                         return err(format!("inst {ii}: filter predicate out of bounds"));
+                    }
+                }
+                Inst::Trigger { pred, .. } => {
+                    if let Some(p) = pred {
+                        if *p as usize >= self.exprs.len() {
+                            return err(format!("inst {ii}: trigger predicate out of bounds"));
+                        }
                     }
                 }
                 Inst::Pack {
@@ -977,6 +1021,20 @@ impl Vm {
                     if survivors > 0 {
                         stats.packed += self.projected.len();
                         baggage.pack(*slot, mode, self.projected.drain(..));
+                    }
+                }
+                Inst::Trigger { query, pred } => {
+                    let fires = match pred {
+                        None => !self.tuples.is_empty(),
+                        Some(p) => {
+                            let prog = code.exprs[*p as usize];
+                            self.tuples.iter().any(|t| {
+                                matches!(eval(code, prog, t, &mut self.regs), Ok(Value::Bool(true)))
+                            })
+                        }
+                    };
+                    if fires {
+                        sink.trigger(*query);
                     }
                 }
                 Inst::Emit {
@@ -1205,6 +1263,34 @@ impl Vm {
                     // empty pack, which stores nothing.
                     if !self.projected.is_empty() {
                         baggage.pack(*slot, mode, self.projected.drain(..));
+                    }
+                }
+                Inst::Trigger { query, pred } => {
+                    // One firing per invocation that has a satisfying live
+                    // tuple; `src` is invocation-major, so firings arrive
+                    // in invocation order (matching N scalar runs).
+                    let mut r = 0usize;
+                    while r < self.tuples.len() {
+                        let inv = self.src[r];
+                        let mut fires = false;
+                        while r < self.tuples.len() && self.src[r] == inv {
+                            if !fires {
+                                fires = match pred {
+                                    None => true,
+                                    Some(p) => {
+                                        let prog = code.exprs[*p as usize];
+                                        matches!(
+                                            eval(code, prog, &self.tuples[r], &mut self.regs),
+                                            Ok(Value::Bool(true))
+                                        )
+                                    }
+                                };
+                            }
+                            r += 1;
+                        }
+                        if fires {
+                            sink.trigger(*query);
+                        }
                     }
                 }
                 Inst::Emit {

@@ -569,6 +569,18 @@ impl<'r> Builder<'r> {
             self.nodes[*assigned].filters.push(expr.clone());
         }
 
+        // The trigger predicate always evaluates at the emit stage (after
+        // its filters), so its field demands land on the sink like a
+        // non-pushed Where clause.
+        let trigger = match &ast.trigger {
+            Some(e) => {
+                let (e, refs) = self.canon_expr(e, &scope)?;
+                self.record_refs(&refs, sink);
+                Some(e)
+            }
+            None => None,
+        };
+
         // Build the emit output spec (keys = explicit group-by + non-agg
         // select items).
         let mut key_exprs: Vec<Expr> = Vec::new();
@@ -914,7 +926,11 @@ impl<'r> Builder<'r> {
                 sink: sinks[idx].clone().expect("sink set"),
             });
         }
-        Ok(QueryPlan { stages, output })
+        Ok(QueryPlan {
+            stages,
+            output,
+            trigger,
+        })
     }
 }
 
@@ -984,6 +1000,15 @@ fn lower(plan: QueryPlan, name: &str, text: &str, id: QueryId) -> CompiledQuery 
                     });
                 }
                 StageSink::Emit => {
+                    if let Some(pred) = &plan.trigger {
+                        // A constant-true predicate (the bare `Trigger`
+                        // form) lowers to an unconditional trigger.
+                        let pred = match pred {
+                            Expr::Lit(Value::Bool(true)) => None,
+                            other => Some(other.clone()),
+                        };
+                        ops.push(AdviceOp::Trigger { query: id, pred });
+                    }
                     ops.push(AdviceOp::Emit {
                         query: id,
                         spec: output.clone(),

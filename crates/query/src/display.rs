@@ -60,6 +60,11 @@ impl fmt::Display for Query {
         for w in &self.wheres {
             write!(f, " Where {w}")?;
         }
+        match &self.trigger {
+            Some(pivot_model::Expr::Lit(Value::Bool(true))) => write!(f, " Trigger")?,
+            Some(e) => write!(f, " Trigger {e}")?,
+            None => {}
+        }
         if !self.group_by.is_empty() {
             write!(f, " GroupBy {}", self.group_by.join(", "))?;
         }

@@ -136,6 +136,7 @@ impl Parser {
         let mut wheres = Vec::new();
         let mut group_by = Vec::new();
         let mut select = Vec::new();
+        let mut trigger = None;
         loop {
             if self.at_keyword("Join") {
                 self.pos += 1;
@@ -164,11 +165,27 @@ impl Parser {
                 while self.eat_sym(Sym::Comma) {
                     select.push(self.select_item()?);
                 }
+            } else if self.at_keyword("Trigger") {
+                self.pos += 1;
+                if trigger.is_some() {
+                    return Err(self.err("duplicate `Trigger` clause".into()));
+                }
+                // A bare `Trigger` (followed by another clause keyword or
+                // the end of the query) fires on any emitted tuple.
+                let bare = self.at_end()
+                    || ["Join", "Where", "GroupBy", "Select", "Trigger"]
+                        .iter()
+                        .any(|kw| self.at_keyword(kw));
+                trigger = Some(if bare {
+                    Expr::Lit(Value::Bool(true))
+                } else {
+                    self.expr()?
+                });
             } else if self.at_end() {
                 break;
             } else {
                 return Err(self.err(format!(
-                    "expected `Join`, `Where`, `GroupBy`, or `Select`, found `{}`",
+                    "expected `Join`, `Where`, `GroupBy`, `Trigger`, or `Select`, found `{}`",
                     self.peek_str()
                 )));
             }
@@ -182,6 +199,7 @@ impl Parser {
             wheres,
             group_by,
             select,
+            trigger,
         })
     }
 

@@ -68,6 +68,9 @@ pub struct QueryPlan {
     pub stages: Vec<Stage>,
     /// Output shape of the emitted results.
     pub output: OutputSpec,
+    /// Canonicalized `Trigger` predicate, evaluated at the emit stage
+    /// after its filters; `None` when the query has no trigger clause.
+    pub trigger: Option<Expr>,
 }
 
 impl QueryPlan {

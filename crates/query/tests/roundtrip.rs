@@ -83,8 +83,13 @@ fn query() -> impl Strategy<Value = Query> {
         prop::collection::vec((ident(), tracepoint(), temporal()), 0..3),
         prop::collection::vec(select_item("a0".to_owned()), 1..4),
         prop::collection::vec(ident(), 0..3),
+        prop_oneof![
+            Just(None),
+            Just(Some(Expr::Lit(Value::Bool(true)))),
+            expr("a0".to_owned()).prop_map(Some),
+        ],
     )
-        .prop_map(|(from_alias, tps, tf, joins, select, group_by)| {
+        .prop_map(|(from_alias, tps, tf, joins, select, group_by, trigger)| {
             // Aliases must be unique; qualify group-by fields to the From
             // alias so they parse as identifiers.
             let from_alias = format!("a0{from_alias}");
@@ -121,6 +126,8 @@ fn query() -> impl Strategy<Value = Query> {
                     ),
                 })
                 .collect();
+            let trigger =
+                trigger.map(|e| e.map_fields(&|f| f.replacen("a0.", &format!("{from_alias}."), 1)));
             Query {
                 from: Source {
                     alias: from_alias,
@@ -131,6 +138,7 @@ fn query() -> impl Strategy<Value = Query> {
                 wheres: Vec::new(),
                 group_by,
                 select,
+                trigger,
             }
         })
 }
@@ -165,6 +173,7 @@ proptest! {
                 AggFunc::Count,
                 Expr::Lit(Value::Null),
             )],
+            trigger: None,
         };
         let text = q.to_string();
         let back = parse(&text);

@@ -62,7 +62,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pivot_baggage::QueryId;
-use pivot_core::{Bus, Command, ProcessInfo, Report, ReportRows, Throttled};
+use pivot_core::{Bus, Command, ProcessInfo, Report, ReportRows, RetroReport, Throttled};
 use pivot_model::{colblock, AggState, EncodedBlock, GroupKey, Tuple};
 use pivot_query::{merge_grouped, OutputSpec};
 
@@ -95,7 +95,30 @@ pub struct RelayStats {
     /// ever deliver or account them). Embeddings fold this into their
     /// transport-drop tally.
     pub tuples_stale: u64,
+    /// Retroactive-flush reports accepted from downstream. Retro frames
+    /// pass through *verbatim* — the originating agent's identity and
+    /// ring seq survive so the frontend can dedup end to end — so there
+    /// is no retro re-origination, only queueing.
+    pub retro_in: u64,
+    /// Retroactive-flush reports forwarded upstream.
+    pub retro_out: u64,
+    /// Retroactive-flush reports suppressed as duplicates of a frame
+    /// this relay already queued (same originating agent identity, same
+    /// ring seq). Without this a transport duplicate below the relay
+    /// could fan out past the hop — and if one copy then died in a
+    /// crash residue while the other delivered, the same events would
+    /// sit on two ledgers at once.
+    pub retro_duplicate: u64,
+    /// Buffered events carried by retro reports shed from the bounded
+    /// pass-through queue during an upstream outage (ground truth for
+    /// the embedding's retro loss books).
+    pub retro_events_shed: u64,
 }
+
+/// Cap on events queued in a relay's retro pass-through queue; oldest
+/// frames shed first under pressure (same bounded-outage discipline as
+/// the agent's pending queue).
+pub const RETRO_QUEUE_CAP: u64 = 4096;
 
 /// What a relay crash destroys: the tuples absorbed into the open merge
 /// window but never flushed upstream. The embedding folds this into its
@@ -105,6 +128,8 @@ pub struct RelayStats {
 pub struct CrashResidue {
     /// Tuples lost with the open window.
     pub window_tuples: u64,
+    /// Buffered events in queued retro reports lost with the crash.
+    pub retro_events: u64,
 }
 
 /// Per-downstream-source (host, procid, incarnation) tracking.
@@ -181,6 +206,17 @@ impl QueryWindow {
 struct CoreState {
     incarnation: u64,
     windows: HashMap<QueryId, QueryWindow>,
+    /// Retro reports queued for upstream, forwarded verbatim.
+    retro: VecDeque<RetroReport>,
+    /// Events carried by the queued retro reports.
+    retro_events: u64,
+    /// Ring seqs already absorbed, per originating agent identity.
+    /// Deliberately *not* cleared by [`RelayCore::restart`]: a frame the
+    /// previous incarnation queued and lost is on the crash-residue
+    /// books, so a late transport duplicate of it must stay refused or
+    /// its events would be double-counted (once as residue, once as
+    /// delivered).
+    retro_seen: HashMap<(String, u64, u64), BTreeSet<u64>>,
     stats: RelayStats,
 }
 
@@ -202,6 +238,9 @@ impl RelayCore {
             state: Mutex::new(CoreState {
                 incarnation: NEXT_INCARNATION.fetch_add(1, Ordering::Relaxed),
                 windows: HashMap::new(),
+                retro: VecDeque::new(),
+                retro_events: 0,
+                retro_seen: HashMap::new(),
                 stats: RelayStats::default(),
             }),
         }
@@ -415,6 +454,48 @@ impl RelayCore {
         out
     }
 
+    /// Queues one downstream retro report for upstream, verbatim: the
+    /// originating agent's (host, procid, incarnation, seq) identity
+    /// survives the hop so the frontend's dedup works end to end. The
+    /// queue is bounded by [`RETRO_QUEUE_CAP`] events; the oldest frames
+    /// shed first, tallied in [`RelayStats::retro_events_shed`].
+    /// Exact `(source, ring seq)` repeats — transport duplicates below
+    /// this hop — are suppressed and tallied in
+    /// [`RelayStats::retro_duplicate`]; the suppression ledger survives
+    /// [`RelayCore::restart`] (see `CoreState::retro_seen`).
+    pub fn absorb_retro(&self, report: RetroReport) {
+        let st = &mut *self.state.lock();
+        let key = (report.host.clone(), report.procid, report.incarnation);
+        if !st.retro_seen.entry(key).or_default().insert(report.seq) {
+            st.stats.retro_duplicate += 1;
+            return;
+        }
+        st.retro_events += report.events.len() as u64;
+        st.retro.push_back(report);
+        st.stats.retro_in += 1;
+        while st.retro_events > RETRO_QUEUE_CAP && st.retro.len() > 1 {
+            let shed = st.retro.pop_front().expect("len > 1");
+            let n = shed.events.len() as u64;
+            st.retro_events -= n;
+            st.stats.retro_events_shed += n;
+        }
+    }
+
+    /// Drains the retro pass-through queue for upstream forwarding.
+    pub fn flush_retro(&self) -> Vec<RetroReport> {
+        let st = &mut *self.state.lock();
+        st.retro_events = 0;
+        let out: Vec<RetroReport> = st.retro.drain(..).collect();
+        st.stats.retro_out += out.len() as u64;
+        out
+    }
+
+    /// Events currently queued in retro reports awaiting upstream (what
+    /// a crash right now would destroy).
+    pub fn buffered_retro_events(&self) -> u64 {
+        self.state.lock().retro_events
+    }
+
     /// Tuples currently absorbed but unflushed, across all windows (what
     /// a crash right now would destroy).
     pub fn buffered_tuples(&self) -> u64 {
@@ -437,8 +518,14 @@ impl RelayCore {
         let st = &mut *self.state.lock();
         let window_tuples: u64 = st.windows.values().map(|w| w.window_tuples).sum();
         st.windows.clear();
+        let retro_events = st.retro_events;
+        st.retro.clear();
+        st.retro_events = 0;
         st.incarnation = NEXT_INCARNATION.fetch_add(1, Ordering::Relaxed);
-        CrashResidue { window_tuples }
+        CrashResidue {
+            window_tuples,
+            retro_events,
+        }
     }
 }
 
@@ -478,6 +565,15 @@ impl<B: Bus> Relay<B> {
             self.core.absorb(r);
         }
     }
+
+    /// Pulls downstream retro frames into the pass-through queue
+    /// *without* flushing upstream — the mid-queue state a crash test
+    /// needs (the queued events die in the [`CrashResidue`]).
+    pub fn pull_retro(&self, now: u64) {
+        for r in self.inner.drain_retro(now) {
+            self.core.absorb_retro(r);
+        }
+    }
 }
 
 impl<B: Bus> Bus for Relay<B> {
@@ -493,6 +589,13 @@ impl<B: Bus> Bus for Relay<B> {
     fn drain_reports(&self, now: u64) -> Vec<Report> {
         self.pull(now);
         self.core.flush(now)
+    }
+
+    /// Retro frames pass through verbatim (no re-origination; see
+    /// [`RelayCore::absorb_retro`]).
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        self.pull_retro(now);
+        self.core.flush_retro()
     }
 }
 
@@ -524,6 +627,13 @@ impl<B: Bus> Bus for FanIn<B> {
         let mut out = Vec::new();
         for c in &self.children {
             out.extend(c.drain_reports(now));
+        }
+        out
+    }
+    fn drain_retro(&self, now: u64) -> Vec<RetroReport> {
+        let mut out = Vec::new();
+        for c in &self.children {
+            out.extend(c.drain_retro(now));
         }
         out
     }

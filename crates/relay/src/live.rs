@@ -270,8 +270,12 @@ impl Drop for RelayServer {
 /// socket would consume seqs for frames nothing will deliver.
 fn flush_upstream(shared: &UpShared) {
     if *shared.status.lock() != ConnStatus::Connected {
-        for r in shared.down.drain_reports(pivot_live::now_nanos()) {
+        let now = pivot_live::now_nanos();
+        for r in shared.down.drain_reports(now) {
             shared.core.absorb(r);
+        }
+        for r in shared.down.drain_retro(now) {
+            shared.core.absorb_retro(r);
         }
         return;
     }
@@ -283,15 +287,30 @@ fn flush_upstream_inner(shared: &UpShared) {
     for r in shared.down.drain_reports(now) {
         shared.core.absorb(r);
     }
+    for r in shared.down.drain_retro(now) {
+        shared.core.absorb_retro(r);
+    }
     // Reports carry versioned constructs, so they are encoded at the
     // parent's negotiated version (see `UpShared::peer_version`).
     let peer_version = shared.peer_version.load(Ordering::SeqCst);
-    let batch: Vec<Vec<u8>> = shared
+    let mut batch: Vec<Vec<u8>> = shared
         .core
         .flush(now)
         .into_iter()
         .map(|r| encode_message_v(&Message::Report(r), peer_version))
         .collect();
+    // Retro frames exist only at v7+ and are never down-encoded; for a
+    // down-level parent they stay in the bounded pass-through queue,
+    // which sheds its oldest under pressure.
+    if peer_version >= 7 {
+        batch.extend(
+            shared
+                .core
+                .flush_retro()
+                .into_iter()
+                .map(|r| encode_message_v(&Message::Retro(r), peer_version)),
+        );
+    }
     if !batch.is_empty() {
         let _ = write_frames(&mut *shared.writer.lock(), &batch);
     }
@@ -352,10 +371,11 @@ fn read_upstream_session(read: &mut TcpStream, shared: &UpShared) -> bool {
                 shared.down.resync(queries, budgets);
             }
             Ok(Message::Goodbye) => return true,
-            // Hello/HelloRelay/Report flow toward the frontend only.
-            Ok(Message::Hello(_) | Message::HelloRelay(_) | Message::Report(_)) | Err(_) => {
-                return false
-            }
+            // Hello/HelloRelay/Report/Retro flow toward the frontend only.
+            Ok(
+                Message::Hello(_) | Message::HelloRelay(_) | Message::Report(_) | Message::Retro(_),
+            )
+            | Err(_) => return false,
         }
     }
     false

@@ -358,3 +358,64 @@ fn streaming_rows_coalesce_without_merging() {
     fe.accept(out.into_iter().next().expect("one frame"));
     assert_eq!(fe.results(&handle).len(), 3, "every raw row survives");
 }
+
+/// Retro frames pass through verbatim, but exact (source, ring seq)
+/// repeats are suppressed at the hop — and the suppression ledger
+/// survives a relay restart, so a late transport duplicate of a frame
+/// that died in the crash residue stays refused instead of resurrecting
+/// events already counted as lost.
+#[test]
+fn retro_duplicate_suppressed_across_restart() {
+    use pivot_core::{RetroReport, TriggerKind};
+
+    fn retro(seq: u64, events: usize) -> RetroReport {
+        RetroReport {
+            host: "host-0".into(),
+            procid: 7,
+            procname: "worker".into(),
+            incarnation: 1,
+            time: MS,
+            seq,
+            query: pivot_baggage::QueryId(1),
+            kind: TriggerKind::Fault,
+            request: 42,
+            events: (0..events)
+                .map(|i| pivot_core::RetroEvent {
+                    tracepoint: Value::str("Exec"),
+                    time: MS + i as u64,
+                    request: 42,
+                    names: Arc::new(Vec::new()),
+                    values: Vec::new(),
+                })
+                .collect(),
+            recorded_cum: events as u64,
+            sampled_out_cum: 0,
+            shed_cum: 0,
+        }
+    }
+
+    let core = RelayCore::new(relay_info(0));
+    core.absorb_retro(retro(0, 3));
+    core.absorb_retro(retro(0, 3)); // transport duplicate
+    assert_eq!(core.stats().retro_in, 1);
+    assert_eq!(core.stats().retro_duplicate, 1);
+    assert_eq!(core.buffered_retro_events(), 3);
+
+    // The queued frame dies with the relay: its events land on the
+    // crash-residue books.
+    let residue = core.restart();
+    assert_eq!(residue.retro_events, 3);
+
+    // A straggler duplicate of the dead frame arrives post-restart. It
+    // must stay refused — delivering it would double-count the events.
+    core.absorb_retro(retro(0, 3));
+    assert_eq!(core.stats().retro_duplicate, 2);
+    assert_eq!(core.buffered_retro_events(), 0);
+    assert!(core.flush_retro().is_empty());
+
+    // Fresh seqs from the same source still flow.
+    core.absorb_retro(retro(1, 2));
+    let out = core.flush_retro();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].seq, 1);
+}

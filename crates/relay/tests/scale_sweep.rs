@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use pivot_baggage::Baggage;
 use pivot_chaos::{ChaosBus, FaultConfig, FaultPlan};
-use pivot_core::{Agent, Bus, Frontend, LocalBus, ProcessInfo, QueryHandle};
+use pivot_core::{Agent, Bus, Frontend, LocalBus, ProcessInfo, QueryHandle, TriggerKind};
 use pivot_model::Value;
 use pivot_relay::{FanIn, Relay};
 
@@ -40,6 +40,14 @@ const ROUND_NS: u64 = 400 * MS;
 
 const GROUPED: &str = "From e In Exec GroupBy e.k Select e.k, SUM(e.v)";
 const STREAMING: &str = "From e In Exec Select e.k, e.v";
+
+/// Leaves whose agents run with hindsight rings armed: the shed leaf
+/// (0) and both leaf-crash victims (2 and 6), so retro frames are in
+/// flight through every adversity the sweep stages.
+const RETRO_LEAVES: [usize; 3] = [0, 2, 6];
+/// Tiny rings so steady recording wraps between staggered triggers and
+/// the `sampled_out` term is exercised at scale.
+const RETRO_RING_CAP: usize = 8;
 
 type LeafRelay = Relay<ChaosBus<LocalBus>>;
 type Tree = Relay<FanIn<ChaosBus<LeafRelay>>>;
@@ -113,6 +121,9 @@ fn drain_into(root: &Tree, fe: &mut Frontend, t: u64) -> u64 {
     for r in reports {
         fe.accept(r);
     }
+    for r in root.drain_retro(t) {
+        fe.accept_retro(r);
+    }
     n
 }
 
@@ -125,22 +136,27 @@ fn release_all(root: &Tree) {
 }
 
 /// Quiesce-then-crash for a leaf: settle the agent-facing link into the
-/// open window, then kill the relay. Returns the window tuples destroyed.
-fn crash_leaf(root: &Tree, li: usize, t: u64) -> u64 {
+/// open window (and the retro queue), then kill the relay. Returns the
+/// (window tuples, retro events) destroyed.
+fn crash_leaf(root: &Tree, li: usize, t: u64) -> (u64, u64) {
     let leaf = root.inner().children()[li].inner();
     leaf.inner().release_pending();
     leaf.pull(t);
-    leaf.core().restart().window_tuples
+    leaf.pull_retro(t);
+    let residue = leaf.core().restart();
+    (residue.window_tuples, residue.retro_events)
 }
 
 /// Quiesce-then-crash for the root: settle every leaf-facing link into
-/// the root window, then kill it.
-fn crash_root(root: &Tree, t: u64) -> u64 {
+/// the root window (and the retro queue), then kill it.
+fn crash_root(root: &Tree, t: u64) -> (u64, u64) {
     for child in root.inner().children() {
         child.release_pending();
     }
     root.pull(t);
-    root.core().restart().window_tuples
+    root.pull_retro(t);
+    let residue = root.core().restart();
+    (residue.window_tuples, residue.retro_events)
 }
 
 struct SweepOutcome {
@@ -152,6 +168,15 @@ struct SweepOutcome {
     emitted: u64,
     frames_fe: u64,
     agent_frames: u64,
+    /// The extended identity's hindsight terms, ground truth on the left
+    /// (`recorded` from agent seals) and the buckets on the right.
+    retro_recorded: u64,
+    retro_delivered: u64,
+    retro_dropped: u64,
+    retro_sampled_out: u64,
+    retro_shed: u64,
+    retro_relay_shed: u64,
+    retro_residue: u64,
 }
 
 fn run_sweep(seed: u64) -> SweepOutcome {
@@ -170,6 +195,17 @@ fn run_sweep(seed: u64) -> SweepOutcome {
     // bounded-buffer family), so the identity's shed term is exercised.
     for agent in &agents[..AGENTS_PER_LEAF] {
         agent.set_row_cap(2);
+    }
+
+    // Hindsight rings on three leaves' worth of agents (shed leaf + both
+    // leaf-crash victims), tiny so wraparound is routine.
+    let retro_agents: Vec<&Arc<Agent>> = RETRO_LEAVES
+        .iter()
+        .flat_map(|&li| &agents[li * AGENTS_PER_LEAF..(li + 1) * AGENTS_PER_LEAF])
+        .collect();
+    for agent in &retro_agents {
+        agent.set_retro(true);
+        agent.set_retro_cap(RETRO_RING_CAP);
     }
 
     // Installs flow down through both chaos tiers. Commands are never
@@ -194,6 +230,7 @@ fn run_sweep(seed: u64) -> SweepOutcome {
     }
 
     let mut residue = 0u64;
+    let mut retro_residue = 0u64;
     for round in 0..ROUNDS {
         for (i, agent) in agents.iter().enumerate() {
             let gkey = if i % 2 == 0 { "g0" } else { "g1" };
@@ -213,22 +250,35 @@ fn run_sweep(seed: u64) -> SweepOutcome {
                 }
             }
         }
+        // Staggered fault-site triggers: each hindsight agent drains its
+        // ring every third round, so retro frames are in flight at every
+        // crash and across every partition window the schedule stages.
+        for (ri, agent) in retro_agents.iter().enumerate() {
+            if round % 3 == (ri % 3) as u64 {
+                agent.trigger_retro(TriggerKind::Fault, 0, t);
+            }
+        }
         // Mid-window crashes at both tiers: the invokes above are pulled
-        // into the victim's window (quiesce) and then destroyed with it.
+        // into the victim's window (quiesce) and then destroyed with it —
+        // retro frames included, so the hindsight residue term is real.
         if round == 3 {
-            let lost = crash_leaf(&root, 2, t);
+            let (lost, retro_lost) = crash_leaf(&root, 2, t);
             assert!(lost > 0, "leaf crash destroyed an open window");
+            assert!(retro_lost > 0, "leaf crash destroyed queued retro frames");
             residue += lost;
+            retro_residue += retro_lost;
         }
         if round == 5 {
-            let lost = crash_root(&root, t);
+            let (lost, retro_lost) = crash_root(&root, t);
             assert!(lost > 0, "root crash destroyed an open window");
             residue += lost;
+            retro_residue += retro_lost;
         }
         if round == 7 {
-            let lost = crash_leaf(&root, 6, t);
+            let (lost, retro_lost) = crash_leaf(&root, 6, t);
             assert!(lost > 0, "second leaf crash destroyed an open window");
             residue += lost;
+            retro_residue += retro_lost;
         }
         frames_fe += drain_into(&root, &mut fe, t);
         t += ROUND_NS;
@@ -264,11 +314,29 @@ fn run_sweep(seed: u64) -> SweepOutcome {
     let mut dropped = 0u64;
     let mut stale = root.core().stats().tuples_stale;
     let mut agent_frames = 0u64;
+    let mut retro_dropped = 0u64;
+    let mut retro_relay_shed = root.core().stats().retro_events_shed;
     for child in root.inner().children() {
         dropped += child.stats().tuples_dropped;
         dropped += child.inner().inner().stats().tuples_dropped;
         stale += child.inner().core().stats().tuples_stale;
         agent_frames += child.inner().core().stats().reports_in;
+        retro_dropped += child.stats().retro_events_dropped;
+        retro_dropped += child.inner().inner().stats().retro_events_dropped;
+        retro_relay_shed += child.inner().core().stats().retro_events_shed;
+    }
+
+    // Graceful end-of-life for the hindsight rings: everything
+    // deliverable drained above; sealing accounts the leftovers
+    // (unclaimed ring events become `sampled_out`).
+    let mut retro_recorded = 0u64;
+    let mut retro_sampled_out = 0u64;
+    let mut retro_shed = 0u64;
+    for agent in &retro_agents {
+        let rc = agent.retro_seal();
+        retro_recorded += rc.recorded;
+        retro_sampled_out += rc.sampled_out;
+        retro_shed += rc.shed;
     }
 
     let loss_g = fe.results(&gq).loss();
@@ -307,6 +375,13 @@ fn run_sweep(seed: u64) -> SweepOutcome {
             .sum(),
         frames_fe,
         agent_frames,
+        retro_recorded,
+        retro_delivered: fe.retro_loss().events_delivered,
+        retro_dropped,
+        retro_sampled_out,
+        retro_shed,
+        retro_relay_shed,
+        retro_residue,
     }
 }
 
@@ -318,6 +393,7 @@ fn run_sweep(seed: u64) -> SweepOutcome {
 #[test]
 fn thousand_agent_sweep_balances_exactly() {
     let mut total_dropped = 0u64;
+    let mut total_retro_dropped = 0u64;
     for seed in [0x51ee9, 0xb0b5, 0x7a11] {
         let o = run_sweep(seed);
         assert_eq!(
@@ -332,8 +408,40 @@ fn thousand_agent_sweep_balances_exactly() {
             o.residue,
             o.shed,
         );
+        // The extended hindsight identity through both relay hops: every
+        // raw event recorded into any ring lands in exactly one bucket.
+        assert_eq!(
+            o.retro_recorded,
+            o.retro_delivered
+                + o.retro_dropped
+                + o.retro_sampled_out
+                + o.retro_shed
+                + o.retro_relay_shed
+                + o.retro_residue,
+            "seed {seed:#x}: retro recorded {} != delivered {} + dropped {} \
+             + sampled_out {} + shed {} + relay_shed {} + residue {}",
+            o.retro_recorded,
+            o.retro_delivered,
+            o.retro_dropped,
+            o.retro_sampled_out,
+            o.retro_shed,
+            o.retro_relay_shed,
+            o.retro_residue,
+        );
         assert!(o.residue > 0, "seed {seed:#x}: crashes hit open windows");
         assert!(o.shed > 0, "seed {seed:#x}: the shed term is exercised");
+        assert!(
+            o.retro_delivered > 0,
+            "seed {seed:#x}: hindsight data reached the frontend"
+        );
+        assert!(
+            o.retro_sampled_out > 0,
+            "seed {seed:#x}: ring wraparound is exercised at scale"
+        );
+        assert!(
+            o.retro_residue > 0,
+            "seed {seed:#x}: relay crashes destroyed queued retro frames"
+        );
         assert!(
             o.frames_fe * 5 <= o.agent_frames,
             "seed {seed:#x}: fan-in collapsed {} agent frames to {} at the frontend",
@@ -341,6 +449,11 @@ fn thousand_agent_sweep_balances_exactly() {
             o.frames_fe
         );
         total_dropped += o.dropped;
+        total_retro_dropped += o.retro_dropped;
     }
     assert!(total_dropped > 0, "the sweep exercised real transport loss");
+    assert!(
+        total_retro_dropped > 0,
+        "the sweep exercised real retro-frame transport loss"
+    );
 }

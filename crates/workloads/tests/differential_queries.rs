@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use pivot_analyze::Analyzer;
+use pivot_analyze::{Analyzer, Code};
 use pivot_core::bus::LocalBus;
 use pivot_core::{Agent, Frontend, ProcessInfo, QueryBudget, QueryHandle};
 use pivot_hadoop::tracepoints;
@@ -261,6 +261,13 @@ fn verifier_accepts_experiment_queries_and_bounds_are_monotone() {
         assert!(
             !a.has_errors(),
             "{name}: verifier rejected an experiment query: {:?}",
+            a.diagnostics
+        );
+        // No hindsight-trigger false positives: none of the paper's
+        // queries carry a `Trigger` clause, so PT010 must never fire.
+        assert!(
+            !a.has_code(Code::TriggerUnbounded),
+            "{name}: spurious PT010: {:?}",
             a.diagnostics
         );
         let opt = a.optimized_cost.expect("optimized plan");
